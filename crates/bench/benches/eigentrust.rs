@@ -1,0 +1,53 @@
+//! EigenTrust power iteration vs the paper's weighted sum, across network
+//! sizes (the reputation-calculation cost underlying Figure 13's
+//! EigenTrust series).
+
+use collusion_reputation::eigentrust::{EigenTrust, WeightedSumEngine};
+use collusion_reputation::history::InteractionHistory;
+use collusion_reputation::id::{NodeId, SimTime};
+use collusion_reputation::rating::{Rating, RatingValue};
+use collusion_reputation::trust_matrix::TrustMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn build_history(n: u64, ratings: u64, seed: u64) -> InteractionHistory {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut h = InteractionHistory::new();
+    for t in 0..ratings {
+        let i = NodeId(rng.random_range(0..n));
+        let mut j = NodeId(rng.random_range(0..n));
+        if i == j {
+            j = NodeId((j.raw() + 1) % n);
+        }
+        let v = if rng.random_bool(0.8) { RatingValue::Positive } else { RatingValue::Negative };
+        h.record(Rating::new(i, j, v, SimTime(t)));
+    }
+    h
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigentrust");
+    for &n in &[100u64, 200, 400] {
+        let h = build_history(n, n * 50, 7);
+        let pretrusted: Vec<NodeId> = (0..3).map(NodeId).collect();
+        group.bench_with_input(BenchmarkId::new("power_iteration", n), &h, |bench, h| {
+            let engine = EigenTrust::default();
+            bench.iter(|| {
+                black_box(engine.compute_from_history(black_box(h), n as usize, &pretrusted))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("matrix_build", n), &h, |bench, h| {
+            bench.iter(|| black_box(TrustMatrix::from_history(black_box(h), n as usize)));
+        });
+        group.bench_with_input(BenchmarkId::new("weighted_sum", n), &h, |bench, h| {
+            let engine = WeightedSumEngine::default();
+            bench.iter(|| black_box(engine.compute(black_box(h), n as usize, &pretrusted)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

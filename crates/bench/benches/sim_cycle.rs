@@ -1,0 +1,31 @@
+//! Full simulation runs (the substrate of Figures 5–13): plain EigenTrust
+//! vs EigenTrust+Optimized vs EigenTrust+Basic.
+
+use collusion_sim::config::{DetectorKind, SimConfig};
+use collusion_sim::engine::Simulation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_run");
+    group.sample_size(10);
+    for &(label, detector) in &[
+        ("eigentrust", DetectorKind::None),
+        ("optimized", DetectorKind::Optimized),
+        ("basic", DetectorKind::Basic),
+    ] {
+        group.bench_function(BenchmarkId::new(label, "200n_5c"), |bench| {
+            bench.iter(|| {
+                let mut cfg = SimConfig::paper_baseline(99);
+                cfg.sim_cycles = 5;
+                cfg.colluder_good_prob = 0.2;
+                cfg.detector = detector;
+                black_box(Simulation::new(cfg).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Trace generation and analysis throughput (the §III pipeline: generate →
+//! aggregate → suspicious filter → interaction graph).
+
+use collusion_trace::amazon::{self, AmazonConfig};
+use collusion_trace::graph::InteractionGraph;
+use collusion_trace::overstock::{self, OverstockConfig};
+use collusion_trace::stats::TraceStats;
+use collusion_trace::suspicious::find_suspicious;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    for &scale in &[0.01f64, 0.05] {
+        group.bench_with_input(BenchmarkId::new("amazon_generate", scale), &scale, |b, &s| {
+            b.iter(|| black_box(amazon::generate(&AmazonConfig::paper(s, 1))));
+        });
+        let trace = amazon::generate(&AmazonConfig::paper(scale, 1));
+        group.bench_with_input(BenchmarkId::new("stats_compute", scale), &trace, |b, t| {
+            b.iter(|| black_box(TraceStats::compute(&t.trace)));
+        });
+        let stats = TraceStats::compute(&trace.trace);
+        group.bench_with_input(
+            BenchmarkId::new("suspicious_filter", scale),
+            &(&trace, &stats),
+            |b, (t, s)| {
+                b.iter(|| black_box(find_suspicious(&t.trace, s, 20)));
+            },
+        );
+        let ot = overstock::generate(&OverstockConfig::paper(scale, 1));
+        group.bench_with_input(BenchmarkId::new("interaction_graph", scale), &ot, |b, t| {
+            b.iter(|| black_box(InteractionGraph::from_trace(&t.trace, 20)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

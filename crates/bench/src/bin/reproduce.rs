@@ -1,0 +1,127 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [fig1a|fig1b|fig1c|fig1d|sec3|fig4|fig5|…|fig13|all]
+//!           [--scale S] [--runs R] [--seed N]
+//! ```
+//!
+//! Trace figures accept `--scale` (1.0 ≈ the paper's full crawl volume;
+//! default 0.05 keeps `all` under a minute). Simulation figures accept
+//! `--runs` (default 5, the paper's averaging).
+
+use collusion_bench::figures;
+use collusion_bench::render;
+
+struct Args {
+    targets: Vec<String>,
+    scale: f64,
+    runs: usize,
+    seed: u64,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut targets = Vec::new();
+    let mut scale = 0.05;
+    let mut runs = 5;
+    let mut seed = 2012; // ICPP 2012
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs a value").parse().expect("scale"),
+            "--runs" => runs = args.next().expect("--runs needs a value").parse().expect("runs"),
+            "--seed" => seed = args.next().expect("--seed needs a value").parse().expect("seed"),
+            "--csv" => csv_dir = Some(args.next().expect("--csv needs a directory").into()),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Args { targets, scale, runs, seed, csv_dir }
+}
+
+fn write_csv(dir: &Option<std::path::PathBuf>, name: &str, content: String) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, content).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let all = [
+        "fig1a", "fig1b", "fig1c", "fig1d", "sec3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12", "fig13",
+    ];
+    let targets: Vec<&str> = if args.targets.iter().any(|t| t == "all") {
+        all.to_vec()
+    } else {
+        args.targets.iter().map(String::as_str).collect()
+    };
+    for target in targets {
+        let out = match target {
+            "fig1a" => {
+                let f = figures::fig1a(args.scale, args.seed);
+                write_csv(&args.csv_dir, "fig1a", render::csv::fig1a(&f));
+                render::render_fig1a(&f)
+            }
+            "fig1b" => render::render_fig1b(&figures::fig1b(args.scale, args.seed)),
+            "fig1c" => render::render_fig1c(&figures::fig1c(args.scale, args.seed)),
+            "fig1d" => render::render_fig1d(&figures::fig1d(args.scale, args.seed)),
+            "sec3" => {
+                let (trace, report) = figures::sec3_stats(args.scale, args.seed);
+                format!(
+                    "§III statistics (threshold {} ratings/window, scale {})\n\
+                     suspicious sellers: {} (paper: 18; ground truth here: {})\n\
+                     suspicious raters:  {} (paper: 139; ground truth here: {})\n\
+                     avg a = {:.2}% (paper: 98.37%)\n\
+                     avg b = {:.2}% (paper: 1.63%)\n",
+                    report.threshold,
+                    args.scale,
+                    report.sellers.len(),
+                    trace.colluding_sellers().len(),
+                    report.raters.len(),
+                    trace.boosters.len() + trace.rivals.len(),
+                    report.avg_a * 100.0,
+                    report.avg_b * 100.0,
+                )
+            }
+            "fig4" => {
+                let f = figures::fig4(0.8, 0.2);
+                write_csv(&args.csv_dir, "fig4", render::csv::fig4(&f));
+                render::render_fig4(&f)
+            }
+            "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" => {
+                let label: &'static str = all
+                    .iter()
+                    .find(|&&l| l == target)
+                    .copied()
+                    .expect("known label");
+                {
+                    let f = figures::rep_distribution(label, args.seed, args.runs);
+                    write_csv(&args.csv_dir, label, render::csv::rep_distribution(&f));
+                    render::render_rep_distribution(&f)
+                }
+            }
+            "fig12" => {
+                let points = figures::fig12(args.seed, args.runs);
+                write_csv(&args.csv_dir, "fig12", render::csv::fig12(&points));
+                render::render_fig12(&points)
+            }
+            "fig13" => {
+                let points = figures::fig13(args.seed, args.runs);
+                write_csv(&args.csv_dir, "fig13", render::csv::fig13(&points));
+                render::render_fig13(&points)
+            }
+            other => {
+                eprintln!("unknown target {other}; known: {}", all.join(" "));
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Data generation for every figure in the paper.
+//!
+//! Trace figures (1a–1d, §III statistics) run on the synthetic calibrated
+//! traces at a configurable `scale` (1.0 ≈ the crawl's full volume);
+//! simulation figures (5–13) run the §V simulator, by default with the
+//! paper's 5-run averaging.
+
+use collusion_core::formula::Fig4Surface;
+use collusion_reputation::id::NodeId;
+use collusion_sim::metrics::AveragedMetrics;
+use collusion_sim::runner::run_averaged;
+use collusion_sim::scenario;
+use collusion_trace::amazon::{self, AmazonConfig, AmazonTrace};
+use collusion_trace::graph::InteractionGraph;
+use collusion_trace::overstock::{self, OverstockConfig};
+use collusion_trace::patterns::{classify_all_raters, rating_timeline, RaterPattern};
+use collusion_trace::stats::TraceStats;
+use collusion_trace::suspicious::{find_suspicious, SuspiciousReport};
+
+/// Figure 1(a): per-seller positive/negative rating totals ordered by
+/// final reputation.
+pub struct Fig1a {
+    /// Rows: (seller, reputation, positive, negative).
+    pub rows: Vec<(NodeId, f64, u64, u64)>,
+}
+
+/// Generate Figure 1(a) from a fresh synthetic Amazon trace.
+pub fn fig1a(scale: f64, seed: u64) -> Fig1a {
+    let trace = amazon::generate(&AmazonConfig::paper(scale, seed));
+    let stats = TraceStats::compute(&trace.trace);
+    let rows = stats
+        .by_reputation_desc()
+        .into_iter()
+        .map(|s| (s.seller, s.reputation(), s.positive, s.negative))
+        .collect();
+    Fig1a { rows }
+}
+
+/// One rater row of Figure 1(b): (rater, pattern, day/stars series).
+pub type Fig1bRater = (NodeId, RaterPattern, Vec<(u64, u8)>);
+
+/// Figure 1(b): rating timelines of the most frequent raters of one
+/// suspicious seller, with their behaviour classification.
+pub struct Fig1b {
+    /// The suspicious seller inspected.
+    pub seller: NodeId,
+    /// Its reputation.
+    pub reputation: f64,
+    /// Per-rater rows: (rater, pattern, (day, stars) series).
+    pub raters: Vec<Fig1bRater>,
+}
+
+/// Generate Figure 1(b): pick the first ground-truth colluding seller and
+/// plot five representative frequent raters — the paper "chose 5 raters
+/// with the 3 typical behavior patterns" (rival, boosters, normal), so we
+/// select up to 1 rival, 2 boosters and 2 mixed raters by rating count.
+pub fn fig1b(scale: f64, seed: u64) -> Fig1b {
+    let trace = amazon::generate(&AmazonConfig::paper(scale, seed));
+    let stats = TraceStats::compute(&trace.trace);
+    let seller = trace.colluding_sellers()[0];
+    let reputation = stats.seller(seller).map(|s| s.reputation()).unwrap_or(0.0);
+    let classified = classify_all_raters(&trace.trace, seller, 15, 0.1);
+    let mut raters = Vec::with_capacity(5);
+    for (pattern, quota) in [
+        (RaterPattern::Rival, 1usize),
+        (RaterPattern::Booster, 2),
+        (RaterPattern::Mixed, 2),
+    ] {
+        for (rater, _, p) in classified.iter().filter(|r| r.2 == pattern).take(quota) {
+            raters.push((*rater, *p, rating_timeline(&trace.trace, *rater, seller)));
+        }
+    }
+    Fig1b { seller, reputation, raters }
+}
+
+/// Figure 1(c): per-rater frequency summaries for suspicious vs.
+/// unsuspicious sellers.
+pub struct Fig1c {
+    /// Rows: (seller, suspicious?, mean ratings per rater, max, variance).
+    pub rows: Vec<(NodeId, bool, f64, u64, f64)>,
+}
+
+/// Generate Figure 1(c): 5 suspicious + 4 unsuspicious sellers.
+pub fn fig1c(scale: f64, seed: u64) -> Fig1c {
+    let trace = amazon::generate(&AmazonConfig::paper(scale, seed));
+    let stats = TraceStats::compute(&trace.trace);
+    let suspicious: Vec<NodeId> = trace.colluding_sellers().into_iter().take(5).collect();
+    let honest: Vec<NodeId> = (18..22).map(NodeId).collect();
+    let mut rows = Vec::new();
+    for (&seller, is_sus) in suspicious
+        .iter()
+        .map(|s| (s, true))
+        .chain(honest.iter().map(|s| (s, false)))
+    {
+        let (mean, max, var) = stats.rater_summary(&trace.trace, seller);
+        rows.push((seller, is_sus, mean, max, var));
+    }
+    Fig1c { rows }
+}
+
+/// Figure 1(d): the Overstock interaction graph census.
+pub struct Fig1d {
+    /// Suspected colluders ("black nodes").
+    pub black_nodes: usize,
+    /// Components that are isolated pairs.
+    pub pairs: usize,
+    /// Acyclic multi-node components ("still pair-wise").
+    pub chains: usize,
+    /// Closed structures (≥3-cycles) — the paper observed none.
+    pub closed: usize,
+    /// Triangles in the graph.
+    pub triangles: usize,
+}
+
+/// Generate Figure 1(d) from a fresh synthetic Overstock trace.
+pub fn fig1d(scale: f64, seed: u64) -> Fig1d {
+    let trace = overstock::generate(&OverstockConfig::paper(scale, seed));
+    let graph = InteractionGraph::from_trace(&trace.trace, 20);
+    let (pairs, chains, closed) = graph.structure_census();
+    Fig1d {
+        black_nodes: graph.nodes().len(),
+        pairs,
+        chains,
+        closed,
+        triangles: graph.triangle_count(),
+    }
+}
+
+/// §III statistics: the suspicious filter at threshold 20 plus the trace it
+/// ran on (for the seller/rater counts and the a/b calibration).
+pub fn sec3_stats(scale: f64, seed: u64) -> (AmazonTrace, SuspiciousReport) {
+    let trace = amazon::generate(&AmazonConfig::paper(scale, seed));
+    let stats = TraceStats::compute(&trace.trace);
+    let report = find_suspicious(&trace.trace, &stats, 20);
+    (trace, report)
+}
+
+/// Figure 4: the Formula (2) reputation band surface.
+pub fn fig4(t_a: f64, t_b: f64) -> Fig4Surface {
+    Fig4Surface::sample(t_a, t_b, 200, 20)
+}
+
+/// A reputation-distribution figure (5–11): averaged final reputations.
+pub struct RepDistribution {
+    /// Figure label ("fig5" …).
+    pub label: &'static str,
+    /// Averaged metrics over the runs.
+    pub metrics: AveragedMetrics,
+}
+
+/// Run one of the Figure 5–11 scenarios with the paper's 5-run averaging
+/// (parameterizable for quick tests).
+pub fn rep_distribution(label: &'static str, seed: u64, runs: usize) -> RepDistribution {
+    let config = match label {
+        "fig5" => scenario::fig5(seed),
+        "fig6" => scenario::fig6(seed),
+        "fig7" => scenario::fig7(seed),
+        "fig8" => scenario::fig8(seed),
+        "fig9" => scenario::fig9(seed),
+        "fig10" => scenario::fig10(seed),
+        "fig11" => scenario::fig11(seed),
+        other => panic!("unknown reputation-distribution figure {other}"),
+    };
+    RepDistribution { label, metrics: run_averaged(&config, runs) }
+}
+
+/// Figure 12 series.
+pub fn fig12(seed: u64, runs: usize) -> Vec<scenario::Fig12Point> {
+    scenario::fig12(seed, runs)
+}
+
+/// Figure 13 series.
+pub fn fig13(seed: u64, runs: usize) -> Vec<scenario::Fig13Point> {
+    scenario::fig13(seed, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_orders_by_reputation() {
+        let f = fig1a(0.01, 1);
+        assert_eq!(f.rows.len(), 97);
+        assert!(f.rows.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn fig1b_finds_booster_and_rival() {
+        let f = fig1b(0.01, 2);
+        assert!(f.raters.iter().any(|r| r.1 == RaterPattern::Booster));
+        assert!(f.raters.iter().any(|r| r.1 == RaterPattern::Rival));
+        assert!(!f.raters.is_empty() && f.raters.len() <= 5);
+        for (_, _, series) in &f.raters {
+            assert!(series.len() >= 15);
+        }
+    }
+
+    #[test]
+    fn fig1c_suspicious_rows_dominate() {
+        let f = fig1c(0.01, 3);
+        assert_eq!(f.rows.len(), 9);
+        let max_sus: u64 = f.rows.iter().filter(|r| r.1).map(|r| r.3).max().unwrap();
+        let max_honest: u64 = f.rows.iter().filter(|r| !r.1).map(|r| r.3).max().unwrap();
+        assert!(max_sus > max_honest);
+    }
+
+    #[test]
+    fn fig1d_is_pairwise() {
+        let f = fig1d(0.01, 4);
+        assert_eq!(f.closed, 0);
+        assert_eq!(f.triangles, 0);
+        assert!(f.pairs >= 25);
+    }
+
+    #[test]
+    fn fig4_band_is_monotone_in_pair_count() {
+        let s = fig4(0.8, 0.2);
+        // at fixed n_i, the lower bound rises with n_ji
+        let n_i = 200;
+        let lowers: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|p| p.0 == n_i)
+            .map(|p| p.2)
+            .collect();
+        assert!(lowers.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown reputation-distribution figure")]
+    fn unknown_figure_rejected() {
+        let _ = rep_distribution("fig99", 0, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Plain-text rendering of the figure data (the `reproduce` binary's
+//! output format).
+
+use crate::figures::*;
+use collusion_core::formula::Fig4Surface;
+use collusion_sim::scenario::{Fig12Point, Fig13Point};
+
+/// Render Figure 1(a) as a table.
+pub fn render_fig1a(f: &Fig1a) -> String {
+    let mut out = String::from(
+        "Figure 1(a) — ratings vs reputation (sellers ordered by reputation)\n\
+         seller  reputation  positive  negative\n",
+    );
+    for (seller, rep, pos, neg) in &f.rows {
+        out.push_str(&format!("{seller:>6}  {:>9.2}%  {pos:>8}  {neg:>8}\n", rep * 100.0));
+    }
+    out
+}
+
+/// Render Figure 1(b): per-rater timelines (compressed to counts).
+pub fn render_fig1b(f: &Fig1b) -> String {
+    let mut out = format!(
+        "Figure 1(b) — ratings on suspicious seller {} (reputation {:.2}%)\n",
+        f.seller,
+        f.reputation * 100.0
+    );
+    for (rater, pattern, series) in &f.raters {
+        let first = series.first().map(|&(d, _)| d).unwrap_or(0);
+        let last = series.last().map(|&(d, _)| d).unwrap_or(0);
+        let stars: Vec<u8> = series.iter().map(|&(_, s)| s).collect();
+        let mean_stars = stars.iter().map(|&s| s as f64).sum::<f64>() / stars.len() as f64;
+        out.push_str(&format!(
+            "  rater {rater}: {:?}, {} ratings over days {first}–{last}, mean score {mean_stars:.2}\n",
+            pattern,
+            series.len()
+        ));
+    }
+    out
+}
+
+/// Render Figure 1(c).
+pub fn render_fig1c(f: &Fig1c) -> String {
+    let mut out = String::from(
+        "Figure 1(c) — per-rater frequency by seller\n\
+         seller  suspicious  mean/rater  max/rater  variance\n",
+    );
+    for (seller, sus, mean, max, var) in &f.rows {
+        out.push_str(&format!(
+            "{seller:>6}  {:>10}  {mean:>10.2}  {max:>9}  {var:>8.1}\n",
+            if *sus { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+/// Render Figure 1(d).
+pub fn render_fig1d(f: &Fig1d) -> String {
+    format!(
+        "Figure 1(d) — Overstock interaction graph (edge threshold 20)\n\
+         suspected colluders (black nodes): {}\n\
+         components: {} pairs, {} chains/stars, {} closed structures\n\
+         triangles: {} (paper: collusion is pair-wise — no closed structures)\n",
+        f.black_nodes, f.pairs, f.chains, f.closed, f.triangles
+    )
+}
+
+/// Render the Figure 4 surface (sampled corners only, full data in memory).
+pub fn render_fig4(s: &Fig4Surface) -> String {
+    let mut out = format!(
+        "Figure 4 — reputation band of suspected colluders (T_a={}, T_b={})\n\
+         N_i    N(j,i)  R lower  R upper(excl)\n",
+        s.t_a, s.t_b
+    );
+    for &(n_i, n_ji, lower, upper) in s.points.iter().filter(|p| p.0 % 100 == 0) {
+        out.push_str(&format!("{n_i:>5}  {n_ji:>6}  {lower:>8.1}  {upper:>8.1}\n"));
+    }
+    out
+}
+
+/// Render a reputation-distribution figure (5–11): all nodes summary plus
+/// the first 20 nodes (the paper's (a)/(b) panels).
+pub fn render_rep_distribution(f: &RepDistribution) -> String {
+    let m = &f.metrics;
+    let mut out = format!(
+        "{} — reputation distribution ({} runs averaged)\n",
+        f.label, m.runs
+    );
+    out.push_str(&format!(
+        "  requests to colluders: {:.2}%\n",
+        m.fraction_to_colluders * 100.0
+    ));
+    if !m.detection_counts.is_empty() {
+        let detected: Vec<String> = m
+            .detection_counts
+            .iter()
+            .map(|(n, c)| format!("{n}({c}/{})", m.runs))
+            .collect();
+        out.push_str(&format!("  detected: {}\n", detected.join(" ")));
+    }
+    out.push_str("  first 20 nodes (paper panel (b)):\n  node  reputation\n");
+    for id in 1..=20u64.min(m.reputation.len() as u64 - 1) {
+        out.push_str(&format!("  n{id:<4} {:>9.4}\n", m.reputation[id as usize]));
+    }
+    let mut top: Vec<(usize, f64)> =
+        m.reputation.iter().copied().enumerate().skip(1).collect();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out.push_str("  top-10 overall (paper panel (a) skew):\n");
+    for (id, rep) in top.into_iter().take(10) {
+        out.push_str(&format!("  n{id:<4} {rep:>9.4}\n"));
+    }
+    out
+}
+
+/// Render the Figure 12 series.
+pub fn render_fig12(points: &[Fig12Point]) -> String {
+    let mut out = String::from(
+        "Figure 12 — % of requests sent to colluders vs number of colluders\n\
+         colluders  EigenTrust  Unoptimized  Optimized\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>9}  {:>9.2}%  {:>10.2}%  {:>8.2}%\n",
+            p.colluders,
+            p.eigentrust * 100.0,
+            p.unoptimized * 100.0,
+            p.optimized * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the Figure 13 series.
+pub fn render_fig13(points: &[Fig13Point]) -> String {
+    let mut out = String::from(
+        "Figure 13 — operation cost vs number of colluders\n\
+         colluders    EigenTrust   Unoptimized     Optimized\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>9}  {:>12.0}  {:>12.0}  {:>12.0}\n",
+            p.colluders, p.eigentrust, p.unoptimized, p.optimized
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    #[test]
+    fn renders_are_nonempty_and_labelled() {
+        let a = figures::fig1a(0.01, 1);
+        assert!(render_fig1a(&a).contains("Figure 1(a)"));
+        let d = figures::fig1d(0.01, 1);
+        assert!(render_fig1d(&d).contains("closed structures"));
+        let s = figures::fig4(0.8, 0.2);
+        assert!(render_fig4(&s).lines().count() > 3);
+    }
+
+    #[test]
+    fn fig12_render_contains_all_rows() {
+        let points = vec![
+            collusion_sim::scenario::Fig12Point {
+                colluders: 8,
+                eigentrust: 0.1,
+                unoptimized: 0.02,
+                optimized: 0.02,
+            };
+            2
+        ];
+        let out = render_fig12(&points);
+        assert_eq!(out.lines().count(), 2 + 2);
+        assert!(out.contains("10.00%"));
+    }
+}
+
+/// CSV serializations of the figure series, for downstream plotting.
+pub mod csv {
+    use super::*;
+
+    /// Figure 1(a) rows: `seller,reputation,positive,negative`.
+    pub fn fig1a(f: &Fig1a) -> String {
+        let mut out = String::from("seller,reputation,positive,negative\n");
+        for (seller, rep, pos, neg) in &f.rows {
+            out.push_str(&format!("{},{rep:.6},{pos},{neg}\n", seller.raw()));
+        }
+        out
+    }
+
+    /// Reputation distribution: `node,reputation`.
+    pub fn rep_distribution(f: &RepDistribution) -> String {
+        let mut out = String::from("node,reputation\n");
+        for (id, rep) in f.metrics.reputation.iter().enumerate().skip(1) {
+            out.push_str(&format!("{id},{rep:.8}\n"));
+        }
+        out
+    }
+
+    /// Figure 12 series: `colluders,eigentrust,unoptimized,optimized`.
+    pub fn fig12(points: &[Fig12Point]) -> String {
+        let mut out = String::from("colluders,eigentrust,unoptimized,optimized\n");
+        for p in points {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6}\n",
+                p.colluders, p.eigentrust, p.unoptimized, p.optimized
+            ));
+        }
+        out
+    }
+
+    /// Figure 13 series: `colluders,eigentrust,unoptimized,optimized`.
+    pub fn fig13(points: &[Fig13Point]) -> String {
+        let mut out = String::from("colluders,eigentrust,unoptimized,optimized\n");
+        for p in points {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{:.1}\n",
+                p.colluders, p.eigentrust, p.unoptimized, p.optimized
+            ));
+        }
+        out
+    }
+
+    /// Figure 4 surface: `n_i,n_ji,lower,upper`.
+    pub fn fig4(s: &collusion_core::formula::Fig4Surface) -> String {
+        let mut out = String::from("n_i,n_ji,lower,upper\n");
+        for &(n_i, n_ji, lower, upper) in &s.points {
+            out.push_str(&format!("{n_i},{n_ji},{lower:.4},{upper:.4}\n"));
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use crate::figures;
+
+        #[test]
+        fn csv_headers_and_row_counts() {
+            let a = figures::fig1a(0.01, 1);
+            let csv = super::fig1a(&a);
+            assert!(csv.starts_with("seller,reputation"));
+            assert_eq!(csv.lines().count(), 1 + a.rows.len());
+            let s = figures::fig4(0.8, 0.2);
+            let csv = super::fig4(&s);
+            assert_eq!(csv.lines().count(), 1 + s.points.len());
+        }
+
+        #[test]
+        fn series_csv_round_trip_values() {
+            let points = vec![collusion_sim::scenario::Fig12Point {
+                colluders: 8,
+                eigentrust: 0.433,
+                unoptimized: 0.0019,
+                optimized: 0.0019,
+            }];
+            let csv = super::fig12(&points);
+            assert!(csv.contains("8,0.433000,0.001900,0.001900"));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Decentralized detection across DHT-hosted reputation managers.
+//!
+//! §IV.B–C: the managers are high-reputed "power nodes" forming a Chord
+//! ring; manager `M_i` (the DHT owner of `ID_i`) holds every rating *about*
+//! `n_i`. `M_i` runs the forward direction test for each of its responsible
+//! high-reputed nodes locally; when node `n_i` looks boosted by `n_j` and
+//! `n_j` is managed elsewhere, `M_i` routes a confirmation request to `M_j`
+//! via `Insert(j, msg)`. `M_j` verifies `R_j ≥ T_R`, `N(i,j) ≥ T_N` and the
+//! reverse direction test and answers positively iff they hold.
+//!
+//! Message accounting: every cross-manager confirmation costs one request
+//! plus one response; requests are routed over the Chord ring, so routing
+//! hops are counted too. The reported pair set is identical to the
+//! centralized detector's — verified by the equivalence tests below.
+
+use crate::basic::BasicDetector;
+use crate::cost::CostMeter;
+use crate::input::DetectionInput;
+use crate::model::SuspectPair;
+use crate::optimized::OptimizedDetector;
+use crate::report::DetectionReport;
+use collusion_dht::hash::consistent_hash;
+use collusion_dht::id::Key;
+use collusion_dht::ring::ChordRing;
+use collusion_dht::routing::Router;
+use collusion_reputation::id::NodeId;
+use collusion_reputation::thresholds::Thresholds;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Which direction-test the managers run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Row-scanning fraction test (§IV.B).
+    Basic,
+    /// Formula (2) band test (§IV.C).
+    Optimized,
+}
+
+/// A decentralized detection run.
+#[derive(Clone, Copy, Debug)]
+pub struct DecentralizedDetector {
+    /// Detection thresholds.
+    pub thresholds: Thresholds,
+    /// Direction-test variant.
+    pub method: Method,
+}
+
+/// Result of a decentralized pass, with communication costs.
+#[derive(Clone, Debug)]
+pub struct DecentralizedOutcome {
+    /// The detection report (pairs + local operation cost).
+    pub report: DetectionReport,
+    /// Manager-to-manager messages (requests + responses).
+    pub messages: u64,
+    /// Chord routing hops consumed by those messages.
+    pub dht_hops: u64,
+    /// Number of managers that participated.
+    pub manager_count: usize,
+    /// How many nodes each manager was responsible for.
+    pub load: HashMap<NodeId, usize>,
+}
+
+impl DecentralizedDetector {
+    /// Detector with the given thresholds and method.
+    pub fn new(thresholds: Thresholds, method: Method) -> Self {
+        DecentralizedDetector { thresholds, method }
+    }
+
+    /// Run detection with `managers` as the DHT power nodes.
+    ///
+    /// Every node in `input.nodes` is assigned to the Chord owner of
+    /// `consistent_hash(node_id)`; each manager scans only its responsible
+    /// nodes and requests cross-manager confirmations as needed.
+    pub fn detect(&self, input: &DetectionInput<'_>, managers: &[NodeId]) -> DecentralizedOutcome {
+        assert!(!managers.is_empty(), "need at least one reputation manager");
+        // Build the manager ring.
+        let mut ring = ChordRing::new();
+        let mut key_to_manager: HashMap<u64, NodeId> = HashMap::new();
+        for &m in managers {
+            let key = consistent_hash(m.raw(), 64);
+            if ring.join_with_key(key) {
+                key_to_manager.insert(key.raw(), m);
+            }
+        }
+        // Assign nodes to managers.
+        let owner_key = |node: NodeId| -> Key { ring.owner(consistent_hash(node.raw(), 64)) };
+        let mut responsibility: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut manager_of: HashMap<NodeId, Key> = HashMap::new();
+        for &node in &input.nodes {
+            let key = owner_key(node);
+            let manager = key_to_manager[&key.raw()];
+            responsibility.entry(manager).or_default().push(node);
+            manager_of.insert(node, key);
+        }
+
+        let meter = CostMeter::new();
+        let mut cache = crate::optimized::FrequentCache::new();
+        let router = Router::new(&ring);
+        let mut messages = 0u64;
+        let mut dht_hops = 0u64;
+        let mut checked: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut pairs: Vec<SuspectPair> = Vec::new();
+
+        // deterministic manager order
+        let mut manager_list: Vec<NodeId> = responsibility.keys().copied().collect();
+        manager_list.sort_unstable();
+
+        for &manager in &manager_list {
+            let my_key = manager_of
+                .get(responsibility[&manager].first().expect("non-empty responsibility"))
+                .copied()
+                .expect("manager key");
+            let mut my_nodes = responsibility[&manager].clone();
+            my_nodes.sort_unstable();
+            for &i in &my_nodes {
+                // C1 filter on the local responsible node.
+                if !self.thresholds.is_high_reputed(input.reputation_of(i)) {
+                    continue;
+                }
+                for &j in input.history.raters_of(i) {
+                    meter.element_check();
+                    let key = if i < j { (i, j) } else { (j, i) };
+                    if checked.contains(&key) {
+                        continue;
+                    }
+                    // Forward test runs locally; R_j is *not* known here —
+                    // the partner's manager verifies it (paper protocol).
+                    let forward = self.direction(input, i, j, &meter, &mut cache);
+                    let Some(ev_fwd) = forward else { continue };
+                    checked.insert(key);
+                    // Locate the partner's manager.
+                    let partner_key = match manager_of.get(&j) {
+                        Some(&k) => k,
+                        None => continue, // unmanaged outsider (e.g. left the system)
+                    };
+                    let local = partner_key == my_key;
+                    if !local {
+                        let route = router.lookup(my_key, consistent_hash(j.raw(), 64));
+                        dht_hops += route.hops as u64;
+                        messages += 2; // request + response
+                        meter.message();
+                        meter.message();
+                    }
+                    // Partner-side verification: R_j ≥ T_R + reverse test.
+                    if !self.thresholds.is_high_reputed(input.reputation_of(j)) {
+                        continue;
+                    }
+                    let Some(ev_rev) = self.direction(input, j, i, &meter, &mut cache) else {
+                        continue;
+                    };
+                    pairs.push(SuspectPair::new(j, i, Some(ev_fwd), Some(ev_rev)));
+                }
+            }
+        }
+
+        let load = responsibility.iter().map(|(&m, v)| (m, v.len())).collect();
+        DecentralizedOutcome {
+            report: DetectionReport::new(pairs, meter.snapshot()),
+            messages,
+            dht_hops,
+            manager_count: manager_list.len(),
+            load,
+        }
+    }
+
+    fn direction(
+        &self,
+        input: &DetectionInput<'_>,
+        ratee: NodeId,
+        rater: NodeId,
+        meter: &CostMeter,
+        cache: &mut crate::optimized::FrequentCache,
+    ) -> Option<crate::model::DirectionEvidence> {
+        match self.method {
+            Method::Basic => BasicDetector::new(self.thresholds).check_direction(input, ratee, rater, meter),
+            Method::Optimized => OptimizedDetector::new(self.thresholds)
+                .check_direction(input, ratee, rater, meter, cache),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collusion_reputation::history::InteractionHistory;
+    use collusion_reputation::id::SimTime;
+    use collusion_reputation::rating::Rating;
+
+    fn thresholds() -> Thresholds {
+        Thresholds::new(1.0, 20, 0.8, 0.2)
+    }
+
+    /// Three colluding pairs + honest traffic across 40 nodes.
+    fn scenario() -> (InteractionHistory, Vec<NodeId>) {
+        let mut h = InteractionHistory::new();
+        let mut t = 0u64;
+        let mut tick = || {
+            t += 1;
+            SimTime(t)
+        };
+        for (a, b) in [(1u64, 2u64), (11, 12), (21, 22)] {
+            for _ in 0..25 {
+                h.record(Rating::positive(NodeId(a), NodeId(b), tick()));
+                h.record(Rating::positive(NodeId(b), NodeId(a), tick()));
+            }
+            for k in 0..4 {
+                h.record(Rating::negative(NodeId(30 + k), NodeId(a), tick()));
+                h.record(Rating::negative(NodeId(30 + k), NodeId(b), tick()));
+            }
+        }
+        // honest praise among 30..40
+        for k in 0..10u64 {
+            for l in 0..10u64 {
+                if k != l {
+                    h.record(Rating::positive(NodeId(30 + k), NodeId(30 + l), tick()));
+                }
+            }
+        }
+        let nodes: Vec<NodeId> = (1..=40).map(NodeId).collect();
+        (h, nodes)
+    }
+
+    #[test]
+    fn decentralized_matches_centralized_optimized() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let central = OptimizedDetector::new(thresholds()).detect(&input);
+        let managers: Vec<NodeId> = (100..108).map(NodeId).collect();
+        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
+            .detect(&input, &managers);
+        assert_eq!(dec.report.pair_ids(), central.pair_ids());
+    }
+
+    #[test]
+    fn decentralized_matches_centralized_basic() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let central = BasicDetector::new(thresholds()).detect(&input);
+        let managers: Vec<NodeId> = (100..104).map(NodeId).collect();
+        let dec =
+            DecentralizedDetector::new(thresholds(), Method::Basic).detect(&input, &managers);
+        assert_eq!(dec.report.pair_ids(), central.pair_ids());
+    }
+
+    #[test]
+    fn single_manager_needs_no_messages() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
+            .detect(&input, &[NodeId(100)]);
+        assert_eq!(dec.messages, 0);
+        assert_eq!(dec.dht_hops, 0);
+        assert_eq!(dec.manager_count, 1);
+        assert_eq!(dec.report.pairs.len(), 3);
+    }
+
+    #[test]
+    fn cross_manager_pairs_cost_messages() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        // many managers → colluder partners usually live on different managers
+        let managers: Vec<NodeId> = (100..164).map(NodeId).collect();
+        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
+            .detect(&input, &managers);
+        assert_eq!(dec.report.pairs.len(), 3);
+        assert!(dec.messages > 0, "expected cross-manager confirmations");
+        assert_eq!(dec.messages % 2, 0, "messages come in request/response pairs");
+    }
+
+    #[test]
+    fn load_partitions_all_nodes() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers: Vec<NodeId> = (100..116).map(NodeId).collect();
+        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
+            .detect(&input, &managers);
+        let total: usize = dec.load.values().sum();
+        assert_eq!(total, nodes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reputation manager")]
+    fn empty_manager_set_rejected() {
+        let h = InteractionHistory::new();
+        let input = DetectionInput::from_signed_history(&h, &[NodeId(1)]);
+        let _ = DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &[]);
+    }
+
+    #[test]
+    fn duplicate_managers_tolerated() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers = vec![NodeId(100), NodeId(100), NodeId(101)];
+        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
+            .detect(&input, &managers);
+        assert_eq!(dec.report.pairs.len(), 3);
+    }
+}

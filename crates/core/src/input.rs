@@ -1,0 +1,140 @@
+//! Detector input: the reputation manager's view of the system.
+//!
+//! §IV.B: "The reputation manager builds an n×n matrix … the matrix records
+//! the reputation ratings for nodes whose R ≥ T_R. If node n_i's reputation
+//! value R_i ≥ T_R, matrix element a_ij = ⟨ID_i, R_i, N(j,i), N⁺(j,i)⟩."
+//!
+//! [`DetectionInput`] is that matrix in sparse form: the interaction history
+//! (which already stores `N(j,i)` and `N⁺(j,i)` per pair) plus a global
+//! reputation value per node for the `T_R` trust filter. Two reputation
+//! sources are supported:
+//!
+//! * the signed rating sum (eBay / EigenTrust local method, §IV.A) — used by
+//!   the standalone detectors and by Formula (2), which is *derived* from
+//!   the signed sum;
+//! * an externally supplied global reputation (e.g. the normalized
+//!   EigenTrust vector) — used when the detector runs on top of another
+//!   reputation system, as in the paper's `EigenTrust+Optimized` pipeline.
+
+use collusion_reputation::history::InteractionHistory;
+use collusion_reputation::id::NodeId;
+use collusion_reputation::thresholds::Thresholds;
+use std::collections::HashMap;
+
+/// The manager's view handed to a detector.
+#[derive(Clone, Debug)]
+pub struct DetectionInput<'a> {
+    /// Pairwise rating counters for the current period `T`.
+    pub history: &'a InteractionHistory,
+    /// All nodes under the manager's responsibility, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Global reputation per node, used for the `T_R` high-reputed filter.
+    pub reputation: HashMap<NodeId, f64>,
+}
+
+impl<'a> DetectionInput<'a> {
+    /// Build an input with an explicit reputation map.
+    pub fn new(
+        history: &'a InteractionHistory,
+        nodes: &[NodeId],
+        reputation: HashMap<NodeId, f64>,
+    ) -> Self {
+        let mut nodes = nodes.to_vec();
+        nodes.sort_unstable();
+        nodes.dedup();
+        DetectionInput { history, nodes, reputation }
+    }
+
+    /// Build an input whose reputations are the signed rating sums from the
+    /// history itself (the paper's standalone-detector configuration,
+    /// Figure 8).
+    pub fn from_signed_history(history: &'a InteractionHistory, nodes: &[NodeId]) -> Self {
+        let reputation = nodes
+            .iter()
+            .map(|&n| (n, history.signed_reputation(n) as f64))
+            .collect();
+        DetectionInput::new(history, nodes, reputation)
+    }
+
+    /// The global reputation of `node` (0 when unknown).
+    #[inline]
+    pub fn reputation_of(&self, node: NodeId) -> f64 {
+        self.reputation.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// The signed rating sum `R_i = N⁺_i − N⁻_i` used by Formula (2).
+    #[inline]
+    pub fn signed_reputation(&self, node: NodeId) -> i64 {
+        self.history.signed_reputation(node)
+    }
+
+    /// Nodes passing the `T_R` filter (`m` in the complexity propositions),
+    /// ascending.
+    pub fn high_reputed(&self, thresholds: &Thresholds) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| thresholds.is_high_reputed(self.reputation_of(n)))
+            .collect()
+    }
+
+    /// Number of nodes in the view (`n` in the complexity propositions).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collusion_reputation::id::SimTime;
+    use collusion_reputation::rating::Rating;
+
+    #[test]
+    fn signed_history_reputation() {
+        let mut h = InteractionHistory::new();
+        h.record(Rating::positive(NodeId(1), NodeId(2), SimTime(0)));
+        h.record(Rating::positive(NodeId(3), NodeId(2), SimTime(1)));
+        h.record(Rating::negative(NodeId(1), NodeId(3), SimTime(2)));
+        let nodes: Vec<NodeId> = (1..=3).map(NodeId).collect();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        assert_eq!(input.reputation_of(NodeId(2)), 2.0);
+        assert_eq!(input.reputation_of(NodeId(3)), -1.0);
+        assert_eq!(input.reputation_of(NodeId(1)), 0.0);
+        assert_eq!(input.signed_reputation(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn high_reputed_filter_uses_t_r() {
+        let mut h = InteractionHistory::new();
+        h.record(Rating::positive(NodeId(1), NodeId(2), SimTime(0)));
+        h.record(Rating::negative(NodeId(1), NodeId(3), SimTime(1)));
+        let nodes: Vec<NodeId> = (1..=3).map(NodeId).collect();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let t = Thresholds::new(1.0, 20, 0.8, 0.2);
+        assert_eq!(input.high_reputed(&t), vec![NodeId(2)]);
+        let t0 = Thresholds::new(0.0, 20, 0.8, 0.2);
+        assert_eq!(input.high_reputed(&t0), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn nodes_deduped_and_sorted() {
+        let h = InteractionHistory::new();
+        let input = DetectionInput::from_signed_history(
+            &h,
+            &[NodeId(3), NodeId(1), NodeId(3), NodeId(2)],
+        );
+        assert_eq!(input.nodes, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(input.n(), 3);
+    }
+
+    #[test]
+    fn external_reputation_map_respected() {
+        let h = InteractionHistory::new();
+        let rep: HashMap<NodeId, f64> = [(NodeId(1), 0.9)].into_iter().collect();
+        let input = DetectionInput::new(&h, &[NodeId(1), NodeId(2)], rep);
+        assert_eq!(input.reputation_of(NodeId(1)), 0.9);
+        assert_eq!(input.reputation_of(NodeId(2)), 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! The optimized collusion detection method (§IV.C).
+//!
+//! Instead of scanning the whole matrix row to compute the community
+//! fraction `b`, the manager uses the closed-form Formula (2) band
+//! ([`crate::formula`]): `n_i`'s reputation is *consistent with* collusion
+//! by rater `n_j` iff
+//!
+//! ```text
+//! 2·T_a·N(j,i) − N_i  ≤  R_i  <  2·T_b·(N_i − N(j,i)) + 2·N(j,i) − N_i
+//! ```
+//!
+//! which needs only the per-pair counter `N(j,i)`, the total `N_i` and the
+//! signed reputation `R_i` — all O(1) per pair, giving `O(m·n)` overall
+//! (Proposition 4.2).
+//!
+//! The band test is a *necessary* condition for the basic detector's
+//! fraction test (proved exhaustively in `formula::tests`), so Optimized
+//! never misses a pair Basic finds; on rating profiles where several `(a,b)`
+//! splits share one reputation value it can flag slightly more. On the
+//! paper's workloads the two coincide ("Unoptimized and Optimized generate
+//! the same results in collusion detection").
+
+use crate::cost::CostMeter;
+use crate::formula::formula_band;
+use crate::input::DetectionInput;
+use crate::model::{DirectionEvidence, SuspectPair};
+use crate::policy::DetectionPolicy;
+use crate::report::DetectionReport;
+use collusion_reputation::id::NodeId;
+use collusion_reputation::thresholds::Thresholds;
+use std::collections::{HashMap, HashSet};
+
+/// Per-ratee aggregates over its *frequent* raters (count, signed sum),
+/// computed once per ratee under the extended policy. Keeps the policy's
+/// community adjustment at `O(m·n)` overall instead of `O(m·n²)`.
+pub(crate) type FrequentCache = HashMap<NodeId, (u64, i64)>;
+
+/// The `O(m·n)` band-checking detector.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizedDetector {
+    /// Detection thresholds.
+    pub thresholds: Thresholds,
+    /// Strict §IV procedure or the extended evaluation policy.
+    pub policy: DetectionPolicy,
+}
+
+impl OptimizedDetector {
+    /// Detector with the given thresholds and the strict §IV policy.
+    pub fn new(thresholds: Thresholds) -> Self {
+        OptimizedDetector { thresholds, policy: DetectionPolicy::STRICT }
+    }
+
+    /// Detector with an explicit policy.
+    pub fn with_policy(thresholds: Thresholds, policy: DetectionPolicy) -> Self {
+        OptimizedDetector { thresholds, policy }
+    }
+
+    /// Detection pass over the manager's view.
+    pub fn detect(&self, input: &DetectionInput<'_>) -> DetectionReport {
+        let meter = CostMeter::new();
+        let high = input.high_reputed(&self.thresholds);
+        let high_set: HashSet<NodeId> = high.iter().copied().collect();
+        let mut checked: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut cache = FrequentCache::new();
+        let mut pairs = Vec::new();
+        for &i in &high {
+            for &j in input.history.raters_of(i) {
+                meter.element_check();
+                let key = if i < j { (i, j) } else { (j, i) };
+                if checked.contains(&key) {
+                    continue;
+                }
+                if !high_set.contains(&j) {
+                    continue;
+                }
+                checked.insert(key);
+                let ev_fwd = self.check_direction(input, i, j, &meter, &mut cache);
+                if self.policy.require_mutual {
+                    let Some(fwd) = ev_fwd else { continue };
+                    let Some(rev) = self.check_direction(input, j, i, &meter, &mut cache) else {
+                        continue;
+                    };
+                    pairs.push(SuspectPair::new(j, i, Some(fwd), Some(rev)));
+                } else {
+                    let ev_rev = self.check_direction(input, j, i, &meter, &mut cache);
+                    if ev_fwd.is_none() && ev_rev.is_none() {
+                        continue;
+                    }
+                    pairs.push(SuspectPair::new(j, i, ev_fwd, ev_rev));
+                }
+            }
+        }
+        DetectionReport::new(pairs, meter.snapshot())
+    }
+
+    /// Direction test: is `ratee`'s reputation inside the Formula (2)
+    /// collusion band for rater `rater`? O(1) per pair under the strict
+    /// policy; amortized O(1) under the extended policy (one row aggregation
+    /// per ratee, cached).
+    pub(crate) fn check_direction(
+        &self,
+        input: &DetectionInput<'_>,
+        ratee: NodeId,
+        rater: NodeId,
+        meter: &CostMeter,
+        cache: &mut FrequentCache,
+    ) -> Option<DirectionEvidence> {
+        let h = input.history;
+        meter.element_check();
+        let pair = h.pair(rater, ratee);
+        let n_pair = pair.total;
+        if !self.thresholds.is_frequent(n_pair) {
+            return None;
+        }
+        let (n_eff, r_eff) = if self.policy.community_excludes_frequent {
+            // ratee's view restricted to community + the tested partner
+            let (freq_n, freq_signed) = match cache.get(&ratee) {
+                Some(&agg) => agg,
+                None => {
+                    let raters = h.raters_of(ratee);
+                    meter.row_scan(raters.len() as u64);
+                    let mut n = 0u64;
+                    let mut signed = 0i64;
+                    for &k in raters {
+                        let c = h.pair(k, ratee);
+                        if self.thresholds.is_frequent(c.total) {
+                            n += c.total;
+                            signed += c.signed();
+                        }
+                    }
+                    cache.insert(ratee, (n, signed));
+                    (n, signed)
+                }
+            };
+            (
+                h.ratings_for(ratee) - freq_n + n_pair,
+                h.signed_reputation(ratee) - freq_signed + pair.signed(),
+            )
+        } else {
+            (h.ratings_for(ratee), h.signed_reputation(ratee))
+        };
+        if n_eff == n_pair {
+            return None; // no community evidence (same convention as Basic)
+        }
+        meter.band_check();
+        let band = formula_band(self.thresholds.t_a, self.thresholds.t_b, n_eff, n_pair);
+        if !band.contains(r_eff as f64) {
+            return None;
+        }
+        Some(DirectionEvidence {
+            pair_ratings: n_pair,
+            fraction_a: None,
+            fraction_b: None,
+            signed_reputation: r_eff,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::BasicDetector;
+    use collusion_reputation::history::InteractionHistory;
+    use collusion_reputation::id::SimTime;
+    use collusion_reputation::rating::{Rating, RatingValue};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn thresholds() -> Thresholds {
+        Thresholds::new(1.0, 20, 0.8, 0.2)
+    }
+
+    fn collusion_history(boost: u64, community_neg: u64) -> (InteractionHistory, Vec<NodeId>) {
+        let mut h = InteractionHistory::new();
+        let mut t = 0u64;
+        let mut tick = || {
+            t += 1;
+            SimTime(t)
+        };
+        for _ in 0..boost {
+            h.record(Rating::positive(NodeId(1), NodeId(2), tick()));
+            h.record(Rating::positive(NodeId(2), NodeId(1), tick()));
+        }
+        for k in 0..community_neg {
+            h.record(Rating::negative(NodeId(10 + k % 3), NodeId(1), tick()));
+            h.record(Rating::negative(NodeId(10 + k % 3), NodeId(2), tick()));
+        }
+        for k in 0..6 {
+            h.record(Rating::positive(NodeId(10 + k % 3), NodeId(4), tick()));
+        }
+        let mut nodes: Vec<NodeId> = vec![NodeId(1), NodeId(2), NodeId(4)];
+        nodes.extend((10..13).map(NodeId));
+        (h, nodes)
+    }
+
+    #[test]
+    fn detects_colluding_pair_via_band() {
+        let (h, nodes) = collusion_history(30, 5);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let report = OptimizedDetector::new(thresholds()).detect(&input);
+        assert_eq!(report.pair_ids(), vec![(NodeId(1), NodeId(2))]);
+        let fwd = report.pairs[0].low_boosts_high.unwrap();
+        assert_eq!(fwd.signed_reputation, 25);
+        assert!(fwd.fraction_a.is_none());
+    }
+
+    #[test]
+    fn community_loved_node_not_flagged() {
+        let (h, nodes) = collusion_history(30, 5);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let report = OptimizedDetector::new(thresholds()).detect(&input);
+        assert!(!report.is_colluder(NodeId(4)));
+    }
+
+    #[test]
+    fn agrees_with_basic_on_canonical_scenarios() {
+        for (boost, neg) in [(30, 5), (25, 3), (20, 1), (50, 20), (10, 2)] {
+            let (h, nodes) = collusion_history(boost, neg);
+            let input = DetectionInput::from_signed_history(&h, &nodes);
+            let basic = BasicDetector::new(thresholds()).detect(&input);
+            let opt = OptimizedDetector::new(thresholds()).detect(&input);
+            assert_eq!(
+                basic.pair_ids(),
+                opt.pair_ids(),
+                "disagreement at boost={boost} neg={neg}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_never_misses_basic_pairs_randomized() {
+        // Necessity of the band: on 200 random histories, every Basic pair
+        // must appear in the Optimized report.
+        let mut rng = SmallRng::seed_from_u64(0xc0ffee);
+        for trial in 0..200 {
+            let n_nodes = rng.random_range(4..12u64);
+            let mut h = InteractionHistory::new();
+            for t in 0..rng.random_range(50..300u64) {
+                let a = rng.random_range(0..n_nodes);
+                let mut b = rng.random_range(0..n_nodes);
+                if a == b {
+                    b = (b + 1) % n_nodes;
+                }
+                let v = if rng.random_bool(0.6) {
+                    RatingValue::Positive
+                } else {
+                    RatingValue::Negative
+                };
+                h.record(Rating::new(NodeId(a), NodeId(b), v, SimTime(t)));
+            }
+            // inject one colluding pair half the time
+            if rng.random_bool(0.5) {
+                for t in 0..30 {
+                    h.record(Rating::positive(NodeId(0), NodeId(1), SimTime(1000 + t)));
+                    h.record(Rating::positive(NodeId(1), NodeId(0), SimTime(1000 + t)));
+                }
+            }
+            let nodes: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+            let input = DetectionInput::from_signed_history(&h, &nodes);
+            let th = Thresholds::new(1.0, 10, 0.8, 0.2);
+            let basic = BasicDetector::new(th).detect(&input);
+            let opt = OptimizedDetector::new(th).detect(&input);
+            let opt_set: std::collections::BTreeSet<_> = opt.pair_ids().into_iter().collect();
+            for p in basic.pair_ids() {
+                assert!(
+                    opt_set.contains(&p),
+                    "trial {trial}: Basic found {p:?} but Optimized missed it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn costs_far_below_basic() {
+        let (h, nodes) = collusion_history(40, 10);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let basic = BasicDetector::new(thresholds()).detect(&input);
+        let opt = OptimizedDetector::new(thresholds()).detect(&input);
+        assert_eq!(opt.cost.row_scans, 0, "optimized must never scan rows");
+        assert!(
+            opt.cost.total(1) < basic.cost.total(1),
+            "optimized {} !< basic {}",
+            opt.cost.total(1),
+            basic.cost.total(1)
+        );
+    }
+
+    #[test]
+    fn infrequent_pair_skipped() {
+        let (h, nodes) = collusion_history(10, 2); // below T_N=20
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let report = OptimizedDetector::new(thresholds()).detect(&input);
+        assert!(report.pairs.is_empty());
+    }
+
+    #[test]
+    fn pair_without_community_evidence_skipped() {
+        let mut h = InteractionHistory::new();
+        for t in 0..30 {
+            h.record(Rating::positive(NodeId(1), NodeId(2), SimTime(t)));
+            h.record(Rating::positive(NodeId(2), NodeId(1), SimTime(t)));
+        }
+        let nodes = vec![NodeId(1), NodeId(2)];
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let report = OptimizedDetector::new(thresholds()).detect(&input);
+        assert!(report.pairs.is_empty());
+    }
+
+    #[test]
+    fn low_reputation_filter_applies() {
+        let (h, nodes) = collusion_history(25, 40);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let report = OptimizedDetector::new(thresholds()).detect(&input);
+        assert!(report.pairs.is_empty(), "drowned colluders fail the C1 filter");
+    }
+}

@@ -1,0 +1,501 @@
+//! A complete decentralized reputation system with collusion detection —
+//! §IV.A's architecture end to end.
+//!
+//! Unlike [`crate::decentralized::DecentralizedDetector`], which evaluates
+//! the protocol against a shared view (useful for equivalence proofs), a
+//! [`DecentralizedSystem`] keeps the managers' data **physically
+//! partitioned**:
+//!
+//! * managers (the "power nodes") form a Chord ring;
+//! * a rating about `n_i` is routed with `Insert(ID_i, rating)` from the
+//!   submitter's gateway manager to the DHT owner of `ID_i`, paying real
+//!   routing hops;
+//! * each manager holds only the interaction history *about its own
+//!   responsible nodes* and computes their reputations from that data
+//!   alone;
+//! * `Lookup(ID_i)` fetches a reputation across the ring (hop-counted);
+//! * detection runs per manager on its local slice, with request/response
+//!   messages to the partner's manager for the cross-manager reverse check
+//!   — exactly the paper's message flow.
+//!
+//! The end-to-end tests assert the partitioned system reaches the same
+//! verdicts as a centralized manager fed the identical rating stream.
+
+use crate::basic::BasicDetector;
+use crate::cost::CostMeter;
+use crate::decentralized::Method;
+use crate::input::DetectionInput;
+use crate::model::SuspectPair;
+use crate::optimized::{FrequentCache, OptimizedDetector};
+use crate::policy::DetectionPolicy;
+use crate::report::DetectionReport;
+use collusion_dht::hash::consistent_hash;
+use collusion_dht::id::Key;
+use collusion_dht::ring::ChordRing;
+use collusion_dht::routing::Router;
+use collusion_reputation::history::InteractionHistory;
+use collusion_reputation::id::NodeId;
+use collusion_reputation::rating::Rating;
+use collusion_reputation::thresholds::Thresholds;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One manager's local detection view: its rating slice, responsible
+/// nodes, and their locally computed reputations.
+type ManagerView = (InteractionHistory, Vec<NodeId>, HashMap<NodeId, f64>);
+
+/// Cumulative network-cost counters of a running system.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// `Insert` operations (one per submitted rating).
+    pub inserts: u64,
+    /// `Lookup` operations (reputation queries).
+    pub lookups: u64,
+    /// Detection confirmation messages (requests + responses).
+    pub detection_messages: u64,
+    /// Total Chord routing hops across all operations.
+    pub hops: u64,
+}
+
+/// The §IV.A decentralized reputation system.
+#[derive(Clone, Debug)]
+pub struct DecentralizedSystem {
+    thresholds: Thresholds,
+    method: Method,
+    policy: DetectionPolicy,
+    ring: ChordRing,
+    key_to_manager: HashMap<u64, NodeId>,
+    /// manager → interaction history about its responsible nodes
+    histories: HashMap<NodeId, InteractionHistory>,
+    /// node → owning manager key (cached consistent-hash ownership)
+    manager_of: HashMap<NodeId, Key>,
+    /// registered participant nodes, ascending
+    nodes: Vec<NodeId>,
+    stats: SystemStats,
+}
+
+impl DecentralizedSystem {
+    /// Bootstrap the system with the given power nodes as managers.
+    /// Duplicate manager ids are tolerated; at least one is required.
+    pub fn new(managers: &[NodeId], thresholds: Thresholds, method: Method, policy: DetectionPolicy) -> Self {
+        assert!(!managers.is_empty(), "need at least one reputation manager");
+        let mut ring = ChordRing::new();
+        let mut key_to_manager = HashMap::new();
+        for &m in managers {
+            let key = consistent_hash(m.raw(), 64);
+            if ring.join_with_key(key) {
+                key_to_manager.insert(key.raw(), m);
+            }
+        }
+        DecentralizedSystem {
+            thresholds,
+            method,
+            policy,
+            ring,
+            key_to_manager,
+            histories: HashMap::new(),
+            manager_of: HashMap::new(),
+            nodes: Vec::new(),
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// Register a participant node; its ratings will be managed by the DHT
+    /// owner of `consistent_hash(id)`. Idempotent.
+    pub fn register(&mut self, node: NodeId) {
+        if self.manager_of.contains_key(&node) {
+            return;
+        }
+        let key = self.ring.owner(consistent_hash(node.raw(), 64));
+        self.manager_of.insert(node, key);
+        let pos = self.nodes.binary_search(&node).unwrap_or_else(|e| e);
+        self.nodes.insert(pos, node);
+    }
+
+    /// The manager id responsible for `node`, if registered.
+    pub fn manager_of(&self, node: NodeId) -> Option<NodeId> {
+        self.manager_of.get(&node).map(|k| self.key_to_manager[&k.raw()])
+    }
+
+    /// Submit a rating: `Insert(ID_ratee, rating)` routed from the
+    /// submitter's gateway (the first manager on the ring). Returns `false`
+    /// for self-ratings or unregistered ratees.
+    pub fn submit(&mut self, rating: Rating) -> bool {
+        if rating.is_self_rating() {
+            return false;
+        }
+        let Some(&owner_key) = self.manager_of.get(&rating.ratee) else {
+            return false;
+        };
+        // route from the gateway to the owner, paying hops
+        let gateway = self.ring.members().next().expect("ring non-empty");
+        let route = Router::new(&self.ring).lookup(gateway, consistent_hash(rating.ratee.raw(), 64));
+        debug_assert_eq!(route.owner, owner_key);
+        self.stats.inserts += 1;
+        self.stats.hops += route.hops as u64;
+        let manager = self.key_to_manager[&owner_key.raw()];
+        self.histories.entry(manager).or_default().record(rating);
+        true
+    }
+
+    /// `Lookup(ID_node)`: fetch the node's reputation (signed rating sum
+    /// computed by its manager from local data). Unregistered nodes read 0.
+    pub fn lookup_reputation(&mut self, node: NodeId) -> i64 {
+        self.stats.lookups += 1;
+        let Some(&owner_key) = self.manager_of.get(&node) else {
+            return 0;
+        };
+        let gateway = self.ring.members().next().expect("ring non-empty");
+        let route = Router::new(&self.ring).lookup(gateway, consistent_hash(node.raw(), 64));
+        self.stats.hops += route.hops as u64;
+        let manager = self.key_to_manager[&owner_key.raw()];
+        self.histories.get(&manager).map_or(0, |h| h.signed_reputation(node))
+    }
+
+    /// Cumulative network statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// A new power node joins the manager ring; responsibility for (and the
+    /// stored histories of) the nodes in its arc migrate from their previous
+    /// managers. Returns the number of nodes that changed manager, or `None`
+    /// if the manager id collides with an existing one.
+    pub fn manager_join(&mut self, manager: NodeId) -> Option<usize> {
+        let key = consistent_hash(manager.raw(), 64);
+        if !self.ring.join_with_key(key) {
+            return None;
+        }
+        self.key_to_manager.insert(key.raw(), manager);
+        Some(self.rebalance())
+    }
+
+    /// A power node leaves gracefully; its responsible nodes (and their
+    /// histories) move to their new owners. Returns the number of nodes that
+    /// changed manager, or `None` if the id was not a manager — or if it is
+    /// the last one (the system refuses to lose all its data).
+    pub fn manager_leave(&mut self, manager: NodeId) -> Option<usize> {
+        let key = consistent_hash(manager.raw(), 64);
+        if !self.ring.contains(key) || self.ring.len() == 1 {
+            return None;
+        }
+        self.ring.leave(key);
+        self.key_to_manager.remove(&key.raw());
+        let departed = self.histories.remove(&manager).unwrap_or_default();
+        let migrated = self.rebalance();
+        // the departed manager's leftover data (anything rebalance did not
+        // already move node-by-node) merges into the new owners
+        let mut remaining = departed;
+        let ratees: Vec<NodeId> = remaining.ratees().collect();
+        for ratee in ratees {
+            let slice = remaining.split_off_ratee(ratee);
+            if let Some(&owner_key) = self.manager_of.get(&ratee) {
+                let owner = self.key_to_manager[&owner_key.raw()];
+                self.histories.entry(owner).or_default().merge(&slice);
+            }
+        }
+        Some(migrated)
+    }
+
+    /// Recompute every node's owner after a ring change, migrating histories
+    /// node by node. Returns the number of nodes whose manager changed.
+    fn rebalance(&mut self) -> usize {
+        let mut moved = 0;
+        let nodes = self.nodes.clone();
+        for node in nodes {
+            let new_key = self.ring.owner(consistent_hash(node.raw(), 64));
+            let old_key = self.manager_of[&node];
+            if new_key == old_key {
+                continue;
+            }
+            moved += 1;
+            self.manager_of.insert(node, new_key);
+            // the old manager may be gone (leave case) — then its data is
+            // handled by the caller; otherwise hand the slice over now
+            if let Some(&old_manager) = self.key_to_manager.get(&old_key.raw()) {
+                let slice = self
+                    .histories
+                    .get_mut(&old_manager)
+                    .map(|h| h.split_off_ratee(node))
+                    .unwrap_or_default();
+                let new_manager = self.key_to_manager[&new_key.raw()];
+                self.histories.entry(new_manager).or_default().merge(&slice);
+            }
+        }
+        moved
+    }
+
+    /// Run the collusion detection round across all managers (the paper's
+    /// periodic check), returning the merged report.
+    pub fn detect(&mut self) -> DetectionReport {
+        let meter = CostMeter::new();
+        // Per-manager views: local history + local reputations.
+        let mut manager_inputs: HashMap<NodeId, ManagerView> = HashMap::new();
+        for &node in &self.nodes {
+            let manager = self.key_to_manager[&self.manager_of[&node].raw()];
+            manager_inputs.entry(manager).or_insert_with(|| {
+                (self.histories.get(&manager).cloned().unwrap_or_default(), Vec::new(), HashMap::new())
+            });
+            let entry = manager_inputs.get_mut(&manager).expect("just inserted");
+            let rep = entry.0.signed_reputation(node) as f64;
+            entry.1.push(node);
+            entry.2.insert(node, rep);
+        }
+        let mut manager_list: Vec<NodeId> = manager_inputs.keys().copied().collect();
+        manager_list.sort_unstable();
+
+        let router_ring = self.ring.clone();
+        let router = Router::new(&router_ring);
+        let mut pairs: Vec<SuspectPair> = Vec::new();
+        let mut checked: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut cache = FrequentCache::new();
+
+        for &manager in &manager_list {
+            let (history, nodes, reps) = &manager_inputs[&manager];
+            let input = DetectionInput::new(history, nodes, reps.clone());
+            let my_key = self.manager_of[&nodes[0]];
+            for &i in nodes {
+                if !self.thresholds.is_high_reputed(input.reputation_of(i)) {
+                    continue;
+                }
+                for &j in history.raters_of(i) {
+                    meter.element_check();
+                    let key = if i < j { (i, j) } else { (j, i) };
+                    if checked.contains(&key) {
+                        continue;
+                    }
+                    let Some(ev_fwd) = self.direction(&input, i, j, &meter, &mut cache) else {
+                        continue;
+                    };
+                    checked.insert(key);
+                    // locate the partner's manager
+                    let Some(&partner_key) = self.manager_of.get(&j) else { continue };
+                    let partner_manager = self.key_to_manager[&partner_key.raw()];
+                    if partner_key != my_key {
+                        let route = router.lookup(my_key, consistent_hash(j.raw(), 64));
+                        self.stats.hops += route.hops as u64;
+                        self.stats.detection_messages += 2;
+                        meter.message();
+                        meter.message();
+                    }
+                    // partner-side verification on the partner's OWN slice
+                    let Some((p_history, p_nodes, p_reps)) = manager_inputs.get(&partner_manager)
+                    else {
+                        continue;
+                    };
+                    let p_input = DetectionInput::new(p_history, p_nodes, p_reps.clone());
+                    if !self.thresholds.is_high_reputed(p_input.reputation_of(j)) {
+                        continue;
+                    }
+                    let ev_rev = self.direction(&p_input, j, i, &meter, &mut cache);
+                    if self.policy.require_mutual {
+                        let Some(rev) = ev_rev else { continue };
+                        pairs.push(SuspectPair::new(j, i, Some(ev_fwd), Some(rev)));
+                    } else {
+                        pairs.push(SuspectPair::new(j, i, Some(ev_fwd), ev_rev));
+                    }
+                }
+            }
+        }
+        DetectionReport::new(pairs, meter.snapshot())
+    }
+
+    fn direction(
+        &self,
+        input: &DetectionInput<'_>,
+        ratee: NodeId,
+        rater: NodeId,
+        meter: &CostMeter,
+        cache: &mut FrequentCache,
+    ) -> Option<crate::model::DirectionEvidence> {
+        match self.method {
+            Method::Basic => BasicDetector::with_policy(self.thresholds, self.policy)
+                .check_direction(input, ratee, rater, meter),
+            Method::Optimized => OptimizedDetector::with_policy(self.thresholds, self.policy)
+                .check_direction(input, ratee, rater, meter, cache),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collusion_reputation::id::SimTime;
+
+    fn thresholds() -> Thresholds {
+        Thresholds::new(1.0, 20, 0.8, 0.2)
+    }
+
+    fn ratings() -> Vec<Rating> {
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        let mut tick = || {
+            t += 1;
+            SimTime(t)
+        };
+        for (a, b) in [(1u64, 2u64), (20, 21)] {
+            for _ in 0..30 {
+                out.push(Rating::positive(NodeId(a), NodeId(b), tick()));
+                out.push(Rating::positive(NodeId(b), NodeId(a), tick()));
+            }
+            for k in 0..5 {
+                out.push(Rating::negative(NodeId(40 + k), NodeId(a), tick()));
+                out.push(Rating::negative(NodeId(40 + k), NodeId(b), tick()));
+            }
+        }
+        for k in 0..5u64 {
+            for l in 0..5u64 {
+                if k != l {
+                    out.push(Rating::positive(NodeId(40 + k), NodeId(40 + l), tick()));
+                }
+            }
+        }
+        out
+    }
+
+    fn build_system(managers: u64) -> DecentralizedSystem {
+        let manager_ids: Vec<NodeId> = (1000..1000 + managers).map(NodeId).collect();
+        let mut sys = DecentralizedSystem::new(
+            &manager_ids,
+            thresholds(),
+            Method::Optimized,
+            DetectionPolicy::STRICT,
+        );
+        for id in (1..=2).chain(20..=21).chain(40..45) {
+            sys.register(NodeId(id));
+        }
+        for r in ratings() {
+            sys.submit(r);
+        }
+        sys
+    }
+
+    #[test]
+    fn partitioned_detection_matches_centralized() {
+        let mut h = InteractionHistory::new();
+        for r in ratings() {
+            h.record(r);
+        }
+        let nodes: Vec<NodeId> = (1..=2).chain(20..=21).chain(40..45).map(NodeId).collect();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let central = OptimizedDetector::new(thresholds()).detect(&input);
+        for managers in [1u64, 3, 8, 32] {
+            let mut sys = build_system(managers);
+            let report = sys.detect();
+            assert_eq!(
+                report.pair_ids(),
+                central.pair_ids(),
+                "{managers} managers diverged from centralized"
+            );
+        }
+    }
+
+    #[test]
+    fn lookups_agree_with_submitted_ratings() {
+        let mut sys = build_system(8);
+        // n1: +30 from partner, −5 community = +25
+        assert_eq!(sys.lookup_reputation(NodeId(1)), 25);
+        assert_eq!(sys.lookup_reputation(NodeId(40)), 4); // praised by 4 peers
+        assert_eq!(sys.lookup_reputation(NodeId(999)), 0); // unregistered
+        let stats = sys.stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.inserts, ratings().len() as u64);
+    }
+
+    #[test]
+    fn self_and_unregistered_ratings_rejected() {
+        let mut sys = build_system(4);
+        assert!(!sys.submit(Rating::positive(NodeId(1), NodeId(1), SimTime(0))));
+        assert!(!sys.submit(Rating::positive(NodeId(1), NodeId(777), SimTime(0))));
+    }
+
+    #[test]
+    fn cross_manager_detection_costs_messages() {
+        let mut sys = build_system(64);
+        let report = sys.detect();
+        assert_eq!(report.pairs.len(), 2);
+        let stats = sys.stats();
+        assert!(stats.detection_messages > 0, "expected cross-manager confirmations");
+        assert_eq!(stats.detection_messages % 2, 0);
+        assert!(stats.hops > 0);
+    }
+
+    #[test]
+    fn single_manager_detects_without_messages() {
+        let mut sys = build_system(1);
+        let report = sys.detect();
+        assert_eq!(report.pairs.len(), 2);
+        assert_eq!(sys.stats().detection_messages, 0);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_sorted() {
+        let mut sys = DecentralizedSystem::new(
+            &[NodeId(1000)],
+            thresholds(),
+            Method::Basic,
+            DetectionPolicy::STRICT,
+        );
+        sys.register(NodeId(5));
+        sys.register(NodeId(2));
+        sys.register(NodeId(5));
+        assert_eq!(sys.nodes, vec![NodeId(2), NodeId(5)]);
+        assert_eq!(sys.manager_of(NodeId(5)), Some(NodeId(1000)));
+        assert_eq!(sys.manager_of(NodeId(9)), None);
+    }
+
+    #[test]
+    fn manager_churn_preserves_data_and_verdicts() {
+        let mut sys = build_system(6);
+        let baseline = {
+            let mut reference = build_system(6);
+            reference.detect().pair_ids()
+        };
+        // joins
+        assert!(sys.manager_join(NodeId(2000)).is_some());
+        assert!(sys.manager_join(NodeId(2001)).is_some());
+        assert!(sys.manager_join(NodeId(2000)).is_none(), "duplicate join rejected");
+        // leaves
+        assert!(sys.manager_leave(NodeId(1000)).is_some());
+        assert!(sys.manager_leave(NodeId(1000)).is_none(), "double leave rejected");
+        // reputations unchanged by churn
+        assert_eq!(sys.lookup_reputation(NodeId(1)), 25);
+        assert_eq!(sys.lookup_reputation(NodeId(40)), 4);
+        // detection verdicts unchanged by churn
+        assert_eq!(sys.detect().pair_ids(), baseline);
+    }
+
+    #[test]
+    fn last_manager_cannot_leave() {
+        let mut sys = build_system(1);
+        let only = sys.manager_of(NodeId(1)).unwrap();
+        assert!(sys.manager_leave(only).is_none());
+        assert_eq!(sys.lookup_reputation(NodeId(1)), 25, "data survived");
+    }
+
+    #[test]
+    fn heavy_churn_keeps_every_rating() {
+        let mut sys = build_system(4);
+        let expected: u64 = ratings().len() as u64;
+        for k in 0..10u64 {
+            sys.manager_join(NodeId(3000 + k));
+        }
+        for k in 0..3u64 {
+            sys.manager_leave(NodeId(1000 + k));
+        }
+        // total recorded ratings across all manager histories is conserved
+        let total: u64 = sys.histories.values().map(|h| h.recorded()).sum();
+        assert_eq!(total, expected);
+        // and every node's reputation is still readable and correct
+        assert_eq!(sys.lookup_reputation(NodeId(20)), 25);
+        assert_eq!(sys.lookup_reputation(NodeId(44)), 4);
+    }
+
+    #[test]
+    fn basic_method_agrees_with_optimized_in_system() {
+        let mut opt = build_system(8);
+        let mut basic = build_system(8);
+        basic.method = Method::Basic;
+        assert_eq!(basic.detect().pair_ids(), opt.detect().pair_ids());
+    }
+}

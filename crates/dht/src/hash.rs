@@ -1,0 +1,99 @@
+//! Consistent hashing of node addresses and keys.
+//!
+//! §IV.A: "We use `ID_i` to represent the DHT ID of node `n_i`, which is the
+//! consistent hash value of node `n_i`'s IP address." Chord used SHA-1; a
+//! cryptographic digest is unnecessary for a simulator (we need uniformity,
+//! not preimage resistance), so we use 64-bit FNV-1a with a splitmix64
+//! finalizer, which passes basic avalanche checks and keeps the simulator
+//! dependency-free.
+
+use crate::id::Key;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// 64-bit FNV-1a over a byte slice, with a splitmix64 finalizer for
+/// avalanche on short inputs.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
+/// splitmix64 finalization (Steele et al.), a strong 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a textual node address (e.g. `"10.0.0.1:4000"`) into the `bits`-wide
+/// identifier space.
+pub fn hash_address(address: &str, bits: u8) -> Key {
+    Key::new(hash_bytes(address.as_bytes()), bits)
+}
+
+/// Hash an integer id (e.g. a `NodeId`) into the `bits`-wide space.
+pub fn consistent_hash(id: u64, bits: u8) -> Key {
+    Key::new(splitmix64(id), bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_bytes(b"10.0.0.1"), hash_bytes(b"10.0.0.1"));
+        assert_eq!(hash_address("a", 64), hash_address("a", 64));
+        assert_eq!(consistent_hash(42, 16), consistent_hash(42, 16));
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(consistent_hash(i, 64).raw());
+        }
+        assert_eq!(seen.len(), 10_000, "collisions in 64-bit space over 10k ids");
+    }
+
+    #[test]
+    fn single_bit_flip_avalanches() {
+        let a = hash_bytes(b"node-1");
+        let b = hash_bytes(b"node-2");
+        let differing = (a ^ b).count_ones();
+        assert!(differing >= 16, "only {differing} bits differ");
+    }
+
+    #[test]
+    fn keys_reduced_to_requested_width() {
+        let k = hash_address("addr", 8);
+        assert!(k.raw() < 256);
+        assert_eq!(k.bits(), 8);
+    }
+
+    #[test]
+    fn distribution_roughly_uniform_across_halves() {
+        let mut low = 0;
+        for i in 0..10_000u64 {
+            if consistent_hash(i, 64).raw() < u64::MAX / 2 {
+                low += 1;
+            }
+        }
+        // binomial(10000, 0.5): ±4σ ≈ ±200
+        assert!((4800..=5200).contains(&low), "skewed halves: {low}/10000");
+    }
+
+    #[test]
+    fn empty_input_hashes() {
+        // must not panic, and must differ from a short non-empty input
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+}

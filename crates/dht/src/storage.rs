@@ -1,0 +1,316 @@
+//! The `Insert` / `Lookup` key-value layer on top of the ring.
+//!
+//! §IV.A: "A node uses DHT function `Insert(ID_i, r_i)` to send the rating
+//! of node `n_i` to its reputation manager, and uses `Lookup(ID_i)` to query
+//! the reputation value of node `n_i`."
+//!
+//! Values are multi-valued per key (a reputation manager accumulates many
+//! ratings under one node's ID). Every operation is routed through the
+//! [`Router`] from an explicit origin node so message costs are realistic
+//! and countable; [`StorageStats`] accumulates them.
+
+use crate::id::Key;
+use crate::ring::ChordRing;
+use crate::routing::Router;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cumulative message accounting for a storage instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageStats {
+    /// `Insert` operations executed.
+    pub inserts: u64,
+    /// `Lookup` operations executed.
+    pub lookups: u64,
+    /// Total routing hops across all operations.
+    pub hops: u64,
+}
+
+impl StorageStats {
+    /// Average hops per operation (0 when no operations ran).
+    pub fn average_hops(&self) -> f64 {
+        let ops = self.inserts + self.lookups;
+        if ops == 0 {
+            0.0
+        } else {
+            self.hops as f64 / ops as f64
+        }
+    }
+}
+
+/// A DHT-backed multi-map: each key stores the sequence of values inserted
+/// under it, held by the key's current owner node.
+#[derive(Clone, Debug)]
+pub struct DhtStorage<V> {
+    ring: ChordRing,
+    /// owner node key → (data key → values)
+    data: HashMap<u64, HashMap<u64, Vec<V>>>,
+    stats: StorageStats,
+}
+
+impl<V: Clone> DhtStorage<V> {
+    /// Storage over a ring (which must already have members before the first
+    /// operation).
+    pub fn new(ring: ChordRing) -> Self {
+        DhtStorage { ring, data: HashMap::new(), stats: StorageStats::default() }
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &ChordRing {
+        &self.ring
+    }
+
+    /// Message statistics so far.
+    pub fn stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    /// `Insert(key, value)` issued by ring member `origin`. Returns the
+    /// owner that stored the value.
+    pub fn insert(&mut self, origin: Key, key: Key, value: V) -> Key {
+        let res = Router::new(&self.ring).lookup(origin, key);
+        self.stats.inserts += 1;
+        self.stats.hops += res.hops as u64;
+        self.data
+            .entry(res.owner.raw())
+            .or_default()
+            .entry(key.raw())
+            .or_default()
+            .push(value);
+        res.owner
+    }
+
+    /// `Lookup(key)` issued by ring member `origin`. Returns the stored
+    /// values (empty slice when the key has none).
+    pub fn lookup(&mut self, origin: Key, key: Key) -> Vec<V> {
+        let res = Router::new(&self.ring).lookup(origin, key);
+        self.stats.lookups += 1;
+        self.stats.hops += res.hops as u64;
+        self.data
+            .get(&res.owner.raw())
+            .and_then(|m| m.get(&key.raw()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Direct (cost-free) view of the values a given owner holds for a key;
+    /// used by reputation managers reading their own local store.
+    pub fn local_values(&self, owner: Key, key: Key) -> &[V] {
+        self.data
+            .get(&owner.raw())
+            .and_then(|m| m.get(&key.raw()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All keys currently stored at `owner`, unsorted.
+    pub fn local_keys(&self, owner: Key) -> Vec<Key> {
+        self.data
+            .get(&owner.raw())
+            .map(|m| m.keys().map(|&k| Key::new(k, self.ring.bits())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Node `node` joins the ring; any keys it should now own are migrated
+    /// from their previous owner. Returns the number of keys migrated.
+    pub fn node_join(&mut self, node: Key) -> usize {
+        if !self.ring.join_with_key(node) {
+            return 0;
+        }
+        // the new node takes over the arc (predecessor(node), node] from its
+        // successor
+        let succ = self.ring.successor_of(node);
+        if succ == node {
+            return 0; // first node, nothing to migrate
+        }
+        let mut migrated = 0;
+        if let Some(succ_map) = self.data.remove(&succ.raw()) {
+            let mut keep = HashMap::new();
+            let mut take = HashMap::new();
+            for (k, vals) in succ_map {
+                let key = Key::new(k, self.ring.bits());
+                if self.ring.owner(key) == node {
+                    migrated += 1;
+                    take.insert(k, vals);
+                } else {
+                    keep.insert(k, vals);
+                }
+            }
+            if !keep.is_empty() {
+                self.data.insert(succ.raw(), keep);
+            }
+            if !take.is_empty() {
+                self.data.entry(node.raw()).or_default().extend(take);
+            }
+        }
+        migrated
+    }
+
+    /// Node `node` leaves gracefully; its stored keys are handed to its
+    /// successor. Returns the number of keys migrated, or `None` if the node
+    /// was not a member.
+    pub fn node_leave(&mut self, node: Key) -> Option<usize> {
+        if !self.ring.contains(node) {
+            return None;
+        }
+        let departed = self.data.remove(&node.raw());
+        self.ring.leave(node);
+        let Some(map) = departed else { return Some(0) };
+        if self.ring.is_empty() {
+            return Some(0); // data lost with the last node
+        }
+        let mut migrated = 0;
+        for (k, vals) in map {
+            let key = Key::new(k, self.ring.bits());
+            let owner = self.ring.owner(key);
+            self.data.entry(owner.raw()).or_default().entry(k).or_default().extend(vals);
+            migrated += 1;
+        }
+        Some(migrated)
+    }
+
+    /// Check the placement invariant: every stored key lives at its ring
+    /// owner. Returns the number of misplaced keys (0 when healthy).
+    pub fn misplaced_keys(&self) -> usize {
+        let mut misplaced = 0;
+        for (&holder, map) in &self.data {
+            for &k in map.keys() {
+                let key = Key::new(k, self.ring.bits());
+                if self.ring.owner(key).raw() != holder {
+                    misplaced += 1;
+                }
+            }
+        }
+        misplaced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::consistent_hash;
+
+    fn ring4() -> ChordRing {
+        let mut ring = ChordRing::with_bits(4);
+        for v in [0u64, 6, 10, 15] {
+            ring.join_with_key(Key::new(v, 4));
+        }
+        ring
+    }
+
+    fn k4(v: u64) -> Key {
+        Key::new(v, 4)
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        let owner = store.insert(k4(6), k4(10), 7);
+        assert_eq!(owner.raw(), 10);
+        store.insert(k4(0), k4(10), -1);
+        assert_eq!(store.lookup(k4(15), k4(10)), vec![7, -1]);
+        assert_eq!(store.stats().inserts, 2);
+        assert_eq!(store.stats().lookups, 1);
+    }
+
+    #[test]
+    fn lookup_missing_key_is_empty() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        assert!(store.lookup(k4(0), k4(9)).is_empty());
+    }
+
+    #[test]
+    fn local_views_do_not_cost_messages() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        store.insert(k4(6), k4(10), 1);
+        let before = store.stats();
+        assert_eq!(store.local_values(k4(10), k4(10)), &[1]);
+        assert_eq!(store.local_keys(k4(10)), vec![k4(10)]);
+        assert!(store.local_values(k4(0), k4(10)).is_empty());
+        assert_eq!(store.stats(), before);
+    }
+
+    #[test]
+    fn hops_accumulate_in_stats() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        store.insert(k4(6), k4(10), 1);
+        store.lookup(k4(0), k4(14));
+        assert!(store.stats().hops >= 2);
+        assert!(store.stats().average_hops() >= 1.0);
+    }
+
+    #[test]
+    fn node_leave_migrates_to_successor() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        store.insert(k4(6), k4(9), 42); // owned by node 10
+        let migrated = store.node_leave(k4(10)).unwrap();
+        assert_eq!(migrated, 1);
+        // key 9 now owned by 15
+        assert_eq!(store.lookup(k4(0), k4(9)), vec![42]);
+        assert_eq!(store.misplaced_keys(), 0);
+    }
+
+    #[test]
+    fn node_join_takes_over_arc() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        store.insert(k4(6), k4(8), 5); // owned by node 10
+        store.insert(k4(6), k4(10), 6); // owned by node 10
+        let migrated = store.node_join(k4(8)); // new node 8 owns (6, 8]
+        assert_eq!(migrated, 1);
+        assert_eq!(store.lookup(k4(0), k4(8)), vec![5]);
+        assert_eq!(store.lookup(k4(0), k4(10)), vec![6]);
+        assert_eq!(store.misplaced_keys(), 0);
+    }
+
+    #[test]
+    fn leave_of_non_member_is_none() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        assert_eq!(store.node_leave(k4(9)), None);
+    }
+
+    #[test]
+    fn join_collision_migrates_nothing() {
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring4());
+        assert_eq!(store.node_join(k4(10)), 0);
+    }
+
+    #[test]
+    fn last_node_leaving_drops_data() {
+        let mut ring = ChordRing::with_bits(4);
+        ring.join_with_key(k4(3));
+        let mut store: DhtStorage<i32> = DhtStorage::new(ring);
+        store.insert(k4(3), k4(1), 9);
+        assert_eq!(store.node_leave(k4(3)), Some(0));
+        assert!(store.ring().is_empty());
+    }
+
+    #[test]
+    fn placement_invariant_holds_under_churn() {
+        let mut ring = ChordRing::with_bits(32);
+        for i in 0..32u64 {
+            ring.join_with_key(consistent_hash(i, 32));
+        }
+        let mut store: DhtStorage<u64> = DhtStorage::new(ring);
+        let origin = store.ring().members().next().unwrap();
+        for i in 0..200u64 {
+            let key = consistent_hash(1000 + i, 32);
+            store.insert(origin, key, i);
+        }
+        // churn: 8 leaves, 8 joins
+        for i in 0..8u64 {
+            store.node_leave(consistent_hash(i, 32));
+        }
+        for i in 100..108u64 {
+            store.node_join(consistent_hash(i, 32));
+        }
+        assert_eq!(store.misplaced_keys(), 0);
+        // all values still reachable
+        let origin = store.ring().members().next().unwrap();
+        let mut found = 0;
+        for i in 0..200u64 {
+            let key = consistent_hash(1000 + i, 32);
+            found += store.lookup(origin, key).len();
+        }
+        assert_eq!(found, 200);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the Chord identifier algebra and routing.
+
+use collusion_dht::hash::{consistent_hash, splitmix64};
+use collusion_dht::id::Key;
+use collusion_dht::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Interval complementarity: for distinct a ≠ b, every point other than
+    /// the endpoints is in exactly one of (a,b) and (b,a).
+    #[test]
+    fn open_intervals_complement(a in 0u64..256, b in 0u64..256, x in 0u64..256) {
+        let (ka, kb, kx) = (Key::new(a, 8), Key::new(b, 8), Key::new(x, 8));
+        prop_assume!(ka != kb);
+        if kx != ka && kx != kb {
+            let in_ab = kx.in_interval_oo(ka, kb);
+            let in_ba = kx.in_interval_oo(kb, ka);
+            prop_assert!(in_ab ^ in_ba, "x={x} a={a} b={b}: ab={in_ab} ba={in_ba}");
+        }
+    }
+
+    /// Clockwise distances around a triangle compose modulo the space.
+    #[test]
+    fn distances_compose(a in 0u64..1024, b in 0u64..1024, c in 0u64..1024) {
+        let (ka, kb, kc) = (Key::new(a, 10), Key::new(b, 10), Key::new(c, 10));
+        let direct = ka.distance_to(kc);
+        let via = (ka.distance_to(kb) + kb.distance_to(kc)) % 1024;
+        prop_assert_eq!(direct, via);
+    }
+
+    /// Half-open interval membership agrees with distance arithmetic.
+    #[test]
+    fn interval_oc_matches_distance(a in 0u64..512, b in 0u64..512, x in 0u64..512) {
+        let (ka, kb, kx) = (Key::new(a, 9), Key::new(b, 9), Key::new(x, 9));
+        let expected = if ka == kb {
+            true
+        } else {
+            let d = ka.distance_to(kx);
+            d > 0 && d <= ka.distance_to(kb)
+        };
+        prop_assert_eq!(kx.in_interval_oc(ka, kb), expected);
+    }
+
+    /// splitmix64 is a bijection (injective on sampled pairs).
+    #[test]
+    fn splitmix_injective(a in any::<u64>(), b in any::<u64>()) {
+        if a != b {
+            prop_assert_ne!(splitmix64(a), splitmix64(b));
+        }
+    }
+
+    /// Lookups never visit the same node twice (progress property).
+    #[test]
+    fn lookup_paths_acyclic(
+        seeds in prop::collection::btree_set(0u64..5_000, 2..32),
+        key_seed in 0u64..100_000,
+    ) {
+        let mut ring = ChordRing::with_bits(32);
+        for s in &seeds {
+            ring.join_with_key(consistent_hash(*s, 32));
+        }
+        let key = consistent_hash(key_seed, 32);
+        for start in ring.members() {
+            let res = Router::new(&ring).lookup(start, key);
+            // intermediate hops strictly progress clockwise, so no node
+            // repeats — except that the final owner may be the start node
+            // itself when the route wraps the whole ring
+            let mut seen = std::collections::BTreeSet::new();
+            let last = res.path.len() - 1;
+            for (idx, k) in res.path.iter().enumerate() {
+                let fresh = seen.insert(k.raw());
+                prop_assert!(
+                    fresh || (idx == last && *k == start),
+                    "cycle via {k:?} in {:?}",
+                    res.path
+                );
+            }
+        }
+    }
+
+    /// Joining a node never changes the owner of keys outside its arc.
+    #[test]
+    fn join_is_locally_scoped(
+        seeds in prop::collection::btree_set(0u64..5_000, 2..24),
+        newcomer in 5_000u64..6_000,
+        key_seed in 0u64..100_000,
+    ) {
+        let mut ring = ChordRing::with_bits(32);
+        for s in &seeds {
+            ring.join_with_key(consistent_hash(*s, 32));
+        }
+        let key = consistent_hash(key_seed, 32);
+        let owner_before = ring.owner(key);
+        let newcomer_key = consistent_hash(newcomer, 32);
+        prop_assume!(ring.join_with_key(newcomer_key));
+        let owner_after = ring.owner(key);
+        if owner_after != owner_before {
+            // ownership may only move to the newcomer
+            prop_assert_eq!(owner_after, newcomer_key);
+        }
+    }
+
+    /// Consistent-hash load across nodes is within a plausible band: with
+    /// ≥16 nodes, no node owns more than ¾ of the space (the largest-arc
+    /// tail probability at that bound is ≈ n·(1/4)^(n−1) < 10⁻⁸).
+    #[test]
+    fn load_never_pathological(seeds in prop::collection::btree_set(0u64..100_000, 16..64)) {
+        let mut ring = ChordRing::with_bits(32);
+        for s in &seeds {
+            ring.join_with_key(consistent_hash(*s, 32));
+        }
+        let space = 1u64 << 32;
+        for n in ring.members() {
+            prop_assert!(ring.owned_arc_len(n) < space / 4 * 3);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Local reputation aggregation strategies.
+//!
+//! §IV.A: "There are many ways to calculate global reputation values of
+//! nodes. We use the local reputation calculation method in eBay and
+//! EigenTrust as an example in this paper. That is, the local reputation
+//! rating for each interaction for a node is −1, 0 and 1. A node's final
+//! reputation is the sum of all its received reputation evaluation values."
+//!
+//! [`EBaySum`] implements exactly that; [`PositiveFraction`] implements the
+//! Amazon score (§III: positives divided by all ratings), which the trace
+//! analysis uses. Both implement [`LocalAggregator`] so detectors and
+//! managers are generic over the choice.
+
+use crate::history::InteractionHistory;
+use crate::id::NodeId;
+
+/// A strategy turning an interaction history into a per-node reputation
+/// score.
+pub trait LocalAggregator {
+    /// Compute `ratee`'s reputation from the history. Nodes without ratings
+    /// receive the aggregator's neutral element.
+    fn reputation(&self, history: &InteractionHistory, ratee: NodeId) -> f64;
+
+    /// The score an unrated node gets.
+    fn neutral(&self) -> f64 {
+        0.0
+    }
+}
+
+/// eBay / EigenTrust local reputation: the signed sum `#pos − #neg`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EBaySum;
+
+impl LocalAggregator for EBaySum {
+    fn reputation(&self, history: &InteractionHistory, ratee: NodeId) -> f64 {
+        history.signed_reputation(ratee) as f64
+    }
+}
+
+/// Amazon-style reputation: positive ratings divided by all ratings.
+///
+/// Unrated nodes get `default` (Amazon shows "no feedback yet"; we default to
+/// 0.0 so that untested sellers are not preferred over proven ones).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PositiveFraction {
+    /// Score assigned to unrated nodes.
+    pub default: f64,
+}
+
+impl Default for PositiveFraction {
+    fn default() -> Self {
+        PositiveFraction { default: 0.0 }
+    }
+}
+
+impl LocalAggregator for PositiveFraction {
+    fn reputation(&self, history: &InteractionHistory, ratee: NodeId) -> f64 {
+        history.positive_fraction(ratee).unwrap_or(self.default)
+    }
+
+    fn neutral(&self) -> f64 {
+        self.default
+    }
+}
+
+/// Rank the given nodes by reputation, highest first; ties broken by id so
+/// the ordering is deterministic.
+pub fn rank_by_reputation<A: LocalAggregator>(
+    agg: &A,
+    history: &InteractionHistory,
+    nodes: &[NodeId],
+) -> Vec<(NodeId, f64)> {
+    let mut scored: Vec<(NodeId, f64)> =
+        nodes.iter().map(|&n| (n, agg.reputation(history, n))).collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::SimTime;
+    use crate::rating::Rating;
+
+    fn hist() -> InteractionHistory {
+        let mut h = InteractionHistory::new();
+        // n2: 3 pos, 1 neg  → sum 2, fraction 0.75
+        for t in 0..3 {
+            h.record(Rating::positive(NodeId(1), NodeId(2), SimTime(t)));
+        }
+        h.record(Rating::negative(NodeId(3), NodeId(2), SimTime(3)));
+        // n3: 1 neg → sum −1, fraction 0
+        h.record(Rating::negative(NodeId(1), NodeId(3), SimTime(4)));
+        h
+    }
+
+    #[test]
+    fn ebay_sum_is_signed_total() {
+        let h = hist();
+        assert_eq!(EBaySum.reputation(&h, NodeId(2)), 2.0);
+        assert_eq!(EBaySum.reputation(&h, NodeId(3)), -1.0);
+        assert_eq!(EBaySum.reputation(&h, NodeId(99)), 0.0);
+    }
+
+    #[test]
+    fn positive_fraction_is_amazon_score() {
+        let h = hist();
+        let agg = PositiveFraction::default();
+        assert_eq!(agg.reputation(&h, NodeId(2)), 0.75);
+        assert_eq!(agg.reputation(&h, NodeId(3)), 0.0);
+        assert_eq!(agg.reputation(&h, NodeId(99)), 0.0);
+    }
+
+    #[test]
+    fn positive_fraction_default_for_unrated() {
+        let h = InteractionHistory::new();
+        let agg = PositiveFraction { default: 0.5 };
+        assert_eq!(agg.reputation(&h, NodeId(1)), 0.5);
+        assert_eq!(agg.neutral(), 0.5);
+    }
+
+    #[test]
+    fn ranking_orders_descending_with_id_tiebreak() {
+        let h = hist();
+        let ranked = rank_by_reputation(&EBaySum, &h, &[NodeId(3), NodeId(2), NodeId(7), NodeId(4)]);
+        assert_eq!(ranked[0].0, NodeId(2));
+        // n4 and n7 are tied at 0 → lower id first
+        assert_eq!(ranked[1].0, NodeId(4));
+        assert_eq!(ranked[2].0, NodeId(7));
+        assert_eq!(ranked[3].0, NodeId(3));
+    }
+}

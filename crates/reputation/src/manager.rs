@@ -1,0 +1,251 @@
+//! Reputation managers.
+//!
+//! §IV.A: "In a centralized reputation system, such as the one in Amazon, a
+//! resource manager collects the ratings of all nodes and calculates the
+//! reputation values of all nodes. The decentralized reputation systems …
+//! distribute the role of the centralized resource manager to a number of
+//! trustworthy nodes", each responsible for the ratings *about* its assigned
+//! nodes (the DHT owner of `ID_i` manages `n_i`).
+//!
+//! [`CentralizedManager`] holds the full history; [`ManagerPartition`] splits
+//! the same stream across several managers given an ownership function (in
+//! the decentralized system that function is Chord key ownership, supplied
+//! by the `collusion-dht` crate at a higher layer — this crate stays
+//! topology-agnostic).
+
+use crate::history::InteractionHistory;
+use crate::id::NodeId;
+use crate::local::LocalAggregator;
+use crate::rating::{Rating, RatingLog};
+use std::collections::HashMap;
+
+/// The single resource manager of a centralized reputation system.
+#[derive(Clone, Debug, Default)]
+pub struct CentralizedManager {
+    log: RatingLog,
+    history: InteractionHistory,
+}
+
+impl CentralizedManager {
+    /// New manager with no ratings.
+    pub fn new() -> Self {
+        CentralizedManager::default()
+    }
+
+    /// Ingest one rating (rejects self-ratings, returns `false`).
+    pub fn submit(&mut self, rating: Rating) -> bool {
+        if !rating.is_self_rating() {
+            self.log.push(rating);
+            self.history.record(rating);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ingest a batch of ratings.
+    pub fn submit_all<I: IntoIterator<Item = Rating>>(&mut self, ratings: I) {
+        for r in ratings {
+            self.submit(r);
+        }
+    }
+
+    /// The full rating log.
+    pub fn log(&self) -> &RatingLog {
+        &self.log
+    }
+
+    /// The aggregate interaction history.
+    pub fn history(&self) -> &InteractionHistory {
+        &self.history
+    }
+
+    /// Reputation of `node` under the chosen aggregation strategy.
+    pub fn reputation<A: LocalAggregator>(&self, agg: &A, node: NodeId) -> f64 {
+        agg.reputation(&self.history, node)
+    }
+
+    /// Begin a new reputation-update period `T`: the history is reset while
+    /// the log is kept for audit. Returns the retired period's history.
+    pub fn rotate_period(&mut self) -> InteractionHistory {
+        std::mem::take(&mut self.history)
+    }
+}
+
+/// A set of decentralized reputation managers partitioned by an ownership
+/// function `owner(node) → manager`.
+///
+/// Manager `M_i` of node `n_i` "keeps track of all ratings of other nodes
+/// for `n_i`" — so each rating is routed to the manager owning its *ratee*.
+#[derive(Clone, Debug)]
+pub struct ManagerPartition {
+    /// Per-manager history, keyed by manager id.
+    histories: HashMap<NodeId, InteractionHistory>,
+    /// Node → responsible manager.
+    ownership: HashMap<NodeId, NodeId>,
+    /// Ratings routed (for message-cost accounting).
+    routed: u64,
+}
+
+impl ManagerPartition {
+    /// Build a partition from an explicit ownership table.
+    pub fn new(ownership: HashMap<NodeId, NodeId>) -> Self {
+        ManagerPartition { histories: HashMap::new(), ownership, routed: 0 }
+    }
+
+    /// Build a partition by evaluating `owner` for every node in `nodes`.
+    pub fn from_fn<F: Fn(NodeId) -> NodeId>(nodes: &[NodeId], owner: F) -> Self {
+        let ownership = nodes.iter().map(|&n| (n, owner(n))).collect();
+        ManagerPartition::new(ownership)
+    }
+
+    /// The manager responsible for `node`, if the node is registered.
+    pub fn manager_of(&self, node: NodeId) -> Option<NodeId> {
+        self.ownership.get(&node).copied()
+    }
+
+    /// Route one rating to the manager of its ratee. Returns that manager,
+    /// or `None` when the ratee is unregistered (the rating is dropped, as a
+    /// real DHT would return a lookup failure).
+    pub fn submit(&mut self, rating: Rating) -> Option<NodeId> {
+        if rating.is_self_rating() {
+            return None;
+        }
+        let manager = self.manager_of(rating.ratee)?;
+        self.histories.entry(manager).or_default().record(rating);
+        self.routed += 1;
+        Some(manager)
+    }
+
+    /// Ingest a batch of ratings.
+    pub fn submit_all<I: IntoIterator<Item = Rating>>(&mut self, ratings: I) {
+        for r in ratings {
+            self.submit(r);
+        }
+    }
+
+    /// The history view held by one manager (empty if it manages nothing).
+    pub fn history_of_manager(&self, manager: NodeId) -> InteractionHistory {
+        self.histories.get(&manager).cloned().unwrap_or_default()
+    }
+
+    /// Borrow a manager's history if present.
+    pub fn history_ref(&self, manager: NodeId) -> Option<&InteractionHistory> {
+        self.histories.get(&manager)
+    }
+
+    /// All managers that currently hold ratings.
+    pub fn managers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.histories.keys().copied()
+    }
+
+    /// Number of successfully routed ratings.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Union of all managers' histories — must equal what a centralized
+    /// manager would have seen (tested as an invariant).
+    pub fn merged_history(&self) -> InteractionHistory {
+        let mut merged = InteractionHistory::new();
+        for h in self.histories.values() {
+            merged.merge(h);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::SimTime;
+    use crate::local::{EBaySum, PositiveFraction};
+
+    fn ratings() -> Vec<Rating> {
+        vec![
+            Rating::positive(NodeId(1), NodeId(2), SimTime(0)),
+            Rating::positive(NodeId(1), NodeId(2), SimTime(1)),
+            Rating::negative(NodeId(3), NodeId(2), SimTime(2)),
+            Rating::positive(NodeId(2), NodeId(3), SimTime(3)),
+        ]
+    }
+
+    #[test]
+    fn centralized_manager_aggregates() {
+        let mut m = CentralizedManager::new();
+        m.submit_all(ratings());
+        assert_eq!(m.log().len(), 4);
+        assert_eq!(m.reputation(&EBaySum, NodeId(2)), 1.0);
+        assert_eq!(m.reputation(&PositiveFraction::default(), NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn centralized_manager_rejects_self_rating() {
+        let mut m = CentralizedManager::new();
+        assert!(!m.submit(Rating::positive(NodeId(1), NodeId(1), SimTime(0))));
+        assert_eq!(m.log().len(), 0);
+    }
+
+    #[test]
+    fn rotate_period_resets_history_keeps_log() {
+        let mut m = CentralizedManager::new();
+        m.submit_all(ratings());
+        let old = m.rotate_period();
+        assert_eq!(old.ratings_for(NodeId(2)), 3);
+        assert_eq!(m.history().ratings_for(NodeId(2)), 0);
+        assert_eq!(m.log().len(), 4, "audit log survives rotation");
+    }
+
+    #[test]
+    fn partition_routes_by_ratee_owner() {
+        // even nodes managed by n100, odd by n101
+        let nodes: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let mut p = ManagerPartition::from_fn(&nodes, |n| {
+            if n.raw() % 2 == 0 {
+                NodeId(100)
+            } else {
+                NodeId(101)
+            }
+        });
+        for r in ratings() {
+            p.submit(r);
+        }
+        // ratings about n2 (even) land at n100; about n3 (odd) at n101
+        assert_eq!(p.history_of_manager(NodeId(100)).ratings_for(NodeId(2)), 3);
+        assert_eq!(p.history_of_manager(NodeId(101)).ratings_for(NodeId(3)), 1);
+        assert_eq!(p.routed(), 4);
+    }
+
+    #[test]
+    fn partition_drops_unregistered_ratee() {
+        let mut p = ManagerPartition::from_fn(&[NodeId(1)], |_| NodeId(9));
+        assert_eq!(p.submit(Rating::positive(NodeId(1), NodeId(77), SimTime(0))), None);
+        assert_eq!(p.routed(), 0);
+    }
+
+    #[test]
+    fn merged_history_equals_centralized_view() {
+        let nodes: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let mut part = ManagerPartition::from_fn(&nodes, |n| NodeId(100 + n.raw() % 3));
+        let mut central = CentralizedManager::new();
+        for r in ratings() {
+            part.submit(r);
+            central.submit(r);
+        }
+        let merged = part.merged_history();
+        for node in &nodes {
+            assert_eq!(merged.ratings_for(*node), central.history().ratings_for(*node));
+            assert_eq!(merged.signed_reputation(*node), central.history().signed_reputation(*node));
+        }
+    }
+
+    #[test]
+    fn managers_lists_active_managers() {
+        let nodes: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let mut p = ManagerPartition::from_fn(&nodes, |_| NodeId(7));
+        p.submit(Rating::positive(NodeId(1), NodeId(2), SimTime(0)));
+        let managers: Vec<NodeId> = p.managers().collect();
+        assert_eq!(managers, vec![NodeId(7)]);
+        assert!(p.history_ref(NodeId(8)).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Interest clusters — the unstructured overlay (§V "Network model").
+//!
+//! "Nodes with the same interest are connected with each other in a
+//! cluster. A node with m interests is in m clusters. For a request of a
+//! file in an interest, a node queries all of its neighbors in the cluster
+//! of the interest."
+
+use crate::peer::Peer;
+use collusion_reputation::id::NodeId;
+
+/// The overlay: one fully-connected cluster per interest category.
+#[derive(Clone, Debug)]
+pub struct InterestNetwork {
+    /// `clusters[interest]` = member node ids, ascending.
+    clusters: Vec<Vec<NodeId>>,
+}
+
+impl InterestNetwork {
+    /// Build clusters from the peer population.
+    pub fn build(peers: &[Peer], interest_categories: u8) -> Self {
+        let mut clusters = vec![Vec::new(); interest_categories as usize];
+        for peer in peers {
+            for &interest in &peer.interests {
+                clusters[interest as usize].push(peer.id);
+            }
+        }
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        InterestNetwork { clusters }
+    }
+
+    /// Members of one interest cluster.
+    pub fn cluster(&self, interest: u8) -> &[NodeId] {
+        &self.clusters[interest as usize]
+    }
+
+    /// The neighbours a client queries for a file in `interest` — the whole
+    /// cluster except itself.
+    pub fn neighbors<'a>(
+        &'a self,
+        client: NodeId,
+        interest: u8,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.cluster(interest).iter().copied().filter(move |&n| n != client)
+    }
+
+    /// Number of interest categories.
+    pub fn categories(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total cluster memberships (Σ per-node interest counts).
+    pub fn total_memberships(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::peer::build_peers;
+
+    fn network() -> (Vec<Peer>, InterestNetwork) {
+        let peers = build_peers(&SimConfig::paper_baseline(3));
+        let net = InterestNetwork::build(&peers, 20);
+        (peers, net)
+    }
+
+    #[test]
+    fn memberships_match_interest_counts() {
+        let (peers, net) = network();
+        let expected: usize = peers.iter().map(|p| p.interests.len()).sum();
+        assert_eq!(net.total_memberships(), expected);
+        assert_eq!(net.categories(), 20);
+    }
+
+    #[test]
+    fn every_peer_in_each_of_its_clusters() {
+        let (peers, net) = network();
+        for p in &peers {
+            for &i in &p.interests {
+                assert!(net.cluster(i).contains(&p.id), "{} missing from cluster {i}", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_exclude_self() {
+        let (peers, net) = network();
+        let p = &peers[0];
+        let interest = p.interests[0];
+        let neigh: Vec<NodeId> = net.neighbors(p.id, interest).collect();
+        assert!(!neigh.contains(&p.id));
+        assert_eq!(neigh.len(), net.cluster(interest).len() - 1);
+    }
+
+    #[test]
+    fn clusters_sorted_ascending() {
+        let (_, net) = network();
+        for i in 0..20u8 {
+            let c = net.cluster(i);
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn clusters_nonempty_at_paper_scale() {
+        // 200 nodes × ≈3 interests over 20 categories → every category
+        // should have ≈30 members; certainly none empty
+        let (_, net) = network();
+        for i in 0..20u8 {
+            assert!(net.cluster(i).len() >= 5, "cluster {i} has {} members", net.cluster(i).len());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the P2P simulator: conservation laws and
+//! determinism across configurations.
+
+use collusion_reputation::id::NodeId;
+use collusion_sim::config::{DetectorKind, SimConfig};
+use collusion_sim::engine::Simulation;
+use proptest::prelude::*;
+
+fn small_config(seed: u64, n_nodes: u64, colluder_pairs: u64, b: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_baseline(seed);
+    cfg.n_nodes = n_nodes;
+    cfg.sim_cycles = 3;
+    cfg.colluders = (4..4 + 2 * colluder_pairs).map(NodeId).collect();
+    cfg.colluder_good_prob = b;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation: every served request produced exactly one rating, so
+    /// requests = authentic + inauthentic, and colluder requests never
+    /// exceed the total.
+    #[test]
+    fn request_conservation(seed in 0u64..1_000, pairs in 0u64..4, b in 0.0f64..=1.0) {
+        let m = Simulation::new(small_config(seed, 50, pairs, b)).run();
+        prop_assert_eq!(m.requests_total, m.authentic + m.inauthentic);
+        prop_assert!(m.requests_to_colluders <= m.requests_total);
+        if pairs == 0 {
+            prop_assert_eq!(m.requests_to_colluders, 0);
+        }
+    }
+
+    /// The final reputation vector is a probability distribution.
+    #[test]
+    fn reputation_is_distribution(seed in 0u64..1_000, pairs in 0u64..4) {
+        let m = Simulation::new(small_config(seed, 50, pairs, 0.2)).run();
+        let sum: f64 = m.reputation.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        prop_assert!(m.reputation.iter().all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    /// Per-cycle capacity bounds the served volume.
+    #[test]
+    fn capacity_bounds_requests(seed in 0u64..500, capacity in 1u32..6) {
+        let mut cfg = small_config(seed, 40, 1, 0.2);
+        cfg.capacity = capacity;
+        cfg.sim_cycles = 2;
+        let m = Simulation::new(cfg).run();
+        let cycles = 2 * 20;
+        prop_assert!(m.requests_total <= cycles as u64 * 40 * capacity as u64);
+        // also bounded by one request per active peer per cycle
+        prop_assert!(m.requests_total <= cycles as u64 * 40);
+    }
+
+    /// Determinism: identical configs give identical metrics.
+    #[test]
+    fn runs_deterministic(seed in 0u64..1_000) {
+        let a = Simulation::new(small_config(seed, 40, 2, 0.4)).run();
+        let b = Simulation::new(small_config(seed, 40, 2, 0.4)).run();
+        prop_assert_eq!(a.reputation, b.reputation);
+        prop_assert_eq!(a.requests_total, b.requests_total);
+        prop_assert_eq!(a.detected, b.detected);
+    }
+
+    /// With the Optimized detector on, detected nodes always end at zero
+    /// reputation, and the detected set only contains colluders.
+    #[test]
+    fn detection_soundness(seed in 0u64..500, pairs in 1u64..4) {
+        let mut cfg = small_config(seed, 60, pairs, 0.2);
+        cfg.sim_cycles = 4;
+        cfg.detector = DetectorKind::Optimized;
+        let m = Simulation::new(cfg.clone()).run();
+        for d in &m.detected {
+            prop_assert_eq!(m.reputation[d.raw() as usize], 0.0);
+            prop_assert!(cfg.colluders.contains(d), "non-colluder {d} detected");
+        }
+    }
+
+    /// Detection only ever reduces the requests flowing to colluders.
+    #[test]
+    fn detection_helps_or_is_neutral(seed in 0u64..200) {
+        let plain = Simulation::new(small_config(seed, 60, 3, 0.2)).run();
+        let mut cfg = small_config(seed, 60, 3, 0.2);
+        cfg.detector = DetectorKind::Optimized;
+        let detected = Simulation::new(cfg).run();
+        prop_assert!(
+            detected.fraction_to_colluders() <= plain.fraction_to_colluders() + 0.02,
+            "detector made things worse: {} vs {}",
+            detected.fraction_to_colluders(),
+            plain.fraction_to_colluders()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic Amazon / Overstock transaction traces and their analysis.
+//!
+//! §III of the paper analyzes ~2.1 M Amazon book-seller ratings and ~450 k
+//! Overstock Auction ratings to establish the five collusion characteristics
+//! C1–C5. The crawled traces are not public, so — per the substitution table
+//! in `DESIGN.md` — this crate generates synthetic traces *calibrated to the
+//! published statistics* and re-runs the paper's entire analysis pipeline on
+//! them:
+//!
+//! * [`amazon`] — 97 book sellers across the reputation levels of Figure
+//!   1(a), ~2.1 M ratings/year at full scale, with 18 colluding sellers
+//!   boosted by dedicated rater accounts (≈139 suspicious raters) and
+//!   harassed by rival raters, reproducing Figures 1(a)–(c);
+//! * [`overstock`] — a bidirectional marketplace trace with injected
+//!   colluding pairs (and, optionally, ≥3-groups for the future-work probe),
+//!   reproducing Figure 1(d);
+//! * [`stats`] — per-seller rating totals, per-rater frequency statistics
+//!   (avg/max per day), the rating-vs-reputation table;
+//! * [`suspicious`] — the threshold-20 suspicious-pair filter and the
+//!   `a`/`b` fraction calibration (paper: avg `a = 98.37 %`, `b = 1.63 %`);
+//! * [`patterns`] — per-rater rating timelines and the booster / rival /
+//!   normal behaviour classification of Figure 1(b);
+//! * [`graph`] — the interaction graph of Figure 1(d) with pair / chain /
+//!   closed-structure classification verifying C5.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod amazon;
+pub mod graph;
+pub mod model;
+pub mod overstock;
+pub mod patterns;
+pub mod stats;
+pub mod suspicious;
+
+/// Re-exports of the commonly used types.
+pub mod prelude {
+    pub use crate::amazon::{AmazonConfig, AmazonTrace, SellerSpec};
+    pub use crate::graph::{ComponentKind, InteractionGraph};
+    pub use crate::model::{Trace, TraceRecord};
+    pub use crate::overstock::{OverstockConfig, OverstockTrace};
+    pub use crate::patterns::{classify_rater, RaterPattern};
+    pub use crate::stats::{RaterFrequency, SellerStats, TraceStats};
+    pub use crate::suspicious::{SuspiciousReport, SuspiciousPair};
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the trace generators and analysis.
+
+use collusion_reputation::id::NodeId;
+use collusion_trace::amazon::{generate as amazon_generate, AmazonConfig, SellerSpec};
+use collusion_trace::graph::{ComponentKind, InteractionGraph};
+use collusion_trace::model::{Trace, TraceRecord};
+use collusion_trace::overstock::{generate as overstock_generate, OverstockConfig};
+use collusion_trace::stats::TraceStats;
+use collusion_trace::suspicious::find_suspicious;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seller volumes match their specs regardless of configuration.
+    #[test]
+    fn amazon_volumes_match_spec(seed in 0u64..1_000, n_sellers in 2usize..8) {
+        let mut cfg = AmazonConfig::paper(0.01, seed);
+        cfg.sellers = (0..n_sellers)
+            .map(|k| SellerSpec {
+                organic_positive_rate: 0.5 + 0.05 * (k % 5) as f64,
+                annual_ratings: 200 + 40 * k as u64,
+                colluding: k % 3 == 0,
+            })
+            .collect();
+        let t = amazon_generate(&cfg);
+        let stats = TraceStats::compute(&t.trace);
+        for (sid, spec) in cfg.sellers.iter().enumerate() {
+            let s = stats.seller(NodeId(sid as u64)).unwrap();
+            // colluding sellers may exceed the annual volume slightly when
+            // the booster draw exceeds the reserved share; honest sellers
+            // match exactly
+            if spec.colluding {
+                prop_assert!(s.total >= spec.annual_ratings);
+                prop_assert!(s.total <= spec.annual_ratings
+                    + cfg.boosters_per_colluder * cfg.booster_ratings.1
+                    + cfg.rivals_per_colluder * cfg.rival_ratings.1);
+            } else {
+                prop_assert_eq!(s.total, spec.annual_ratings);
+            }
+        }
+    }
+
+    /// The suspicious report's seller set is monotone in the threshold.
+    #[test]
+    fn suspicious_threshold_monotone(seed in 0u64..500, lo in 10u64..25, delta in 1u64..25) {
+        let t = amazon_generate(&AmazonConfig::paper(0.01, seed));
+        let stats = TraceStats::compute(&t.trace);
+        let low = find_suspicious(&t.trace, &stats, lo);
+        let high = find_suspicious(&t.trace, &stats, lo + delta);
+        let low_pairs: std::collections::BTreeSet<_> =
+            low.pairs.iter().map(|p| (p.rater, p.seller)).collect();
+        for p in &high.pairs {
+            prop_assert!(low_pairs.contains(&(p.rater, p.seller)));
+        }
+    }
+
+    /// Overstock: injected pairs always surface as graph edges; components
+    /// containing only injected pairs are never closed.
+    #[test]
+    fn overstock_pairs_surface(seed in 0u64..500, pairs in 1u64..20) {
+        let mut cfg = OverstockConfig::paper(0.01, seed);
+        cfg.colluding_pairs = pairs;
+        let t = overstock_generate(&cfg);
+        let g = InteractionGraph::from_trace(&t.trace, 20);
+        for &(a, b) in &t.pairs {
+            prop_assert!(g.has_edge(a, b));
+        }
+        let (_, _, closed) = g.structure_census();
+        prop_assert_eq!(closed, 0);
+    }
+
+    /// Graph component classification is exhaustive and edge-consistent.
+    #[test]
+    fn component_classification_consistent(
+        edges in prop::collection::btree_set((0u64..30, 0u64..30), 0..60),
+    ) {
+        let mut g = InteractionGraph::default();
+        for &(a, b) in &edges {
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b));
+            }
+        }
+        let comps = g.components();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total_edges = 0;
+        for c in &comps {
+            prop_assert!(c.nodes.len() >= 2, "singleton component {c:?}");
+            for n in &c.nodes {
+                prop_assert!(seen.insert(*n), "node {n} in two components");
+            }
+            total_edges += c.edges;
+            match c.kind {
+                ComponentKind::Pair => {
+                    prop_assert_eq!(c.nodes.len(), 2);
+                    prop_assert_eq!(c.edges, 1);
+                }
+                ComponentKind::Chain => {
+                    prop_assert!(c.nodes.len() >= 3);
+                    prop_assert_eq!(c.edges, c.nodes.len() - 1);
+                }
+                ComponentKind::Closed => {
+                    prop_assert!(c.edges >= c.nodes.len());
+                }
+            }
+        }
+        prop_assert_eq!(total_edges, g.edge_count());
+        prop_assert_eq!(seen.len(), g.nodes().len());
+    }
+
+    /// Star classification matches RatingValue semantics on arbitrary
+    /// records.
+    #[test]
+    fn record_classification_total(stars in 1u8..=5, day in 0u64..400) {
+        let r = TraceRecord { rater: NodeId(1), ratee: NodeId(2), stars, day };
+        let v = r.value();
+        match stars {
+            1 | 2 => prop_assert!(v.is_negative()),
+            3 => prop_assert!(!v.is_negative() && !v.is_positive()),
+            _ => prop_assert!(v.is_positive()),
+        }
+        prop_assert_eq!(r.to_rating().time.raw(), day);
+    }
+
+    /// Trace → RatingLog conversion preserves per-pair counts.
+    #[test]
+    fn trace_to_log_preserves_counts(
+        records in prop::collection::vec((0u64..6, 0u64..6, 1u8..=5, 0u64..100), 0..200),
+    ) {
+        let mut t = Trace::new(100);
+        for (a, b, stars, day) in records {
+            if a != b {
+                t.records.push(TraceRecord { rater: NodeId(a), ratee: NodeId(b), stars, day });
+            }
+        }
+        let h = t.to_rating_log().history();
+        let stats = TraceStats::compute(&t);
+        for a in (0..6).map(NodeId) {
+            for b in (0..6).map(NodeId) {
+                prop_assert_eq!(h.ratings_from_to(a, b), stats.pair_count(a, b));
+            }
+        }
+    }
+}

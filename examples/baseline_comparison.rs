@@ -1,0 +1,85 @@
+//! Related-work baseline comparison (paper §II).
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison -- [runs] [seed]
+//! ```
+//!
+//! Runs the Figure 6 scenario (colluders at B = 0.2) under four regimes and
+//! compares how much traffic the colluders capture:
+//!
+//! * plain weighted EigenTrust (the paper's baseline),
+//! * EigenTrust + the Optimized detector (the paper's contribution),
+//! * first-hand-only reputation (§II group 1: no rating exchange at all),
+//! * canonical EigenTrust power iteration (per-rater normalized trust).
+//!
+//! It also demonstrates the TrustGuard-style dampened estimator on an
+//! oscillation ("milking") attack that plain averages miss.
+
+use collusion::prelude::*;
+use collusion::reputation::baselines::{DampenedConfig, DampenedEngine};
+use collusion::sim::config::{DetectorKind, ReputationEngine, SimConfig};
+use collusion::sim::scenario;
+
+fn run(label: &str, cfg: &SimConfig, runs: usize) -> f64 {
+    let m = run_averaged(cfg, runs);
+    println!(
+        "{label:<34} {:>6.2}% of requests to colluders, {} nodes detected",
+        m.fraction_to_colluders * 100.0,
+        m.detection_counts.len()
+    );
+    m.fraction_to_colluders
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args.next().map(|s| s.parse().expect("runs")).unwrap_or(5);
+    let seed: u64 = args.next().map(|s| s.parse().expect("seed")).unwrap_or(2012);
+
+    println!("Figure 6 scenario (B = 0.2), {runs} runs averaged:\n");
+    let base = scenario::fig6(seed);
+    let eigen = run("weighted EigenTrust (paper)", &base, runs);
+
+    let mut detected = base.clone();
+    detected.detector = DetectorKind::Optimized;
+    let with_detector = run("EigenTrust + Optimized detector", &detected, runs);
+
+    let mut first_hand = base.clone();
+    first_hand.engine = ReputationEngine::FirstHand;
+    let fh = run("first-hand only (§II group 1)", &first_hand, runs);
+
+    let mut power = base.clone();
+    power.engine = ReputationEngine::PowerIteration(Default::default());
+    let pi = run("EigenTrust power iteration", &power, runs);
+
+    println!(
+        "\nthe detector and the exchange-free baseline both starve the colluders \
+         ({:.2}% / {:.2}% vs {:.2}% under the weighted baseline; \
+         per-rater normalization alone gives {:.2}%)",
+        with_detector * 100.0,
+        fh * 100.0,
+        eigen * 100.0,
+        pi * 100.0
+    );
+    assert!(with_detector < 0.1 * eigen);
+    assert!(fh < 0.5 * eigen);
+
+    // --- TrustGuard-style dampening vs a milking attack ---------------------
+    println!("\nTrustGuard-style dampening vs an oscillation (milking) attack:");
+    let engine = DampenedEngine::new(DampenedConfig { alpha: 0.5, fluctuation_penalty: 0.5 });
+    let honest = [0.85; 12];
+    let milker = [0.95, 0.95, 0.95, 0.95, 0.1, 0.1, 0.95, 0.95, 0.95, 0.95, 0.1, 0.1];
+    let plain_mean =
+        |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    println!(
+        "  honest (steady 0.85):   plain mean {:.3}  dampened {:.3}",
+        plain_mean(&honest),
+        engine.estimate(&honest)
+    );
+    println!(
+        "  milker (oscillating):   plain mean {:.3}  dampened {:.3}",
+        plain_mean(&milker),
+        engine.estimate(&milker)
+    );
+    assert!(engine.estimate(&honest) > engine.estimate(&milker) + 0.2);
+    println!("  → the dampened estimate separates them; the plain mean barely does.");
+}

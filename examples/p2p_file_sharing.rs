@@ -1,0 +1,72 @@
+//! Full P2P file-sharing simulation: EigenTrust with and without the
+//! Optimized collusion detector (the paper's Figures 6 vs 10).
+//!
+//! ```text
+//! cargo run --release --example p2p_file_sharing -- [runs] [seed]
+//! ```
+//!
+//! Runs the 200-node network twice — plain weighted EigenTrust, then
+//! EigenTrust+Optimized — with colluders at 20% good behaviour, and prints
+//! the resulting reputation distributions and request flows side by side.
+
+use collusion::prelude::*;
+use collusion::sim::config::DetectorKind;
+use collusion::sim::scenario;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args.next().map(|s| s.parse().expect("runs")).unwrap_or(5);
+    let seed: u64 = args.next().map(|s| s.parse().expect("seed")).unwrap_or(2012);
+
+    let plain_cfg = scenario::fig6(seed);
+    let protected_cfg = scenario::fig10(seed);
+    assert_eq!(plain_cfg.detector, DetectorKind::None);
+    assert_eq!(protected_cfg.detector, DetectorKind::Optimized);
+
+    println!(
+        "simulating {} nodes, {}×{} cycles, colluders {:?} at B={}, {} runs…\n",
+        plain_cfg.n_nodes,
+        plain_cfg.sim_cycles,
+        plain_cfg.query_cycles,
+        plain_cfg.colluders.iter().map(|c| c.raw()).collect::<Vec<_>>(),
+        plain_cfg.colluder_good_prob,
+        runs
+    );
+    let plain = run_averaged(&plain_cfg, runs);
+    let protected = run_averaged(&protected_cfg, runs);
+
+    println!("node  role        EigenTrust  +Optimized");
+    for id in 1..=20u64 {
+        let role = if plain_cfg.pretrusted.contains(&NodeId(id)) {
+            "pretrusted"
+        } else if plain_cfg.colluders.contains(&NodeId(id)) {
+            "COLLUDER"
+        } else {
+            "normal"
+        };
+        println!(
+            "n{id:<4} {role:<11} {:>9.4}  {:>9.4}",
+            plain.reputation_of(NodeId(id)),
+            protected.reputation_of(NodeId(id))
+        );
+    }
+
+    println!(
+        "\nrequests served by colluders: {:.2}% → {:.2}%",
+        plain.fraction_to_colluders * 100.0,
+        protected.fraction_to_colluders * 100.0
+    );
+    let detected: Vec<String> =
+        protected.detection_counts.keys().map(|n| n.to_string()).collect();
+    println!("detected colluders: [{}]", detected.join(" "));
+
+    // The paper's headline: every colluder ends at reputation zero.
+    for c in &protected_cfg.colluders {
+        assert_eq!(
+            protected.reputation_of(*c),
+            0.0,
+            "colluder {c} should have been zeroed"
+        );
+    }
+    println!("\nall colluders neutralized ✓");
+}

@@ -1,0 +1,137 @@
+//! Cross-crate equivalence tests: the four detector deployments (Basic /
+//! Optimized × centralized / decentralized) agree on randomized workloads.
+
+use collusion::core::decentralized::{DecentralizedDetector, Method};
+use collusion::core::policy::DetectionPolicy;
+use collusion::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random marketplace history with `pairs` injected colluding pairs.
+fn random_history(seed: u64, n_nodes: u64, pairs: u64) -> (InteractionHistory, Vec<NodeId>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut h = InteractionHistory::new();
+    let mut t = 0u64;
+    let mut tick = || {
+        t += 1;
+        SimTime(t)
+    };
+    // background traffic: mostly positive about honest nodes, mostly
+    // negative about the low-QoS colluders (C2)
+    for _ in 0..n_nodes * 30 {
+        let a = rng.random_range(1..=n_nodes);
+        let mut b = rng.random_range(1..=n_nodes);
+        if a == b {
+            b = 1 + b % n_nodes;
+        }
+        let positive =
+            if b <= 2 * pairs { rng.random_bool(0.1) } else { rng.random_bool(0.8) };
+        let r = if positive {
+            Rating::positive(NodeId(a), NodeId(b), tick())
+        } else {
+            Rating::negative(NodeId(a), NodeId(b), tick())
+        };
+        h.record(r);
+    }
+    // colluding pairs on the low ids: mutual boost + community disdain
+    for p in 0..pairs {
+        let a = NodeId(1 + 2 * p);
+        let b = NodeId(2 + 2 * p);
+        let boost = rng.random_range(45..70);
+        for _ in 0..boost {
+            h.record(Rating::positive(a, b, tick()));
+            h.record(Rating::positive(b, a, tick()));
+        }
+        for _ in 0..rng.random_range(5..15) {
+            let rater = NodeId(rng.random_range(2 * pairs + 1..=n_nodes));
+            h.record(Rating::negative(rater, a, tick()));
+            h.record(Rating::negative(rater, b, tick()));
+        }
+    }
+    (h, (1..=n_nodes).map(NodeId).collect())
+}
+
+fn thresholds() -> Thresholds {
+    Thresholds::new(1.0, 20, 0.8, 0.2)
+}
+
+#[test]
+fn all_four_deployments_agree_across_seeds() {
+    for seed in 0..10u64 {
+        let (h, nodes) = random_history(seed, 40, 3);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let basic = BasicDetector::new(thresholds()).detect(&input);
+        let optimized = OptimizedDetector::new(thresholds()).detect(&input);
+        let managers: Vec<NodeId> = (1000..1008).map(NodeId).collect();
+        let dec_basic =
+            DecentralizedDetector::new(thresholds(), Method::Basic).detect(&input, &managers);
+        let dec_opt =
+            DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &managers);
+        assert_eq!(basic.pair_ids(), optimized.pair_ids(), "seed {seed}: basic vs optimized");
+        assert_eq!(basic.pair_ids(), dec_basic.report.pair_ids(), "seed {seed}: dec basic");
+        assert_eq!(optimized.pair_ids(), dec_opt.report.pair_ids(), "seed {seed}: dec optimized");
+    }
+}
+
+#[test]
+fn injected_pairs_are_recovered() {
+    for seed in 0..5u64 {
+        let (h, nodes) = random_history(100 + seed, 50, 4);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let report = OptimizedDetector::new(thresholds()).detect(&input);
+        let truth: Vec<(NodeId, NodeId)> =
+            (0..4).map(|p| (NodeId(1 + 2 * p), NodeId(2 + 2 * p))).collect();
+        let cm = report.score(&truth, nodes.len());
+        assert_eq!(cm.false_negatives, 0, "seed {seed}: missed a colluding pair");
+        assert_eq!(cm.false_positives, 0, "seed {seed}: flagged an innocent pair");
+    }
+}
+
+#[test]
+fn parallel_basic_agrees_with_sequential_across_seeds() {
+    for seed in 0..10u64 {
+        let (h, nodes) = random_history(200 + seed, 40, 3);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let det = BasicDetector::new(thresholds());
+        assert_eq!(det.detect(&input).pair_ids(), det.detect_par(&input).pair_ids());
+    }
+}
+
+#[test]
+fn extended_policy_finds_a_superset_of_strict() {
+    for seed in 0..10u64 {
+        let (h, nodes) = random_history(300 + seed, 40, 3);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let strict = OptimizedDetector::new(thresholds()).detect(&input);
+        let extended =
+            OptimizedDetector::with_policy(thresholds(), DetectionPolicy::EXTENDED).detect(&input);
+        let ext_set: std::collections::BTreeSet<_> = extended.pair_ids().into_iter().collect();
+        for p in strict.pair_ids() {
+            assert!(ext_set.contains(&p), "seed {seed}: extended missed strict pair {p:?}");
+        }
+    }
+}
+
+#[test]
+fn detection_is_deterministic() {
+    let (h, nodes) = random_history(7, 40, 3);
+    let input = DetectionInput::from_signed_history(&h, &nodes);
+    let a = OptimizedDetector::new(thresholds()).detect(&input);
+    let b = OptimizedDetector::new(thresholds()).detect(&input);
+    assert_eq!(a.pair_ids(), b.pair_ids());
+    assert_eq!(a.cost, b.cost);
+}
+
+#[test]
+fn decentralized_message_count_scales_with_manager_dispersion() {
+    let (h, nodes) = random_history(11, 60, 4);
+    let input = DetectionInput::from_signed_history(&h, &nodes);
+    let one = DecentralizedDetector::new(thresholds(), Method::Optimized)
+        .detect(&input, &[NodeId(1000)]);
+    let many_managers: Vec<NodeId> = (1000..1128).map(NodeId).collect();
+    let many = DecentralizedDetector::new(thresholds(), Method::Optimized)
+        .detect(&input, &many_managers);
+    assert_eq!(one.messages, 0);
+    assert!(many.messages >= one.messages);
+    assert_eq!(one.report.pair_ids(), many.report.pair_ids());
+}

@@ -1,0 +1,222 @@
+//! Integration tests asserting the *shapes* of the paper's evaluation
+//! figures — who wins, by roughly what factor, where the crossovers fall —
+//! at the paper's full 200-node scale.
+
+use collusion::prelude::*;
+use collusion::sim::config::DetectorKind;
+use collusion::sim::scenario;
+
+const RUNS: usize = 2; // paper uses 5; 2 keeps CI quick and shapes stable
+const SEED: u64 = 2012;
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn role_means(m: &AveragedMetrics, cfg: &collusion::sim::config::SimConfig) -> (f64, f64, f64) {
+    let colluders: Vec<f64> = cfg.colluders.iter().map(|&c| m.reputation_of(c)).collect();
+    let pretrusted: Vec<f64> = cfg.pretrusted.iter().map(|&p| m.reputation_of(p)).collect();
+    let normals: Vec<f64> = (1..=cfg.n_nodes)
+        .map(NodeId)
+        .filter(|id| !cfg.colluders.contains(id) && !cfg.pretrusted.contains(id))
+        .map(|id| m.reputation_of(id))
+        .collect();
+    (
+        if colluders.is_empty() { 0.0 } else { mean(&colluders) },
+        if pretrusted.is_empty() { 0.0 } else { mean(&pretrusted) },
+        mean(&normals),
+    )
+}
+
+#[test]
+fn fig5_colluders_dominate_at_b06() {
+    let cfg = scenario::fig5(SEED);
+    let m = run_averaged(&cfg, RUNS);
+    let (colluder, pretrusted, normal) = role_means(&m, &cfg);
+    assert!(
+        colluder > 2.0 * pretrusted,
+        "colluders ({colluder:.4}) should far outrank pretrusted ({pretrusted:.4})"
+    );
+    assert!(pretrusted > normal, "pretrusted ({pretrusted:.4}) above normals ({normal:.4})");
+    // the top-8 nodes are exactly the colluders
+    let mut ranked: Vec<(u64, f64)> = (1..=cfg.n_nodes)
+        .map(|i| (i, m.reputation[i as usize]))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top8: Vec<u64> = ranked.iter().take(8).map(|&(i, _)| i).collect();
+    for id in top8 {
+        assert!((4..=11).contains(&id), "non-colluder n{id} in the top 8");
+    }
+}
+
+#[test]
+fn fig6_b02_reduces_colluders_vs_fig5() {
+    let m5 = run_averaged(&scenario::fig5(SEED), RUNS);
+    let cfg6 = scenario::fig6(SEED);
+    let m6 = run_averaged(&cfg6, RUNS);
+    let (c5, _, _) = role_means(&m5, &scenario::fig5(SEED));
+    let (c6, _, _) = role_means(&m6, &cfg6);
+    assert!(
+        c6 < 0.8 * c5,
+        "B=0.2 should cut colluder reputation ({c6:.4} !< 0.8×{c5:.4})"
+    );
+    assert!(
+        m6.fraction_to_colluders < m5.fraction_to_colluders,
+        "fewer requests should flow to colluders at B=0.2"
+    );
+}
+
+#[test]
+fn fig7_compromised_pretrusted_exacerbates_collusion() {
+    let cfg6 = scenario::fig6(SEED);
+    let cfg7 = scenario::fig7(SEED);
+    let m6 = run_averaged(&cfg6, RUNS);
+    let m7 = run_averaged(&cfg7, RUNS);
+    // the boosted colluders n4/n6 gain sharply vs the same nodes in fig6
+    let boosted6 = m6.reputation_of(NodeId(4)) + m6.reputation_of(NodeId(6));
+    let boosted7 = m7.reputation_of(NodeId(4)) + m7.reputation_of(NodeId(6));
+    assert!(
+        boosted7 > 1.3 * boosted6,
+        "compromised pretrusted boost should raise n4+n6 ({boosted7:.4} !> 1.3×{boosted6:.4})"
+    );
+    assert!(
+        m7.fraction_to_colluders > m6.fraction_to_colluders,
+        "compromise should attract more requests to colluders"
+    );
+}
+
+#[test]
+fn fig8_detectors_zero_all_colluders_without_pretrusted() {
+    for detector in [DetectorKind::Basic, DetectorKind::Optimized] {
+        let mut cfg = scenario::fig8(SEED);
+        cfg.detector = detector;
+        let m = run_averaged(&cfg, RUNS);
+        for id in 1..=8u64 {
+            assert_eq!(
+                m.reputation_of(NodeId(id)),
+                0.0,
+                "{detector:?}: colluder n{id} not zeroed"
+            );
+            assert_eq!(
+                m.detection_counts.get(&NodeId(id)),
+                Some(&RUNS),
+                "{detector:?}: colluder n{id} not detected in every run"
+            );
+        }
+        // no normal node is ever implicated
+        for &node in m.detection_counts.keys() {
+            assert!(node.raw() <= 8, "{detector:?}: false positive {node}");
+        }
+    }
+}
+
+#[test]
+fn fig9_fig10_detection_restores_pretrusted_dominance() {
+    for (label, cfg_plain, cfg_det) in [
+        ("B=0.6", scenario::fig5(SEED), scenario::fig9(SEED)),
+        ("B=0.2", scenario::fig6(SEED), scenario::fig10(SEED)),
+    ] {
+        let plain = run_averaged(&cfg_plain, RUNS);
+        let det = run_averaged(&cfg_det, RUNS);
+        let (c_plain, p_plain, n_plain) = role_means(&plain, &cfg_plain);
+        let (c_det, p_det, n_det) = role_means(&det, &cfg_det);
+        assert_eq!(c_det, 0.0, "{label}: colluders should be zeroed");
+        assert!(c_plain > 0.0, "{label}: sanity — colluders nonzero without detection");
+        // Reputations are normalized shares, so "pretrusted gain" reads as
+        // a relative claim: their lead over the colluders flips from a
+        // deficit (or parity) to total dominance, and they stay above the
+        // average normal node.
+        assert!(
+            p_det - c_det > p_plain - c_plain,
+            "{label}: pretrusted lead over colluders should grow \
+             ({p_det:.4}−{c_det:.4} !> {p_plain:.4}−{c_plain:.4})"
+        );
+        assert!(p_det > n_det, "{label}: pretrusted above normals after mitigation");
+        // mitigation starves the colluders of requests
+        assert!(
+            det.fraction_to_colluders < 0.1 * plain.fraction_to_colluders,
+            "{label}: requests to colluders should collapse ({:.4} !< 0.1×{:.4})",
+            det.fraction_to_colluders,
+            plain.fraction_to_colluders
+        );
+        // and the ecosystem serves more authentic content: normals+pretrusted
+        // carry the load instead of low-QoS colluders
+        let _ = (n_plain, n_det);
+    }
+}
+
+#[test]
+fn fig11_compromised_pretrusted_detected_too() {
+    let cfg = scenario::fig11(SEED);
+    let m = run_averaged(&cfg, RUNS);
+    for id in [1u64, 2] {
+        assert_eq!(m.reputation_of(NodeId(id)), 0.0, "compromised n{id} not zeroed");
+    }
+    for id in 4..=11u64 {
+        assert_eq!(m.reputation_of(NodeId(id)), 0.0, "colluder n{id} not zeroed");
+    }
+    // the clean pretrusted node survives with a healthy reputation
+    assert!(m.reputation_of(NodeId(3)) > 0.0);
+    assert!(!m.detection_counts.contains_key(&NodeId(3)), "n3 falsely implicated");
+}
+
+#[test]
+fn fig12_eigentrust_grows_detectors_stay_flat() {
+    let sweep = [8u64, 28, 58];
+    let mut eigentrust = Vec::new();
+    let mut optimized = Vec::new();
+    for &k in &sweep {
+        let plain = run_averaged(&scenario::sweep_config(SEED, k, DetectorKind::None), RUNS);
+        let opt = run_averaged(&scenario::sweep_config(SEED, k, DetectorKind::Optimized), RUNS);
+        eigentrust.push(plain.fraction_to_colluders);
+        optimized.push(opt.fraction_to_colluders);
+    }
+    // EigenTrust: large and strictly growing
+    assert!(eigentrust.windows(2).all(|w| w[1] > w[0]), "EigenTrust not growing: {eigentrust:?}");
+    assert!(eigentrust[0] > 0.2, "EigenTrust already high at 8 colluders: {eigentrust:?}");
+    // detectors: at least 10× lower at every point
+    for (e, o) in eigentrust.iter().zip(&optimized) {
+        assert!(o * 10.0 < *e, "detector not ≥10× better: {o:.4} vs {e:.4}");
+    }
+}
+
+#[test]
+fn fig13_cost_ordering_matches_paper() {
+    let points = scenario::fig13(SEED, RUNS);
+    for p in &points {
+        assert!(
+            p.optimized * 20.0 < p.eigentrust,
+            "Optimized should be ≫ cheaper than EigenTrust at {} colluders",
+            p.colluders
+        );
+        assert!(
+            p.optimized * 20.0 < p.unoptimized,
+            "Optimized should be ≫ cheaper than Unoptimized at {} colluders",
+            p.colluders
+        );
+    }
+    // Unoptimized grows with the number of colluders…
+    let first = points.first().unwrap();
+    let last = points.last().unwrap();
+    assert!(
+        last.unoptimized > 1.3 * first.unoptimized,
+        "Unoptimized should grow: {} → {}",
+        first.unoptimized,
+        last.unoptimized
+    );
+    // …while EigenTrust stays roughly flat (recursive calculation depends on
+    // n, not on the number of colluders).
+    assert!(
+        last.eigentrust < 1.3 * first.eigentrust && first.eigentrust < 1.3 * last.eigentrust,
+        "EigenTrust should be flat: {} vs {}",
+        first.eigentrust,
+        last.eigentrust
+    );
+    // and Unoptimized overtakes EigenTrust by the end of the sweep
+    assert!(
+        last.unoptimized > last.eigentrust,
+        "Unoptimized should exceed EigenTrust at 58 colluders: {} vs {}",
+        last.unoptimized,
+        last.eigentrust
+    );
+}
