@@ -1,13 +1,17 @@
 //! Figure 13 kernel: Basic (`O(m·n²)`) vs Optimized (`O(m·n)`) detection
-//! cost as the number of colluders grows.
+//! cost as the number of colluders grows — HashMap-backed inputs vs the
+//! CSR [`DetectionSnapshot`] kernels, plus full-rebuild vs incremental
+//! refresh. For machine-readable numbers (BENCH_detection.json) run the
+//! `detection_json` binary instead.
 
 use collusion_core::basic::BasicDetector;
-use collusion_core::input::DetectionInput;
+use collusion_core::input::{DetectionInput, SnapshotInput};
 use collusion_core::optimized::OptimizedDetector;
 use collusion_core::prelude::Thresholds;
 use collusion_reputation::history::InteractionHistory;
 use collusion_reputation::id::{NodeId, SimTime};
 use collusion_reputation::rating::{Rating, RatingValue};
+use collusion_reputation::snapshot::DetectionSnapshot;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -79,9 +83,79 @@ fn bench_detection(c: &mut Criterion) {
                 bench.iter(|| black_box(det.detect(black_box(input))));
             },
         );
+        // snapshot variants: the CSR view is built once per detection pass,
+        // so it lives outside the timed loop (the refresh group below times
+        // the build itself)
+        let snap = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds.t_n);
+        let sinput = SnapshotInput::from_signed(&snap, &nodes);
+        group.bench_with_input(
+            BenchmarkId::new("basic_snapshot", colluders),
+            &sinput,
+            |bench, input| {
+                let det = BasicDetector::new(thresholds);
+                bench.iter(|| black_box(det.detect_snapshot(black_box(input))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimized_snapshot", colluders),
+            &sinput,
+            |bench, input| {
+                let det = OptimizedDetector::new(thresholds);
+                bench.iter(|| black_box(det.detect_snapshot(black_box(input))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimized_snapshot_par", colluders),
+            &sinput,
+            |bench, input| {
+                let det = OptimizedDetector::new(thresholds);
+                bench.iter(|| black_box(det.detect_par(black_box(input))));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_detection);
+/// Full CSR rebuild vs incremental refresh when only a small fraction of
+/// the ratees changed since the last detection period.
+fn bench_snapshot_refresh(c: &mut Criterion) {
+    let thresholds = Thresholds::new(1.0, 20, 0.8, 0.2);
+    let n = 2000u64;
+    let (mut h, nodes) = build_history(n, 58, 42);
+    h.clear_dirty();
+    let base = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds.t_n);
+    // dirty ~2% of the ratees with one extra rating each
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut t = 10_000_000u64;
+    for _ in 0..n / 50 {
+        let i = NodeId(rng.random_range(1..=n));
+        let mut j = NodeId(rng.random_range(1..=n));
+        if i == j {
+            j = NodeId(1 + j.raw() % n);
+        }
+        h.record(Rating::positive(i, j, SimTime(t)));
+        t += 1;
+    }
+    let dirty: Vec<NodeId> = h.dirty_ratees().collect();
+
+    let mut group = c.benchmark_group("snapshot_refresh");
+    group.bench_function(BenchmarkId::new("full_build", n), |bench| {
+        bench.iter(|| {
+            black_box(DetectionSnapshot::build_with_frequent(
+                black_box(&h),
+                black_box(&nodes),
+                thresholds.t_n,
+            ))
+        });
+    });
+    group.bench_function(BenchmarkId::new("refresh_2pct", n), |bench| {
+        bench.iter(|| {
+            let mut snap = base.clone();
+            black_box(snap.refresh(black_box(&h), black_box(&dirty)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_snapshot_refresh);
 criterion_main!(benches);

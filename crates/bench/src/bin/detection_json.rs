@@ -1,0 +1,215 @@
+//! Machine-readable detection kernel timings (`BENCH_detection.json`).
+//!
+//! Times the HashMap-backed detector inputs against the CSR
+//! [`DetectionSnapshot`] kernels and full-rebuild vs incremental refresh,
+//! then writes the medians plus derived speedups as JSON:
+//!
+//! ```text
+//! cargo run --release -p collusion-bench --bin detection_json -- [n] [iters] [out]
+//! ```
+//!
+//! Defaults: `n = 2000`, `iters = 5`, `out = BENCH_detection.json`. The
+//! Basic detector is `O(m·n²)`, so it is timed at `min(n, 500)` nodes.
+
+use collusion_core::basic::BasicDetector;
+use collusion_core::input::{DetectionInput, SnapshotInput};
+use collusion_core::optimized::OptimizedDetector;
+use collusion_core::prelude::Thresholds;
+use collusion_reputation::history::InteractionHistory;
+use collusion_reputation::id::{NodeId, SimTime};
+use collusion_reputation::rating::{Rating, RatingValue};
+use collusion_reputation::snapshot::DetectionSnapshot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Same synthetic manager view as `benches/detection_cost.rs`: `n` nodes,
+/// `colluders` colluding (paired), plus honest background traffic.
+fn build_history(n: u64, colluders: u64, seed: u64) -> (InteractionHistory, Vec<NodeId>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut h = InteractionHistory::new();
+    let mut t = 0u64;
+    for pair in 0..colluders / 2 {
+        let a = NodeId(1 + 2 * pair);
+        let b = NodeId(2 + 2 * pair);
+        for _ in 0..30 {
+            h.record(Rating::positive(a, b, SimTime(t)));
+            h.record(Rating::positive(b, a, SimTime(t)));
+            t += 1;
+        }
+        for _ in 0..8 {
+            let rater = NodeId(rng.random_range(colluders + 1..=n));
+            h.record(Rating::negative(rater, a, SimTime(t)));
+            h.record(Rating::negative(rater, b, SimTime(t)));
+            t += 1;
+        }
+    }
+    for _ in 0..n * 20 {
+        let i = NodeId(rng.random_range(1..=n));
+        let mut j = NodeId(rng.random_range(1..=n));
+        if i == j {
+            j = NodeId(1 + j.raw() % n);
+        }
+        let v = if rng.random_bool(0.8) { RatingValue::Positive } else { RatingValue::Negative };
+        h.record(Rating::new(i, j, v, SimTime(t)));
+        t += 1;
+    }
+    (h, (1..=n).map(NodeId).collect())
+}
+
+/// Median wall-clock nanoseconds of `iters` runs of `f`.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Sample {
+    name: &'static str,
+    n: u64,
+    median_ns: u128,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5).max(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_detection.json".to_string());
+    let thresholds = Thresholds::new(1.0, 20, 0.8, 0.2);
+    let colluders = 58u64.min(n / 2);
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // Optimized detector at full size, HashMap vs snapshot vs parallel.
+    let (mut h, nodes) = build_history(n, colluders, 42);
+    h.clear_dirty();
+    let legacy = DetectionInput::from_signed_history(&h, &nodes);
+    let snap = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds.t_n);
+    let sinput = SnapshotInput::from_signed(&snap, &nodes);
+    let opt = OptimizedDetector::new(thresholds);
+    eprintln!("timing optimized kernels at n={n} ({iters} iters)…");
+    samples.push(Sample {
+        name: "optimized_hashmap",
+        n,
+        median_ns: median_ns(iters, || {
+            black_box(opt.detect(black_box(&legacy)));
+        }),
+    });
+    samples.push(Sample {
+        name: "optimized_snapshot",
+        n,
+        median_ns: median_ns(iters, || {
+            black_box(opt.detect_snapshot(black_box(&sinput)));
+        }),
+    });
+    samples.push(Sample {
+        name: "optimized_snapshot_par",
+        n,
+        median_ns: median_ns(iters, || {
+            black_box(opt.detect_par(black_box(&sinput)));
+        }),
+    });
+
+    // Snapshot construction: full rebuild vs refresh with ~2% dirty ratees.
+    eprintln!("timing snapshot build/refresh at n={n}…");
+    samples.push(Sample {
+        name: "snapshot_full_build",
+        n,
+        median_ns: median_ns(iters, || {
+            black_box(DetectionSnapshot::build_with_frequent(
+                black_box(&h),
+                black_box(&nodes),
+                thresholds.t_n,
+            ));
+        }),
+    });
+    let base = snap.clone();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut t = 100_000_000u64;
+    for _ in 0..(n / 50).max(1) {
+        let i = NodeId(rng.random_range(1..=n));
+        let mut j = NodeId(rng.random_range(1..=n));
+        if i == j {
+            j = NodeId(1 + j.raw() % n);
+        }
+        h.record(Rating::positive(i, j, SimTime(t)));
+        t += 1;
+    }
+    let dirty: Vec<NodeId> = h.dirty_ratees().collect();
+    let dirty_fraction = dirty.len() as f64 / n as f64;
+    {
+        let mut times: Vec<u128> = (0..iters)
+            .map(|_| {
+                let mut s = base.clone();
+                let start = Instant::now();
+                black_box(s.refresh(black_box(&h), black_box(&dirty)));
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        times.sort_unstable();
+        samples.push(Sample {
+            name: "snapshot_refresh_dirty",
+            n,
+            median_ns: times[times.len() / 2],
+        });
+    }
+
+    // Basic detector is O(m·n²); time it on a smaller view.
+    let basic_n = n.min(500);
+    eprintln!("timing basic kernels at n={basic_n}…");
+    let (bh, bnodes) = build_history(basic_n, 58u64.min(basic_n / 2), 42);
+    let blegacy = DetectionInput::from_signed_history(&bh, &bnodes);
+    let bsnap = DetectionSnapshot::build_with_frequent(&bh, &bnodes, thresholds.t_n);
+    let bsinput = SnapshotInput::from_signed(&bsnap, &bnodes);
+    let basic = BasicDetector::new(thresholds);
+    samples.push(Sample {
+        name: "basic_hashmap",
+        n: basic_n,
+        median_ns: median_ns(iters, || {
+            black_box(basic.detect(black_box(&blegacy)));
+        }),
+    });
+    samples.push(Sample {
+        name: "basic_snapshot",
+        n: basic_n,
+        median_ns: median_ns(iters, || {
+            black_box(basic.detect_snapshot(black_box(&bsinput)));
+        }),
+    });
+
+    let ns_of = |name: &str| {
+        samples.iter().find(|s| s.name == name).map(|s| s.median_ns as f64).unwrap_or(f64::NAN)
+    };
+    let opt_speedup = ns_of("optimized_hashmap") / ns_of("optimized_snapshot");
+    let basic_speedup = ns_of("basic_hashmap") / ns_of("basic_snapshot");
+    let refresh_speedup = ns_of("snapshot_full_build") / ns_of("snapshot_refresh_dirty");
+
+    // Hand-rolled JSON: the workspace deliberately carries no JSON dep.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"n\": {n},\n  \"iters\": {iters},\n  \"colluders\": {colluders},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"median_ns\": {}}}{sep}\n",
+            s.name, s.n, s.median_ns
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedups\": {{\"optimized_snapshot_vs_hashmap\": {opt_speedup:.3}, \
+         \"basic_snapshot_vs_hashmap\": {basic_speedup:.3}, \
+         \"refresh_vs_full_build\": {refresh_speedup:.3}, \
+         \"dirty_fraction\": {dirty_fraction:.4}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -20,11 +20,14 @@
 //! optimized detector inherits the same convention so the two agree.
 
 use crate::cost::CostMeter;
-use crate::input::DetectionInput;
+use crate::input::{DetectionInput, SnapshotInput};
 use crate::model::{DirectionEvidence, SuspectPair};
+use crate::pairset::PairSet;
 use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
+use collusion_reputation::history::PairCounters;
 use collusion_reputation::id::NodeId;
+use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
 use rayon::prelude::*;
 use std::collections::HashSet;
@@ -95,7 +98,13 @@ impl BasicDetector {
     /// Rayon-parallel detection. Rows are examined concurrently without the
     /// cross-row marking optimization, so metered cost is up to 2× the
     /// sequential pass (each unordered pair may be examined from both
-    /// sides); the reported pairs are identical.
+    /// sides; [`DetectionReport::new`] deduplicates); the reported pairs are
+    /// identical.
+    ///
+    /// Note the iteration is sparse (each row visits only its raters), so a
+    /// pair whose ratings flow in one direction only is reached from the
+    /// *ratee's* row — both rows must therefore examine their raters, not
+    /// just the lower-id side.
     pub fn detect_par(&self, input: &DetectionInput<'_>) -> DetectionReport {
         let meter = CostMeter::new();
         let high = input.high_reputed(&self.thresholds);
@@ -110,15 +119,125 @@ impl BasicDetector {
                     if !high_set_ref.contains(&j) {
                         return None;
                     }
-                    // examine each unordered pair from its lower id only
-                    if j < i {
-                        return None;
-                    }
                     self.check_pair(input, i, j, meter_ref)
                 })
             })
             .collect();
         DetectionReport::new(pairs, meter.snapshot())
+    }
+
+    /// [`BasicDetector::detect`] on the frozen CSR snapshot: the identical
+    /// dense row-by-row procedure and metering, with every matrix probe an
+    /// array access instead of a hash lookup. Produces a bit-identical
+    /// [`DetectionReport`] (pairs *and* cost) to the legacy path — enforced
+    /// by `tests/detection_equivalence.rs`.
+    pub fn detect_snapshot(&self, input: &SnapshotInput<'_>) -> DetectionReport {
+        let meter = CostMeter::new();
+        let snap = input.snapshot;
+        let high = input.high_reputed_idx(&self.thresholds);
+        let mut is_high = vec![false; snap.n()];
+        for &i in &high {
+            is_high[i as usize] = true;
+        }
+        let mut checked = PairSet::with_capacity(high.len() * 4);
+        let mut pairs = Vec::new();
+        for &i in &high {
+            for &j in input.view() {
+                if j == i {
+                    continue;
+                }
+                meter.element_check();
+                if checked.contains(i, j) {
+                    continue;
+                }
+                let flagged = self.check_pair_snap(snap, i, j, &meter);
+                checked.insert(i, j);
+                if let Some(pair) = flagged {
+                    if is_high[j as usize] {
+                        pairs.push(pair);
+                    }
+                }
+            }
+        }
+        DetectionReport::new(pairs, meter.snapshot())
+    }
+
+    /// Snapshot analogue of [`BasicDetector::check_pair`].
+    fn check_pair_snap(
+        &self,
+        snap: &DetectionSnapshot,
+        i: u32,
+        j: u32,
+        meter: &CostMeter,
+    ) -> Option<SuspectPair> {
+        let (id_i, id_j) = (snap.node_id(i), snap.node_id(j));
+        if self.policy.require_mutual {
+            let ev_j_boosts_i = self.check_direction_snap(snap, i, Some(j), meter)?;
+            let ev_i_boosts_j = self.check_direction_snap(snap, j, Some(i), meter)?;
+            Some(SuspectPair::new(id_j, id_i, Some(ev_j_boosts_i), Some(ev_i_boosts_j)))
+        } else {
+            let ev_j_boosts_i = self.check_direction_snap(snap, i, Some(j), meter);
+            let ev_i_boosts_j = self.check_direction_snap(snap, j, Some(i), meter);
+            if ev_j_boosts_i.is_none() && ev_i_boosts_j.is_none() {
+                return None;
+            }
+            Some(SuspectPair::new(id_j, id_i, ev_j_boosts_i, ev_i_boosts_j))
+        }
+    }
+
+    /// Snapshot analogue of [`BasicDetector::check_direction`]: one pass
+    /// over the ratee's CSR row yields `N(j,i)` *and* the community sums —
+    /// the pair's counters are picked up while scanning past them, so the
+    /// separate hash probe of the legacy path disappears entirely. Metering
+    /// is placed identically (row scan, then one element check). `rater` is
+    /// `None` when the rater is not interned in this snapshot (a partitioned
+    /// manager probing an unknown partner) — the scan then sees zero pair
+    /// counters, exactly like the legacy hash lookup of an absent pair.
+    pub(crate) fn check_direction_snap(
+        &self,
+        snap: &DetectionSnapshot,
+        ratee: u32,
+        rater: Option<u32>,
+        meter: &CostMeter,
+    ) -> Option<DirectionEvidence> {
+        let (cols, cells) = snap.row(ratee);
+        meter.row_scan(cols.len() as u64);
+        let mut n_other = 0u64;
+        let mut pos_other = 0u64;
+        let mut pair = PairCounters::default();
+        for (&other, cell) in cols.iter().zip(cells) {
+            if Some(other) == rater {
+                pair = *cell;
+                continue;
+            }
+            if self.policy.community_excludes_frequent && self.thresholds.is_frequent(cell.total)
+            {
+                continue; // a fellow booster, not community (see policy docs)
+            }
+            n_other += cell.total;
+            pos_other += cell.positive;
+        }
+        meter.element_check();
+        if !self.thresholds.is_frequent(pair.total) {
+            return None;
+        }
+        let a = pair.positive_fraction()?;
+        if !self.thresholds.a_suspicious(a) {
+            return None;
+        }
+        if n_other == 0 {
+            return None; // no community evidence (see module docs)
+        }
+        let b = pos_other as f64 / n_other as f64;
+        if !self.thresholds.b_suspicious(b) {
+            return None;
+        }
+        Some(DirectionEvidence {
+            pair_ratings: pair.total,
+            fraction_a: Some(a),
+            fraction_b: Some(b),
+            signed_reputation: snap.signed(ratee),
+        })
     }
 
     /// Full examination of the unordered pair `{i, j}`. Under the strict
@@ -336,6 +455,43 @@ mod tests {
         let det = BasicDetector::new(thresholds());
         let seq = det.detect(&input);
         let par = det.detect_par(&input);
+        assert_eq!(seq.pair_ids(), par.pair_ids());
+    }
+
+    #[test]
+    fn snapshot_path_is_bit_identical() {
+        let (h, nodes) = scenario(30, 5);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        let sinput = SnapshotInput::from_signed(&snap, &nodes);
+        for policy in [DetectionPolicy::STRICT, DetectionPolicy::EXTENDED] {
+            let det = BasicDetector::with_policy(thresholds(), policy);
+            let legacy = det.detect(&input);
+            let fast = det.detect_snapshot(&sinput);
+            assert_eq!(legacy.pairs, fast.pairs);
+            assert_eq!(legacy.cost, fast.cost);
+        }
+    }
+
+    #[test]
+    fn parallel_extended_catches_one_directional_pairs() {
+        // n1 showers n2 with praise; under the extended policy that alone
+        // implicates the pair, and the sparse parallel path must reach it
+        // from n2's row (regression test: a lower-id-only filter missed it)
+        let mut h = InteractionHistory::new();
+        for t in 0..30 {
+            h.record(Rating::positive(NodeId(1), NodeId(2), SimTime(t)));
+        }
+        for t in 0..5 {
+            h.record(Rating::negative(NodeId(9), NodeId(2), SimTime(100 + t)));
+            h.record(Rating::positive(NodeId(9), NodeId(1), SimTime(200 + t)));
+        }
+        let nodes = vec![NodeId(1), NodeId(2), NodeId(9)];
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let det = BasicDetector::with_policy(thresholds(), DetectionPolicy::EXTENDED);
+        let seq = det.detect(&input);
+        let par = det.detect_par(&input);
+        assert_eq!(seq.pair_ids(), vec![(NodeId(1), NodeId(2))]);
         assert_eq!(seq.pair_ids(), par.pair_ids());
     }
 

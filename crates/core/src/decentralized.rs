@@ -15,18 +15,20 @@
 
 use crate::basic::BasicDetector;
 use crate::cost::CostMeter;
-use crate::input::DetectionInput;
-use crate::model::SuspectPair;
+use crate::input::{DetectionInput, SnapshotInput};
+use crate::model::{DirectionEvidence, SuspectPair};
 use crate::optimized::OptimizedDetector;
+use crate::pairset::PairSet;
 use crate::report::DetectionReport;
 use collusion_dht::hash::consistent_hash;
 use collusion_dht::id::Key;
 use collusion_dht::ring::ChordRing;
 use collusion_dht::routing::Router;
 use collusion_reputation::id::NodeId;
+use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Which direction-test the managers run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,6 +74,11 @@ impl DecentralizedDetector {
     /// Every node in `input.nodes` is assigned to the Chord owner of
     /// `consistent_hash(node_id)`; each manager scans only its responsible
     /// nodes and requests cross-manager confirmations as needed.
+    ///
+    /// Internally the pass freezes the history into a [`DetectionSnapshot`]
+    /// once, so every manager's row walk and every partner probe is an
+    /// array access — the reported pairs, metered costs, messages and hops
+    /// are identical to the former hash-map implementation.
     pub fn detect(&self, input: &DetectionInput<'_>, managers: &[NodeId]) -> DecentralizedOutcome {
         assert!(!managers.is_empty(), "need at least one reputation manager");
         // Build the manager ring.
@@ -94,12 +101,16 @@ impl DecentralizedDetector {
             manager_of.insert(node, key);
         }
 
+        // Freeze the rating matrix once for all managers.
+        let snap = DetectionSnapshot::build(input.history, &input.nodes);
+        let sinput = SnapshotInput::new(&snap, &input.nodes, &input.reputation);
+
         let meter = CostMeter::new();
-        let mut cache = crate::optimized::FrequentCache::new();
+        let mut cache: Vec<Option<(u64, i64)>> = vec![None; snap.n()];
         let router = Router::new(&ring);
         let mut messages = 0u64;
         let mut dht_hops = 0u64;
-        let mut checked: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut checked = PairSet::default();
         let mut pairs: Vec<SuspectPair> = Vec::new();
 
         // deterministic manager order
@@ -114,22 +125,24 @@ impl DecentralizedDetector {
             let mut my_nodes = responsibility[&manager].clone();
             my_nodes.sort_unstable();
             for &i in &my_nodes {
+                let i_idx = snap.index(i).expect("responsible node is interned");
                 // C1 filter on the local responsible node.
-                if !self.thresholds.is_high_reputed(input.reputation_of(i)) {
+                if !self.thresholds.is_high_reputed(sinput.reputation_of_idx(i_idx)) {
                     continue;
                 }
-                for &j in input.history.raters_of(i) {
+                let (cols, _) = snap.row(i_idx);
+                for &j_idx in cols {
                     meter.element_check();
-                    let key = if i < j { (i, j) } else { (j, i) };
-                    if checked.contains(&key) {
+                    if checked.contains(i_idx, j_idx) {
                         continue;
                     }
                     // Forward test runs locally; R_j is *not* known here —
                     // the partner's manager verifies it (paper protocol).
-                    let forward = self.direction(input, i, j, &meter, &mut cache);
+                    let forward = self.direction_snap(&snap, i_idx, j_idx, &meter, &mut cache);
                     let Some(ev_fwd) = forward else { continue };
-                    checked.insert(key);
+                    checked.insert(i_idx, j_idx);
                     // Locate the partner's manager.
+                    let j = snap.node_id(j_idx);
                     let partner_key = match manager_of.get(&j) {
                         Some(&k) => k,
                         None => continue, // unmanaged outsider (e.g. left the system)
@@ -143,10 +156,11 @@ impl DecentralizedDetector {
                         meter.message();
                     }
                     // Partner-side verification: R_j ≥ T_R + reverse test.
-                    if !self.thresholds.is_high_reputed(input.reputation_of(j)) {
+                    if !self.thresholds.is_high_reputed(sinput.reputation_of_idx(j_idx)) {
                         continue;
                     }
-                    let Some(ev_rev) = self.direction(input, j, i, &meter, &mut cache) else {
+                    let Some(ev_rev) = self.direction_snap(&snap, j_idx, i_idx, &meter, &mut cache)
+                    else {
                         continue;
                     };
                     pairs.push(SuspectPair::new(j, i, Some(ev_fwd), Some(ev_rev)));
@@ -164,18 +178,19 @@ impl DecentralizedDetector {
         }
     }
 
-    fn direction(
+    fn direction_snap(
         &self,
-        input: &DetectionInput<'_>,
-        ratee: NodeId,
-        rater: NodeId,
+        snap: &DetectionSnapshot,
+        ratee: u32,
+        rater: u32,
         meter: &CostMeter,
-        cache: &mut crate::optimized::FrequentCache,
-    ) -> Option<crate::model::DirectionEvidence> {
+        cache: &mut [Option<(u64, i64)>],
+    ) -> Option<DirectionEvidence> {
         match self.method {
-            Method::Basic => BasicDetector::new(self.thresholds).check_direction(input, ratee, rater, meter),
+            Method::Basic => BasicDetector::new(self.thresholds)
+                .check_direction_snap(snap, ratee, Some(rater), meter),
             Method::Optimized => OptimizedDetector::new(self.thresholds)
-                .check_direction(input, ratee, rater, meter, cache),
+                .direction_cached(snap, ratee, Some(rater), meter, cache),
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use collusion_reputation::history::InteractionHistory;
 use collusion_reputation::id::NodeId;
+use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
 use std::collections::HashMap;
 
@@ -42,6 +43,21 @@ impl<'a> DetectionInput<'a> {
         let mut nodes = nodes.to_vec();
         nodes.sort_unstable();
         nodes.dedup();
+        DetectionInput { history, nodes, reputation }
+    }
+
+    /// Build an input from a node list the caller guarantees is already
+    /// strictly ascending (no clone, no sort — for hot paths that construct
+    /// inputs per manager or per sweep point).
+    pub fn from_sorted(
+        history: &'a InteractionHistory,
+        nodes: Vec<NodeId>,
+        reputation: HashMap<NodeId, f64>,
+    ) -> Self {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly ascending node ids"
+        );
         DetectionInput { history, nodes, reputation }
     }
 
@@ -82,6 +98,107 @@ impl<'a> DetectionInput<'a> {
     #[inline]
     pub fn n(&self) -> usize {
         self.nodes.len()
+    }
+}
+
+/// The manager's view in snapshot form: dense indices into a frozen
+/// [`DetectionSnapshot`] plus a dense reputation vector. This is what the
+/// snapshot-path detector kernels (`detect_snapshot`) consume — every probe
+/// is an array access or a binary search, never a hash.
+#[derive(Clone, Debug)]
+pub struct SnapshotInput<'a> {
+    /// The frozen CSR view of the interaction history.
+    pub snapshot: &'a DetectionSnapshot,
+    /// Dense indices of the nodes under the manager's responsibility,
+    /// ascending (ascending index ⇔ ascending [`NodeId`], since interning
+    /// preserves id order).
+    view: Vec<u32>,
+    /// Reputation per dense index over the whole snapshot, 0.0 default.
+    reputation: Vec<f64>,
+}
+
+impl<'a> SnapshotInput<'a> {
+    /// Build a view over `nodes` with an explicit reputation map (the
+    /// snapshot analogue of [`DetectionInput::new`]). All map entries are
+    /// transferred, including nodes outside the view, mirroring the legacy
+    /// input's behaviour for partner-manager reputation lookups.
+    ///
+    /// # Panics
+    /// If a node in `nodes` is not interned in `snapshot` — build the
+    /// snapshot with these nodes in its base list.
+    pub fn new(
+        snapshot: &'a DetectionSnapshot,
+        nodes: &[NodeId],
+        reputation: &HashMap<NodeId, f64>,
+    ) -> Self {
+        let mut input = Self::with_reputation_fn(snapshot, nodes, |_| 0.0);
+        for (&id, &r) in reputation {
+            if let Some(idx) = snapshot.index(id) {
+                input.reputation[idx as usize] = r;
+            }
+        }
+        input
+    }
+
+    /// Build a view over `nodes`, asking `reputation_of` for each *view*
+    /// node's reputation (nodes outside the view default to 0.0, exactly
+    /// like [`DetectionInput::reputation_of`] for unknown ids).
+    pub fn with_reputation_fn(
+        snapshot: &'a DetectionSnapshot,
+        nodes: &[NodeId],
+        reputation_of: impl Fn(NodeId) -> f64,
+    ) -> Self {
+        let mut view: Vec<u32> = nodes
+            .iter()
+            .map(|&id| {
+                snapshot.index(id).unwrap_or_else(|| {
+                    panic!("node {id} not interned in snapshot — rebuild with it in the base list")
+                })
+            })
+            .collect();
+        view.sort_unstable();
+        view.dedup();
+        let mut reputation = vec![0.0; snapshot.n()];
+        for &idx in &view {
+            reputation[idx as usize] = reputation_of(snapshot.node_id(idx));
+        }
+        SnapshotInput { snapshot, view, reputation }
+    }
+
+    /// Reputations are the signed rating sums precomputed in the snapshot
+    /// (the snapshot analogue of [`DetectionInput::from_signed_history`]).
+    pub fn from_signed(snapshot: &'a DetectionSnapshot, nodes: &[NodeId]) -> Self {
+        Self::with_reputation_fn(snapshot, nodes, |id| {
+            let idx = snapshot.index(id).expect("checked by with_reputation_fn");
+            snapshot.signed(idx) as f64
+        })
+    }
+
+    /// The dense indices of the view, ascending.
+    #[inline]
+    pub fn view(&self) -> &[u32] {
+        &self.view
+    }
+
+    /// Number of nodes in the view (`n` in the complexity propositions).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.view.len()
+    }
+
+    /// The reputation of dense index `idx` (0.0 when never set).
+    #[inline]
+    pub fn reputation_of_idx(&self, idx: u32) -> f64 {
+        self.reputation[idx as usize]
+    }
+
+    /// View nodes passing the `T_R` filter, as dense indices ascending.
+    pub fn high_reputed_idx(&self, thresholds: &Thresholds) -> Vec<u32> {
+        self.view
+            .iter()
+            .copied()
+            .filter(|&i| thresholds.is_high_reputed(self.reputation[i as usize]))
+            .collect()
     }
 }
 
@@ -136,5 +253,52 @@ mod tests {
         let input = DetectionInput::new(&h, &[NodeId(1), NodeId(2)], rep);
         assert_eq!(input.reputation_of(NodeId(1)), 0.9);
         assert_eq!(input.reputation_of(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_skips_normalization() {
+        let h = InteractionHistory::new();
+        let input = DetectionInput::from_sorted(
+            &h,
+            vec![NodeId(1), NodeId(2), NodeId(5)],
+            HashMap::new(),
+        );
+        assert_eq!(input.nodes, vec![NodeId(1), NodeId(2), NodeId(5)]);
+    }
+
+    #[test]
+    fn snapshot_input_mirrors_detection_input() {
+        let mut h = InteractionHistory::new();
+        h.record(Rating::positive(NodeId(1), NodeId(2), SimTime(0)));
+        h.record(Rating::positive(NodeId(3), NodeId(2), SimTime(1)));
+        h.record(Rating::negative(NodeId(1), NodeId(3), SimTime(2)));
+        let nodes: Vec<NodeId> = (1..=3).map(NodeId).collect();
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        let legacy = DetectionInput::from_signed_history(&h, &nodes);
+        let input = SnapshotInput::from_signed(&snap, &nodes);
+        assert_eq!(input.n(), legacy.n());
+        for &id in &nodes {
+            let idx = snap.index(id).unwrap();
+            assert_eq!(input.reputation_of_idx(idx), legacy.reputation_of(id));
+        }
+        let t = Thresholds::new(1.0, 20, 0.8, 0.2);
+        let high_ids: Vec<NodeId> =
+            input.high_reputed_idx(&t).iter().map(|&i| snap.node_id(i)).collect();
+        assert_eq!(high_ids, legacy.high_reputed(&t));
+    }
+
+    #[test]
+    fn snapshot_input_external_map_covers_off_view_nodes() {
+        let mut h = InteractionHistory::new();
+        h.record(Rating::positive(NodeId(9), NodeId(1), SimTime(0)));
+        let snap = DetectionSnapshot::build(&h, &[NodeId(1)]);
+        let rep: HashMap<NodeId, f64> =
+            [(NodeId(1), 0.5), (NodeId(9), 2.0)].into_iter().collect();
+        let input = SnapshotInput::new(&snap, &[NodeId(1)], &rep);
+        // node 9 is outside the view but its reputation is still visible,
+        // matching DetectionInput::reputation_of for partner lookups
+        let i9 = snap.index(NodeId(9)).unwrap();
+        assert_eq!(input.reputation_of_idx(i9), 2.0);
+        assert_eq!(input.view().len(), 1);
     }
 }

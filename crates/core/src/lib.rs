@@ -61,6 +61,7 @@ pub mod input;
 pub mod mitigation;
 pub mod model;
 pub mod optimized;
+mod pairset;
 pub mod policy;
 pub mod report;
 pub mod sweep;
@@ -74,7 +75,7 @@ pub mod prelude {
     pub use crate::calibrate::{calibrate, Calibration};
     pub use crate::formula::{formula_band, formula_reputation, Fig4Surface};
     pub use crate::group::{GroupDetector, GroupDetectorConfig, GroupReport, SuspectGroup};
-    pub use crate::input::DetectionInput;
+    pub use crate::input::{DetectionInput, SnapshotInput};
     pub use crate::mitigation::apply_mitigation;
     pub use crate::model::{Characteristic, SuspectPair};
     pub use crate::optimized::OptimizedDetector;

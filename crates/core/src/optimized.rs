@@ -22,13 +22,17 @@
 
 use crate::cost::CostMeter;
 use crate::formula::formula_band;
-use crate::input::DetectionInput;
+use crate::input::{DetectionInput, SnapshotInput};
 use crate::model::{DirectionEvidence, SuspectPair};
+use crate::pairset::PairSet;
 use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
 use collusion_reputation::id::NodeId;
+use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// Per-ratee aggregates over its *frequent* raters (count, signed sum),
 /// computed once per ratee under the extended policy. Keeps the policy's
@@ -154,6 +158,211 @@ impl OptimizedDetector {
             signed_reputation: r_eff,
         })
     }
+
+    /// [`OptimizedDetector::detect`] on the frozen CSR snapshot: the same
+    /// sparse row walk and metering, with the pair probe a binary search in
+    /// the rater's reverse row and the extended-policy frequent aggregates
+    /// served from the snapshot's precomputed table (falling back to a row
+    /// pass when the snapshot was built without them). Produces a
+    /// bit-identical [`DetectionReport`] (pairs *and* cost) to the legacy
+    /// path — enforced by `tests/detection_equivalence.rs`.
+    pub fn detect_snapshot(&self, input: &SnapshotInput<'_>) -> DetectionReport {
+        let meter = CostMeter::new();
+        let snap = input.snapshot;
+        let high = input.high_reputed_idx(&self.thresholds);
+        let mut is_high = vec![false; snap.n()];
+        for &i in &high {
+            is_high[i as usize] = true;
+        }
+        let mut checked = PairSet::with_capacity(high.len() * 4);
+        let mut cache: Vec<Option<(u64, i64)>> = vec![None; snap.n()];
+        let mut pairs = Vec::new();
+        for &i in &high {
+            let (cols, _) = snap.row(i);
+            for &j in cols {
+                meter.element_check();
+                if checked.contains(i, j) {
+                    continue;
+                }
+                if !is_high[j as usize] {
+                    continue;
+                }
+                checked.insert(i, j);
+                let ev_fwd = self.direction_cached(snap, i, Some(j), &meter, &mut cache);
+                if self.policy.require_mutual {
+                    let Some(fwd) = ev_fwd else { continue };
+                    let Some(rev) = self.direction_cached(snap, j, Some(i), &meter, &mut cache)
+                    else {
+                        continue;
+                    };
+                    pairs.push(SuspectPair::new(
+                        snap.node_id(j),
+                        snap.node_id(i),
+                        Some(fwd),
+                        Some(rev),
+                    ));
+                } else {
+                    let ev_rev = self.direction_cached(snap, j, Some(i), &meter, &mut cache);
+                    if ev_fwd.is_none() && ev_rev.is_none() {
+                        continue;
+                    }
+                    pairs.push(SuspectPair::new(
+                        snap.node_id(j),
+                        snap.node_id(i),
+                        ev_fwd,
+                        ev_rev,
+                    ));
+                }
+            }
+        }
+        DetectionReport::new(pairs, meter.snapshot())
+    }
+
+    /// Rayon-parallel [`OptimizedDetector::detect_snapshot`]: high rows are
+    /// walked concurrently and the per-ratee frequent aggregates are shared
+    /// through lock-free [`OnceLock`] cells. There is no cross-row pair
+    /// marking, so metered cost is up to 2× the sequential pass (each
+    /// unordered pair may be examined from both sides;
+    /// [`DetectionReport::new`] deduplicates); the reported pairs are
+    /// identical.
+    pub fn detect_par(&self, input: &SnapshotInput<'_>) -> DetectionReport {
+        let meter = CostMeter::new();
+        let snap = input.snapshot;
+        let high = input.high_reputed_idx(&self.thresholds);
+        let mut is_high = vec![false; snap.n()];
+        for &i in &high {
+            is_high[i as usize] = true;
+        }
+        let agg: Vec<OnceLock<(u64, i64)>> = (0..snap.n()).map(|_| OnceLock::new()).collect();
+        let meter_ref = &meter;
+        let is_high_ref = &is_high;
+        let agg_ref = &agg;
+        let pairs: Vec<SuspectPair> = high
+            .par_iter()
+            .flat_map_iter(|&i| {
+                let (cols, _) = snap.row(i);
+                cols.iter().filter_map(move |&j| {
+                    meter_ref.element_check();
+                    if !is_high_ref[j as usize] {
+                        return None;
+                    }
+                    let ev_fwd = self.direction_once(snap, i, Some(j), meter_ref, agg_ref);
+                    if self.policy.require_mutual {
+                        let fwd = ev_fwd?;
+                        let rev = self.direction_once(snap, j, Some(i), meter_ref, agg_ref)?;
+                        Some(SuspectPair::new(
+                            snap.node_id(j),
+                            snap.node_id(i),
+                            Some(fwd),
+                            Some(rev),
+                        ))
+                    } else {
+                        let ev_rev = self.direction_once(snap, j, Some(i), meter_ref, agg_ref);
+                        if ev_fwd.is_none() && ev_rev.is_none() {
+                            return None;
+                        }
+                        Some(SuspectPair::new(snap.node_id(j), snap.node_id(i), ev_fwd, ev_rev))
+                    }
+                })
+            })
+            .collect();
+        DetectionReport::new(pairs, meter.snapshot())
+    }
+
+    /// Snapshot analogue of [`OptimizedDetector::check_direction`], with the
+    /// extended-policy frequent aggregate supplied lazily by `freq_of` so
+    /// sequential and parallel callers can share their own cache shapes.
+    /// Metering is placed identically to the legacy path. `rater` is `None`
+    /// when the rater is not interned in this snapshot (a partitioned
+    /// manager probing an unknown partner) — the probe then sees zero
+    /// counters, exactly like the legacy hash lookup of an absent pair.
+    pub(crate) fn check_direction_snap(
+        &self,
+        snap: &DetectionSnapshot,
+        ratee: u32,
+        rater: Option<u32>,
+        meter: &CostMeter,
+        freq_of: impl FnOnce() -> (u64, i64),
+    ) -> Option<DirectionEvidence> {
+        meter.element_check();
+        let pair = rater.map(|r| snap.pair(r, ratee)).unwrap_or_default();
+        let n_pair = pair.total;
+        if !self.thresholds.is_frequent(n_pair) {
+            return None;
+        }
+        let totals = snap.totals_of(ratee);
+        let (n_eff, r_eff) = if self.policy.community_excludes_frequent {
+            // ratee's view restricted to community + the tested partner
+            let (freq_n, freq_signed) = freq_of();
+            (
+                totals.total - freq_n + n_pair,
+                totals.signed() - freq_signed + pair.signed(),
+            )
+        } else {
+            (totals.total, totals.signed())
+        };
+        if n_eff == n_pair {
+            return None; // no community evidence (same convention as Basic)
+        }
+        meter.band_check();
+        let band = formula_band(self.thresholds.t_a, self.thresholds.t_b, n_eff, n_pair);
+        if !band.contains(r_eff as f64) {
+            return None;
+        }
+        Some(DirectionEvidence {
+            pair_ratings: n_pair,
+            fraction_a: None,
+            fraction_b: None,
+            signed_reputation: r_eff,
+        })
+    }
+
+    /// Sequential snapshot direction test backed by a dense per-ratee cache.
+    /// The cache-miss row scan is metered exactly like the legacy
+    /// `FrequentCache` fill, even when the actual numbers come from the
+    /// snapshot's precomputed table.
+    pub(crate) fn direction_cached(
+        &self,
+        snap: &DetectionSnapshot,
+        ratee: u32,
+        rater: Option<u32>,
+        meter: &CostMeter,
+        cache: &mut [Option<(u64, i64)>],
+    ) -> Option<DirectionEvidence> {
+        let t_n = self.thresholds.t_n;
+        self.check_direction_snap(snap, ratee, rater, meter, || {
+            if let Some(agg) = cache[ratee as usize] {
+                return agg;
+            }
+            let (cols, _) = snap.row(ratee);
+            meter.row_scan(cols.len() as u64);
+            let agg = snap
+                .frequent_agg(t_n, ratee)
+                .unwrap_or_else(|| snap.row_freq(ratee, t_n));
+            cache[ratee as usize] = Some(agg);
+            agg
+        })
+    }
+
+    /// Parallel snapshot direction test backed by shared [`OnceLock`] cells.
+    fn direction_once(
+        &self,
+        snap: &DetectionSnapshot,
+        ratee: u32,
+        rater: Option<u32>,
+        meter: &CostMeter,
+        agg: &[OnceLock<(u64, i64)>],
+    ) -> Option<DirectionEvidence> {
+        let t_n = self.thresholds.t_n;
+        self.check_direction_snap(snap, ratee, rater, meter, || {
+            *agg[ratee as usize].get_or_init(|| {
+                let (cols, _) = snap.row(ratee);
+                meter.row_scan(cols.len() as u64);
+                snap.frequent_agg(t_n, ratee)
+                    .unwrap_or_else(|| snap.row_freq(ratee, t_n))
+            })
+        })
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +476,49 @@ mod tests {
                     "trial {trial}: Basic found {p:?} but Optimized missed it"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_path_is_bit_identical() {
+        let (h, nodes) = collusion_history(30, 5);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        let sinput = SnapshotInput::from_signed(&snap, &nodes);
+        for policy in [DetectionPolicy::STRICT, DetectionPolicy::EXTENDED] {
+            let det = OptimizedDetector::with_policy(thresholds(), policy);
+            let legacy = det.detect(&input);
+            let fast = det.detect_snapshot(&sinput);
+            assert_eq!(legacy.pairs, fast.pairs);
+            assert_eq!(legacy.cost, fast.cost);
+        }
+    }
+
+    #[test]
+    fn snapshot_precomputed_aggregates_keep_costs_identical() {
+        // built WITH frequent aggregates: the meter must still record the
+        // legacy cache-fill row scans under the extended policy
+        let (h, nodes) = collusion_history(30, 5);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let snap = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds().t_n);
+        let sinput = SnapshotInput::from_signed(&snap, &nodes);
+        let det = OptimizedDetector::with_policy(thresholds(), DetectionPolicy::EXTENDED);
+        let legacy = det.detect(&input);
+        let fast = det.detect_snapshot(&sinput);
+        assert_eq!(legacy.pairs, fast.pairs);
+        assert_eq!(legacy.cost, fast.cost);
+    }
+
+    #[test]
+    fn parallel_snapshot_agrees_with_sequential() {
+        let (h, nodes) = collusion_history(30, 5);
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        let sinput = SnapshotInput::from_signed(&snap, &nodes);
+        for policy in [DetectionPolicy::STRICT, DetectionPolicy::EXTENDED] {
+            let det = OptimizedDetector::with_policy(thresholds(), policy);
+            let seq = det.detect_snapshot(&sinput);
+            let par = det.detect_par(&sinput);
+            assert_eq!(seq.pairs, par.pairs);
         }
     }
 

@@ -1,0 +1,112 @@
+//! A fast set of unordered dense-index pairs for the detectors' duplicate
+//! checks.
+//!
+//! The legacy kernels deduplicate with `HashSet<(NodeId, NodeId)>` — a
+//! SipHash of sixteen bytes per membership test. On the snapshot path both
+//! indices fit in a `u32`, so the unordered pair packs into one `u64` and
+//! hashes with a single splitmix64 round.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One-round splitmix64 finalizer — statistically strong enough for table
+/// placement of packed pair keys, and a fraction of SipHash's cost.
+#[derive(Default)]
+pub struct SplitMixHasher {
+    state: u64,
+}
+
+impl Hasher for SplitMixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // generic fallback (not used by PairSet, which only writes u64)
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        let mut z = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = z ^ (z >> 31);
+    }
+}
+
+type PairHasher = BuildHasherDefault<SplitMixHasher>;
+
+/// Set of *unordered* `{a, b}` pairs of dense `u32` indices.
+#[derive(Default)]
+pub struct PairSet {
+    set: HashSet<u64, PairHasher>,
+}
+
+impl PairSet {
+    /// Empty set with room for `cap` pairs.
+    pub fn with_capacity(cap: usize) -> Self {
+        PairSet { set: HashSet::with_capacity_and_hasher(cap, PairHasher::default()) }
+    }
+
+    #[inline]
+    fn key(a: u32, b: u32) -> u64 {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        ((lo as u64) << 32) | hi as u64
+    }
+
+    /// Whether `{a, b}` is in the set.
+    #[inline]
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        self.set.contains(&Self::key(a, b))
+    }
+
+    /// Insert `{a, b}`; returns `true` if it was new.
+    #[inline]
+    pub fn insert(&mut self, a: u32, b: u32) -> bool {
+        self.set.insert(Self::key(a, b))
+    }
+
+    /// Number of pairs stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_unordered() {
+        let mut s = PairSet::with_capacity(4);
+        assert!(s.insert(3, 7));
+        assert!(s.contains(7, 3));
+        assert!(!s.insert(7, 3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_distinct_keys() {
+        let mut s = PairSet::default();
+        assert!(s.is_empty());
+        for a in 0..20u32 {
+            for b in (a + 1)..20u32 {
+                assert!(s.insert(a, b), "{a},{b} collided");
+            }
+        }
+        assert_eq!(s.len(), 190);
+        assert!(!s.contains(5, 21));
+    }
+}

@@ -24,9 +24,9 @@
 use crate::basic::BasicDetector;
 use crate::cost::CostMeter;
 use crate::decentralized::Method;
-use crate::input::DetectionInput;
-use crate::model::SuspectPair;
-use crate::optimized::{FrequentCache, OptimizedDetector};
+use crate::input::SnapshotInput;
+use crate::model::{DirectionEvidence, SuspectPair};
+use crate::optimized::OptimizedDetector;
 use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
 use collusion_dht::hash::consistent_hash;
@@ -36,13 +36,10 @@ use collusion_dht::routing::Router;
 use collusion_reputation::history::InteractionHistory;
 use collusion_reputation::id::NodeId;
 use collusion_reputation::rating::Rating;
+use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
-
-/// One manager's local detection view: its rating slice, responsible
-/// nodes, and their locally computed reputations.
-type ManagerView = (InteractionHistory, Vec<NodeId>, HashMap<NodeId, f64>);
 
 /// Cumulative network-cost counters of a running system.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -227,44 +224,72 @@ impl DecentralizedSystem {
 
     /// Run the collusion detection round across all managers (the paper's
     /// periodic check), returning the merged report.
+    ///
+    /// Each manager freezes its local slice into an owned
+    /// [`DetectionSnapshot`] once per round — no history clones, no
+    /// per-pair reputation-map copies — and both the local forward walk
+    /// and the partner-side reverse verification run on these frozen
+    /// views. A partner that has never seen the probing rater answers
+    /// from zero counters, exactly like the former hash-map lookup.
     pub fn detect(&mut self) -> DetectionReport {
         let meter = CostMeter::new();
-        // Per-manager views: local history + local reputations.
-        let mut manager_inputs: HashMap<NodeId, ManagerView> = HashMap::new();
+        // Group responsible nodes per manager; `self.nodes` is ascending,
+        // so each manager's list comes out ascending too.
+        let mut manager_nodes: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         for &node in &self.nodes {
             let manager = self.key_to_manager[&self.manager_of[&node].raw()];
-            manager_inputs.entry(manager).or_insert_with(|| {
-                (self.histories.get(&manager).cloned().unwrap_or_default(), Vec::new(), HashMap::new())
-            });
-            let entry = manager_inputs.get_mut(&manager).expect("just inserted");
-            let rep = entry.0.signed_reputation(node) as f64;
-            entry.1.push(node);
-            entry.2.insert(node, rep);
+            manager_nodes.entry(manager).or_default().push(node);
         }
-        let mut manager_list: Vec<NodeId> = manager_inputs.keys().copied().collect();
+        let mut manager_list: Vec<NodeId> = manager_nodes.keys().copied().collect();
         manager_list.sort_unstable();
+        let manager_pos: HashMap<NodeId, usize> =
+            manager_list.iter().enumerate().map(|(k, &m)| (m, k)).collect();
+
+        // Freeze each manager's local slice; reputations are the signed
+        // sums each manager computes from its own data.
+        let empty = InteractionHistory::new();
+        let snaps: Vec<DetectionSnapshot> = manager_list
+            .iter()
+            .map(|m| {
+                let history = self.histories.get(m).unwrap_or(&empty);
+                DetectionSnapshot::build(history, &manager_nodes[m])
+            })
+            .collect();
+        let inputs: Vec<SnapshotInput<'_>> = manager_list
+            .iter()
+            .zip(&snaps)
+            .map(|(m, s)| SnapshotInput::from_signed(s, &manager_nodes[m]))
+            .collect();
+        let mut caches: Vec<Vec<Option<(u64, i64)>>> =
+            snaps.iter().map(|s| vec![None; s.n()]).collect();
 
         let router_ring = self.ring.clone();
         let router = Router::new(&router_ring);
         let mut pairs: Vec<SuspectPair> = Vec::new();
+        // indices are per-snapshot, so the cross-manager marking stays on ids
         let mut checked: HashSet<(NodeId, NodeId)> = HashSet::new();
-        let mut cache = FrequentCache::new();
 
-        for &manager in &manager_list {
-            let (history, nodes, reps) = &manager_inputs[&manager];
-            let input = DetectionInput::new(history, nodes, reps.clone());
+        for (k, &manager) in manager_list.iter().enumerate() {
+            let snap = &snaps[k];
+            let input = &inputs[k];
+            let nodes = &manager_nodes[&manager];
             let my_key = self.manager_of[&nodes[0]];
             for &i in nodes {
-                if !self.thresholds.is_high_reputed(input.reputation_of(i)) {
+                let i_idx = snap.index(i).expect("responsible node is interned");
+                if !self.thresholds.is_high_reputed(input.reputation_of_idx(i_idx)) {
                     continue;
                 }
-                for &j in history.raters_of(i) {
+                let (cols, _) = snap.row(i_idx);
+                for &j_idx in cols {
+                    let j = snap.node_id(j_idx);
                     meter.element_check();
                     let key = if i < j { (i, j) } else { (j, i) };
                     if checked.contains(&key) {
                         continue;
                     }
-                    let Some(ev_fwd) = self.direction(&input, i, j, &meter, &mut cache) else {
+                    let Some(ev_fwd) =
+                        self.direction_snap(snap, i_idx, Some(j_idx), &meter, &mut caches[k])
+                    else {
                         continue;
                     };
                     checked.insert(key);
@@ -279,15 +304,21 @@ impl DecentralizedSystem {
                         meter.message();
                     }
                     // partner-side verification on the partner's OWN slice
-                    let Some((p_history, p_nodes, p_reps)) = manager_inputs.get(&partner_manager)
-                    else {
+                    let Some(&p_pos) = manager_pos.get(&partner_manager) else {
                         continue;
                     };
-                    let p_input = DetectionInput::new(p_history, p_nodes, p_reps.clone());
-                    if !self.thresholds.is_high_reputed(p_input.reputation_of(j)) {
+                    let p_snap = &snaps[p_pos];
+                    let p_j = p_snap.index(j).expect("registered node is interned");
+                    if !self.thresholds.is_high_reputed(inputs[p_pos].reputation_of_idx(p_j)) {
                         continue;
                     }
-                    let ev_rev = self.direction(&p_input, j, i, &meter, &mut cache);
+                    let ev_rev = self.direction_snap(
+                        p_snap,
+                        p_j,
+                        p_snap.index(i),
+                        &meter,
+                        &mut caches[p_pos],
+                    );
                     if self.policy.require_mutual {
                         let Some(rev) = ev_rev else { continue };
                         pairs.push(SuspectPair::new(j, i, Some(ev_fwd), Some(rev)));
@@ -300,19 +331,19 @@ impl DecentralizedSystem {
         DetectionReport::new(pairs, meter.snapshot())
     }
 
-    fn direction(
+    fn direction_snap(
         &self,
-        input: &DetectionInput<'_>,
-        ratee: NodeId,
-        rater: NodeId,
+        snap: &DetectionSnapshot,
+        ratee: u32,
+        rater: Option<u32>,
         meter: &CostMeter,
-        cache: &mut FrequentCache,
-    ) -> Option<crate::model::DirectionEvidence> {
+        cache: &mut [Option<(u64, i64)>],
+    ) -> Option<DirectionEvidence> {
         match self.method {
             Method::Basic => BasicDetector::with_policy(self.thresholds, self.policy)
-                .check_direction(input, ratee, rater, meter),
+                .check_direction_snap(snap, ratee, rater, meter),
             Method::Optimized => OptimizedDetector::with_policy(self.thresholds, self.policy)
-                .check_direction(input, ratee, rater, meter, cache),
+                .direction_cached(snap, ratee, rater, meter, cache),
         }
     }
 }
@@ -320,6 +351,7 @@ impl DecentralizedSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::input::DetectionInput;
     use collusion_reputation::id::SimTime;
 
     fn thresholds() -> Thresholds {

@@ -22,7 +22,7 @@
 use crate::id::NodeId;
 use crate::rating::{Rating, RatingValue};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Counters for one ordered (rater → ratee) pair.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +108,10 @@ pub struct InteractionHistory {
     raters_of: HashMap<NodeId, Vec<NodeId>>,
     /// Number of ratings folded in.
     recorded: u64,
+    /// Ratees whose rows changed since the last [`InteractionHistory::take_dirty`];
+    /// drives incremental `DetectionSnapshot::refresh`.
+    #[serde(default)]
+    dirty: BTreeSet<NodeId>,
 }
 
 impl InteractionHistory {
@@ -134,7 +138,25 @@ impl InteractionHistory {
             RatingValue::Neutral => {}
         }
         self.recorded += 1;
+        self.dirty.insert(rating.ratee);
         true
+    }
+
+    /// Drain the set of ratees whose rows changed since the last call,
+    /// ascending. Feed the result to `DetectionSnapshot::refresh` to bring a
+    /// snapshot up to date in O(changed rows).
+    pub fn take_dirty(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// The ratees currently marked dirty, without draining them.
+    pub fn dirty_ratees(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Forget all dirty marks (e.g. after a full snapshot rebuild).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 
     /// Number of ratings folded in (excluding rejected self-ratings).
@@ -266,6 +288,8 @@ impl InteractionHistory {
             out.totals.insert(ratee, totals);
         }
         out.raters_of.insert(ratee, raters);
+        self.dirty.insert(ratee);
+        out.dirty.insert(ratee);
         out
     }
 
@@ -280,12 +304,14 @@ impl InteractionHistory {
             pair.total += c.total;
             pair.positive += c.positive;
             pair.negative += c.negative;
+            self.dirty.insert(ratee);
         }
         for (&ratee, t) in &other.totals {
             let tot = self.totals.entry(ratee).or_default();
             tot.total += t.total;
             tot.positive += t.positive;
             tot.negative += t.negative;
+            self.dirty.insert(ratee);
         }
         self.recorded += other.recorded;
     }
@@ -409,6 +435,25 @@ mod tests {
         h.merge(&about_2);
         assert_eq!(h.recorded(), before_recorded);
         assert_eq!(h.ratings_for(NodeId(2)), 3);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_mutations() {
+        let mut h = hist(&[(1, 2, 1), (3, 4, -1)]);
+        assert_eq!(h.take_dirty(), vec![NodeId(2), NodeId(4)]);
+        assert_eq!(h.take_dirty(), Vec::<NodeId>::new());
+        h.record(Rating::positive(NodeId(5), NodeId(2), SimTime(10)));
+        assert_eq!(h.dirty_ratees().collect::<Vec<_>>(), vec![NodeId(2)]);
+        // merge marks the merged-in ratees dirty
+        let other = hist(&[(1, 4, 1)]);
+        h.merge(&other);
+        assert_eq!(h.take_dirty(), vec![NodeId(2), NodeId(4)]);
+        // split_off_ratee marks the departing ratee dirty on both sides
+        let slice = h.split_off_ratee(NodeId(2));
+        assert_eq!(h.dirty_ratees().collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(slice.dirty_ratees().collect::<Vec<_>>(), vec![NodeId(2)]);
+        h.clear_dirty();
+        assert_eq!(h.dirty_ratees().count(), 0);
     }
 
     #[test]

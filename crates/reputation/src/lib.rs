@@ -42,6 +42,7 @@ pub mod id;
 pub mod local;
 pub mod manager;
 pub mod rating;
+pub mod snapshot;
 pub mod thresholds;
 pub mod trust_matrix;
 
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::local::{EBaySum, LocalAggregator, PositiveFraction};
     pub use crate::manager::CentralizedManager;
     pub use crate::rating::{Rating, RatingLog, RatingValue};
+    pub use crate::snapshot::{DetectionSnapshot, RefreshOutcome};
     pub use crate::thresholds::Thresholds;
     pub use crate::trust_matrix::TrustMatrix;
 }

@@ -1,0 +1,664 @@
+//! [`DetectionSnapshot`] — an immutable CSR view of an
+//! [`InteractionHistory`] for detection passes.
+//!
+//! The detectors in `collusion-core` probe the rating matrix millions of
+//! times per pass. Served from `InteractionHistory`'s hash maps, every probe
+//! pays a SipHash of a `(NodeId, NodeId)` tuple; served from this snapshot,
+//! a probe is a binary search over a short, contiguous, cache-resident row.
+//! The snapshot is built once per detection pass (or refreshed
+//! incrementally, see below) and is *frozen*: detectors only read it, so
+//! parallel row iteration needs no locks.
+//!
+//! Layout:
+//!
+//! * node ids are interned to dense `u32` indices (`nodes[idx] ↔ idx`),
+//!   ascending by id, covering the caller's node list *plus* every rater
+//!   and ratee in the history (detector row scans include raters outside
+//!   the manager's view);
+//! * **forward rows** (compressed sparse row): for each ratee `i`, the
+//!   rater indices ascending with their packed [`PairCounters`] — the
+//!   matrix row the Basic detector scans and the Optimized detector walks;
+//! * **reverse rows**: for each rater `j`, the `(ratee, counters)` entries
+//!   ascending by ratee — [`DetectionSnapshot::pair`] probes these so the
+//!   mutual check binary-searches the rater's (typically short) out-row
+//!   instead of the ratee's (possibly huge) in-row, and never hashes;
+//! * **per-ratee totals**: `N_i` and the signed reputation `R_i` used by
+//!   Formula (2), precomputed per row;
+//! * optional **frequent aggregates**: per-ratee `(count, signed sum)` over
+//!   raters with `N(j,i) ≥ T_N`, precomputed for the extended detection
+//!   policy (`community_excludes_frequent`).
+//!
+//! # Incremental refresh
+//!
+//! [`InteractionHistory`] tracks the ratees whose rows changed since the
+//! last [`InteractionHistory::take_dirty`]. [`DetectionSnapshot::refresh`]
+//! rebuilds only those rows (and their reverse-index entries) as overlay
+//! patches — O(changed rows), not O(nnz). When the patch overlay grows past
+//! a quarter of the rows, or a previously unseen node appears, the refresh
+//! compacts into a full rebuild. Either way the refreshed snapshot is
+//! logically identical to a fresh build ([`PartialEq`] compares the
+//! resolved rows, not the representation).
+
+use crate::history::{InteractionHistory, NodeTotals, PairCounters};
+use crate::id::NodeId;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Overlay for one rebuilt forward row.
+#[derive(Clone, Debug)]
+struct RowPatch {
+    cols: Vec<u32>,
+    cells: Vec<PairCounters>,
+}
+
+/// Per-ratee aggregates over *frequent* raters (`N(j,i) ≥ T_N`), keyed by
+/// the `T_N` they were computed for.
+#[derive(Clone, Debug)]
+struct FrequentAggregates {
+    t_n: u64,
+    /// Per row: (total ratings from frequent raters, their signed sum).
+    agg: Vec<(u64, i64)>,
+}
+
+/// How a [`DetectionSnapshot::refresh`] was carried out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshOutcome {
+    /// No dirty rows — the snapshot was already current.
+    Unchanged,
+    /// Only the dirty rows were rebuilt (count given).
+    Patched(usize),
+    /// The whole snapshot was rebuilt (new nodes appeared, or the patch
+    /// overlay had grown past the compaction threshold).
+    Rebuilt,
+}
+
+/// Frozen CSR view of an interaction history for one detection pass.
+#[derive(Clone, Debug)]
+pub struct DetectionSnapshot {
+    /// Interned node ids, ascending; `nodes[idx]` is the id of dense `idx`.
+    nodes: Vec<NodeId>,
+    /// id → dense index.
+    index: HashMap<NodeId, u32>,
+    /// Forward CSR offsets, `n + 1` entries.
+    row_offsets: Vec<u32>,
+    /// Rater indices per ratee row, ascending within each row.
+    row_cols: Vec<u32>,
+    /// Counters parallel to `row_cols`.
+    row_cells: Vec<PairCounters>,
+    /// Reverse CSR offsets, `n + 1` entries.
+    rev_offsets: Vec<u32>,
+    /// `(ratee, counters)` per rater row, ascending by ratee.
+    rev_entries: Vec<(u32, PairCounters)>,
+    /// Per-ratee totals (`N_i`, positives, negatives).
+    totals: Vec<NodeTotals>,
+    /// Dirty-row overlays from incremental refreshes.
+    row_patch: Vec<Option<RowPatch>>,
+    /// Reverse-row overlays from incremental refreshes.
+    rev_patch: Vec<Option<Vec<(u32, PairCounters)>>>,
+    /// Number of rows currently overlaid.
+    patched_rows: usize,
+    /// Optional precomputed frequent-rater aggregates.
+    freq: Option<FrequentAggregates>,
+}
+
+impl DetectionSnapshot {
+    /// Build a snapshot of `history`. The interned set is the union of
+    /// `nodes` and every rater/ratee present in the history, so detector
+    /// row scans (which include raters outside the manager's view) never
+    /// miss an id.
+    pub fn build(history: &InteractionHistory, nodes: &[NodeId]) -> Self {
+        Self::build_inner(history, nodes, None)
+    }
+
+    /// [`DetectionSnapshot::build`] plus an eager
+    /// [`DetectionSnapshot::precompute_frequent`] pass for `t_n`.
+    pub fn build_with_frequent(history: &InteractionHistory, nodes: &[NodeId], t_n: u64) -> Self {
+        Self::build_inner(history, nodes, Some(t_n))
+    }
+
+    fn build_inner(history: &InteractionHistory, base: &[NodeId], freq_t_n: Option<u64>) -> Self {
+        let mut nodes: Vec<NodeId> = base.to_vec();
+        for (rater, ratee, _) in history.iter_pairs() {
+            nodes.push(rater);
+            nodes.push(ratee);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert!(nodes.len() <= u32::MAX as usize, "too many nodes for u32 interning");
+        let n = nodes.len();
+        let index: HashMap<NodeId, u32> =
+            nodes.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+
+        // forward rows: gather per ratee, then sort each row by rater index
+        let mut rows: Vec<Vec<(u32, PairCounters)>> = Vec::with_capacity(n);
+        for &id in &nodes {
+            let raters = history.raters_of(id);
+            let mut row = Vec::with_capacity(raters.len());
+            for &r in raters {
+                row.push((index[&r], history.pair(r, id)));
+            }
+            rows.push(row);
+        }
+        rows.par_iter_mut().for_each(|row| row.sort_unstable_by_key(|e| e.0));
+
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        assert!(nnz <= u32::MAX as usize, "too many rating pairs for u32 offsets");
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        row_offsets.push(0u32);
+        let mut row_cols = Vec::with_capacity(nnz);
+        let mut row_cells = Vec::with_capacity(nnz);
+        for row in &rows {
+            for &(c, cell) in row {
+                row_cols.push(c);
+                row_cells.push(cell);
+            }
+            row_offsets.push(row_cols.len() as u32);
+        }
+
+        // reverse rows: counting sort over the forward structure. Walking
+        // ratees in ascending order leaves every reverse row sorted by
+        // ratee without an explicit sort.
+        let mut rev_len = vec![0u32; n];
+        for &c in &row_cols {
+            rev_len[c as usize] += 1;
+        }
+        let mut rev_offsets = Vec::with_capacity(n + 1);
+        rev_offsets.push(0u32);
+        for i in 0..n {
+            rev_offsets.push(rev_offsets[i] + rev_len[i]);
+        }
+        let mut rev_entries: Vec<(u32, PairCounters)> =
+            vec![(0, PairCounters::default()); nnz];
+        let mut cursor: Vec<u32> = rev_offsets[..n].to_vec();
+        for i in 0..n {
+            let (s, e) = (row_offsets[i] as usize, row_offsets[i + 1] as usize);
+            for k in s..e {
+                let j = row_cols[k] as usize;
+                rev_entries[cursor[j] as usize] = (i as u32, row_cells[k]);
+                cursor[j] += 1;
+            }
+        }
+
+        let totals: Vec<NodeTotals> = nodes.iter().map(|&id| history.totals(id)).collect();
+        let mut snap = DetectionSnapshot {
+            nodes,
+            index,
+            row_offsets,
+            row_cols,
+            row_cells,
+            rev_offsets,
+            rev_entries,
+            totals,
+            row_patch: (0..n).map(|_| None).collect(),
+            rev_patch: (0..n).map(|_| None).collect(),
+            patched_rows: 0,
+            freq: None,
+        };
+        if let Some(t_n) = freq_t_n {
+            snap.precompute_frequent(t_n);
+        }
+        snap
+    }
+
+    // ----- Shape ------------------------------------------------------------
+
+    /// Number of interned nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The interned node ids, ascending (dense index → id).
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The node id of dense index `idx`.
+    #[inline]
+    pub fn node_id(&self, idx: u32) -> NodeId {
+        self.nodes[idx as usize]
+    }
+
+    /// The dense index of `id`, if interned.
+    #[inline]
+    pub fn index(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// Number of stored (rater, ratee) cells, patches resolved.
+    pub fn nnz(&self) -> usize {
+        if self.patched_rows == 0 {
+            self.row_cols.len()
+        } else {
+            (0..self.n() as u32).map(|i| self.row(i).0.len()).sum()
+        }
+    }
+
+    /// Number of rows currently served from refresh overlays.
+    #[inline]
+    pub fn patched_rows(&self) -> usize {
+        self.patched_rows
+    }
+
+    // ----- Probes -----------------------------------------------------------
+
+    /// The forward row of ratee `idx`: rater indices (ascending) and their
+    /// counters. This is the matrix row the Basic detector scans; its
+    /// length equals `InteractionHistory::raters_of(id).len()`.
+    #[inline]
+    pub fn row(&self, idx: u32) -> (&[u32], &[PairCounters]) {
+        let i = idx as usize;
+        if let Some(p) = &self.row_patch[i] {
+            return (&p.cols, &p.cells);
+        }
+        let (s, e) = (self.row_offsets[i] as usize, self.row_offsets[i + 1] as usize);
+        (&self.row_cols[s..e], &self.row_cells[s..e])
+    }
+
+    /// The reverse row of rater `idx`: `(ratee, counters)` ascending by
+    /// ratee — everyone `idx` has rated.
+    #[inline]
+    pub fn rev_row(&self, idx: u32) -> &[(u32, PairCounters)] {
+        let i = idx as usize;
+        if let Some(p) = &self.rev_patch[i] {
+            return p;
+        }
+        let (s, e) = (self.rev_offsets[i] as usize, self.rev_offsets[i + 1] as usize);
+        &self.rev_entries[s..e]
+    }
+
+    /// Counters for the ordered pair (rater → ratee), zero if absent —
+    /// [`InteractionHistory::pair`] without the hash. Probes the rater's
+    /// reverse row (short for typical raters) by binary search.
+    #[inline]
+    pub fn pair(&self, rater: u32, ratee: u32) -> PairCounters {
+        let row = self.rev_row(rater);
+        match row.binary_search_by_key(&ratee, |e| e.0) {
+            Ok(pos) => row[pos].1,
+            Err(_) => PairCounters::default(),
+        }
+    }
+
+    /// Aggregate counters for ratee `idx` (`N_i` and the positive/negative
+    /// split).
+    #[inline]
+    pub fn totals_of(&self, idx: u32) -> NodeTotals {
+        self.totals[idx as usize]
+    }
+
+    /// Signed reputation `R_i = #pos − #neg` of ratee `idx`.
+    #[inline]
+    pub fn signed(&self, idx: u32) -> i64 {
+        self.totals[idx as usize].signed()
+    }
+
+    // ----- Frequent aggregates ----------------------------------------------
+
+    /// Precompute per-ratee `(count, signed sum)` over frequent raters
+    /// (`N(j,i) ≥ t_n`) for the extended detection policy. Replaces any
+    /// aggregates computed for a different `t_n`.
+    pub fn precompute_frequent(&mut self, t_n: u64) {
+        let agg: Vec<(u64, i64)> =
+            (0..self.n() as u32).into_par_iter().map(|i| self.row_freq(i, t_n)).collect();
+        self.freq = Some(FrequentAggregates { t_n, agg });
+    }
+
+    /// The precomputed frequent aggregate for ratee `idx`, if aggregates
+    /// were computed for exactly this `t_n`.
+    #[inline]
+    pub fn frequent_agg(&self, t_n: u64, idx: u32) -> Option<(u64, i64)> {
+        self.freq.as_ref().filter(|f| f.t_n == t_n).map(|f| f.agg[idx as usize])
+    }
+
+    /// Compute the frequent aggregate for one row directly.
+    pub fn row_freq(&self, idx: u32, t_n: u64) -> (u64, i64) {
+        let (_, cells) = self.row(idx);
+        let mut count = 0u64;
+        let mut signed = 0i64;
+        for c in cells {
+            if c.total >= t_n {
+                count += c.total;
+                signed += c.signed();
+            }
+        }
+        (count, signed)
+    }
+
+    // ----- Incremental refresh ----------------------------------------------
+
+    /// Bring the snapshot up to date with `history` by rebuilding only the
+    /// rows of the `dirty` ratees (typically
+    /// [`InteractionHistory::take_dirty`]). Falls back to a full rebuild
+    /// when a dirty ratee or one of its raters is not interned yet, or when
+    /// more than a quarter of all rows would end up patched.
+    ///
+    /// The result is logically identical to `DetectionSnapshot::build`
+    /// against the current history (asserted by the crate's property
+    /// tests).
+    pub fn refresh(&mut self, history: &InteractionHistory, dirty: &[NodeId]) -> RefreshOutcome {
+        if dirty.is_empty() {
+            return RefreshOutcome::Unchanged;
+        }
+        let mut need_rebuild = false;
+        let mut fresh = 0usize;
+        'scan: for &id in dirty {
+            let Some(idx) = self.index(id) else {
+                need_rebuild = true;
+                break;
+            };
+            if self.row_patch[idx as usize].is_none() {
+                fresh += 1;
+            }
+            for &r in history.raters_of(id) {
+                if !self.index.contains_key(&r) {
+                    need_rebuild = true;
+                    break 'scan;
+                }
+            }
+        }
+        if need_rebuild || 4 * (self.patched_rows + fresh) > self.n() {
+            let t_n = self.freq.as_ref().map(|f| f.t_n);
+            let nodes = std::mem::take(&mut self.nodes);
+            *self = Self::build_inner(history, &nodes, t_n);
+            return RefreshOutcome::Rebuilt;
+        }
+        for &id in dirty {
+            let i = self.index[&id];
+            let old_cols: Vec<u32> = self.row(i).0.to_vec();
+            let mut new_row: Vec<(u32, PairCounters)> = history
+                .raters_of(id)
+                .iter()
+                .map(|&r| (self.index[&r], history.pair(r, id)))
+                .collect();
+            new_row.sort_unstable_by_key(|e| e.0);
+            // maintain the reverse index: upsert current cells, drop raters
+            // that disappeared (split_off_ratee)
+            for &(j, cell) in &new_row {
+                self.rev_upsert(j, i, cell);
+            }
+            let new_cols: Vec<u32> = new_row.iter().map(|e| e.0).collect();
+            for &j in &old_cols {
+                if new_cols.binary_search(&j).is_err() {
+                    self.rev_remove(j, i);
+                }
+            }
+            let ii = i as usize;
+            if self.row_patch[ii].is_none() {
+                self.patched_rows += 1;
+            }
+            self.row_patch[ii] =
+                Some(RowPatch { cols: new_cols, cells: new_row.iter().map(|e| e.1).collect() });
+            self.totals[ii] = history.totals(id);
+            if let Some(t_n) = self.freq.as_ref().map(|f| f.t_n) {
+                let agg = self.row_freq(i, t_n);
+                self.freq.as_mut().expect("checked above").agg[ii] = agg;
+            }
+        }
+        RefreshOutcome::Patched(dirty.len())
+    }
+
+    fn rev_row_mut(&mut self, rater: u32) -> &mut Vec<(u32, PairCounters)> {
+        let j = rater as usize;
+        if self.rev_patch[j].is_none() {
+            let (s, e) = (self.rev_offsets[j] as usize, self.rev_offsets[j + 1] as usize);
+            self.rev_patch[j] = Some(self.rev_entries[s..e].to_vec());
+        }
+        self.rev_patch[j].as_mut().expect("just filled")
+    }
+
+    fn rev_upsert(&mut self, rater: u32, ratee: u32, cell: PairCounters) {
+        let row = self.rev_row_mut(rater);
+        match row.binary_search_by_key(&ratee, |e| e.0) {
+            Ok(pos) => row[pos].1 = cell,
+            Err(pos) => row.insert(pos, (ratee, cell)),
+        }
+    }
+
+    fn rev_remove(&mut self, rater: u32, ratee: u32) {
+        let row = self.rev_row_mut(rater);
+        if let Ok(pos) = row.binary_search_by_key(&ratee, |e| e.0) {
+            row.remove(pos);
+        }
+    }
+}
+
+/// Logical equality of the frozen view: same interned nodes, same totals,
+/// same resolved forward rows — regardless of how much of either snapshot
+/// lives in refresh overlays. The reverse index and frequent aggregates are
+/// derived data and not compared.
+impl PartialEq for DetectionSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.totals == other.totals
+            && (0..self.n() as u32).all(|i| self.row(i) == other.row(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::SimTime;
+    use crate::rating::{Rating, RatingValue};
+
+    fn hist(ratings: &[(u64, u64, i8)]) -> InteractionHistory {
+        let mut h = InteractionHistory::new();
+        for (t, &(j, i, v)) in ratings.iter().enumerate() {
+            let value = match v {
+                1 => RatingValue::Positive,
+                0 => RatingValue::Neutral,
+                _ => RatingValue::Negative,
+            };
+            h.record(Rating::new(NodeId(j), NodeId(i), value, SimTime(t as u64)));
+        }
+        h
+    }
+
+    fn pseudo_history(seed: u64, n: u64, len: u64) -> InteractionHistory {
+        // deterministic splitmix-style stream, no RNG dependency needed
+        let mut h = InteractionHistory::new();
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for t in 0..len {
+            let a = next() % n;
+            let mut b = next() % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            let v = match next() % 3 {
+                0 => RatingValue::Negative,
+                1 => RatingValue::Neutral,
+                _ => RatingValue::Positive,
+            };
+            h.record(Rating::new(NodeId(a), NodeId(b), v, SimTime(t)));
+        }
+        h
+    }
+
+    /// Every probe of the snapshot equals the corresponding history call.
+    fn assert_matches_history(snap: &DetectionSnapshot, h: &InteractionHistory) {
+        for &ratee in snap.nodes() {
+            let i = snap.index(ratee).unwrap();
+            assert_eq!(snap.totals_of(i), h.totals(ratee));
+            assert_eq!(snap.signed(i), h.signed_reputation(ratee));
+            let (cols, cells) = snap.row(i);
+            assert_eq!(cols.len(), h.raters_of(ratee).len(), "row len of {ratee}");
+            let mut prev = None;
+            for (&c, &cell) in cols.iter().zip(cells) {
+                assert!(Some(c) > prev, "row of {ratee} not strictly ascending");
+                prev = Some(c);
+                let rater = snap.node_id(c);
+                assert_eq!(cell, h.pair(rater, ratee), "cell {rater}->{ratee}");
+                // the reverse probe sees the same counters
+                assert_eq!(snap.pair(c, i), cell, "rev probe {rater}->{ratee}");
+            }
+            // reverse rows agree with the forward structure
+            for &(r, cell) in snap.rev_row(i) {
+                assert_eq!(cell, h.pair(ratee, snap.node_id(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn build_matches_history_probes() {
+        let h = pseudo_history(7, 12, 400);
+        let nodes: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        assert_eq!(snap.n(), 12);
+        assert_matches_history(&snap, &h);
+    }
+
+    #[test]
+    fn interning_covers_raters_outside_the_view() {
+        // rater 99 is not in the caller's node list but rates node 1
+        let h = hist(&[(99, 1, 1), (2, 1, -1)]);
+        let snap = DetectionSnapshot::build(&h, &[NodeId(1), NodeId(2)]);
+        assert_eq!(snap.n(), 3);
+        let i1 = snap.index(NodeId(1)).unwrap();
+        assert_eq!(snap.row(i1).0.len(), 2);
+        let i99 = snap.index(NodeId(99)).unwrap();
+        assert_eq!(snap.pair(i99, i1).positive, 1);
+    }
+
+    #[test]
+    fn absent_pair_probe_is_zero() {
+        let h = hist(&[(1, 2, 1)]);
+        let snap = DetectionSnapshot::build(&h, &[NodeId(1), NodeId(2)]);
+        let (i1, i2) = (snap.index(NodeId(1)).unwrap(), snap.index(NodeId(2)).unwrap());
+        assert_eq!(snap.pair(i2, i1), PairCounters::default());
+        assert_eq!(snap.pair(i1, i2).total, 1);
+    }
+
+    #[test]
+    fn refresh_patches_dirty_rows_to_match_fresh_build() {
+        let mut h = pseudo_history(21, 16, 300);
+        let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let mut snap = DetectionSnapshot::build(&h, &nodes);
+        h.take_dirty();
+        // touch two ratees
+        h.record(Rating::positive(NodeId(3), NodeId(5), SimTime(1000)));
+        h.record(Rating::negative(NodeId(5), NodeId(3), SimTime(1001)));
+        let dirty = h.take_dirty();
+        assert_eq!(dirty, vec![NodeId(3), NodeId(5)]);
+        let outcome = snap.refresh(&h, &dirty);
+        assert_eq!(outcome, RefreshOutcome::Patched(2));
+        assert!(snap.patched_rows() <= 2);
+        assert_matches_history(&snap, &h);
+        assert_eq!(snap, DetectionSnapshot::build(&h, &nodes));
+    }
+
+    #[test]
+    fn refresh_with_new_node_rebuilds() {
+        let mut h = pseudo_history(3, 8, 100);
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let mut snap = DetectionSnapshot::build(&h, &nodes);
+        h.take_dirty();
+        h.record(Rating::positive(NodeId(200), NodeId(1), SimTime(500)));
+        let dirty = h.take_dirty();
+        let outcome = snap.refresh(&h, &dirty);
+        assert_eq!(outcome, RefreshOutcome::Rebuilt);
+        assert!(snap.index(NodeId(200)).is_some());
+        assert_matches_history(&snap, &h);
+    }
+
+    #[test]
+    fn refresh_compacts_when_most_rows_dirty() {
+        let mut h = pseudo_history(9, 10, 200);
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut snap = DetectionSnapshot::build(&h, &nodes);
+        h.take_dirty();
+        for t in 0..40 {
+            let a = t % 10;
+            let b = (t + 1) % 10;
+            h.record(Rating::positive(NodeId(a), NodeId(b), SimTime(2000 + t)));
+        }
+        let dirty = h.take_dirty();
+        let outcome = snap.refresh(&h, &dirty);
+        assert_eq!(outcome, RefreshOutcome::Rebuilt);
+        assert_eq!(snap.patched_rows(), 0);
+        assert_matches_history(&snap, &h);
+    }
+
+    #[test]
+    fn refresh_handles_split_off_rows() {
+        let mut h = pseudo_history(11, 12, 300);
+        let nodes: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let mut snap = DetectionSnapshot::build(&h, &nodes);
+        h.take_dirty();
+        let _slice = h.split_off_ratee(NodeId(4));
+        let dirty = h.take_dirty();
+        assert!(dirty.contains(&NodeId(4)));
+        snap.refresh(&h, &dirty);
+        let i4 = snap.index(NodeId(4)).unwrap();
+        assert!(snap.row(i4).0.is_empty());
+        assert_eq!(snap.totals_of(i4), NodeTotals::default());
+        assert_matches_history(&snap, &h);
+    }
+
+    #[test]
+    fn frequent_aggregates_match_direct_computation() {
+        let mut h = pseudo_history(5, 10, 500);
+        for t in 0..25 {
+            h.record(Rating::positive(NodeId(1), NodeId(2), SimTime(5000 + t)));
+        }
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let snap = DetectionSnapshot::build_with_frequent(&h, &nodes, 20);
+        for i in 0..snap.n() as u32 {
+            assert_eq!(snap.frequent_agg(20, i), Some(snap.row_freq(i, 20)));
+        }
+        // wrong t_n yields no cached aggregate
+        assert_eq!(snap.frequent_agg(19, 0), None);
+        // the boosted pair is counted
+        let i2 = snap.index(NodeId(2)).unwrap();
+        let (count, _) = snap.row_freq(i2, 20);
+        assert!(count >= 25);
+    }
+
+    #[test]
+    fn frequent_aggregates_survive_refresh() {
+        let mut h = pseudo_history(13, 10, 300);
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut snap = DetectionSnapshot::build_with_frequent(&h, &nodes, 20);
+        h.take_dirty();
+        for t in 0..30 {
+            h.record(Rating::positive(NodeId(7), NodeId(8), SimTime(9000 + t)));
+        }
+        let dirty = h.take_dirty();
+        snap.refresh(&h, &dirty);
+        for i in 0..snap.n() as u32 {
+            assert_eq!(snap.frequent_agg(20, i), Some(snap.row_freq(i, 20)));
+        }
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let mut h = pseudo_history(17, 14, 400);
+        let nodes: Vec<NodeId> = (0..14).map(NodeId).collect();
+        let fresh_base = DetectionSnapshot::build(&h, &nodes);
+        let mut patched = fresh_base.clone();
+        h.take_dirty();
+        h.record(Rating::negative(NodeId(2), NodeId(9), SimTime(7777)));
+        let dirty = h.take_dirty();
+        patched.refresh(&h, &dirty);
+        let fresh = DetectionSnapshot::build(&h, &nodes);
+        assert_eq!(patched, fresh);
+        assert_ne!(patched, fresh_base);
+    }
+
+    #[test]
+    fn empty_history_snapshot() {
+        let h = InteractionHistory::new();
+        let snap = DetectionSnapshot::build(&h, &[NodeId(1), NodeId(2)]);
+        assert_eq!(snap.n(), 2);
+        assert_eq!(snap.nnz(), 0);
+        let i1 = snap.index(NodeId(1)).unwrap();
+        assert!(snap.row(i1).0.is_empty());
+        assert_eq!(snap.signed(i1), 0);
+    }
+}

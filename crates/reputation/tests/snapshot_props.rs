@@ -1,0 +1,108 @@
+//! Property-based tests for the CSR detection snapshot.
+//!
+//! The snapshot is a frozen view of an [`InteractionHistory`]; these
+//! properties pin the two invariants the detectors lean on: the view is
+//! faithful under every history mutation path (`record`, `merge`,
+//! `split_off_ratee`, incremental `refresh`), and the rater lists that feed
+//! the CSR rows never contain duplicates.
+
+use collusion_reputation::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn ratings_strategy(n: u64, max_len: usize) -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..n, 0..n, 0..3u8, 0..500u64).prop_map(move |(a, b, v, t)| {
+            let value = match v {
+                0 => RatingValue::Negative,
+                1 => RatingValue::Neutral,
+                _ => RatingValue::Positive,
+            };
+            Rating::new(NodeId(a), NodeId(b), value, SimTime(t))
+        }),
+        0..max_len,
+    )
+}
+
+fn history_of(ratings: &[Rating]) -> InteractionHistory {
+    let mut h = InteractionHistory::new();
+    for r in ratings {
+        h.record(*r);
+    }
+    h
+}
+
+const N: u64 = 6;
+
+proptest! {
+    /// Merging two histories and snapshotting equals snapshotting the
+    /// history that recorded the concatenated rating stream directly.
+    /// (Snapshot equality is logical — nodes, totals, resolved rows — so
+    /// it is independent of how the counters were accumulated.)
+    #[test]
+    fn merge_then_snapshot_equals_snapshot_of_merged(
+        first in ratings_strategy(N, 200),
+        second in ratings_strategy(N, 200),
+    ) {
+        let nodes: Vec<NodeId> = (0..N).map(NodeId).collect();
+        let mut merged = history_of(&first);
+        merged.merge(&history_of(&second));
+        let all: Vec<Rating> = first.iter().chain(second.iter()).copied().collect();
+        let direct = history_of(&all);
+        let a = DetectionSnapshot::build(&merged, &nodes);
+        let b = DetectionSnapshot::build(&direct, &nodes);
+        prop_assert_eq!(a, b);
+    }
+
+    /// `raters_of` stays duplicate-free for every ratee across `merge` and
+    /// `split_off_ratee` round-trips (the CSR build trusts this: each rater
+    /// contributes exactly one column to a row).
+    #[test]
+    fn raters_of_duplicate_free_across_round_trips(
+        first in ratings_strategy(N, 200),
+        second in ratings_strategy(N, 200),
+        moved in 0..N,
+    ) {
+        let mut h = history_of(&first);
+        h.merge(&history_of(&second));
+        // split one ratee's row out and merge it back in
+        let slice = h.split_off_ratee(NodeId(moved));
+        h.merge(&slice);
+        for ratee in (0..N).map(NodeId) {
+            let raters = h.raters_of(ratee);
+            let unique: BTreeSet<NodeId> = raters.iter().copied().collect();
+            prop_assert_eq!(
+                unique.len(),
+                raters.len(),
+                "duplicate rater for {}: {:?}",
+                ratee,
+                raters
+            );
+            // and every listed rater genuinely rated the ratee
+            for &rater in raters {
+                prop_assert!(h.pair(rater, ratee).total > 0);
+            }
+        }
+    }
+
+    /// Incremental `refresh` over the dirty-ratee set converges to the same
+    /// snapshot a full rebuild produces, no matter how the extra ratings
+    /// are spread.
+    #[test]
+    fn refresh_equals_rebuild(
+        base in ratings_strategy(N, 200),
+        extra in ratings_strategy(N, 60),
+    ) {
+        let nodes: Vec<NodeId> = (0..N).map(NodeId).collect();
+        let mut h = history_of(&base);
+        h.clear_dirty();
+        let mut snap = DetectionSnapshot::build(&h, &nodes);
+        for r in &extra {
+            h.record(*r);
+        }
+        let dirty = h.take_dirty();
+        snap.refresh(&h, &dirty);
+        let rebuilt = DetectionSnapshot::build(&h, &nodes);
+        prop_assert_eq!(snap, rebuilt);
+    }
+}

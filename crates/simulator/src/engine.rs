@@ -21,11 +21,12 @@ use crate::peer::{build_peers, NodeKind, Peer};
 use collusion_core::basic::BasicDetector;
 use collusion_core::cost::CostSnapshot;
 use collusion_core::group::{GroupDetector, GroupDetectorConfig};
-use collusion_core::input::DetectionInput;
+use collusion_core::input::{DetectionInput, SnapshotInput};
 use collusion_core::optimized::OptimizedDetector;
 use collusion_core::policy::DetectionPolicy;
 use collusion_reputation::eigentrust::{EigenTrust, NormalizedWeightedEngine, WeightedSumEngine};
 use collusion_reputation::history::InteractionHistory;
+use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::id::{NodeId, SimTime};
 use collusion_reputation::rating::Rating;
 use rand::rngs::SmallRng;
@@ -42,6 +43,10 @@ pub struct Simulation {
     cycle_history: InteractionHistory,
     /// Per-cycle histories of the last `detection_window_cycles` cycles.
     recent: std::collections::VecDeque<InteractionHistory>,
+    /// CSR view of the cumulative history, refreshed incrementally from the
+    /// dirty-ratee set each detection period (cumulative mode only; windowed
+    /// runs rebuild a fresh snapshot of the merged window every period).
+    snapshot: Option<DetectionSnapshot>,
     /// Global reputation, indexed by raw node id (index 0 unused).
     reputation: Vec<f64>,
     detected: BTreeSet<NodeId>,
@@ -70,6 +75,7 @@ impl Simulation {
             history: InteractionHistory::new(),
             cycle_history: InteractionHistory::new(),
             recent: std::collections::VecDeque::new(),
+            snapshot: None,
             reputation: vec![0.0; n + 1],
             detected: BTreeSet::new(),
             rng,
@@ -286,34 +292,63 @@ impl Simulation {
     /// re-confirms them (the paper's manager "periodically updates the
     /// matrix … and detects collusion"). Server selection only ever sees
     /// the post-mitigation values.
+    ///
+    /// The pair detectors run on a [`DetectionSnapshot`]: cumulative runs
+    /// keep one snapshot alive and patch only the ratees dirtied since the
+    /// previous period, windowed runs rebuild from the merged window.
     fn run_detection(&mut self) {
         if self.config.detector != DetectorKind::None {
             let nodes: Vec<NodeId> = (1..=self.config.n_nodes).map(NodeId).collect();
-            let rep_map: HashMap<NodeId, f64> = nodes
-                .iter()
-                .map(|&id| (id, self.reputation[id.raw() as usize]))
-                .collect();
+            let t_n = self.config.thresholds.t_n;
             // period T: windowed detectors see only the last w cycles
-            let windowed: InteractionHistory;
-            let detection_history: &InteractionHistory =
+            let windowed: Option<InteractionHistory> =
                 if self.config.detection_window_cycles.is_some() {
                     let mut merged = InteractionHistory::new();
                     for h in &self.recent {
                         merged.merge(h);
                     }
-                    windowed = merged;
-                    &windowed
+                    Some(merged)
                 } else {
-                    &self.history
+                    None
                 };
-            let input = DetectionInput::new(detection_history, &nodes, rep_map);
+            // drain the dirty set every period so cumulative runs can patch
+            // instead of rebuild (windowed runs discard it — their snapshot
+            // is rebuilt from the merged window anyway)
+            let dirty = self.history.take_dirty();
+            let fresh: Option<DetectionSnapshot>;
+            let snap: &DetectionSnapshot = match &windowed {
+                Some(h) => {
+                    fresh = Some(DetectionSnapshot::build_with_frequent(h, &nodes, t_n));
+                    fresh.as_ref().expect("just built")
+                }
+                None => {
+                    match self.snapshot.as_mut() {
+                        Some(s) => {
+                            s.refresh(&self.history, &dirty);
+                        }
+                        None => {
+                            self.snapshot = Some(DetectionSnapshot::build_with_frequent(
+                                &self.history,
+                                &nodes,
+                                t_n,
+                            ));
+                        }
+                    }
+                    self.snapshot.as_ref().expect("just built")
+                }
+            };
+            let reputation = &self.reputation;
+            let input =
+                SnapshotInput::with_reputation_fn(snap, &nodes, |id| {
+                    reputation[id.raw() as usize]
+                });
             let (implicated, cost) = match self.config.detector {
                 DetectorKind::Basic => {
                     let report = BasicDetector::with_policy(
                         self.config.thresholds,
                         DetectionPolicy::EXTENDED,
                     )
-                    .detect(&input);
+                    .detect_snapshot(&input);
                     (report.colluders(), report.cost)
                 }
                 DetectorKind::Optimized => {
@@ -321,7 +356,7 @@ impl Simulation {
                         self.config.thresholds,
                         DetectionPolicy::EXTENDED,
                     )
-                    .detect(&input);
+                    .detect_snapshot(&input);
                     (report.colluders(), report.cost)
                 }
                 DetectorKind::GroupAware => {
@@ -329,11 +364,21 @@ impl Simulation {
                         self.config.thresholds,
                         DetectionPolicy::EXTENDED,
                     )
-                    .detect(&input);
+                    .detect_snapshot(&input);
+                    // the group detector walks raw rating rows, so it keeps
+                    // the history-backed input
+                    let rep_map: HashMap<NodeId, f64> = nodes
+                        .iter()
+                        .map(|&id| (id, self.reputation[id.raw() as usize]))
+                        .collect();
+                    let detection_history: &InteractionHistory =
+                        windowed.as_ref().unwrap_or(&self.history);
+                    let legacy =
+                        DetectionInput::from_sorted(detection_history, nodes.clone(), rep_map);
                     let groups = GroupDetector::new(GroupDetectorConfig::from_thresholds(
                         self.config.thresholds,
                     ))
-                    .detect(&input);
+                    .detect(&legacy);
                     let mut implicated = report.colluders();
                     implicated.extend(groups.colluders());
                     (implicated, report.cost)

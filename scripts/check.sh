@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the whole test suite.
+# Offline-safe — never touches the network (run `cargo fetch` once if the
+# local registry cache is cold).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+echo "All checks passed."

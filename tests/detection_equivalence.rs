@@ -123,6 +123,104 @@ fn detection_is_deterministic() {
 }
 
 #[test]
+fn snapshot_paths_are_bit_identical_across_seeds() {
+    // The CSR snapshot kernels must reproduce the HashMap-backed detectors
+    // exactly: same suspect pairs AND the same metered cost, for both
+    // detectors under both policies.
+    for seed in 0..10u64 {
+        let (h, nodes) = random_history(400 + seed, 40, 3);
+        let legacy_input = DetectionInput::from_signed_history(&h, &nodes);
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        let snap_input = SnapshotInput::from_signed(&snap, &nodes);
+        for policy in [DetectionPolicy::STRICT, DetectionPolicy::EXTENDED] {
+            let basic = BasicDetector::with_policy(thresholds(), policy);
+            let legacy = basic.detect(&legacy_input);
+            let fast = basic.detect_snapshot(&snap_input);
+            assert_eq!(legacy.pairs, fast.pairs, "seed {seed}, {policy:?}: basic pairs");
+            assert_eq!(legacy.cost, fast.cost, "seed {seed}, {policy:?}: basic cost");
+            let optimized = OptimizedDetector::with_policy(thresholds(), policy);
+            let legacy = optimized.detect(&legacy_input);
+            let fast = optimized.detect_snapshot(&snap_input);
+            assert_eq!(legacy.pairs, fast.pairs, "seed {seed}, {policy:?}: optimized pairs");
+            assert_eq!(legacy.cost, fast.cost, "seed {seed}, {policy:?}: optimized cost");
+        }
+    }
+}
+
+#[test]
+fn precomputed_frequent_aggregates_stay_bit_identical() {
+    // build_with_frequent serves the frequent sums from the precomputed
+    // table, but the metered cost must not change (the meter models the
+    // paper's algorithm, not our shortcut).
+    for seed in 0..5u64 {
+        let (h, nodes) = random_history(500 + seed, 40, 3);
+        let legacy_input = DetectionInput::from_signed_history(&h, &nodes);
+        let snap = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds().t_n);
+        let snap_input = SnapshotInput::from_signed(&snap, &nodes);
+        let det = OptimizedDetector::with_policy(thresholds(), DetectionPolicy::EXTENDED);
+        let legacy = det.detect(&legacy_input);
+        let fast = det.detect_snapshot(&snap_input);
+        assert_eq!(legacy.pairs, fast.pairs, "seed {seed}: pairs");
+        assert_eq!(legacy.cost, fast.cost, "seed {seed}: cost");
+    }
+}
+
+#[test]
+fn parallel_snapshot_optimized_agrees_across_seeds() {
+    for seed in 0..10u64 {
+        let (h, nodes) = random_history(600 + seed, 40, 3);
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        let input = SnapshotInput::from_signed(&snap, &nodes);
+        for policy in [DetectionPolicy::STRICT, DetectionPolicy::EXTENDED] {
+            let det = OptimizedDetector::with_policy(thresholds(), policy);
+            assert_eq!(
+                det.detect_snapshot(&input).pairs,
+                det.detect_par(&input).pairs,
+                "seed {seed}, {policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_refresh_matches_fresh_build_detection() {
+    // Grow a history, patch the live snapshot from the dirty set, and
+    // check both the snapshot and the detection it feeds are identical to
+    // a from-scratch rebuild.
+    for seed in 0..5u64 {
+        let (mut h, nodes) = random_history(700 + seed, 40, 2);
+        h.clear_dirty();
+        let mut snap = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds().t_n);
+        // second wave of traffic, including a fresh colluding pair
+        let mut rng = SmallRng::seed_from_u64(9000 + seed);
+        let mut t = 1_000_000u64;
+        for _ in 0..60 {
+            let a = rng.random_range(1..=40u64);
+            let mut b = rng.random_range(1..=40u64);
+            if a == b {
+                b = 1 + b % 40;
+            }
+            h.record(Rating::negative(NodeId(a), NodeId(b), SimTime(t)));
+            t += 1;
+        }
+        for _ in 0..50 {
+            h.record(Rating::positive(NodeId(31), NodeId(32), SimTime(t)));
+            h.record(Rating::positive(NodeId(32), NodeId(31), SimTime(t)));
+            t += 1;
+        }
+        let dirty = h.take_dirty();
+        snap.refresh(&h, &dirty);
+        let rebuilt = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds().t_n);
+        assert_eq!(snap, rebuilt, "seed {seed}: refreshed snapshot diverged");
+        let det = OptimizedDetector::with_policy(thresholds(), DetectionPolicy::EXTENDED);
+        let patched = det.detect_snapshot(&SnapshotInput::from_signed(&snap, &nodes));
+        let fresh = det.detect_snapshot(&SnapshotInput::from_signed(&rebuilt, &nodes));
+        assert_eq!(patched.pairs, fresh.pairs, "seed {seed}: pairs");
+        assert_eq!(patched.cost, fresh.cost, "seed {seed}: cost");
+    }
+}
+
+#[test]
 fn decentralized_message_count_scales_with_manager_dispersion() {
     let (h, nodes) = random_history(11, 60, 4);
     let input = DetectionInput::from_signed_history(&h, &nodes);
