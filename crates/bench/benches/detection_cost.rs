@@ -59,30 +59,18 @@ fn bench_detection(c: &mut Criterion) {
     for &colluders in &[8u64, 28, 58] {
         let (h, nodes) = build_history(200, colluders, 42);
         let input = DetectionInput::from_signed_history(&h, &nodes);
-        group.bench_with_input(
-            BenchmarkId::new("basic", colluders),
-            &input,
-            |bench, input| {
-                let det = BasicDetector::new(thresholds);
-                bench.iter(|| black_box(det.detect(black_box(input))));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("basic_par", colluders),
-            &input,
-            |bench, input| {
-                let det = BasicDetector::new(thresholds);
-                bench.iter(|| black_box(det.detect_par(black_box(input))));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("optimized", colluders),
-            &input,
-            |bench, input| {
-                let det = OptimizedDetector::new(thresholds);
-                bench.iter(|| black_box(det.detect(black_box(input))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("basic", colluders), &input, |bench, input| {
+            let det = BasicDetector::new(thresholds);
+            bench.iter(|| black_box(det.detect(black_box(input))));
+        });
+        group.bench_with_input(BenchmarkId::new("basic_par", colluders), &input, |bench, input| {
+            let det = BasicDetector::new(thresholds);
+            bench.iter(|| black_box(det.detect_par(black_box(input))));
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", colluders), &input, |bench, input| {
+            let det = OptimizedDetector::new(thresholds);
+            bench.iter(|| black_box(det.detect(black_box(input))));
+        });
         // snapshot variants: the CSR view is built once per detection pass,
         // so it lives outside the timed loop (the refresh group below times
         // the build itself)
@@ -126,15 +114,13 @@ fn bench_snapshot_refresh(c: &mut Criterion) {
     let base = DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds.t_n);
     // dirty ~2% of the ratees with one extra rating each
     let mut rng = SmallRng::seed_from_u64(7);
-    let mut t = 10_000_000u64;
-    for _ in 0..n / 50 {
+    for t in 10_000_000u64..10_000_000 + n / 50 {
         let i = NodeId(rng.random_range(1..=n));
         let mut j = NodeId(rng.random_range(1..=n));
         if i == j {
             j = NodeId(1 + j.raw() % n);
         }
         h.record(Rating::positive(i, j, SimTime(t)));
-        t += 1;
     }
     let dirty: Vec<NodeId> = h.dirty_ratees().collect();
 

@@ -131,15 +131,13 @@ fn main() {
     });
     let base = snap.clone();
     let mut rng = SmallRng::seed_from_u64(7);
-    let mut t = 100_000_000u64;
-    for _ in 0..(n / 50).max(1) {
+    for t in 100_000_000u64..100_000_000 + (n / 50).max(1) {
         let i = NodeId(rng.random_range(1..=n));
         let mut j = NodeId(rng.random_range(1..=n));
         if i == j {
             j = NodeId(1 + j.raw() % n);
         }
         h.record(Rating::positive(i, j, SimTime(t)));
-        t += 1;
     }
     let dirty: Vec<NodeId> = h.dirty_ratees().collect();
     let dirty_fraction = dirty.len() as f64 / n as f64;
@@ -192,7 +190,9 @@ fn main() {
 
     // Hand-rolled JSON: the workspace deliberately carries no JSON dep.
     let mut json = String::from("{\n");
-    json.push_str(&format!("  \"n\": {n},\n  \"iters\": {iters},\n  \"colluders\": {colluders},\n"));
+    json.push_str(&format!(
+        "  \"n\": {n},\n  \"iters\": {iters},\n  \"colluders\": {colluders},\n"
+    ));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };

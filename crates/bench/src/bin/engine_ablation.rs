@@ -41,10 +41,7 @@ fn main() {
     let runs = 5;
     for (name, engine) in [
         ("raw-sum", ReputationEngine::WeightedSum(WeightedSumConfig::default())),
-        (
-            "trust-normalized",
-            ReputationEngine::NormalizedWeightedSum(WeightedSumConfig::default()),
-        ),
+        ("trust-normalized", ReputationEngine::NormalizedWeightedSum(WeightedSumConfig::default())),
         ("first-hand", ReputationEngine::FirstHand),
     ] {
         println!("== engine: {name} ==");

@@ -29,7 +29,9 @@ fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().expect("--scale needs a value").parse().expect("scale"),
+            "--scale" => {
+                scale = args.next().expect("--scale needs a value").parse().expect("scale")
+            }
             "--runs" => runs = args.next().expect("--runs needs a value").parse().expect("runs"),
             "--seed" => seed = args.next().expect("--seed needs a value").parse().expect("seed"),
             "--csv" => csv_dir = Some(args.next().expect("--csv needs a directory").into()),
@@ -54,8 +56,8 @@ fn write_csv(dir: &Option<std::path::PathBuf>, name: &str, content: String) {
 fn main() {
     let args = parse_args();
     let all = [
-        "fig1a", "fig1b", "fig1c", "fig1d", "sec3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig1a", "fig1b", "fig1c", "fig1d", "sec3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "fig12", "fig13",
     ];
     let targets: Vec<&str> = if args.targets.iter().any(|t| t == "all") {
         all.to_vec()
@@ -96,11 +98,8 @@ fn main() {
                 render::render_fig4(&f)
             }
             "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" => {
-                let label: &'static str = all
-                    .iter()
-                    .find(|&&l| l == target)
-                    .copied()
-                    .expect("known label");
+                let label: &'static str =
+                    all.iter().find(|&&l| l == target).copied().expect("known label");
                 {
                     let f = figures::rep_distribution(label, args.seed, args.runs);
                     write_csv(&args.csv_dir, label, render::csv::rep_distribution(&f));

@@ -1,0 +1,99 @@
+//! Robustness curves for decentralized detection (`BENCH_robustness.json`).
+//!
+//! Sweeps message-drop probability × manager-churn rate over the standard
+//! robustness scenario ([`RobustnessConfig::standard`]) and records, per
+//! grid point, the recall of the confirmed suspect-pair set against the
+//! fault-free baseline, the fraction of baseline pairs still *reported*
+//! (confirmed or unconfirmed — the graceful-degradation guarantee), and the
+//! message overhead paid by retries and replication:
+//!
+//! ```text
+//! cargo run --release -p collusion-bench --bin robustness_json -- [nodes] [out]
+//! ```
+//!
+//! Defaults: `nodes = 200` (the paper's evaluation size),
+//! `out = BENCH_robustness.json`. Every grid point is deterministic in its
+//! seeds; re-running the binary reproduces the file bit for bit.
+
+use collusion_core::prelude::FaultPlan;
+use collusion_sim::robustness::{run_robustness, RobustnessConfig, RobustnessOutcome};
+
+struct GridPoint {
+    drop: f64,
+    crashes_per_period: usize,
+    out: RobustnessOutcome,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_robustness.json".to_string());
+
+    let drops = [0.0, 0.1, 0.3];
+    let churn_rates = [0usize, 1, 2];
+    let mut grid: Vec<GridPoint> = Vec::new();
+    for &drop in &drops {
+        for &crashes in &churn_rates {
+            let plan = if drop > 0.0 {
+                FaultPlan::with_drop(drop, 0xD0_u64 + (drop * 10.0) as u64)
+            } else {
+                FaultPlan::none()
+            }
+            .with_churn(crashes, crashes, 0xC0FF_EE00 + crashes as u64);
+            let mut cfg = RobustnessConfig::standard(42).with_plan(plan);
+            cfg.sim.n_nodes = nodes;
+            eprintln!("robustness: drop={drop} crashes/period={crashes} …");
+            let out = run_robustness(&cfg);
+            eprintln!(
+                "  recall={:.3} reported={:.3} overhead={:.3} unconfirmed={} lost={}",
+                out.recall,
+                out.reported_fraction,
+                out.message_overhead,
+                out.unconfirmed_pairs.len(),
+                out.lost_nodes
+            );
+            grid.push(GridPoint { drop, crashes_per_period: crashes, out });
+        }
+    }
+
+    // Hand-rolled JSON: the workspace deliberately carries no JSON dep.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"nodes\": {nodes},\n  \"managers\": 16,\n  \"replication\": 3,\n  \"churn_periods\": 4,\n"
+    ));
+    json.push_str("  \"grid\": [\n");
+    for (i, p) in grid.iter().enumerate() {
+        let sep = if i + 1 == grid.len() { "" } else { "," };
+        let o = &p.out;
+        json.push_str(&format!(
+            "    {{\"drop\": {:.2}, \"crashes_per_period\": {}, \"joins_per_period\": {}, \
+             \"recall\": {:.4}, \"reported_fraction\": {:.4}, \"message_overhead\": {:.4}, \
+             \"baseline_pairs\": {}, \"confirmed_pairs\": {}, \"unconfirmed_pairs\": {}, \
+             \"detection_messages\": {}, \"baseline_messages\": {}, \"retries\": {}, \
+             \"messages_dropped\": {}, \"completeness\": {:.4}, \"crashed\": {}, \"joined\": {}, \
+             \"recovered_nodes\": {}, \"lost_nodes\": {}}}{sep}\n",
+            p.drop,
+            p.crashes_per_period,
+            p.crashes_per_period,
+            o.recall,
+            o.reported_fraction,
+            o.message_overhead,
+            o.baseline_pairs.len(),
+            o.confirmed_pairs.len(),
+            o.unconfirmed_pairs.len(),
+            o.detection_messages,
+            o.baseline_messages,
+            o.fault.retries,
+            o.fault.messages_dropped,
+            o.fault.completeness(),
+            o.crashed,
+            o.joined,
+            o.recovered_nodes,
+            o.lost_nodes,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

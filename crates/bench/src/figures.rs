@@ -61,11 +61,9 @@ pub fn fig1b(scale: f64, seed: u64) -> Fig1b {
     let reputation = stats.seller(seller).map(|s| s.reputation()).unwrap_or(0.0);
     let classified = classify_all_raters(&trace.trace, seller, 15, 0.1);
     let mut raters = Vec::with_capacity(5);
-    for (pattern, quota) in [
-        (RaterPattern::Rival, 1usize),
-        (RaterPattern::Booster, 2),
-        (RaterPattern::Mixed, 2),
-    ] {
+    for (pattern, quota) in
+        [(RaterPattern::Rival, 1usize), (RaterPattern::Booster, 2), (RaterPattern::Mixed, 2)]
+    {
         for (rater, _, p) in classified.iter().filter(|r| r.2 == pattern).take(quota) {
             raters.push((*rater, *p, rating_timeline(&trace.trace, *rater, seller)));
         }
@@ -87,10 +85,8 @@ pub fn fig1c(scale: f64, seed: u64) -> Fig1c {
     let suspicious: Vec<NodeId> = trace.colluding_sellers().into_iter().take(5).collect();
     let honest: Vec<NodeId> = (18..22).map(NodeId).collect();
     let mut rows = Vec::new();
-    for (&seller, is_sus) in suspicious
-        .iter()
-        .map(|s| (s, true))
-        .chain(honest.iter().map(|s| (s, false)))
+    for (&seller, is_sus) in
+        suspicious.iter().map(|s| (s, true)).chain(honest.iter().map(|s| (s, false)))
     {
         let (mean, max, var) = stats.rater_summary(&trace.trace, seller);
         rows.push((seller, is_sus, mean, max, var));
@@ -218,12 +214,7 @@ mod tests {
         let s = fig4(0.8, 0.2);
         // at fixed n_i, the lower bound rises with n_ji
         let n_i = 200;
-        let lowers: Vec<f64> = s
-            .points
-            .iter()
-            .filter(|p| p.0 == n_i)
-            .map(|p| p.2)
-            .collect();
+        let lowers: Vec<f64> = s.points.iter().filter(|p| p.0 == n_i).map(|p| p.2).collect();
         assert!(lowers.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -81,28 +81,18 @@ pub fn render_fig4(s: &Fig4Surface) -> String {
 /// the first 20 nodes (the paper's (a)/(b) panels).
 pub fn render_rep_distribution(f: &RepDistribution) -> String {
     let m = &f.metrics;
-    let mut out = format!(
-        "{} — reputation distribution ({} runs averaged)\n",
-        f.label, m.runs
-    );
-    out.push_str(&format!(
-        "  requests to colluders: {:.2}%\n",
-        m.fraction_to_colluders * 100.0
-    ));
+    let mut out = format!("{} — reputation distribution ({} runs averaged)\n", f.label, m.runs);
+    out.push_str(&format!("  requests to colluders: {:.2}%\n", m.fraction_to_colluders * 100.0));
     if !m.detection_counts.is_empty() {
-        let detected: Vec<String> = m
-            .detection_counts
-            .iter()
-            .map(|(n, c)| format!("{n}({c}/{})", m.runs))
-            .collect();
+        let detected: Vec<String> =
+            m.detection_counts.iter().map(|(n, c)| format!("{n}({c}/{})", m.runs)).collect();
         out.push_str(&format!("  detected: {}\n", detected.join(" ")));
     }
     out.push_str("  first 20 nodes (paper panel (b)):\n  node  reputation\n");
     for id in 1..=20u64.min(m.reputation.len() as u64 - 1) {
         out.push_str(&format!("  n{id:<4} {:>9.4}\n", m.reputation[id as usize]));
     }
-    let mut top: Vec<(usize, f64)> =
-        m.reputation.iter().copied().enumerate().skip(1).collect();
+    let mut top: Vec<(usize, f64)> = m.reputation.iter().copied().enumerate().skip(1).collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     out.push_str("  top-10 overall (paper panel (a) skew):\n");
     for (id, rep) in top.into_iter().take(10) {

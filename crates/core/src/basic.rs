@@ -210,8 +210,7 @@ impl BasicDetector {
                 pair = *cell;
                 continue;
             }
-            if self.policy.community_excludes_frequent && self.thresholds.is_frequent(cell.total)
-            {
+            if self.policy.community_excludes_frequent && self.thresholds.is_frequent(cell.total) {
                 continue; // a fellow booster, not community (see policy docs)
             }
             n_other += cell.total;
@@ -529,11 +528,7 @@ mod tests {
         let report = BasicDetector::new(thresholds()).detect(&input);
         assert_eq!(
             report.pair_ids(),
-            vec![
-                (NodeId(1), NodeId(2)),
-                (NodeId(5), NodeId(6)),
-                (NodeId(7), NodeId(8)),
-            ]
+            vec![(NodeId(1), NodeId(2)), (NodeId(5), NodeId(6)), (NodeId(7), NodeId(8)),]
         );
     }
 }

@@ -92,7 +92,12 @@ pub struct Calibration {
 /// positive base rate, so `T_b` is the 10th percentile of `b` among
 /// high-`a` pairs, ceilinged at the overall median of `b` (flagging only
 /// community outliers). `T_R` is carried over from `base`.
-pub fn calibrate(history: &InteractionHistory, nodes: &[NodeId], t_n: u64, base: Thresholds) -> Calibration {
+pub fn calibrate(
+    history: &InteractionHistory,
+    nodes: &[NodeId],
+    t_n: u64,
+    base: Thresholds,
+) -> Calibration {
     let mut observations = Vec::new();
     for &ratee in nodes {
         for &rater in history.raters_of(ratee) {

@@ -15,6 +15,7 @@
 
 use crate::basic::BasicDetector;
 use crate::cost::CostMeter;
+use crate::fault::{FaultPlan, FaultSession, FaultStats};
 use crate::input::{DetectionInput, SnapshotInput};
 use crate::model::{DirectionEvidence, SuspectPair};
 use crate::optimized::OptimizedDetector;
@@ -49,11 +50,22 @@ pub struct DecentralizedDetector {
 }
 
 /// Result of a decentralized pass, with communication costs.
+///
+/// Under fault injection the suspect pairs partition into *confirmed* (the
+/// cross-manager round-trip completed and the partner verified) and
+/// *unconfirmed* (the forward test fired but the confirmation exchange
+/// exhausted its retry budget — degraded, forward-evidence-only findings
+/// that are reported instead of silently dropped). A fault-free run has an
+/// empty `unconfirmed` set and `fault.completeness() == 1.0`.
 #[derive(Clone, Debug)]
 pub struct DecentralizedOutcome {
-    /// The detection report (pairs + local operation cost).
+    /// The detection report of confirmed pairs (+ local operation cost).
     pub report: DetectionReport,
-    /// Manager-to-manager messages (requests + responses).
+    /// Suspect pairs whose confirmation exchange failed under faults:
+    /// forward evidence only, partner verdict unknown.
+    pub unconfirmed: Vec<SuspectPair>,
+    /// Manager-to-manager messages (requests + responses actually sent,
+    /// including retransmissions and dropped messages).
     pub messages: u64,
     /// Chord routing hops consumed by those messages.
     pub dht_hops: u64,
@@ -61,6 +73,8 @@ pub struct DecentralizedOutcome {
     pub manager_count: usize,
     /// How many nodes each manager was responsible for.
     pub load: HashMap<NodeId, usize>,
+    /// Fault accounting: retries, drops, failed exchanges, completeness.
+    pub fault: FaultStats,
 }
 
 impl DecentralizedDetector {
@@ -79,7 +93,32 @@ impl DecentralizedDetector {
     /// once, so every manager's row walk and every partner probe is an
     /// array access — the reported pairs, metered costs, messages and hops
     /// are identical to the former hash-map implementation.
+    ///
+    /// Equivalent to [`DecentralizedDetector::detect_with_faults`] with
+    /// [`FaultPlan::none`] — bit-identical by the zero-draw contract.
     pub fn detect(&self, input: &DetectionInput<'_>, managers: &[NodeId]) -> DecentralizedOutcome {
+        self.detect_with_faults(input, managers, &FaultPlan::none())
+    }
+
+    /// Run detection with `managers` as the DHT power nodes, injecting the
+    /// message faults of `plan` into every cross-manager confirmation.
+    ///
+    /// Each confirmation is a request/response exchange through a
+    /// [`FaultSession`]: dropped messages are retried (with exponential
+    /// backoff) up to the plan's budget, every transmission is counted in
+    /// `messages` and metered, and the request is re-routed per attempt (so
+    /// `dht_hops` reflects retransmissions too). A pair whose exchange fails
+    /// outright degrades into the `unconfirmed` set instead of vanishing.
+    ///
+    /// Note: `plan.churn` is ignored here — a detector run is a single
+    /// round over a fixed manager set; per-period churn is driven by
+    /// [`crate::system::DecentralizedSystem::apply_churn`].
+    pub fn detect_with_faults(
+        &self,
+        input: &DetectionInput<'_>,
+        managers: &[NodeId],
+        plan: &FaultPlan,
+    ) -> DecentralizedOutcome {
         assert!(!managers.is_empty(), "need at least one reputation manager");
         // Build the manager ring.
         let mut ring = ChordRing::new();
@@ -108,10 +147,12 @@ impl DecentralizedDetector {
         let meter = CostMeter::new();
         let mut cache: Vec<Option<(u64, i64)>> = vec![None; snap.n()];
         let router = Router::new(&ring);
+        let mut session = FaultSession::new(plan);
         let mut messages = 0u64;
         let mut dht_hops = 0u64;
         let mut checked = PairSet::default();
         let mut pairs: Vec<SuspectPair> = Vec::new();
+        let mut unconfirmed: Vec<SuspectPair> = Vec::new();
 
         // deterministic manager order
         let mut manager_list: Vec<NodeId> = responsibility.keys().copied().collect();
@@ -150,10 +191,21 @@ impl DecentralizedDetector {
                     let local = partner_key == my_key;
                     if !local {
                         let route = router.lookup(my_key, consistent_hash(j.raw(), 64));
-                        dht_hops += route.hops as u64;
-                        messages += 2; // request + response
-                        meter.message();
-                        meter.message();
+                        let exchange = session.exchange();
+                        // every attempt re-routes its request
+                        dht_hops += route.hops as u64 * exchange.attempts as u64;
+                        messages += exchange.messages;
+                        for _ in 0..exchange.messages {
+                            meter.message();
+                        }
+                        if !exchange.delivered {
+                            // Degraded finding: the partner never answered,
+                            // so report the pair as unconfirmed rather than
+                            // silently dropping it (probe-once semantics —
+                            // `checked` already holds the pair).
+                            unconfirmed.push(SuspectPair::new(j, i, Some(ev_fwd), None));
+                            continue;
+                        }
                     }
                     // Partner-side verification: R_j ≥ T_R + reverse test.
                     if !self.thresholds.is_high_reputed(sinput.reputation_of_idx(j_idx)) {
@@ -171,10 +223,12 @@ impl DecentralizedDetector {
         let load = responsibility.iter().map(|(&m, v)| (m, v.len())).collect();
         DecentralizedOutcome {
             report: DetectionReport::new(pairs, meter.snapshot()),
+            unconfirmed,
             messages,
             dht_hops,
             manager_count: manager_list.len(),
             load,
+            fault: session.stats(),
         }
     }
 
@@ -187,10 +241,19 @@ impl DecentralizedDetector {
         cache: &mut [Option<(u64, i64)>],
     ) -> Option<DirectionEvidence> {
         match self.method {
-            Method::Basic => BasicDetector::new(self.thresholds)
-                .check_direction_snap(snap, ratee, Some(rater), meter),
-            Method::Optimized => OptimizedDetector::new(self.thresholds)
-                .direction_cached(snap, ratee, Some(rater), meter, cache),
+            Method::Basic => BasicDetector::new(self.thresholds).check_direction_snap(
+                snap,
+                ratee,
+                Some(rater),
+                meter,
+            ),
+            Method::Optimized => OptimizedDetector::new(self.thresholds).direction_cached(
+                snap,
+                ratee,
+                Some(rater),
+                meter,
+                cache,
+            ),
         }
     }
 }
@@ -242,8 +305,8 @@ mod tests {
         let input = DetectionInput::from_signed_history(&h, &nodes);
         let central = OptimizedDetector::new(thresholds()).detect(&input);
         let managers: Vec<NodeId> = (100..108).map(NodeId).collect();
-        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
-            .detect(&input, &managers);
+        let dec =
+            DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &managers);
         assert_eq!(dec.report.pair_ids(), central.pair_ids());
     }
 
@@ -253,8 +316,7 @@ mod tests {
         let input = DetectionInput::from_signed_history(&h, &nodes);
         let central = BasicDetector::new(thresholds()).detect(&input);
         let managers: Vec<NodeId> = (100..104).map(NodeId).collect();
-        let dec =
-            DecentralizedDetector::new(thresholds(), Method::Basic).detect(&input, &managers);
+        let dec = DecentralizedDetector::new(thresholds(), Method::Basic).detect(&input, &managers);
         assert_eq!(dec.report.pair_ids(), central.pair_ids());
     }
 
@@ -276,8 +338,8 @@ mod tests {
         let input = DetectionInput::from_signed_history(&h, &nodes);
         // many managers → colluder partners usually live on different managers
         let managers: Vec<NodeId> = (100..164).map(NodeId).collect();
-        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
-            .detect(&input, &managers);
+        let dec =
+            DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &managers);
         assert_eq!(dec.report.pairs.len(), 3);
         assert!(dec.messages > 0, "expected cross-manager confirmations");
         assert_eq!(dec.messages % 2, 0, "messages come in request/response pairs");
@@ -288,8 +350,8 @@ mod tests {
         let (h, nodes) = scenario();
         let input = DetectionInput::from_signed_history(&h, &nodes);
         let managers: Vec<NodeId> = (100..116).map(NodeId).collect();
-        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
-            .detect(&input, &managers);
+        let dec =
+            DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &managers);
         let total: usize = dec.load.values().sum();
         assert_eq!(total, nodes.len());
     }
@@ -307,8 +369,110 @@ mod tests {
         let (h, nodes) = scenario();
         let input = DetectionInput::from_signed_history(&h, &nodes);
         let managers = vec![NodeId(100), NodeId(100), NodeId(101)];
-        let dec = DecentralizedDetector::new(thresholds(), Method::Optimized)
-            .detect(&input, &managers);
+        let dec =
+            DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &managers);
         assert_eq!(dec.report.pairs.len(), 3);
+    }
+
+    #[test]
+    fn fault_free_run_reports_full_completeness() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers: Vec<NodeId> = (100..132).map(NodeId).collect();
+        let dec =
+            DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &managers);
+        assert!(dec.unconfirmed.is_empty());
+        assert_eq!(dec.fault.failed_exchanges, 0);
+        assert_eq!(dec.fault.retries, 0);
+        assert_eq!(dec.fault.completeness(), 1.0);
+        // exchanges happened, so the accounting is live, not vacuous
+        assert!(dec.fault.exchanges > 0);
+        assert_eq!(dec.fault.messages_sent, dec.messages);
+    }
+
+    /// Degradation invariants that hold for ANY drop rate and seed:
+    /// confirmed ⊆ fault-free, and fault-free ⊆ confirmed ∪ unconfirmed
+    /// (nothing silently dropped).
+    #[test]
+    fn degraded_runs_partition_instead_of_dropping() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers: Vec<NodeId> = (100..164).map(NodeId).collect();
+        let detector = DecentralizedDetector::new(thresholds(), Method::Optimized);
+        let clean: std::collections::BTreeSet<_> =
+            detector.detect(&input, &managers).report.pair_ids().into_iter().collect();
+        assert_eq!(clean.len(), 3);
+        for seed in 0..20u64 {
+            // retries(0) at 50% drop: exchanges fail often
+            let plan = FaultPlan::with_drop(0.5, seed).retries(0);
+            let dec = detector.detect_with_faults(&input, &managers, &plan);
+            let confirmed: std::collections::BTreeSet<_> =
+                dec.report.pair_ids().into_iter().collect();
+            let unconfirmed: std::collections::BTreeSet<_> =
+                dec.unconfirmed.iter().map(|p| p.ids()).collect();
+            assert!(confirmed.is_subset(&clean), "seed {seed}: phantom confirmed pair");
+            for pair in &clean {
+                assert!(
+                    confirmed.contains(pair) || unconfirmed.contains(pair),
+                    "seed {seed}: true pair {pair:?} vanished instead of degrading"
+                );
+            }
+            assert!(dec.fault.failed_exchanges as usize >= unconfirmed.len());
+        }
+    }
+
+    #[test]
+    fn heavy_drop_yields_unconfirmed_pairs() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers: Vec<NodeId> = (100..164).map(NodeId).collect();
+        let detector = DecentralizedDetector::new(thresholds(), Method::Optimized);
+        // across a handful of seeds, 30% drop with a single attempt must
+        // fail at least one exchange somewhere
+        let mut saw_unconfirmed = false;
+        for seed in 0..8u64 {
+            let plan = FaultPlan::with_drop(0.3, seed).retries(0);
+            let dec = detector.detect_with_faults(&input, &managers, &plan);
+            saw_unconfirmed |= !dec.unconfirmed.is_empty();
+        }
+        assert!(saw_unconfirmed, "30% drop with no retries never failed an exchange");
+    }
+
+    #[test]
+    fn same_fault_seed_gives_identical_outcome() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers: Vec<NodeId> = (100..164).map(NodeId).collect();
+        let detector = DecentralizedDetector::new(thresholds(), Method::Optimized);
+        let plan = FaultPlan::with_drop(0.3, 1234).retries(1);
+        let a = detector.detect_with_faults(&input, &managers, &plan);
+        let b = detector.detect_with_faults(&input, &managers, &plan);
+        assert_eq!(a.report.pair_ids(), b.report.pair_ids());
+        assert_eq!(
+            a.unconfirmed.iter().map(|p| p.ids()).collect::<Vec<_>>(),
+            b.unconfirmed.iter().map(|p| p.ids()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.dht_hops, b.dht_hops);
+        assert_eq!(a.fault, b.fault);
+    }
+
+    #[test]
+    fn retries_restore_the_fault_free_pair_set_at_moderate_drop() {
+        let (h, nodes) = scenario();
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers: Vec<NodeId> = (100..164).map(NodeId).collect();
+        let detector = DecentralizedDetector::new(thresholds(), Method::Optimized);
+        let clean = detector.detect(&input, &managers).report.pair_ids();
+        for seed in 0..10u64 {
+            let dec =
+                detector.detect_with_faults(&input, &managers, &FaultPlan::with_drop(0.1, seed));
+            assert_eq!(
+                dec.report.pair_ids(),
+                clean,
+                "seed {seed}: default retry budget failed to absorb 10% drop"
+            );
+            assert!(dec.unconfirmed.is_empty());
+        }
     }
 }

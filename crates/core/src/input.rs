@@ -65,10 +65,7 @@ impl<'a> DetectionInput<'a> {
     /// history itself (the paper's standalone-detector configuration,
     /// Figure 8).
     pub fn from_signed_history(history: &'a InteractionHistory, nodes: &[NodeId]) -> Self {
-        let reputation = nodes
-            .iter()
-            .map(|&n| (n, history.signed_reputation(n) as f64))
-            .collect();
+        let reputation = nodes.iter().map(|&n| (n, history.signed_reputation(n) as f64)).collect();
         DetectionInput::new(history, nodes, reputation)
     }
 
@@ -238,10 +235,8 @@ mod tests {
     #[test]
     fn nodes_deduped_and_sorted() {
         let h = InteractionHistory::new();
-        let input = DetectionInput::from_signed_history(
-            &h,
-            &[NodeId(3), NodeId(1), NodeId(3), NodeId(2)],
-        );
+        let input =
+            DetectionInput::from_signed_history(&h, &[NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
         assert_eq!(input.nodes, vec![NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(input.n(), 3);
     }
@@ -258,11 +253,8 @@ mod tests {
     #[test]
     fn from_sorted_skips_normalization() {
         let h = InteractionHistory::new();
-        let input = DetectionInput::from_sorted(
-            &h,
-            vec![NodeId(1), NodeId(2), NodeId(5)],
-            HashMap::new(),
-        );
+        let input =
+            DetectionInput::from_sorted(&h, vec![NodeId(1), NodeId(2), NodeId(5)], HashMap::new());
         assert_eq!(input.nodes, vec![NodeId(1), NodeId(2), NodeId(5)]);
     }
 
@@ -292,8 +284,7 @@ mod tests {
         let mut h = InteractionHistory::new();
         h.record(Rating::positive(NodeId(9), NodeId(1), SimTime(0)));
         let snap = DetectionSnapshot::build(&h, &[NodeId(1)]);
-        let rep: HashMap<NodeId, f64> =
-            [(NodeId(1), 0.5), (NodeId(9), 2.0)].into_iter().collect();
+        let rep: HashMap<NodeId, f64> = [(NodeId(1), 0.5), (NodeId(9), 2.0)].into_iter().collect();
         let input = SnapshotInput::new(&snap, &[NodeId(1)], &rep);
         // node 9 is outside the view but its reputation is still visible,
         // matching DetectionInput::reputation_of for partner lookups

@@ -107,9 +107,19 @@ impl SuspectPair {
             "a suspect pair needs evidence in at least one direction"
         );
         if a < b {
-            SuspectPair { low: a, high: b, low_boosts_high: a_boosts_b, high_boosts_low: b_boosts_a }
+            SuspectPair {
+                low: a,
+                high: b,
+                low_boosts_high: a_boosts_b,
+                high_boosts_low: b_boosts_a,
+            }
         } else {
-            SuspectPair { low: b, high: a, low_boosts_high: b_boosts_a, high_boosts_low: a_boosts_b }
+            SuspectPair {
+                low: b,
+                high: a,
+                low_boosts_high: b_boosts_a,
+                high_boosts_low: a_boosts_b,
+            }
         }
     }
 
@@ -151,7 +161,12 @@ mod tests {
     use super::*;
 
     fn ev(n: u64) -> DirectionEvidence {
-        DirectionEvidence { pair_ratings: n, fraction_a: None, fraction_b: None, signed_reputation: 0 }
+        DirectionEvidence {
+            pair_ratings: n,
+            fraction_a: None,
+            fraction_b: None,
+            signed_reputation: 0,
+        }
     }
 
     #[test]

@@ -206,12 +206,7 @@ impl OptimizedDetector {
                     if ev_fwd.is_none() && ev_rev.is_none() {
                         continue;
                     }
-                    pairs.push(SuspectPair::new(
-                        snap.node_id(j),
-                        snap.node_id(i),
-                        ev_fwd,
-                        ev_rev,
-                    ));
+                    pairs.push(SuspectPair::new(snap.node_id(j), snap.node_id(i), ev_fwd, ev_rev));
                 }
             }
         }
@@ -294,10 +289,7 @@ impl OptimizedDetector {
         let (n_eff, r_eff) = if self.policy.community_excludes_frequent {
             // ratee's view restricted to community + the tested partner
             let (freq_n, freq_signed) = freq_of();
-            (
-                totals.total - freq_n + n_pair,
-                totals.signed() - freq_signed + pair.signed(),
-            )
+            (totals.total - freq_n + n_pair, totals.signed() - freq_signed + pair.signed())
         } else {
             (totals.total, totals.signed())
         };
@@ -336,9 +328,7 @@ impl OptimizedDetector {
             }
             let (cols, _) = snap.row(ratee);
             meter.row_scan(cols.len() as u64);
-            let agg = snap
-                .frequent_agg(t_n, ratee)
-                .unwrap_or_else(|| snap.row_freq(ratee, t_n));
+            let agg = snap.frequent_agg(t_n, ratee).unwrap_or_else(|| snap.row_freq(ratee, t_n));
             cache[ratee as usize] = Some(agg);
             agg
         })
@@ -358,8 +348,7 @@ impl OptimizedDetector {
             *agg[ratee as usize].get_or_init(|| {
                 let (cols, _) = snap.row(ratee);
                 meter.row_scan(cols.len() as u64);
-                snap.frequent_agg(t_n, ratee)
-                    .unwrap_or_else(|| snap.row_freq(ratee, t_n))
+                snap.frequent_agg(t_n, ratee).unwrap_or_else(|| snap.row_freq(ratee, t_n))
             })
         })
     }
@@ -428,11 +417,7 @@ mod tests {
             let input = DetectionInput::from_signed_history(&h, &nodes);
             let basic = BasicDetector::new(thresholds()).detect(&input);
             let opt = OptimizedDetector::new(thresholds()).detect(&input);
-            assert_eq!(
-                basic.pair_ids(),
-                opt.pair_ids(),
-                "disagreement at boost={boost} neg={neg}"
-            );
+            assert_eq!(basic.pair_ids(), opt.pair_ids(), "disagreement at boost={boost} neg={neg}");
         }
     }
 

@@ -73,12 +73,14 @@ impl PairSet {
 
     /// Number of pairs stored.
     #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {
         self.set.len()
     }
 
     /// Whether the set is empty.
     #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_empty(&self) -> bool {
         self.set.is_empty()
     }

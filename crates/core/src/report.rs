@@ -25,8 +25,7 @@ impl DetectionReport {
 
     /// Every node implicated in at least one pair, ascending.
     pub fn colluders(&self) -> Vec<NodeId> {
-        let set: BTreeSet<NodeId> =
-            self.pairs.iter().flat_map(|p| [p.low, p.high]).collect();
+        let set: BTreeSet<NodeId> = self.pairs.iter().flat_map(|p| [p.low, p.high]).collect();
         set.into_iter().collect()
     }
 
@@ -51,7 +50,12 @@ impl DetectionReport {
         // candidate pair universe: n·(n−1)/2
         let universe = (all_nodes as u64 * all_nodes.saturating_sub(1) as u64) / 2;
         let tn = universe.saturating_sub(tp + fp + fnn);
-        ConfusionMatrix { true_positives: tp, false_positives: fp, false_negatives: fnn, true_negatives: tn }
+        ConfusionMatrix {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fnn,
+            true_negatives: tn,
+        }
     }
 }
 
@@ -119,10 +123,8 @@ mod tests {
 
     #[test]
     fn report_dedups_and_orders() {
-        let r = DetectionReport::new(
-            vec![pair(5, 2), pair(2, 5), pair(1, 3)],
-            CostSnapshot::default(),
-        );
+        let r =
+            DetectionReport::new(vec![pair(5, 2), pair(2, 5), pair(1, 3)], CostSnapshot::default());
         assert_eq!(r.pair_ids(), vec![(NodeId(1), NodeId(3)), (NodeId(2), NodeId(5))]);
         assert_eq!(r.colluders(), vec![NodeId(1), NodeId(2), NodeId(3), NodeId(5)]);
         assert!(r.is_colluder(NodeId(5)));

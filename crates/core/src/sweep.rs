@@ -69,11 +69,7 @@ pub fn sweep_thresholds(
 ) -> Vec<SweepPoint> {
     let grid: Vec<(f64, f64, u64)> = t_a_grid
         .iter()
-        .flat_map(|&a| {
-            t_b_grid
-                .iter()
-                .flat_map(move |&b| t_n_grid.iter().map(move |&n| (a, b, n)))
-        })
+        .flat_map(|&a| t_b_grid.iter().flat_map(move |&b| t_n_grid.iter().map(move |&n| (a, b, n))))
         .collect();
     let n_nodes = input.n();
     grid.par_iter()

@@ -24,11 +24,13 @@
 use crate::basic::BasicDetector;
 use crate::cost::CostMeter;
 use crate::decentralized::Method;
+use crate::fault::{ChurnSchedule, FaultPlan, FaultSession, FaultStats};
 use crate::input::SnapshotInput;
 use crate::model::{DirectionEvidence, SuspectPair};
 use crate::optimized::OptimizedDetector;
 use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
+use collusion_dht::fault::FaultRng;
 use collusion_dht::hash::consistent_hash;
 use collusion_dht::id::Key;
 use collusion_dht::ring::ChordRing;
@@ -52,6 +54,25 @@ pub struct SystemStats {
     pub detection_messages: u64,
     /// Total Chord routing hops across all operations.
     pub hops: u64,
+    /// Replica copies pushed to backup managers (inserts and re-replication
+    /// after membership changes; one message each).
+    pub replica_messages: u64,
+    /// Node histories recovered from a backup after a manager crash.
+    pub recovered_nodes: u64,
+    /// Node histories irrecoverably lost to a crash (no surviving replica).
+    pub lost_nodes: u64,
+}
+
+/// Result of a detection round run under a [`FaultPlan`].
+#[derive(Clone, Debug)]
+pub struct RobustReport {
+    /// Confirmed pairs (cross-manager round-trip completed), plus meter.
+    pub report: DetectionReport,
+    /// Pairs whose confirmation exchange exhausted its retry budget:
+    /// forward evidence only, reported instead of dropped.
+    pub unconfirmed: Vec<SuspectPair>,
+    /// Retry / drop / completeness accounting for the round.
+    pub fault: FaultStats,
 }
 
 /// The §IV.A decentralized reputation system.
@@ -69,13 +90,41 @@ pub struct DecentralizedSystem {
     /// registered participant nodes, ascending
     nodes: Vec<NodeId>,
     stats: SystemStats,
+    /// Total copies of each node's history (primary + backups). ≥ 1.
+    replication: usize,
+    /// backup manager → replica copies of the histories it backs up
+    replicas: HashMap<NodeId, InteractionHistory>,
+    /// id source for managers spawned by churn joins
+    next_spawned_manager: u64,
 }
 
 impl DecentralizedSystem {
     /// Bootstrap the system with the given power nodes as managers.
     /// Duplicate manager ids are tolerated; at least one is required.
-    pub fn new(managers: &[NodeId], thresholds: Thresholds, method: Method, policy: DetectionPolicy) -> Self {
+    /// Histories are unreplicated — a manager crash loses its slice; use
+    /// [`DecentralizedSystem::with_replication`] for crash tolerance.
+    pub fn new(
+        managers: &[NodeId],
+        thresholds: Thresholds,
+        method: Method,
+        policy: DetectionPolicy,
+    ) -> Self {
+        Self::with_replication(managers, thresholds, method, policy, 1)
+    }
+
+    /// Bootstrap with `replication` total copies of every node's history:
+    /// the owning manager's primary plus `replication - 1` backups at the
+    /// owner's ring successors, kept in sync on every submit and
+    /// re-established after membership changes.
+    pub fn with_replication(
+        managers: &[NodeId],
+        thresholds: Thresholds,
+        method: Method,
+        policy: DetectionPolicy,
+        replication: usize,
+    ) -> Self {
         assert!(!managers.is_empty(), "need at least one reputation manager");
+        assert!(replication >= 1, "replication factor must be at least 1");
         let mut ring = ChordRing::new();
         let mut key_to_manager = HashMap::new();
         for &m in managers {
@@ -94,6 +143,59 @@ impl DecentralizedSystem {
             manager_of: HashMap::new(),
             nodes: Vec::new(),
             stats: SystemStats::default(),
+            replication,
+            replicas: HashMap::new(),
+            next_spawned_manager: 0x5000_0000,
+        }
+    }
+
+    /// The backup managers for histories owned by the manager at
+    /// `owner_key`: the owner's distinct ring successors, up to the
+    /// replication factor.
+    fn backup_managers(&self, owner_key: Key) -> Vec<NodeId> {
+        let mut backups = Vec::new();
+        if self.replication <= 1 {
+            return backups;
+        }
+        let mut cur = owner_key;
+        for _ in 0..self.replication - 1 {
+            cur = self.ring.successor_of(cur);
+            if cur == owner_key {
+                break; // ring smaller than the replication factor
+            }
+            backups.push(self.key_to_manager[&cur.raw()]);
+        }
+        backups
+    }
+
+    /// Rebuild every backup copy from the primary histories — called after
+    /// any manager membership change, standing in for the copy transfers
+    /// that stabilization would drive in a live deployment.
+    fn rebuild_replicas(&mut self) {
+        self.replicas.clear();
+        if self.replication <= 1 {
+            return;
+        }
+        let nodes = self.nodes.clone();
+        for node in nodes {
+            let owner_key = self.manager_of[&node];
+            let owner = self.key_to_manager[&owner_key.raw()];
+            let backups = self.backup_managers(owner_key);
+            if backups.is_empty() {
+                continue;
+            }
+            // non-destructive copy of the owner's slice about `node`
+            let Some(history) = self.histories.get_mut(&owner) else { continue };
+            let slice = history.split_off_ratee(node);
+            history.merge(&slice);
+            if slice.recorded() == 0 {
+                continue;
+            }
+            for b in backups {
+                self.replicas.entry(b).or_default().merge(&slice);
+                self.stats.replica_messages += 1;
+                self.stats.hops += 1;
+            }
         }
     }
 
@@ -126,12 +228,19 @@ impl DecentralizedSystem {
         };
         // route from the gateway to the owner, paying hops
         let gateway = self.ring.members().next().expect("ring non-empty");
-        let route = Router::new(&self.ring).lookup(gateway, consistent_hash(rating.ratee.raw(), 64));
+        let route =
+            Router::new(&self.ring).lookup(gateway, consistent_hash(rating.ratee.raw(), 64));
         debug_assert_eq!(route.owner, owner_key);
         self.stats.inserts += 1;
         self.stats.hops += route.hops as u64;
         let manager = self.key_to_manager[&owner_key.raw()];
         self.histories.entry(manager).or_default().record(rating);
+        // keep backup copies in sync: one owner→backup push per replica
+        for b in self.backup_managers(owner_key) {
+            self.replicas.entry(b).or_default().record(rating);
+            self.stats.replica_messages += 1;
+            self.stats.hops += 1;
+        }
         true
     }
 
@@ -164,7 +273,9 @@ impl DecentralizedSystem {
             return None;
         }
         self.key_to_manager.insert(key.raw(), manager);
-        Some(self.rebalance())
+        let moved = self.rebalance();
+        self.rebuild_replicas();
+        Some(moved)
     }
 
     /// A power node leaves gracefully; its responsible nodes (and their
@@ -191,7 +302,93 @@ impl DecentralizedSystem {
                 self.histories.entry(owner).or_default().merge(&slice);
             }
         }
+        self.rebuild_replicas();
         Some(migrated)
+    }
+
+    /// A power node crashes **abruptly**: no handoff — its primary slices
+    /// and replica copies vanish. Each orphaned node's history is recovered
+    /// from the best surviving backup when one exists (counted in
+    /// `recovered_nodes`), otherwise it is lost (`lost_nodes`). Returns the
+    /// number of nodes whose manager changed, or `None` if the id was not a
+    /// manager — or is the last one.
+    pub fn manager_crash(&mut self, manager: NodeId) -> Option<usize> {
+        let key = consistent_hash(manager.raw(), 64);
+        if !self.ring.contains(key) || self.ring.len() == 1 {
+            return None;
+        }
+        // Everything the crashed manager held is gone.
+        let crashed_primary = self.histories.remove(&manager).unwrap_or_default();
+        self.replicas.remove(&manager);
+        let mut orphaned: Vec<NodeId> = crashed_primary.ratees().collect();
+        orphaned.sort_unstable();
+        self.ring.leave(key);
+        self.key_to_manager.remove(&key.raw());
+        // Reassign ownership; slices between survivors move as usual, the
+        // crashed manager's are skipped (its data no longer exists).
+        let migrated = self.rebalance();
+        // Recover each orphaned node's slice from the fullest surviving
+        // backup copy (deterministic: managers scanned in ascending order).
+        let mut backup_managers: Vec<NodeId> = self.replicas.keys().copied().collect();
+        backup_managers.sort_unstable();
+        for node in orphaned {
+            let best = backup_managers
+                .iter()
+                .map(|&m| (self.replicas[&m].ratings_for(node), m))
+                .filter(|&(count, _)| count > 0)
+                .max_by_key(|&(count, m)| (count, std::cmp::Reverse(m)));
+            let Some((_, source)) = best else {
+                self.stats.lost_nodes += 1;
+                continue;
+            };
+            let slice = match self.replicas.get_mut(&source) {
+                Some(store) => {
+                    let slice = store.split_off_ratee(node);
+                    store.merge(&slice); // the backup keeps its copy
+                    slice
+                }
+                None => continue,
+            };
+            let new_owner = self.key_to_manager[&self.manager_of[&node].raw()];
+            self.histories.entry(new_owner).or_default().merge(&slice);
+            self.stats.recovered_nodes += 1;
+            self.stats.replica_messages += 1; // backup → new owner transfer
+            self.stats.hops += 1;
+        }
+        self.rebuild_replicas();
+        Some(migrated)
+    }
+
+    /// Apply one period of a churn schedule: crash `crashes_per_period`
+    /// random managers (never the last one) and join `joins_per_period`
+    /// fresh ones. Victim selection is deterministic in `(schedule.seed,
+    /// period)`. Returns `(crashed, joined)` counts.
+    pub fn apply_churn(&mut self, schedule: &ChurnSchedule, period: u64) -> (usize, usize) {
+        let mut rng = FaultRng::new(
+            schedule.seed.wrapping_add(period.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ 0x6368_7572_6e21_7631,
+        );
+        let mut crashed = 0;
+        for _ in 0..schedule.crashes_per_period {
+            if self.ring.len() <= 1 {
+                break;
+            }
+            let mut candidates: Vec<NodeId> = self.key_to_manager.values().copied().collect();
+            candidates.sort_unstable();
+            let victim = candidates[rng.below(candidates.len() as u64) as usize];
+            if self.manager_crash(victim).is_some() {
+                crashed += 1;
+            }
+        }
+        let mut joined = 0;
+        for _ in 0..schedule.joins_per_period {
+            let id = NodeId(self.next_spawned_manager);
+            self.next_spawned_manager += 1;
+            if self.manager_join(id).is_some() {
+                joined += 1;
+            }
+        }
+        (crashed, joined)
     }
 
     /// Recompute every node's owner after a ring change, migrating histories
@@ -231,7 +428,26 @@ impl DecentralizedSystem {
     /// and the partner-side reverse verification run on these frozen
     /// views. A partner that has never seen the probing rater answers
     /// from zero counters, exactly like the former hash-map lookup.
+    ///
+    /// Equivalent to `detect_robust(&FaultPlan::none()).report` — by the
+    /// zero-draw contract of [`FaultPlan::none`] the accounting (hops,
+    /// messages, meter) is bit-identical to a fault-oblivious round.
     pub fn detect(&mut self) -> DetectionReport {
+        self.detect_robust(&FaultPlan::none()).report
+    }
+
+    /// Run one detection round with fault injection: every cross-manager
+    /// confirmation exchange passes through the plan's lossy network with
+    /// bounded retries and exponential backoff. Pairs whose exchange
+    /// exhausts the retry budget are reported as *unconfirmed* (forward
+    /// evidence only) instead of being silently dropped.
+    ///
+    /// The plan's churn schedule is **not** applied here — churn happens
+    /// between rounds via [`DecentralizedSystem::apply_churn`], which the
+    /// simulator drives once per detection period.
+    pub fn detect_robust(&mut self, plan: &FaultPlan) -> RobustReport {
+        let mut session = FaultSession::new(plan);
+        let mut unconfirmed: Vec<SuspectPair> = Vec::new();
         let meter = CostMeter::new();
         // Group responsible nodes per manager; `self.nodes` is ascending,
         // so each manager's list comes out ascending too.
@@ -297,11 +513,18 @@ impl DecentralizedSystem {
                     let Some(&partner_key) = self.manager_of.get(&j) else { continue };
                     let partner_manager = self.key_to_manager[&partner_key.raw()];
                     if partner_key != my_key {
+                        // each (re)transmission re-routes to the partner
                         let route = router.lookup(my_key, consistent_hash(j.raw(), 64));
-                        self.stats.hops += route.hops as u64;
-                        self.stats.detection_messages += 2;
-                        meter.message();
-                        meter.message();
+                        let exchange = session.exchange();
+                        self.stats.hops += route.hops as u64 * exchange.attempts as u64;
+                        self.stats.detection_messages += exchange.messages;
+                        for _ in 0..exchange.messages {
+                            meter.message();
+                        }
+                        if !exchange.delivered {
+                            unconfirmed.push(SuspectPair::new(j, i, Some(ev_fwd), None));
+                            continue;
+                        }
                     }
                     // partner-side verification on the partner's OWN slice
                     let Some(&p_pos) = manager_pos.get(&partner_manager) else {
@@ -328,7 +551,11 @@ impl DecentralizedSystem {
                 }
             }
         }
-        DetectionReport::new(pairs, meter.snapshot())
+        RobustReport {
+            report: DetectionReport::new(pairs, meter.snapshot()),
+            unconfirmed,
+            fault: session.stats(),
+        }
     }
 
     fn direction_snap(
@@ -529,5 +756,138 @@ mod tests {
         let mut basic = build_system(8);
         basic.method = Method::Basic;
         assert_eq!(basic.detect().pair_ids(), opt.detect().pair_ids());
+    }
+
+    fn build_replicated_system(managers: u64, replication: usize) -> DecentralizedSystem {
+        let manager_ids: Vec<NodeId> = (1000..1000 + managers).map(NodeId).collect();
+        let mut sys = DecentralizedSystem::with_replication(
+            &manager_ids,
+            thresholds(),
+            Method::Optimized,
+            DetectionPolicy::STRICT,
+            replication,
+        );
+        for id in (1..=2).chain(20..=21).chain(40..45) {
+            sys.register(NodeId(id));
+        }
+        for r in ratings() {
+            sys.submit(r);
+        }
+        sys
+    }
+
+    #[test]
+    fn replicated_system_survives_manager_crashes() {
+        let baseline = build_system(8).detect().pair_ids();
+        let mut sys = build_replicated_system(8, 3);
+        // crash three managers in a row — replication factor 3 guarantees a
+        // surviving copy of every slice after each single crash + rebuild
+        for id in [1000u64, 1003, 1006] {
+            assert!(sys.manager_crash(NodeId(id)).is_some());
+        }
+        assert_eq!(sys.stats().lost_nodes, 0, "no slice may be lost at r=3");
+        // every reputation and every verdict survives
+        assert_eq!(sys.lookup_reputation(NodeId(1)), 25);
+        assert_eq!(sys.lookup_reputation(NodeId(40)), 4);
+        assert_eq!(sys.detect().pair_ids(), baseline);
+    }
+
+    #[test]
+    fn unreplicated_crash_loses_data_but_system_degrades_gracefully() {
+        let mut sys = build_system(8); // replication = 1
+        let held_before: u64 = sys.histories.values().map(|h| h.recorded()).sum();
+        // crash every manager that holds data except the last survivor
+        let mut crashed_any_data = false;
+        for id in 1000..1007u64 {
+            let m = NodeId(id);
+            let held = sys.histories.get(&m).map_or(0, |h| h.recorded());
+            if sys.manager_crash(m).is_some() && held > 0 {
+                crashed_any_data = true;
+            }
+        }
+        let held_after: u64 = sys.histories.values().map(|h| h.recorded()).sum();
+        assert!(crashed_any_data, "test needs at least one data-bearing crash");
+        assert!(held_after < held_before, "unreplicated crashes must lose ratings");
+        assert!(sys.stats().lost_nodes > 0);
+        // the survivor still answers lookups and runs detection without panic
+        let _ = sys.lookup_reputation(NodeId(1));
+        let _ = sys.detect();
+    }
+
+    #[test]
+    fn crash_of_non_member_or_last_manager_refused() {
+        let mut sys = build_system(1);
+        let only = sys.manager_of(NodeId(1)).unwrap();
+        assert!(sys.manager_crash(only).is_none(), "last manager must not crash away the data");
+        assert!(sys.manager_crash(NodeId(77777)).is_none());
+        assert_eq!(sys.lookup_reputation(NodeId(1)), 25);
+    }
+
+    #[test]
+    fn churn_application_is_deterministic() {
+        let schedule = ChurnSchedule { crashes_per_period: 1, joins_per_period: 1, seed: 11 };
+        let run = |mut sys: DecentralizedSystem| {
+            let mut counts = Vec::new();
+            for period in 0..4 {
+                counts.push(sys.apply_churn(&schedule, period));
+            }
+            let pairs = sys.detect().pair_ids();
+            (counts, pairs, sys.stats().recovered_nodes, sys.stats().lost_nodes)
+        };
+        let a = run(build_replicated_system(8, 3));
+        let b = run(build_replicated_system(8, 3));
+        assert_eq!(a, b, "same churn schedule must replay identically");
+    }
+
+    #[test]
+    fn detect_robust_none_plan_matches_detect_exactly() {
+        let mut plain = build_system(16);
+        let mut robust = build_system(16);
+        let expected = plain.detect();
+        let out = robust.detect_robust(&FaultPlan::none());
+        assert_eq!(out.report.pair_ids(), expected.pair_ids());
+        assert_eq!(out.report.cost, expected.cost, "meter must be bit-identical");
+        assert!(out.unconfirmed.is_empty());
+        assert_eq!(out.fault.completeness(), 1.0);
+        assert_eq!(plain.stats(), robust.stats(), "hops/messages must match");
+    }
+
+    #[test]
+    fn retries_keep_system_verdicts_complete_at_moderate_drop() {
+        let baseline = build_system(16).detect().pair_ids();
+        for seed in 0..10u64 {
+            let mut sys = build_system(16);
+            let out = sys.detect_robust(&FaultPlan::with_drop(0.1, seed));
+            assert_eq!(
+                out.report.pair_ids(),
+                baseline,
+                "seed {seed}: 10% drop with default retries must confirm every pair"
+            );
+            assert!(out.unconfirmed.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heavy_drop_reports_unconfirmed_instead_of_dropping() {
+        let baseline = build_system(16).detect().pair_ids();
+        let mut saw_unconfirmed = false;
+        for seed in 0..12u64 {
+            let mut sys = build_system(16);
+            let out = sys.detect_robust(&FaultPlan::with_drop(0.6, seed).retries(0));
+            let confirmed = out.report.pair_ids();
+            for pair in &confirmed {
+                assert!(baseline.contains(pair), "seed {seed}: confirmed ⊆ fault-free set");
+            }
+            let mut accounted = confirmed.clone();
+            accounted.extend(out.unconfirmed.iter().map(|p| p.ids()));
+            for pair in &baseline {
+                assert!(
+                    accounted.contains(pair),
+                    "seed {seed}: fault-free pair {pair:?} vanished instead of degrading"
+                );
+            }
+            saw_unconfirmed |= !out.unconfirmed.is_empty();
+        }
+        assert!(saw_unconfirmed, "60% drop without retries must strand some pairs");
     }
 }

@@ -1,0 +1,65 @@
+//! Error types for operations that can legitimately fail mid-heal.
+//!
+//! The converged-ring model can afford to panic on misuse (empty ring,
+//! foreign key), but once churn and message loss are injected a lookup can
+//! fail for reasons that are *not* bugs: the origin crashed, every known
+//! pointer of a node is dead, or the drop rate ate every retransmission.
+//! Hot paths return [`DhtError`] for those cases instead of unwrapping.
+
+use crate::id::Key;
+use std::fmt;
+
+/// Why a DHT operation could not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DhtError {
+    /// The ring has no members at all.
+    EmptyRing,
+    /// The origin of a lookup is not (or no longer) a ring member.
+    NotAMember(Key),
+    /// Routing made no progress within the hop cap — every known pointer
+    /// was stale or dead while the ring was healing.
+    Unroutable {
+        /// The key being resolved.
+        key: Key,
+        /// Hops consumed before giving up.
+        hops: u32,
+    },
+    /// A message exchange exhausted its retry budget under loss.
+    Timeout {
+        /// The key (or partner id key) the exchange targeted.
+        key: Key,
+        /// Send attempts made (initial try + retries).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::EmptyRing => write!(f, "operation on an empty ring"),
+            DhtError::NotAMember(k) => write!(f, "origin {k:?} is not a ring member"),
+            DhtError::Unroutable { key, hops } => {
+                write!(f, "no route to {key:?} after {hops} hops (ring healing?)")
+            }
+            DhtError::Timeout { key, attempts } => {
+                write!(f, "exchange for {key:?} timed out after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let k = Key::new(5, 4);
+        assert!(DhtError::EmptyRing.to_string().contains("empty"));
+        assert!(DhtError::NotAMember(k).to_string().contains("member"));
+        assert!(DhtError::Unroutable { key: k, hops: 9 }.to_string().contains("9 hops"));
+        assert!(DhtError::Timeout { key: k, attempts: 3 }.to_string().contains("3 attempts"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic message-fault injection for the DHT layer.
+//!
+//! The paper's decentralized detector (§IV.B) assumes reliable delivery
+//! between reputation managers. This module supplies the adversarial
+//! counterpart used by the robustness work: a seeded [`MessageFaults`]
+//! specification (drop probability plus a bounded per-message delay
+//! distribution) and a stateful [`FaultyNet`] injector that consumes it.
+//!
+//! Determinism contract: `FaultyNet` owns a private SplitMix64 stream keyed
+//! by the plan seed, so the same plan produces the same drop/delay sequence
+//! on every run — independent of any other RNG in the workspace. When the
+//! plan is [`MessageFaults::none`], **zero** random draws are made, which is
+//! what lets a fault-free run stay bit-identical to code that never heard of
+//! faults.
+
+/// SplitMix64 — a tiny, high-quality, seedable stream used only for fault
+/// decisions so they cannot perturb (or be perturbed by) workload RNGs.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Stream keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's widening multiply.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0)");
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(bound);
+            if (m as u64) >= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Bernoulli draw: `true` with probability `p`. Consumes exactly one
+    /// `next_u64` so decision sequences stay stream-stable across `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "chance({p}) out of [0, 1]");
+        let x = self.next_u64();
+        if p >= 1.0 {
+            return true;
+        }
+        // 2^64 is exactly representable in f64; the cast saturates at edges.
+        let threshold = (p * 18_446_744_073_709_551_616.0) as u64;
+        x < threshold
+    }
+}
+
+/// Seeded specification of message-level faults.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MessageFaults {
+    /// Probability each sent message is silently dropped.
+    pub drop_probability: f64,
+    /// Inclusive `(min, max)` per-delivered-message delay in abstract ticks.
+    pub delay_ticks: (u64, u64),
+    /// Seed for the private fault stream.
+    pub seed: u64,
+}
+
+impl MessageFaults {
+    /// The fault-free plan: nothing dropped, nothing delayed, and — by
+    /// contract — zero random draws made while it is active.
+    pub fn none() -> Self {
+        MessageFaults { drop_probability: 0.0, delay_ticks: (0, 0), seed: 0 }
+    }
+
+    /// Drop-only plan at probability `p`.
+    pub fn with_drop(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} out of [0, 1]");
+        MessageFaults { drop_probability: p, delay_ticks: (0, 0), seed }
+    }
+
+    /// Add a uniform delay distribution (inclusive bounds, abstract ticks).
+    pub fn with_delay(mut self, min: u64, max: u64) -> Self {
+        assert!(min <= max, "delay range inverted: {min} > {max}");
+        self.delay_ticks = (min, max);
+        self
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_probability == 0.0 && self.delay_ticks == (0, 0)
+    }
+}
+
+impl Default for MessageFaults {
+    fn default() -> Self {
+        MessageFaults::none()
+    }
+}
+
+/// Running counters for a [`FaultyNet`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages offered to the network.
+    pub sent: u64,
+    /// Messages the network dropped.
+    pub dropped: u64,
+    /// Total delay ticks added to delivered messages.
+    pub delay_ticks: u64,
+}
+
+/// Stateful fault injector: every message send is routed through it.
+#[derive(Clone, Debug)]
+pub struct FaultyNet {
+    faults: MessageFaults,
+    rng: FaultRng,
+    stats: NetStats,
+}
+
+impl FaultyNet {
+    /// Injector executing `faults`.
+    pub fn new(faults: MessageFaults) -> Self {
+        let rng = FaultRng::new(faults.seed);
+        FaultyNet { faults, rng, stats: NetStats::default() }
+    }
+
+    /// The plan in effect.
+    pub fn faults(&self) -> &MessageFaults {
+        &self.faults
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Offer one message to the network; `true` means delivered. With a
+    /// zero drop probability this makes no random draw.
+    pub fn send(&mut self) -> bool {
+        self.stats.sent += 1;
+        if self.faults.drop_probability <= 0.0 {
+            return true;
+        }
+        if self.rng.chance(self.faults.drop_probability) {
+            self.stats.dropped += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Delay (in ticks) experienced by a delivered message. With a `(0, 0)`
+    /// range this makes no random draw.
+    pub fn sample_delay(&mut self) -> u64 {
+        let (lo, hi) = self.faults.delay_ticks;
+        if hi == 0 {
+            return 0;
+        }
+        let d = if lo == hi { lo } else { lo + self.rng.below(hi - lo + 1) };
+        self.stats.delay_ticks += d;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_drops_and_never_draws() {
+        let mut net = FaultyNet::new(MessageFaults::none());
+        let state_before = net.rng.state;
+        for _ in 0..1000 {
+            assert!(net.send());
+            assert_eq!(net.sample_delay(), 0);
+        }
+        assert_eq!(net.rng.state, state_before, "fault-free plan must not draw");
+        assert_eq!(net.stats().dropped, 0);
+        assert_eq!(net.stats().sent, 1000);
+    }
+
+    #[test]
+    fn same_seed_same_drop_sequence() {
+        let plan = MessageFaults::with_drop(0.3, 99);
+        let mut a = FaultyNet::new(plan);
+        let mut b = FaultyNet::new(plan);
+        for _ in 0..500 {
+            assert_eq!(a.send(), b.send());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut net = FaultyNet::new(MessageFaults::with_drop(0.25, 7));
+        for _ in 0..20_000 {
+            net.send();
+        }
+        let frac = net.stats().dropped as f64 / net.stats().sent as f64;
+        assert!((frac - 0.25).abs() < 0.02, "drop rate 0.25 measured {frac}");
+    }
+
+    #[test]
+    fn delays_stay_in_range() {
+        let plan = MessageFaults::with_drop(0.0, 3).with_delay(2, 9);
+        let mut net = FaultyNet::new(plan);
+        for _ in 0..2000 {
+            let d = net.sample_delay();
+            assert!((2..=9).contains(&d), "delay {d} out of range");
+        }
+        assert!(net.stats().delay_ticks >= 2 * 2000);
+    }
+
+    #[test]
+    fn is_none_detects_fault_free_plans() {
+        assert!(MessageFaults::none().is_none());
+        assert!(MessageFaults::with_drop(0.0, 5).is_none());
+        assert!(!MessageFaults::with_drop(0.1, 5).is_none());
+        assert!(!MessageFaults::none().with_delay(0, 3).is_none());
+    }
+
+    #[test]
+    fn below_is_uniform_enough() {
+        let mut rng = FaultRng::new(11);
+        let mut seen = [0u32; 5];
+        for _ in 0..5000 {
+            seen[rng.below(5) as usize] += 1;
+        }
+        for (i, &n) in seen.iter().enumerate() {
+            assert!(n > 800, "bucket {i} undersampled: {n}");
+        }
+    }
+}

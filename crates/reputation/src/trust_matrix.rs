@@ -239,7 +239,7 @@ mod tests {
                 (NodeId(0), NodeId(1), 1.0),
                 (NodeId(0), NodeId(1), 1.0),
                 (NodeId(0), NodeId(2), 2.0),
-                (NodeId(0), NodeId(0), 7.0), // self — ignored
+                (NodeId(0), NodeId(0), 7.0),  // self — ignored
                 (NodeId(1), NodeId(2), -4.0), // negative — ignored
             ],
         );

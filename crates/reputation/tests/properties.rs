@@ -1,7 +1,7 @@
 //! Property-based tests for the reputation substrate.
 
-use collusion_reputation::prelude::*;
 use collusion_reputation::id::TimeWindow;
+use collusion_reputation::prelude::*;
 use collusion_reputation::trust_matrix::TrustMatrix;
 use proptest::prelude::*;
 

@@ -181,7 +181,10 @@ impl SimConfig {
         let overlap = self.pretrusted.iter().any(|p| self.colluders.contains(p));
         assert!(!overlap, "a node cannot be both pretrusted and colluder");
         for group in &self.colluding_groups {
-            assert!(group.len() >= 3, "colluding groups need ≥3 members (use `colluders` for pairs)");
+            assert!(
+                group.len() >= 3,
+                "colluding groups need ≥3 members (use `colluders` for pairs)"
+            );
             for id in group {
                 assert!(
                     id.raw() >= 1 && id.raw() <= self.n_nodes,

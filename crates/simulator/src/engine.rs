@@ -26,9 +26,9 @@ use collusion_core::optimized::OptimizedDetector;
 use collusion_core::policy::DetectionPolicy;
 use collusion_reputation::eigentrust::{EigenTrust, NormalizedWeightedEngine, WeightedSumEngine};
 use collusion_reputation::history::InteractionHistory;
-use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::id::{NodeId, SimTime};
 use collusion_reputation::rating::Rating;
+use collusion_reputation::snapshot::DetectionSnapshot;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
@@ -91,7 +91,14 @@ impl Simulation {
     }
 
     /// Execute the full run and return its metrics.
-    pub fn run(mut self) -> SimMetrics {
+    pub fn run(self) -> SimMetrics {
+        self.run_with_history().0
+    }
+
+    /// Execute the full run, returning the metrics *and* the complete
+    /// cumulative rating history — the workload the robustness experiments
+    /// replay into a physically partitioned [`collusion_core::system::DecentralizedSystem`].
+    pub fn run_with_history(mut self) -> (SimMetrics, InteractionHistory) {
         for _ in 0..self.config.sim_cycles {
             for _ in 0..self.config.query_cycles {
                 self.query_cycle();
@@ -105,7 +112,7 @@ impl Simulation {
             self.update_reputation();
             self.run_detection();
         }
-        SimMetrics {
+        let metrics = SimMetrics {
             reputation: self.reputation,
             requests_total: self.requests_total,
             requests_to_colluders: self.requests_to_colluders,
@@ -114,7 +121,8 @@ impl Simulation {
             reputation_ops: self.reputation_ops,
             detection_cost: self.detection_cost,
             detected: self.detected,
-        }
+        };
+        (metrics, self.history)
     }
 
     /// One query cycle: every active peer issues a request; colluding pairs
@@ -198,13 +206,8 @@ impl Simulation {
         // slandering: colluders depress high-reputed competitors ("… and
         // (or) give all other peers low local reputation values", §I)
         if self.config.slander_ratings_per_cycle > 0 {
-            let slanderers: Vec<NodeId> = self
-                .config
-                .colluders
-                .iter()
-                .copied()
-                .chain(self.config.group_members())
-                .collect();
+            let slanderers: Vec<NodeId> =
+                self.config.colluders.iter().copied().chain(self.config.group_members()).collect();
             let colluder_set: std::collections::BTreeSet<NodeId> =
                 slanderers.iter().copied().collect();
             // targets: the non-colluders currently leading the reputation
@@ -245,14 +248,20 @@ impl Simulation {
         let n = self.config.n_nodes as usize;
         match self.config.engine {
             ReputationEngine::WeightedSum(cfg) => {
-                let res =
-                    WeightedSumEngine::new(cfg).compute(&self.history, n + 1, &self.config.pretrusted);
+                let res = WeightedSumEngine::new(cfg).compute(
+                    &self.history,
+                    n + 1,
+                    &self.config.pretrusted,
+                );
                 self.reputation = res.reputation;
                 self.reputation_ops += res.operations;
             }
             ReputationEngine::NormalizedWeightedSum(cfg) => {
-                let res = NormalizedWeightedEngine::new(cfg)
-                    .compute(&self.history, n + 1, &self.config.pretrusted);
+                let res = NormalizedWeightedEngine::new(cfg).compute(
+                    &self.history,
+                    n + 1,
+                    &self.config.pretrusted,
+                );
                 self.reputation = res.reputation;
                 self.reputation_ops += res.operations;
             }
@@ -339,9 +348,7 @@ impl Simulation {
             };
             let reputation = &self.reputation;
             let input =
-                SnapshotInput::with_reputation_fn(snap, &nodes, |id| {
-                    reputation[id.raw() as usize]
-                });
+                SnapshotInput::with_reputation_fn(snap, &nodes, |id| reputation[id.raw() as usize]);
             let (implicated, cost) = match self.config.detector {
                 DetectorKind::Basic => {
                     let report = BasicDetector::with_policy(
@@ -367,10 +374,8 @@ impl Simulation {
                     .detect_snapshot(&input);
                     // the group detector walks raw rating rows, so it keeps
                     // the history-backed input
-                    let rep_map: HashMap<NodeId, f64> = nodes
-                        .iter()
-                        .map(|&id| (id, self.reputation[id.raw() as usize]))
-                        .collect();
+                    let rep_map: HashMap<NodeId, f64> =
+                        nodes.iter().map(|&id| (id, self.reputation[id.raw() as usize])).collect();
                     let detection_history: &InteractionHistory =
                         windowed.as_ref().unwrap_or(&self.history);
                     let legacy =
@@ -425,10 +430,7 @@ mod tests {
         let m = quick(SimConfig::paper_baseline(1));
         let top: Vec<NodeId> = m.ranking().into_iter().take(8).map(|(n, _)| n).collect();
         let colluder_in_top = top.iter().filter(|n| (4..=11).contains(&n.raw())).count();
-        assert!(
-            colluder_in_top >= 6,
-            "expected colluders to dominate the top-8, got {top:?}"
-        );
+        assert!(colluder_in_top >= 6, "expected colluders to dominate the top-8, got {top:?}");
         assert!(m.detected.is_empty());
         assert!(m.requests_total > 0);
         assert!(m.requests_to_colluders > 0);

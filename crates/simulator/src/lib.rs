@@ -31,6 +31,7 @@ pub mod engine;
 pub mod metrics;
 pub mod network;
 pub mod peer;
+pub mod robustness;
 pub mod runner;
 pub mod scenario;
 
@@ -41,5 +42,6 @@ pub mod prelude {
     pub use crate::metrics::{AveragedMetrics, SimMetrics};
     pub use crate::network::InterestNetwork;
     pub use crate::peer::{NodeKind, Peer};
+    pub use crate::robustness::{run_robustness, RobustnessConfig, RobustnessOutcome};
     pub use crate::runner::run_averaged;
 }

@@ -50,7 +50,9 @@ impl SimMetrics {
             .skip(1)
             .map(|(i, &r)| (NodeId(i as u64), r))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         v
     }
 }
@@ -109,11 +111,7 @@ impl AveragedMetrics {
 
     /// Nodes detected in every run.
     pub fn detected_in_all_runs(&self) -> Vec<NodeId> {
-        self.detection_counts
-            .iter()
-            .filter(|&(_, &c)| c == self.runs)
-            .map(|(&n, _)| n)
-            .collect()
+        self.detection_counts.iter().filter(|&(_, &c)| c == self.runs).map(|(&n, _)| n).collect()
     }
 }
 

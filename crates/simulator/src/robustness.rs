@@ -1,0 +1,267 @@
+//! Robustness experiments: decentralized detection under message loss and
+//! manager churn.
+//!
+//! A robustness run takes the workload of a normal simulation (§V's 200-node
+//! file-sharing network), replays its rating stream into a physically
+//! partitioned [`DecentralizedSystem`], and runs one detection round twice:
+//!
+//! 1. **fault-free baseline** — unreplicated managers, [`FaultPlan::none`];
+//! 2. **faulty run** — the configured replication factor, churn periods
+//!    applied via [`DecentralizedSystem::apply_churn`], and the plan's
+//!    message faults on every cross-manager confirmation.
+//!
+//! The outcome compares the faulty run's *confirmed* suspect pairs against
+//! the baseline set (recall), checks that degraded pairs surface as
+//! *unconfirmed* rather than vanish, and reports the message overhead the
+//! tolerance machinery paid (retransmissions, replica pushes).
+//!
+//! Everything is deterministic in the seeds: the workload in
+//! `sim.seed`, the drops in `plan.message.seed`, the churn victims in
+//! `plan.churn.seed`.
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use collusion_core::decentralized::Method;
+use collusion_core::fault::{FaultPlan, FaultStats};
+use collusion_core::policy::DetectionPolicy;
+use collusion_core::system::DecentralizedSystem;
+use collusion_reputation::history::PairCounters;
+use collusion_reputation::id::{NodeId, SimTime};
+use collusion_reputation::rating::Rating;
+use collusion_reputation::thresholds::Thresholds;
+
+/// Configuration of one robustness experiment.
+#[derive(Clone, Debug)]
+pub struct RobustnessConfig {
+    /// Workload generator (the rating stream replayed into the system).
+    pub sim: SimConfig,
+    /// Number of reputation managers on the Chord ring.
+    pub managers: u64,
+    /// Total copies of each node's history in the faulty run (1 = none).
+    pub replication: usize,
+    /// Faults injected into the run (message drops, retries, churn).
+    pub plan: FaultPlan,
+    /// Churn periods applied (each crashes/joins per `plan.churn`) before
+    /// the detection round.
+    pub churn_periods: u64,
+    /// Detection thresholds applied to the managers' signed reputations.
+    /// `T_R = 1` accepts any positively reputed node — the pair-rate and
+    /// fraction thresholds do the discriminating on this workload.
+    pub thresholds: Thresholds,
+}
+
+impl RobustnessConfig {
+    /// The standard robustness scenario: the paper's 200-node network with
+    /// deceptive colluders (`B = 0.2`), 16 managers, replication factor 3,
+    /// six simulation cycles of workload, and no faults (add them with
+    /// [`RobustnessConfig::with_plan`]).
+    pub fn standard(seed: u64) -> Self {
+        let mut sim = SimConfig::paper_baseline(seed);
+        sim.colluder_good_prob = 0.2;
+        sim.sim_cycles = 6;
+        RobustnessConfig {
+            sim,
+            managers: 16,
+            replication: 3,
+            plan: FaultPlan::none(),
+            churn_periods: 4,
+            thresholds: Thresholds::new(1.0, 100, 0.95, 0.7),
+        }
+    }
+
+    /// Replace the fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replace the replication factor.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+}
+
+/// Result of one robustness experiment.
+#[derive(Clone, Debug)]
+pub struct RobustnessOutcome {
+    /// Suspect pairs confirmed by the fault-free baseline round.
+    pub baseline_pairs: Vec<(NodeId, NodeId)>,
+    /// Pairs confirmed under faults (cross-manager round-trip completed).
+    pub confirmed_pairs: Vec<(NodeId, NodeId)>,
+    /// Pairs stranded by exhausted retry budgets — reported, not dropped.
+    pub unconfirmed_pairs: Vec<(NodeId, NodeId)>,
+    /// `|confirmed ∩ baseline| / |baseline|` (1.0 when the baseline is empty).
+    pub recall: f64,
+    /// Baseline pairs accounted for somewhere (confirmed or unconfirmed)
+    /// over `|baseline|` — the graceful-degradation guarantee.
+    pub reported_fraction: f64,
+    /// Retry/drop/completeness accounting of the faulty detection round.
+    pub fault: FaultStats,
+    /// Confirmation messages offered to the network in the faulty round.
+    pub detection_messages: u64,
+    /// Confirmation messages of the fault-free baseline round.
+    pub baseline_messages: u64,
+    /// `detection_messages / baseline_messages` (1.0 when baseline is 0).
+    pub message_overhead: f64,
+    /// Managers crashed by churn before the detection round.
+    pub crashed: usize,
+    /// Managers joined by churn before the detection round.
+    pub joined: usize,
+    /// Node histories recovered from replicas after crashes.
+    pub recovered_nodes: u64,
+    /// Node histories lost to crashes (no surviving replica).
+    pub lost_nodes: u64,
+}
+
+/// Deterministic replay order of a history's pair counters: ascending
+/// `(ratee, rater)` — `iter_pairs` itself is hash-map ordered.
+fn sorted_pairs(
+    history: &collusion_reputation::history::InteractionHistory,
+) -> Vec<(NodeId, NodeId, PairCounters)> {
+    let mut entries: Vec<(NodeId, NodeId, PairCounters)> = history.iter_pairs().collect();
+    entries.sort_unstable_by_key(|&(rater, ratee, _)| (ratee, rater));
+    entries
+}
+
+/// Build a partitioned system and replay the workload into it. Neutral
+/// ratings are not replayed (the simulator never produces them).
+fn build_system(
+    cfg: &RobustnessConfig,
+    replication: usize,
+    entries: &[(NodeId, NodeId, PairCounters)],
+) -> DecentralizedSystem {
+    let manager_ids: Vec<NodeId> = (0..cfg.managers).map(|k| NodeId(0x4000_0000 + k)).collect();
+    let mut sys = DecentralizedSystem::with_replication(
+        &manager_ids,
+        cfg.thresholds,
+        Method::Optimized,
+        DetectionPolicy::STRICT,
+        replication,
+    );
+    for id in 1..=cfg.sim.n_nodes {
+        sys.register(NodeId(id));
+    }
+    let mut t = 0u64;
+    for &(rater, ratee, c) in entries {
+        for _ in 0..c.positive {
+            t += 1;
+            sys.submit(Rating::positive(rater, ratee, SimTime(t)));
+        }
+        for _ in 0..c.negative {
+            t += 1;
+            sys.submit(Rating::negative(rater, ratee, SimTime(t)));
+        }
+    }
+    sys
+}
+
+/// Run one robustness experiment (see the module docs for the protocol).
+pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessOutcome {
+    let (_, history) = Simulation::new(cfg.sim.clone()).run_with_history();
+    let entries = sorted_pairs(&history);
+
+    // fault-free baseline: unreplicated, no churn, no message faults
+    let mut baseline = build_system(cfg, 1, &entries);
+    let baseline_report = baseline.detect();
+    let baseline_pairs = baseline_report.pair_ids();
+    let baseline_messages = baseline.stats().detection_messages;
+
+    // faulty run: churn between periods, then the detection round
+    let mut sys = build_system(cfg, cfg.replication, &entries);
+    let (mut crashed, mut joined) = (0, 0);
+    for period in 0..cfg.churn_periods {
+        let (c, j) = sys.apply_churn(&cfg.plan.churn, period);
+        crashed += c;
+        joined += j;
+    }
+    let out = sys.detect_robust(&cfg.plan);
+    let confirmed_pairs = out.report.pair_ids();
+    let unconfirmed_pairs: Vec<(NodeId, NodeId)> =
+        out.unconfirmed.iter().map(|p| p.ids()).collect();
+
+    let recalled = baseline_pairs.iter().filter(|p| confirmed_pairs.contains(p)).count();
+    let reported = baseline_pairs
+        .iter()
+        .filter(|p| confirmed_pairs.contains(p) || unconfirmed_pairs.contains(p))
+        .count();
+    let denom = baseline_pairs.len();
+    let frac = |k: usize| if denom == 0 { 1.0 } else { k as f64 / denom as f64 };
+    let fault = out.fault;
+    let stats = sys.stats();
+    RobustnessOutcome {
+        recall: frac(recalled),
+        reported_fraction: frac(reported),
+        message_overhead: if baseline_messages == 0 {
+            1.0
+        } else {
+            fault.messages_sent as f64 / baseline_messages as f64
+        },
+        baseline_pairs,
+        confirmed_pairs,
+        unconfirmed_pairs,
+        fault,
+        detection_messages: fault.messages_sent,
+        baseline_messages,
+        crashed,
+        joined,
+        recovered_nodes: stats.recovered_nodes,
+        lost_nodes: stats.lost_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64) -> RobustnessConfig {
+        // shrink the workload for test speed; colluding pairs still exchange
+        // 10 × 20 × 3 = 600 mutual ratings, far above T_N = 100
+        let mut cfg = RobustnessConfig::standard(seed);
+        cfg.sim.n_nodes = 80;
+        cfg.sim.sim_cycles = 3;
+        cfg
+    }
+
+    #[test]
+    fn baseline_finds_the_ground_truth_pairs() {
+        let out = run_robustness(&quick(1));
+        let truth = quick(1).sim.colluding_pairs();
+        assert_eq!(out.baseline_pairs.len(), truth.len(), "{:?}", out.baseline_pairs);
+        for (a, b) in truth {
+            assert!(out.baseline_pairs.contains(&(a, b)), "pair ({a}, {b}) missed");
+        }
+        assert_eq!(out.recall, 1.0);
+        assert_eq!(out.reported_fraction, 1.0);
+        assert!(out.unconfirmed_pairs.is_empty());
+        assert_eq!(out.fault.completeness(), 1.0);
+    }
+
+    #[test]
+    fn moderate_drop_with_retries_keeps_full_recall() {
+        let cfg = quick(2).with_plan(FaultPlan::with_drop(0.1, 7));
+        let out = run_robustness(&cfg);
+        assert_eq!(out.recall, 1.0, "confirmed {:?}", out.confirmed_pairs);
+        assert!(out.message_overhead >= 1.0);
+    }
+
+    #[test]
+    fn churn_with_replication_preserves_the_pair_set() {
+        let cfg = quick(3).with_plan(FaultPlan::none().with_churn(1, 1, 5));
+        let out = run_robustness(&cfg);
+        assert!(out.crashed > 0 && out.joined > 0);
+        assert_eq!(out.lost_nodes, 0, "replication 3 must cover churn crashes");
+        assert_eq!(out.recall, 1.0);
+    }
+
+    #[test]
+    fn same_seeds_same_outcome() {
+        let cfg = quick(4).with_plan(FaultPlan::with_drop(0.3, 9).with_churn(1, 1, 5));
+        let a = run_robustness(&cfg);
+        let b = run_robustness(&cfg);
+        assert_eq!(a.confirmed_pairs, b.confirmed_pairs);
+        assert_eq!(a.unconfirmed_pairs, b.unconfirmed_pairs);
+        assert_eq!(a.fault, b.fault);
+        assert_eq!((a.crashed, a.joined), (b.crashed, b.joined));
+    }
+}

@@ -83,7 +83,12 @@ pub fn sweep_config(seed: u64, k: u64, detector: DetectorKind) -> SimConfig {
     cfg.colluders = (4..4 + k).map(NodeId).collect();
     cfg.colluder_good_prob = 0.2;
     cfg.detector = detector;
-    cfg.thresholds = Thresholds::new(2.0 / cfg.n_nodes as f64, cfg.thresholds.t_n, cfg.thresholds.t_a, cfg.thresholds.t_b);
+    cfg.thresholds = Thresholds::new(
+        2.0 / cfg.n_nodes as f64,
+        cfg.thresholds.t_n,
+        cfg.thresholds.t_a,
+        cfg.thresholds.t_b,
+    );
     cfg
 }
 

@@ -156,7 +156,8 @@ pub fn generate(config: &AmazonConfig) -> AmazonTrace {
     let mut boosters: Vec<(NodeId, NodeId)> = Vec::new();
     let mut rivals: Vec<(NodeId, NodeId)> = Vec::new();
     let mut next_special = special_base;
-    let mut seller_specials: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::with_capacity(config.sellers.len());
+    let mut seller_specials: Vec<(Vec<NodeId>, Vec<NodeId>)> =
+        Vec::with_capacity(config.sellers.len());
     for (sid, spec) in config.sellers.iter().enumerate() {
         let seller = NodeId(sid as u64);
         let mut b = Vec::new();
@@ -304,19 +305,11 @@ mod tests {
         let colluders = t.colluding_sellers();
         assert_eq!(colluders.len(), 18);
         let (booster, seller) = t.boosters[0];
-        let count = t
-            .trace
-            .records
-            .iter()
-            .filter(|r| r.rater == booster && r.ratee == seller)
-            .count() as u64;
+        let count =
+            t.trace.records.iter().filter(|r| r.rater == booster && r.ratee == seller).count()
+                as u64;
         assert!((20..=55).contains(&count), "booster count {count}");
-        assert!(t
-            .trace
-            .records
-            .iter()
-            .filter(|r| r.rater == booster)
-            .all(|r| r.stars == 5));
+        assert!(t.trace.records.iter().filter(|r| r.rater == booster).all(|r| r.stars == 5));
     }
 
     #[test]
@@ -356,12 +349,8 @@ mod tests {
         let t = small();
         // count per (buyer, seller) pair among non-special raters
         use std::collections::HashMap;
-        let special: std::collections::HashSet<NodeId> = t
-            .boosters
-            .iter()
-            .map(|&(b, _)| b)
-            .chain(t.rivals.iter().map(|&(r, _)| r))
-            .collect();
+        let special: std::collections::HashSet<NodeId> =
+            t.boosters.iter().map(|&(b, _)| b).chain(t.rivals.iter().map(|&(r, _)| r)).collect();
         let mut counts: HashMap<(NodeId, NodeId), u64> = HashMap::new();
         for r in &t.trace.records {
             if !special.contains(&r.rater) {

@@ -119,11 +119,7 @@ impl InteractionGraph {
                     }
                 }
             }
-            let edges = members
-                .iter()
-                .map(|n| self.adjacency[n].len())
-                .sum::<usize>()
-                / 2;
+            let edges = members.iter().map(|n| self.adjacency[n].len()).sum::<usize>() / 2;
             let kind = if members.len() == 2 {
                 ComponentKind::Pair
             } else if edges >= members.len() {

@@ -42,5 +42,5 @@ pub mod prelude {
     pub use crate::overstock::{OverstockConfig, OverstockTrace};
     pub use crate::patterns::{classify_rater, RaterPattern};
     pub use crate::stats::{RaterFrequency, SellerStats, TraceStats};
-    pub use crate::suspicious::{SuspiciousReport, SuspiciousPair};
+    pub use crate::suspicious::{SuspiciousPair, SuspiciousReport};
 }

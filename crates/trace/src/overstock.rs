@@ -210,12 +210,8 @@ mod tests {
             for &x in group {
                 for &y in group {
                     if x != y {
-                        let c = t
-                            .trace
-                            .records
-                            .iter()
-                            .filter(|r| r.rater == x && r.ratee == y)
-                            .count();
+                        let c =
+                            t.trace.records.iter().filter(|r| r.rater == x && r.ratee == y).count();
                         assert!(c >= 21, "group edge {x}->{y} only {c}");
                     }
                 }

@@ -176,9 +176,6 @@ mod tests {
         let at = generate(&AmazonConfig::paper(0.01, 21));
         let honest = NodeId(18);
         let rows = classify_all_raters(&at.trace, honest, 15, 0.1);
-        assert!(
-            rows.is_empty(),
-            "honest seller unexpectedly has frequent raters: {rows:?}"
-        );
+        assert!(rows.is_empty(), "honest seller unexpectedly has frequent raters: {rows:?}");
     }
 }

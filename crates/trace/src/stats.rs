@@ -65,10 +65,9 @@ impl TraceStats {
         let mut sellers: HashMap<NodeId, SellerStats> = HashMap::new();
         let mut pair_counts: HashMap<(NodeId, NodeId), u64> = HashMap::new();
         for r in &trace.records {
-            let s = sellers.entry(r.ratee).or_insert_with(|| SellerStats {
-                seller: r.ratee,
-                ..Default::default()
-            });
+            let s = sellers
+                .entry(r.ratee)
+                .or_insert_with(|| SellerStats { seller: r.ratee, ..Default::default() });
             s.total += 1;
             match r.value() {
                 RatingValue::Positive => s.positive += 1,

@@ -62,9 +62,7 @@ pub fn find_suspicious(trace: &Trace, stats: &TraceStats, threshold: u64) -> Sus
     // positive counts per pair above threshold
     let mut positives: HashMap<(NodeId, NodeId), u64> = HashMap::new();
     for r in &trace.records {
-        if stats.pair_count(r.rater, r.ratee) >= threshold
-            && r.value() == RatingValue::Positive
-        {
+        if stats.pair_count(r.rater, r.ratee) >= threshold && r.value() == RatingValue::Positive {
             *positives.entry((r.rater, r.ratee)).or_default() += 1;
         }
     }
@@ -73,12 +71,7 @@ pub fn find_suspicious(trace: &Trace, stats: &TraceStats, threshold: u64) -> Sus
         .filter(|&(_, _, c)| c >= threshold)
         .map(|(rater, seller, count)| {
             let pos = positives.get(&(rater, seller)).copied().unwrap_or(0);
-            SuspiciousPair {
-                rater,
-                seller,
-                count,
-                positive_fraction: pos as f64 / count as f64,
-            }
+            SuspiciousPair { rater, seller, count, positive_fraction: pos as f64 / count as f64 }
         })
         .collect();
     pairs.sort_by_key(|p| (p.seller, p.rater));
@@ -116,11 +109,7 @@ mod tests {
             assert!(found.contains(&seller), "missed colluding seller {seller}");
         }
         // rater counts near ground truth (boosters with draw ≥ threshold)
-        assert!(
-            report.raters.len() >= 100,
-            "only {} suspicious raters found",
-            report.raters.len()
-        );
+        assert!(report.raters.len() >= 100, "only {} suspicious raters found", report.raters.len());
     }
 
     #[test]
@@ -137,12 +126,8 @@ mod tests {
         let at = generate(&AmazonConfig::paper(0.01, 11));
         let stats = TraceStats::compute(&at.trace);
         let report = find_suspicious(&at.trace, &stats, 20);
-        let truth: BTreeSet<NodeId> = at
-            .boosters
-            .iter()
-            .map(|&(b, _)| b)
-            .chain(at.rivals.iter().map(|&(r, _)| r))
-            .collect();
+        let truth: BTreeSet<NodeId> =
+            at.boosters.iter().map(|&(b, _)| b).chain(at.rivals.iter().map(|&(r, _)| r)).collect();
         for rater in &report.raters {
             assert!(truth.contains(rater), "normal buyer {rater} flagged as suspicious");
         }

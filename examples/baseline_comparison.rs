@@ -68,8 +68,7 @@ fn main() {
     let engine = DampenedEngine::new(DampenedConfig { alpha: 0.5, fluctuation_penalty: 0.5 });
     let honest = [0.85; 12];
     let milker = [0.95, 0.95, 0.95, 0.95, 0.1, 0.1, 0.95, 0.95, 0.95, 0.95, 0.1, 0.1];
-    let plain_mean =
-        |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let plain_mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     println!(
         "  honest (steady 0.85):   plain mean {:.3}  dampened {:.3}",
         plain_mean(&honest),

@@ -58,8 +58,8 @@ fn main() {
     let mut m = 1u64;
     while m <= max_managers {
         let managers: Vec<NodeId> = (1000..1000 + m).map(NodeId).collect();
-        let outcome = DecentralizedDetector::new(thresholds, Method::Optimized)
-            .detect(&input, &managers);
+        let outcome =
+            DecentralizedDetector::new(thresholds, Method::Optimized).detect(&input, &managers);
         assert_eq!(
             outcome.report.pair_ids(),
             central.pair_ids(),
@@ -80,9 +80,16 @@ fn main() {
     for key in [0u64, 6, 10, 15] {
         ring.join_with_key(Key::new(key, 4));
     }
-    println!("\nFigure 2's 4-bit example ring: members {:?}", ring.members().map(|k| k.raw()).collect::<Vec<_>>());
+    println!(
+        "\nFigure 2's 4-bit example ring: members {:?}",
+        ring.members().map(|k| k.raw()).collect::<Vec<_>>()
+    );
     println!("owner of key 10 (n10's trust host): {}", ring.owner(Key::new(10, 4)));
     let router = Router::new(&ring);
     let res = router.lookup(Key::new(6, 4), Key::new(10, 4));
-    println!("Lookup(10) from n6 resolves via {:?} in {} hop(s)", res.path.iter().map(|k| k.raw()).collect::<Vec<_>>(), res.hops);
+    println!(
+        "Lookup(10) from n6 resolves via {:?} in {} hop(s)",
+        res.path.iter().map(|k| k.raw()).collect::<Vec<_>>(),
+        res.hops
+    );
 }

@@ -64,8 +64,8 @@ fn main() {
     let input = DetectionInput::from_signed_history(&h, &nodes);
     let thresholds = Thresholds::new(1.0, 20, 0.8, 0.2);
 
-    let pair_report = OptimizedDetector::with_policy(thresholds, DetectionPolicy::EXTENDED)
-        .detect(&input);
+    let pair_report =
+        OptimizedDetector::with_policy(thresholds, DetectionPolicy::EXTENDED).detect(&input);
     println!(
         "pair detector (T_N = 20, per-pair count 12): {} pairs found — structurally blind",
         pair_report.pairs.len()
@@ -98,10 +98,7 @@ fn main() {
     let m = Simulation::new(cfg).run();
     let detected: Vec<u64> = m.detected.iter().map(|n| n.raw()).collect();
     println!("detected collective members: {detected:?}");
-    println!(
-        "requests served by the collective: {:.2}%",
-        m.fraction_to_colluders() * 100.0
-    );
+    println!("requests served by the collective: {:.2}%", m.fraction_to_colluders() * 100.0);
     for id in 4..4 + k {
         assert!(m.detected.contains(&NodeId(id)), "member n{id} escaped");
     }

@@ -55,14 +55,8 @@ fn main() {
         report.sellers.len(),
         report.raters.len()
     );
-    println!(
-        "  booster pairs average a = {:.2}% (paper: 98.37%)",
-        report.avg_a * 100.0
-    );
-    println!(
-        "  rival pairs average  b = {:.2}% (paper: 1.63%)",
-        report.avg_b * 100.0
-    );
+    println!("  booster pairs average a = {:.2}% (paper: 98.37%)", report.avg_a * 100.0);
+    println!("  rival pairs average  b = {:.2}% (paper: 1.63%)", report.avg_b * 100.0);
 
     // Figure 1(b): rater behaviour at one suspicious seller.
     let suspect = report.sellers[0];

@@ -56,17 +56,12 @@ fn main() {
         plain.fraction_to_colluders * 100.0,
         protected.fraction_to_colluders * 100.0
     );
-    let detected: Vec<String> =
-        protected.detection_counts.keys().map(|n| n.to_string()).collect();
+    let detected: Vec<String> = protected.detection_counts.keys().map(|n| n.to_string()).collect();
     println!("detected colluders: [{}]", detected.join(" "));
 
     // The paper's headline: every colluder ends at reputation zero.
     for c in &protected_cfg.colluders {
-        assert_eq!(
-            protected.reputation_of(*c),
-            0.0,
-            "colluder {c} should have been zeroed"
-        );
+        assert_eq!(protected.reputation_of(*c), 0.0, "colluder {c} should have been zeroed");
     }
     println!("\nall colluders neutralized ✓");
 }

@@ -104,14 +104,8 @@ fn main() {
     assert!(best.f1 > 0.9, "a well-tuned detector should recover the boosters");
 
     // Demonstrate the §IV.B knob explicitly.
-    let strict = points
-        .iter()
-        .find(|p| p.t_a == 0.95 && p.t_b == 0.05 && p.t_n == 20)
-        .unwrap();
-    let relaxed = points
-        .iter()
-        .find(|p| p.t_a == 0.6 && p.t_b == 0.5 && p.t_n == 20)
-        .unwrap();
+    let strict = points.iter().find(|p| p.t_a == 0.95 && p.t_b == 0.05 && p.t_n == 20).unwrap();
+    let relaxed = points.iter().find(|p| p.t_a == 0.6 && p.t_b == 0.5 && p.t_n == 20).unwrap();
     println!(
         "\nstrict  (T_a=0.95, T_b=0.05): precision {:.3}, recall {:.3}",
         strict.precision, strict.recall

@@ -13,7 +13,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (dht/core non-test code: no unwrap) =="
+# hot paths that must heal around faults instead of panicking
+cargo clippy -p collusion-dht -p collusion-core -- -D warnings -W clippy::unwrap_used
+
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
+
+echo "== fault matrix (drop ∈ {0, 0.1, 0.3}) =="
+cargo test --release --test fault_tolerance -q
 
 echo "All checks passed."

@@ -24,8 +24,7 @@ fn random_history(seed: u64, n_nodes: u64, pairs: u64) -> (InteractionHistory, V
         if a == b {
             b = 1 + b % n_nodes;
         }
-        let positive =
-            if b <= 2 * pairs { rng.random_bool(0.1) } else { rng.random_bool(0.8) };
+        let positive = if b <= 2 * pairs { rng.random_bool(0.1) } else { rng.random_bool(0.8) };
         let r = if positive {
             Rating::positive(NodeId(a), NodeId(b), tick())
         } else {
@@ -224,12 +223,41 @@ fn incremental_refresh_matches_fresh_build_detection() {
 fn decentralized_message_count_scales_with_manager_dispersion() {
     let (h, nodes) = random_history(11, 60, 4);
     let input = DetectionInput::from_signed_history(&h, &nodes);
-    let one = DecentralizedDetector::new(thresholds(), Method::Optimized)
-        .detect(&input, &[NodeId(1000)]);
+    let one =
+        DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &[NodeId(1000)]);
     let many_managers: Vec<NodeId> = (1000..1128).map(NodeId).collect();
-    let many = DecentralizedDetector::new(thresholds(), Method::Optimized)
-        .detect(&input, &many_managers);
+    let many =
+        DecentralizedDetector::new(thresholds(), Method::Optimized).detect(&input, &many_managers);
     assert_eq!(one.messages, 0);
     assert!(many.messages >= one.messages);
     assert_eq!(one.report.pair_ids(), many.report.pair_ids());
+}
+
+#[test]
+fn fault_free_plan_is_bit_identical_to_fault_oblivious_run() {
+    // satellite (c): a `FaultPlan::none()` decentralized run must be
+    // bit-identical — pairs, metered cost, messages, hops — to the plain
+    // `detect` path, and its pair set must match the centralized CSR
+    // snapshot path. The none-plan draws zero random values by contract,
+    // so the equality is exact, not statistical.
+    use collusion::core::fault::FaultPlan;
+    for seed in 0..10u64 {
+        let (h, nodes) = random_history(800 + seed, 40, 3);
+        let input = DetectionInput::from_signed_history(&h, &nodes);
+        let managers: Vec<NodeId> = (1000..1008).map(NodeId).collect();
+        let det = DecentralizedDetector::new(thresholds(), Method::Optimized);
+        let plain = det.detect(&input, &managers);
+        let none_plan = det.detect_with_faults(&input, &managers, &FaultPlan::none());
+        assert_eq!(plain.report.pairs, none_plan.report.pairs, "seed {seed}: pairs");
+        assert_eq!(plain.report.cost, none_plan.report.cost, "seed {seed}: metered cost");
+        assert_eq!(plain.messages, none_plan.messages, "seed {seed}: messages");
+        assert_eq!(plain.dht_hops, none_plan.dht_hops, "seed {seed}: hops");
+        assert!(none_plan.unconfirmed.is_empty(), "seed {seed}");
+        assert_eq!(none_plan.fault.completeness(), 1.0, "seed {seed}");
+        // centralized CSR snapshot path reaches the same verdicts
+        let snap = DetectionSnapshot::build(&h, &nodes);
+        let sinput = SnapshotInput::from_signed(&snap, &nodes);
+        let central = OptimizedDetector::new(thresholds()).detect_snapshot(&sinput);
+        assert_eq!(none_plan.report.pair_ids(), central.pair_ids(), "seed {seed}: centralized");
+    }
 }

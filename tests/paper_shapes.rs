@@ -39,9 +39,8 @@ fn fig5_colluders_dominate_at_b06() {
     );
     assert!(pretrusted > normal, "pretrusted ({pretrusted:.4}) above normals ({normal:.4})");
     // the top-8 nodes are exactly the colluders
-    let mut ranked: Vec<(u64, f64)> = (1..=cfg.n_nodes)
-        .map(|i| (i, m.reputation[i as usize]))
-        .collect();
+    let mut ranked: Vec<(u64, f64)> =
+        (1..=cfg.n_nodes).map(|i| (i, m.reputation[i as usize])).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let top8: Vec<u64> = ranked.iter().take(8).map(|&(i, _)| i).collect();
     for id in top8 {
@@ -56,10 +55,7 @@ fn fig6_b02_reduces_colluders_vs_fig5() {
     let m6 = run_averaged(&cfg6, RUNS);
     let (c5, _, _) = role_means(&m5, &scenario::fig5(SEED));
     let (c6, _, _) = role_means(&m6, &cfg6);
-    assert!(
-        c6 < 0.8 * c5,
-        "B=0.2 should cut colluder reputation ({c6:.4} !< 0.8×{c5:.4})"
-    );
+    assert!(c6 < 0.8 * c5, "B=0.2 should cut colluder reputation ({c6:.4} !< 0.8×{c5:.4})");
     assert!(
         m6.fraction_to_colluders < m5.fraction_to_colluders,
         "fewer requests should flow to colluders at B=0.2"
@@ -92,11 +88,7 @@ fn fig8_detectors_zero_all_colluders_without_pretrusted() {
         cfg.detector = detector;
         let m = run_averaged(&cfg, RUNS);
         for id in 1..=8u64 {
-            assert_eq!(
-                m.reputation_of(NodeId(id)),
-                0.0,
-                "{detector:?}: colluder n{id} not zeroed"
-            );
+            assert_eq!(m.reputation_of(NodeId(id)), 0.0, "{detector:?}: colluder n{id} not zeroed");
             assert_eq!(
                 m.detection_counts.get(&NodeId(id)),
                 Some(&RUNS),

@@ -57,12 +57,7 @@ fn c4_colluder_pair_frequency_far_exceeds_normal() {
     // C4: max pair frequency ~55/yr for colluders vs ≤15/yr normal.
     let trace = amazon::generate(&AmazonConfig::paper(0.02, 5));
     let stats = TraceStats::compute(&trace.trace);
-    let booster_max = trace
-        .boosters
-        .iter()
-        .map(|&(b, s)| stats.pair_count(b, s))
-        .max()
-        .unwrap();
+    let booster_max = trace.boosters.iter().map(|&(b, s)| stats.pair_count(b, s)).max().unwrap();
     let truth_specials: BTreeSet<NodeId> = trace
         .boosters
         .iter()
@@ -154,11 +149,8 @@ fn trace_detection_bridge_flags_booster_relationships() {
         DetectionPolicy::EXTENDED,
     )
     .detect(&input);
-    let truth: BTreeSet<(NodeId, NodeId)> = trace
-        .boosters
-        .iter()
-        .map(|&(b, s)| if b < s { (b, s) } else { (s, b) })
-        .collect();
+    let truth: BTreeSet<(NodeId, NodeId)> =
+        trace.boosters.iter().map(|&(b, s)| if b < s { (b, s) } else { (s, b) }).collect();
     let found: BTreeSet<(NodeId, NodeId)> = report.pair_ids().into_iter().collect();
     let recovered = found.intersection(&truth).count();
     assert!(
@@ -167,11 +159,8 @@ fn trace_detection_bridge_flags_booster_relationships() {
         truth.len()
     );
     // flagged sellers are exactly the colluding ones
-    let flagged_sellers: BTreeSet<NodeId> = report
-        .colluders()
-        .into_iter()
-        .filter(|n| n.raw() < 10)
-        .collect();
+    let flagged_sellers: BTreeSet<NodeId> =
+        report.colluders().into_iter().filter(|n| n.raw() < 10).collect();
     for s in &flagged_sellers {
         assert!(trace.sellers[s.raw() as usize].colluding, "honest seller {s} flagged");
     }

@@ -1,0 +1,235 @@
+//! Vendored stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Provides the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple median-of-samples wall-clock harness.
+//!
+//! Mode selection follows cargo's conventions:
+//! - `cargo bench` passes `--bench`, which enables full measurement
+//!   (timed warm-up, then `sample_size` timed samples; median reported).
+//! - `cargo test` runs harness-less bench targets with no `--bench` flag;
+//!   each benchmark then executes its body exactly once as a smoke test, so
+//!   the tier-1 suite stays fast while still compiling and exercising every
+//!   bench.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value, rendered as `name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Timing loop handle passed to bench closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    median_ns: f64,
+    samples: usize,
+    full: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median over the configured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.full {
+            black_box(routine());
+            self.median_ns = f64::NAN;
+            return;
+        }
+        // Warm up for ~50ms, deriving how many calls fit a ~10ms sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((10_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Shared measurement settings and reporting.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    full: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` hands harness-less targets `--bench`; anything else
+        // (notably `cargo test`) gets one-shot smoke mode.
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion { full, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.full, self.sample_size, id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let (full, sample_size) = (self.full, self.sample_size);
+        BenchmarkGroup { _parent: self, name: name.to_string(), full, sample_size }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and settings, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    full: bool,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark identified by `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.full, self.sample_size, &label, f);
+        self
+    }
+
+    /// Run a benchmark that borrows a setup value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.full, self.sample_size, &label, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting is per-benchmark; nothing buffered).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(full: bool, samples: usize, label: &str, mut f: F) {
+    let mut b = Bencher { median_ns: f64::NAN, samples, full };
+    f(&mut b);
+    if full {
+        println!("{label:<50} {:>14.1} ns/iter (median)", b.median_ns);
+    } else {
+        println!("{label:<50} smoke ok");
+    }
+}
+
+/// Collect benchmark functions into one runnable set, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut count = 0;
+        run_one(false, 20, "unit/smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { full: false, sample_size: 20 };
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lookup", 128).to_string(), "lookup/128");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,136 @@
+//! Vendored stand-in for `rayon`, exposing the parallel-iterator API subset
+//! this workspace uses (`par_iter`, `par_iter_mut`, `into_par_iter`,
+//! `flat_map_iter`, plus the standard adapter chain) executed **sequentially**.
+//!
+//! The build environment has no registry access, so external crates are
+//! vendored (see `vendor/README.md`). Running the "parallel" paths on one
+//! thread keeps every `detect_par`-style kernel compilable and — crucially —
+//! bit-identical to its sequential twin, which the equivalence tests assert.
+//! The adapters return plain `std::iter` types, so `map`/`filter_map`/
+//! `enumerate`/`sum`/`collect` all come from `std::iter::Iterator`.
+
+/// Consuming conversion, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type of the iterator.
+    type Item;
+    /// Concrete iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert `self` into a (sequentially executed) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type of the iterator (usually a reference).
+    type Item: 'a;
+    /// Concrete iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate `&self` "in parallel" (sequentially here).
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Item = <&'a T as IntoIterator>::Item;
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutable borrowing conversion, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type of the iterator (usually a mutable reference).
+    type Item: 'a;
+    /// Concrete iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate `&mut self` "in parallel" (sequentially here).
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoIterator,
+{
+    type Item = <&'a mut T as IntoIterator>::Item;
+    type Iter = <&'a mut T as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Rayon-specific adapters that are not plain `Iterator` methods.
+///
+/// Blanket-implemented for every iterator so `use rayon::prelude::*`
+/// brings them into scope exactly like the real crate's
+/// `ParallelIterator` trait does.
+pub trait ParallelIterator: Iterator + Sized {
+    /// Sequential equivalent of rayon's `flat_map_iter`.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// Splitting hint; a no-op without a thread pool.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Everything call sites need, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v = vec![1, 3];
+        let out: Vec<i32> = v.par_iter().flat_map_iter(|&x| vec![x, x + 1]).collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn enumerate_chain_compiles() {
+        let v = vec!["a", "b"];
+        let out: Vec<(usize, &str)> = v.par_iter().enumerate().map(|(i, s)| (i, *s)).collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b")]);
+    }
+}

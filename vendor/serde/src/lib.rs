@@ -1,0 +1,17 @@
+//! Vendored stand-in for `serde` (see `vendor/README.md` for why external
+//! crates are vendored).
+//!
+//! Exposes the two trait names and the derive macros so `use serde::{…}` and
+//! `#[derive(Serialize, Deserialize)]` (with `#[serde(...)]` attributes)
+//! compile unchanged. The traits are markers: nothing in the workspace
+//! serializes through serde yet — the benches hand-roll their JSON on
+//! purpose — so no data-format machinery is needed. Swapping back to the
+//! upstream crates is a two-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (same name, trait namespace).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (same name, trait namespace).
+pub trait Deserialize<'de>: Sized {}

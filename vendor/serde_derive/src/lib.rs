@@ -1,0 +1,25 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and model
+//! types to keep them wire-ready, but nothing in-tree serializes yet (there
+//! is deliberately no JSON dependency; benches hand-roll their JSON). These
+//! derive macros therefore only need to *accept* the derive position and the
+//! `#[serde(...)]` helper attributes; they expand to nothing. When a real
+//! serializer lands, swap `vendor/serde*` back to the upstream crates — no
+//! call-site changes needed.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands
+/// to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
