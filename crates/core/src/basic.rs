@@ -27,8 +27,8 @@ use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
 use collusion_reputation::history::PairCounters;
 use collusion_reputation::id::NodeId;
-use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
+use collusion_reputation::view::SnapshotView;
 use rayon::prelude::*;
 use std::collections::HashSet;
 
@@ -130,8 +130,13 @@ impl BasicDetector {
     /// dense row-by-row procedure and metering, with every matrix probe an
     /// array access instead of a hash lookup. Produces a bit-identical
     /// [`DetectionReport`] (pairs *and* cost) to the legacy path — enforced
-    /// by `tests/detection_equivalence.rs`.
-    pub fn detect_snapshot(&self, input: &SnapshotInput<'_>) -> DetectionReport {
+    /// by `tests/detection_equivalence.rs`. Generic over the
+    /// [`SnapshotView`], so the same kernel runs on monolithic and sharded
+    /// snapshots.
+    pub fn detect_snapshot<V: SnapshotView>(
+        &self,
+        input: &SnapshotInput<'_, V>,
+    ) -> DetectionReport {
         let meter = CostMeter::new();
         let snap = input.snapshot;
         let high = input.high_reputed_idx(&self.thresholds);
@@ -139,7 +144,9 @@ impl BasicDetector {
         for &i in &high {
             is_high[i as usize] = true;
         }
-        let mut checked = PairSet::with_capacity(high.len() * 4);
+        // pre-size from the stored cell count: the dense walk marks every
+        // examined pair, and nnz bounds the pairs with any rating evidence
+        let mut checked = PairSet::with_capacity(snap.nnz().max(high.len() * 4));
         let mut pairs = Vec::new();
         for &i in &high {
             for &j in input.view() {
@@ -163,9 +170,9 @@ impl BasicDetector {
     }
 
     /// Snapshot analogue of [`BasicDetector::check_pair`].
-    fn check_pair_snap(
+    pub(crate) fn check_pair_snap<V: SnapshotView>(
         &self,
-        snap: &DetectionSnapshot,
+        snap: &V,
         i: u32,
         j: u32,
         meter: &CostMeter,
@@ -193,9 +200,9 @@ impl BasicDetector {
     /// `None` when the rater is not interned in this snapshot (a partitioned
     /// manager probing an unknown partner) — the scan then sees zero pair
     /// counters, exactly like the legacy hash lookup of an absent pair.
-    pub(crate) fn check_direction_snap(
+    pub(crate) fn check_direction_snap<V: SnapshotView>(
         &self,
-        snap: &DetectionSnapshot,
+        snap: &V,
         ratee: u32,
         rater: Option<u32>,
         meter: &CostMeter,
@@ -331,6 +338,7 @@ mod tests {
     use collusion_reputation::history::InteractionHistory;
     use collusion_reputation::id::SimTime;
     use collusion_reputation::rating::Rating;
+    use collusion_reputation::snapshot::DetectionSnapshot;
 
     /// Build the canonical collusion scenario:
     /// colluders c1, c2 rate each other +1 `boost` times;

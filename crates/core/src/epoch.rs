@@ -1,0 +1,561 @@
+//! Epoch-batched incremental detection: the scale path that turns the
+//! per-period full matrix pass into work proportional to *what changed*.
+//!
+//! The [`EpochEngine`] owns three pieces of state that together replace
+//! "rebuild snapshot, rerun detector" every detection period:
+//!
+//! * a [`ShardedSnapshot`] advanced in place by
+//!   [`ShardedSnapshot::apply_epoch`],
+//! * an [`EpochBuffer`] absorbing ratings at O(1) each between closes,
+//! * a verdict map: the standing suspect set keyed by node-id pair.
+//!
+//! At [`EpochEngine::close_epoch`] the buffer drains into a sorted
+//! [`EpochDelta`] — the dirty-pair work queue — and the engine re-examines
+//! only the *candidate pairs* whose verdict could have changed:
+//!
+//! * for every dirty ratee `d` (a row, totals or frequent-aggregate
+//!   change): every pair `{x, d}` with `x` a rater of `d`, **and** every
+//!   pair `{d, y}` with `y` a ratee of `d` (the direction *ratee = d,
+//!   rater = y* reads `d`'s totals even when `y` never rated `d`);
+//! * for every node whose high-reputed flag flipped: the same two edge
+//!   fans (a flip gates every incident pair in or out of consideration).
+//!
+//! Any pair outside the candidate set kept all of its inputs byte-for-byte
+//! unchanged, so its standing verdict is still exact. Candidate pairs are
+//! re-checked with the *same* kernels the full pass uses
+//! ([`BasicDetector::check_pair_snap`] /
+//! [`OptimizedDetector::check_direction_snap`]) and the verdict map is
+//! updated both ways — inserted on a flag, *removed* when a previously
+//! suspicious pair no longer checks out. The resulting suspect set is
+//! therefore bit-identical to running the full detector on the current
+//! state (enforced by this module's tests and `tests/scale_props.rs`);
+//! only the cost differs.
+//!
+//! With `prune` enabled (and the strict community definition in force) the
+//! Formula (2) band pre-filter of [`OptimizedDetector::detect_pruned`]
+//! additionally discards candidates whose row totals prove no band can be
+//! entered, before any row data is touched.
+
+use std::collections::BTreeMap;
+
+use collusion_reputation::epoch::{EpochBuffer, EpochDelta};
+use collusion_reputation::id::NodeId;
+use collusion_reputation::rating::Rating;
+use collusion_reputation::sharded::ShardedSnapshot;
+use collusion_reputation::thresholds::Thresholds;
+use collusion_reputation::view::SnapshotView;
+
+use crate::basic::BasicDetector;
+use crate::cost::CostMeter;
+use crate::model::SuspectPair;
+use crate::optimized::OptimizedDetector;
+use crate::pairset::PairSet;
+use crate::policy::DetectionPolicy;
+use crate::report::DetectionReport;
+
+/// Which detection kernel the engine runs on candidate pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochMethod {
+    /// The §IV.B row-scan detector ([`BasicDetector`]).
+    Basic,
+    /// The §IV.C Formula (2) band detector ([`OptimizedDetector`]).
+    Optimized,
+}
+
+/// Cumulative counters across all closed epochs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Epochs closed (including empty ones).
+    pub epochs: u64,
+    /// Ratings folded through the buffer.
+    pub ratings: u64,
+    /// Candidate pairs that survived the cheap eligibility gates
+    /// (deduplicated; ineligible fans never become candidates).
+    pub candidates: u64,
+    /// Candidates that reached a kernel check.
+    pub checked: u64,
+    /// Candidates discarded by the band pre-filter at check time (these
+    /// are standing-verdict re-checks; newly enumerated pairs the band
+    /// bans are filtered out before they ever become candidates).
+    pub pruned: u64,
+}
+
+/// Incremental detector maintaining an exact suspect set across epochs.
+#[derive(Debug)]
+pub struct EpochEngine {
+    thresholds: Thresholds,
+    policy: DetectionPolicy,
+    method: EpochMethod,
+    prune: bool,
+    basic: BasicDetector,
+    optimized: OptimizedDetector,
+    snap: ShardedSnapshot,
+    buffer: EpochBuffer,
+    high: Vec<bool>,
+    verdicts: BTreeMap<(NodeId, NodeId), SuspectPair>,
+    stats: EpochStats,
+}
+
+impl EpochEngine {
+    /// Engine over an initially empty history covering `nodes`, sharded
+    /// into about `target_shards` row ranges. `prune` arms the Formula (2)
+    /// band pre-filter; it self-disables under
+    /// [`DetectionPolicy::community_excludes_frequent`], where adjusted
+    /// totals make row-level pruning unsound.
+    pub fn new(
+        nodes: &[NodeId],
+        target_shards: usize,
+        method: EpochMethod,
+        thresholds: Thresholds,
+        policy: DetectionPolicy,
+        prune: bool,
+    ) -> Self {
+        let empty = collusion_reputation::history::InteractionHistory::new();
+        let snap = if policy.community_excludes_frequent {
+            ShardedSnapshot::build_with_frequent(&empty, nodes, target_shards, thresholds.t_n)
+        } else {
+            ShardedSnapshot::build(&empty, nodes, target_shards)
+        };
+        let high = (0..snap.n() as u32)
+            .map(|i| thresholds.is_high_reputed(snap.signed(i) as f64))
+            .collect();
+        EpochEngine {
+            thresholds,
+            policy,
+            method,
+            prune,
+            basic: BasicDetector::with_policy(thresholds, policy),
+            optimized: OptimizedDetector::with_policy(thresholds, policy),
+            snap,
+            buffer: EpochBuffer::new(),
+            high,
+            verdicts: BTreeMap::new(),
+            stats: EpochStats::default(),
+        }
+    }
+
+    /// Fold one rating into the open epoch (O(1); self-ratings ignored).
+    #[inline]
+    pub fn record(&mut self, rating: Rating) -> bool {
+        self.buffer.record(rating)
+    }
+
+    /// The sharded snapshot as of the last closed epoch.
+    #[inline]
+    pub fn snapshot(&self) -> &ShardedSnapshot {
+        &self.snap
+    }
+
+    /// Cumulative counters.
+    #[inline]
+    pub fn stats(&self) -> EpochStats {
+        self.stats
+    }
+
+    /// Ratings waiting in the open epoch.
+    #[inline]
+    pub fn pending_ratings(&self) -> u64 {
+        self.buffer.ratings()
+    }
+
+    /// The standing suspect set as a report (no kernel work, zero cost).
+    pub fn report(&self) -> DetectionReport {
+        DetectionReport::new(self.verdicts.values().copied().collect(), CostMeter::new().snapshot())
+    }
+
+    fn prune_active(&self) -> bool {
+        self.prune && !self.policy.community_excludes_frequent
+    }
+
+    /// Close the open epoch: merge the buffered delta into the sharded
+    /// snapshot, re-check exactly the candidate pairs whose inputs changed,
+    /// and return the updated standing suspect set. The reported cost
+    /// covers only this close's kernel work.
+    pub fn close_epoch(&mut self) -> DetectionReport {
+        self.stats.epochs += 1;
+        let delta: EpochDelta = self.buffer.drain();
+        self.stats.ratings += delta.ratings;
+        if delta.is_empty() {
+            return self.report();
+        }
+
+        // 1. advance the snapshot; carry high flags across any re-interning
+        if let Some(remap) = self.snap.apply_epoch(&delta) {
+            let mut carried = vec![false; self.snap.n()];
+            for (old, &new) in remap.iter().enumerate() {
+                carried[new as usize] = self.high[old];
+            }
+            self.high = carried;
+        }
+
+        // 2. recompute high flags, collecting flips
+        let mut flips: Vec<u32> = Vec::new();
+        for i in 0..self.snap.n() as u32 {
+            let now = self.thresholds.is_high_reputed(self.snap.signed(i) as f64);
+            if now != self.high[i as usize] {
+                self.high[i as usize] = now;
+                flips.push(i);
+            }
+        }
+
+        // 3. enumerate candidate pairs. A pair's verdict can only change
+        //    when an endpoint is *active* (dirty ratee or high-flip), so:
+        //
+        //    a) standing verdicts with an active endpoint are re-checked
+        //       (they may need retraction) — a scan of the small verdict
+        //       map, not of the graph;
+        //    b) *new* flags can only appear on pairs incident to an active
+        //       node that is high — and, when pruning is armed, not
+        //       provably banned by its own row totals — so ineligible
+        //       fans are skipped before they ever touch the dedup set.
+        //       Each surviving neighbour gets the same cheap gate. Skipped
+        //       pairs are exactly those the kernel provably would not
+        //       flag, and any stale verdict they might carry is already
+        //       covered by (a).
+        let prune_on = self.prune_active();
+        let mut active = vec![false; self.snap.n()];
+        for id in delta.dirty_ratees() {
+            let d = self.snap.index(id).expect("dirty ratee interned by apply_epoch");
+            active[d as usize] = true;
+        }
+        for &f in &flips {
+            active[f as usize] = true;
+        }
+        let mut seen = PairSet::with_capacity(delta.entries.len() * 2);
+        let mut cands: Vec<(u32, u32)> = Vec::new();
+        for (&(a, b), _) in self.verdicts.iter() {
+            let (i, j) = (
+                self.snap.index(a).expect("verdict node interned"),
+                self.snap.index(b).expect("verdict node interned"),
+            );
+            if (active[i as usize] || active[j as usize]) && seen.insert(i, j) {
+                cands.push((i, j));
+            }
+        }
+        // prunability memo: 0 unknown, 1 prunable, 2 not
+        let mut memo = vec![0u8; self.snap.n()];
+        {
+            let snap = &self.snap;
+            let optimized = &self.optimized;
+            let high = &self.high;
+            let prunable = |x: u32, memo: &mut Vec<u8>| -> bool {
+                if !prune_on {
+                    return false;
+                }
+                let m = memo[x as usize];
+                if m != 0 {
+                    return m == 1;
+                }
+                let p = optimized.row_prunable(snap.totals_of(x));
+                memo[x as usize] = if p { 1 } else { 2 };
+                p
+            };
+            for c in 0..self.snap.n() as u32 {
+                if !active[c as usize] || !high[c as usize] {
+                    continue;
+                }
+                let c_banned = prunable(c, &mut memo);
+                if c_banned && self.policy.require_mutual {
+                    continue; // no pair with this endpoint can be flagged
+                }
+                let admit = |x: u32, memo: &mut Vec<u8>| -> bool {
+                    if x == c || !high[x as usize] {
+                        return false;
+                    }
+                    let x_banned = prunable(x, memo);
+                    let banned = if self.policy.require_mutual {
+                        x_banned // c already known not banned here
+                    } else {
+                        c_banned && x_banned
+                    };
+                    !banned
+                };
+                let (cols, _) = snap.row(c);
+                for &x in cols {
+                    if admit(x, &mut memo) && seen.insert(x, c) {
+                        cands.push((x, c));
+                    }
+                }
+                for &y in snap.ratees_of(c) {
+                    if admit(y, &mut memo) && seen.insert(c, y) {
+                        cands.push((c, y));
+                    }
+                }
+            }
+        }
+        self.stats.candidates += cands.len() as u64;
+
+        // 4. re-check candidates, updating the verdict map both ways
+        let meter = CostMeter::new();
+        let mut cache: Vec<Option<(u64, i64)>> = vec![None; self.snap.n()];
+        for (i, j) in cands {
+            let (id_i, id_j) = (self.snap.node_id(i), self.snap.node_id(j));
+            let key = if id_i < id_j { (id_i, id_j) } else { (id_j, id_i) };
+            if !(self.high[i as usize] && self.high[j as usize]) {
+                self.verdicts.remove(&key);
+                continue;
+            }
+            if self.prune_active() {
+                let pi = self.optimized.row_prunable(self.snap.totals_of(i));
+                let pj = self.optimized.row_prunable(self.snap.totals_of(j));
+                let skip = if self.policy.require_mutual { pi || pj } else { pi && pj };
+                if skip {
+                    // sound: a prunable row's direction check cannot pass,
+                    // so the full kernel would produce no flag here
+                    self.stats.pruned += 1;
+                    self.verdicts.remove(&key);
+                    continue;
+                }
+            }
+            self.stats.checked += 1;
+            let verdict = match self.method {
+                EpochMethod::Basic => self.basic.check_pair_snap(&self.snap, i, j, &meter),
+                EpochMethod::Optimized => {
+                    let ev_fwd =
+                        self.optimized.direction_cached(&self.snap, i, Some(j), &meter, &mut cache);
+                    let ev_rev =
+                        self.optimized.direction_cached(&self.snap, j, Some(i), &meter, &mut cache);
+                    if self.policy.require_mutual {
+                        match (ev_fwd, ev_rev) {
+                            (Some(f), Some(r)) => {
+                                Some(SuspectPair::new(id_j, id_i, Some(f), Some(r)))
+                            }
+                            _ => None,
+                        }
+                    } else if ev_fwd.is_none() && ev_rev.is_none() {
+                        None
+                    } else {
+                        Some(SuspectPair::new(id_j, id_i, ev_fwd, ev_rev))
+                    }
+                }
+            };
+            match verdict {
+                Some(pair) => {
+                    self.verdicts.insert(key, pair);
+                }
+                None => {
+                    self.verdicts.remove(&key);
+                }
+            }
+        }
+        DetectionReport::new(self.verdicts.values().copied().collect(), meter.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::SnapshotInput;
+    use collusion_reputation::history::InteractionHistory;
+    use collusion_reputation::id::SimTime;
+    use collusion_reputation::rating::RatingValue;
+    use collusion_reputation::snapshot::DetectionSnapshot;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Pseudo-random rating stream over `ids`, biased positive, with a
+    /// planted mutual-boost pair (ids[0], ids[1]).
+    fn epoch_ratings(ids: &[u64], count: usize, seed: u64, t0: u64) -> Vec<Rating> {
+        let mut s = seed;
+        let mut out = Vec::with_capacity(count + 8);
+        for k in 0..count {
+            let rater = ids[(splitmix(&mut s) % ids.len() as u64) as usize];
+            let ratee = ids[(splitmix(&mut s) % ids.len() as u64) as usize];
+            if rater == ratee {
+                continue;
+            }
+            let v = match splitmix(&mut s) % 10 {
+                0 => RatingValue::Negative,
+                1 => RatingValue::Neutral,
+                _ => RatingValue::Positive,
+            };
+            out.push(Rating::new(NodeId(rater), NodeId(ratee), v, SimTime(t0 + k as u64)));
+        }
+        for k in 0..4 {
+            out.push(Rating::positive(NodeId(ids[0]), NodeId(ids[1]), SimTime(t0 + 9000 + k)));
+            out.push(Rating::positive(NodeId(ids[1]), NodeId(ids[0]), SimTime(t0 + 9100 + k)));
+        }
+        out
+    }
+
+    fn full_pass(
+        history: &InteractionHistory,
+        ids: &[NodeId],
+        method: EpochMethod,
+        thresholds: Thresholds,
+        policy: DetectionPolicy,
+    ) -> Vec<SuspectPair> {
+        let snap = if policy.community_excludes_frequent {
+            DetectionSnapshot::build_with_frequent(history, ids, thresholds.t_n)
+        } else {
+            DetectionSnapshot::build(history, ids)
+        };
+        let input = SnapshotInput::from_signed(&snap, ids);
+        let report = match method {
+            EpochMethod::Basic => {
+                BasicDetector::with_policy(thresholds, policy).detect_snapshot(&input)
+            }
+            EpochMethod::Optimized => {
+                OptimizedDetector::with_policy(thresholds, policy).detect_snapshot(&input)
+            }
+        };
+        report.pairs
+    }
+
+    fn pair_keys(pairs: &[SuspectPair]) -> Vec<(NodeId, NodeId)> {
+        pairs.iter().map(|p| p.ids()).collect()
+    }
+
+    fn check_engine_matches_full(
+        method: EpochMethod,
+        policy: DetectionPolicy,
+        prune: bool,
+        seed: u64,
+    ) {
+        let base_ids: Vec<u64> = (1..=12).collect();
+        let nodes: Vec<NodeId> = base_ids.iter().map(|&i| NodeId(i)).collect();
+        let thresholds = Thresholds::new(1.0, 3, 0.8, 0.4);
+        let mut engine = EpochEngine::new(&nodes, 4, method, thresholds, policy, prune);
+        let mut history = InteractionHistory::new();
+        for epoch in 0..6u64 {
+            // epoch 3 introduces two brand-new nodes mid-stream
+            let ids: Vec<u64> = if epoch >= 3 {
+                base_ids.iter().copied().chain([40, 41]).collect()
+            } else {
+                base_ids.clone()
+            };
+            for r in epoch_ratings(&ids, 60, seed ^ (epoch + 1), epoch * 10_000) {
+                engine.record(r);
+                history.record(r);
+            }
+            let report = engine.close_epoch();
+            let all_ids: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+            let expect = full_pass(&history, &all_ids, method, thresholds, policy);
+            assert_eq!(
+                pair_keys(&report.pairs),
+                pair_keys(&expect),
+                "epoch {epoch} method {method:?} policy {policy:?} prune {prune}"
+            );
+            // evidence payloads match too, not just the id sets
+            assert_eq!(report.pairs, expect, "evidence mismatch at epoch {epoch}");
+        }
+        assert_eq!(engine.stats().epochs, 6);
+        assert!(engine.stats().ratings > 0);
+    }
+
+    #[test]
+    fn engine_matches_full_pass_optimized_strict() {
+        check_engine_matches_full(EpochMethod::Optimized, DetectionPolicy::STRICT, false, 0xA1);
+    }
+
+    #[test]
+    fn engine_matches_full_pass_optimized_pruned() {
+        check_engine_matches_full(EpochMethod::Optimized, DetectionPolicy::STRICT, true, 0xB2);
+    }
+
+    #[test]
+    fn engine_matches_full_pass_basic_strict() {
+        check_engine_matches_full(EpochMethod::Basic, DetectionPolicy::STRICT, false, 0xC3);
+    }
+
+    #[test]
+    fn engine_matches_full_pass_basic_pruned() {
+        check_engine_matches_full(EpochMethod::Basic, DetectionPolicy::STRICT, true, 0xD4);
+    }
+
+    #[test]
+    fn engine_matches_full_pass_extended_policy() {
+        check_engine_matches_full(EpochMethod::Optimized, DetectionPolicy::EXTENDED, false, 0xE5);
+        // prune flag self-disables under the extended policy — still exact
+        check_engine_matches_full(EpochMethod::Optimized, DetectionPolicy::EXTENDED, true, 0xF6);
+    }
+
+    #[test]
+    fn verdicts_retract_when_evidence_erodes() {
+        let thresholds = Thresholds::new(1.0, 3, 0.8, 0.4);
+        let nodes: Vec<NodeId> = (1..=6).map(NodeId).collect();
+        let mut engine = EpochEngine::new(
+            &nodes,
+            2,
+            EpochMethod::Optimized,
+            thresholds,
+            DetectionPolicy::STRICT,
+            true,
+        );
+        let mut history = InteractionHistory::new();
+        // epoch 1: 1 and 2 boost each other; 3 gives each one negative
+        let mut t = 0u64;
+        let feed = |engine: &mut EpochEngine, history: &mut InteractionHistory, r: Rating| {
+            engine.record(r);
+            history.record(r);
+        };
+        for _ in 0..5 {
+            feed(&mut engine, &mut history, Rating::positive(NodeId(1), NodeId(2), SimTime(t)));
+            feed(&mut engine, &mut history, Rating::positive(NodeId(2), NodeId(1), SimTime(t)));
+            t += 1;
+        }
+        feed(&mut engine, &mut history, Rating::negative(NodeId(3), NodeId(1), SimTime(t)));
+        feed(&mut engine, &mut history, Rating::negative(NodeId(3), NodeId(2), SimTime(t)));
+        t += 1;
+        let r1 = engine.close_epoch();
+        assert!(r1.is_colluder(NodeId(1)) && r1.is_colluder(NodeId(2)), "pair flagged first");
+        // epoch 2: the community showers both with positives — community
+        // fraction b rises above T_b, the verdict must retract
+        for _ in 0..30 {
+            for rater in [3u64, 4, 5, 6] {
+                feed(
+                    &mut engine,
+                    &mut history,
+                    Rating::positive(NodeId(rater), NodeId(1), SimTime(t)),
+                );
+                feed(
+                    &mut engine,
+                    &mut history,
+                    Rating::positive(NodeId(rater), NodeId(2), SimTime(t)),
+                );
+                t += 1;
+            }
+        }
+        let r2 = engine.close_epoch();
+        let expect = full_pass(
+            &history,
+            &nodes,
+            EpochMethod::Optimized,
+            thresholds,
+            DetectionPolicy::STRICT,
+        );
+        assert_eq!(pair_keys(&r2.pairs), pair_keys(&expect));
+        assert!(!r2.is_colluder(NodeId(1)), "verdict retracted after community evidence");
+    }
+
+    #[test]
+    fn empty_epoch_keeps_standing_verdicts() {
+        let thresholds = Thresholds::new(1.0, 3, 0.8, 0.4);
+        let nodes: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let mut engine = EpochEngine::new(
+            &nodes,
+            2,
+            EpochMethod::Optimized,
+            thresholds,
+            DetectionPolicy::STRICT,
+            true,
+        );
+        for t in 0..5u64 {
+            engine.record(Rating::positive(NodeId(1), NodeId(2), SimTime(t)));
+            engine.record(Rating::positive(NodeId(2), NodeId(1), SimTime(t)));
+        }
+        engine.record(Rating::negative(NodeId(3), NodeId(1), SimTime(9)));
+        engine.record(Rating::negative(NodeId(3), NodeId(2), SimTime(9)));
+        let r1 = engine.close_epoch();
+        assert!(!r1.pairs.is_empty());
+        let r2 = engine.close_epoch();
+        assert_eq!(pair_keys(&r1.pairs), pair_keys(&r2.pairs));
+        assert_eq!(engine.stats().epochs, 2);
+    }
+}

@@ -20,6 +20,7 @@ use collusion_reputation::history::InteractionHistory;
 use collusion_reputation::id::NodeId;
 use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
+use collusion_reputation::view::SnapshotView;
 use std::collections::HashMap;
 
 /// The manager's view handed to a detector.
@@ -99,13 +100,16 @@ impl<'a> DetectionInput<'a> {
 }
 
 /// The manager's view in snapshot form: dense indices into a frozen
-/// [`DetectionSnapshot`] plus a dense reputation vector. This is what the
+/// [`SnapshotView`] plus a dense reputation vector. This is what the
 /// snapshot-path detector kernels (`detect_snapshot`) consume — every probe
-/// is an array access or a binary search, never a hash.
+/// is an array access or a binary search, never a hash. Generic over the
+/// view so the same kernels run against the monolithic
+/// [`DetectionSnapshot`] (the default, keeping existing callers unchanged)
+/// or the sharded `ShardedSnapshot`.
 #[derive(Clone, Debug)]
-pub struct SnapshotInput<'a> {
+pub struct SnapshotInput<'a, V: SnapshotView = DetectionSnapshot> {
     /// The frozen CSR view of the interaction history.
-    pub snapshot: &'a DetectionSnapshot,
+    pub snapshot: &'a V,
     /// Dense indices of the nodes under the manager's responsibility,
     /// ascending (ascending index ⇔ ascending [`NodeId`], since interning
     /// preserves id order).
@@ -114,7 +118,7 @@ pub struct SnapshotInput<'a> {
     reputation: Vec<f64>,
 }
 
-impl<'a> SnapshotInput<'a> {
+impl<'a, V: SnapshotView> SnapshotInput<'a, V> {
     /// Build a view over `nodes` with an explicit reputation map (the
     /// snapshot analogue of [`DetectionInput::new`]). All map entries are
     /// transferred, including nodes outside the view, mirroring the legacy
@@ -123,11 +127,7 @@ impl<'a> SnapshotInput<'a> {
     /// # Panics
     /// If a node in `nodes` is not interned in `snapshot` — build the
     /// snapshot with these nodes in its base list.
-    pub fn new(
-        snapshot: &'a DetectionSnapshot,
-        nodes: &[NodeId],
-        reputation: &HashMap<NodeId, f64>,
-    ) -> Self {
+    pub fn new(snapshot: &'a V, nodes: &[NodeId], reputation: &HashMap<NodeId, f64>) -> Self {
         let mut input = Self::with_reputation_fn(snapshot, nodes, |_| 0.0);
         for (&id, &r) in reputation {
             if let Some(idx) = snapshot.index(id) {
@@ -141,7 +141,7 @@ impl<'a> SnapshotInput<'a> {
     /// node's reputation (nodes outside the view default to 0.0, exactly
     /// like [`DetectionInput::reputation_of`] for unknown ids).
     pub fn with_reputation_fn(
-        snapshot: &'a DetectionSnapshot,
+        snapshot: &'a V,
         nodes: &[NodeId],
         reputation_of: impl Fn(NodeId) -> f64,
     ) -> Self {
@@ -164,7 +164,7 @@ impl<'a> SnapshotInput<'a> {
 
     /// Reputations are the signed rating sums precomputed in the snapshot
     /// (the snapshot analogue of [`DetectionInput::from_signed_history`]).
-    pub fn from_signed(snapshot: &'a DetectionSnapshot, nodes: &[NodeId]) -> Self {
+    pub fn from_signed(snapshot: &'a V, nodes: &[NodeId]) -> Self {
         Self::with_reputation_fn(snapshot, nodes, |id| {
             let idx = snapshot.index(id).expect("checked by with_reputation_fn");
             snapshot.signed(idx) as f64

@@ -55,6 +55,7 @@ pub mod basic;
 pub mod calibrate;
 pub mod cost;
 pub mod decentralized;
+pub mod epoch;
 pub mod fault;
 pub mod formula;
 pub mod group;
@@ -74,13 +75,14 @@ pub mod prelude {
     pub use crate::calibrate::{calibrate, Calibration};
     pub use crate::cost::{CostMeter, CostSnapshot};
     pub use crate::decentralized::{DecentralizedDetector, DecentralizedOutcome};
+    pub use crate::epoch::{EpochEngine, EpochMethod, EpochStats};
     pub use crate::fault::{ChurnSchedule, ExchangeOutcome, FaultPlan, FaultSession, FaultStats};
     pub use crate::formula::{formula_band, formula_reputation, Fig4Surface};
     pub use crate::group::{GroupDetector, GroupDetectorConfig, GroupReport, SuspectGroup};
     pub use crate::input::{DetectionInput, SnapshotInput};
     pub use crate::mitigation::{apply_conservative_mitigation, apply_mitigation};
     pub use crate::model::{Characteristic, SuspectPair};
-    pub use crate::optimized::OptimizedDetector;
+    pub use crate::optimized::{OptimizedDetector, PruneStats};
     pub use crate::policy::DetectionPolicy;
     pub use crate::report::{ConfusionMatrix, DetectionReport};
     pub use crate::sweep::{sweep_thresholds, SweepPoint};

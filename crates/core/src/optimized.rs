@@ -21,18 +21,45 @@
 //! the same results in collusion detection").
 
 use crate::cost::CostMeter;
-use crate::formula::formula_band;
+use crate::formula::{formula_band, formula_reputation};
 use crate::input::{DetectionInput, SnapshotInput};
 use crate::model::{DirectionEvidence, SuspectPair};
 use crate::pairset::PairSet;
 use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
+use collusion_reputation::history::NodeTotals;
 use collusion_reputation::id::NodeId;
-use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
+use collusion_reputation::view::SnapshotView;
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
+
+/// Counters from a band-pruned detection pass
+/// ([`OptimizedDetector::detect_pruned`]), proving how much work the
+/// Formula (2) pre-filter skipped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// High-reputed rows whose reputation provably falls outside every
+    /// Formula (2) band their raters could produce.
+    pub rows_pruned: u64,
+    /// Candidate pairs skipped without probing any row data.
+    pub pairs_pruned: u64,
+    /// Candidate pairs that went through the full direction checks.
+    pub pairs_examined: u64,
+}
+
+impl PruneStats {
+    /// Fraction of candidate pairs skipped, 0.0 when nothing was seen.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.pairs_pruned + self.pairs_examined;
+        if total == 0 {
+            0.0
+        } else {
+            self.pairs_pruned as f64 / total as f64
+        }
+    }
+}
 
 /// Per-ratee aggregates over its *frequent* raters (count, signed sum),
 /// computed once per ratee under the extended policy. Keeps the policy's
@@ -165,8 +192,13 @@ impl OptimizedDetector {
     /// served from the snapshot's precomputed table (falling back to a row
     /// pass when the snapshot was built without them). Produces a
     /// bit-identical [`DetectionReport`] (pairs *and* cost) to the legacy
-    /// path — enforced by `tests/detection_equivalence.rs`.
-    pub fn detect_snapshot(&self, input: &SnapshotInput<'_>) -> DetectionReport {
+    /// path — enforced by `tests/detection_equivalence.rs`. Generic over the
+    /// [`SnapshotView`], so the same kernel runs on monolithic and sharded
+    /// snapshots.
+    pub fn detect_snapshot<V: SnapshotView>(
+        &self,
+        input: &SnapshotInput<'_, V>,
+    ) -> DetectionReport {
         let meter = CostMeter::new();
         let snap = input.snapshot;
         let high = input.high_reputed_idx(&self.thresholds);
@@ -174,7 +206,8 @@ impl OptimizedDetector {
         for &i in &high {
             is_high[i as usize] = true;
         }
-        let mut checked = PairSet::with_capacity(high.len() * 4);
+        // pre-size from the stored cell count: every marked pair is an edge
+        let mut checked = PairSet::with_capacity(snap.nnz());
         let mut cache: Vec<Option<(u64, i64)>> = vec![None; snap.n()];
         let mut pairs = Vec::new();
         for &i in &high {
@@ -220,7 +253,7 @@ impl OptimizedDetector {
     /// unordered pair may be examined from both sides;
     /// [`DetectionReport::new`] deduplicates); the reported pairs are
     /// identical.
-    pub fn detect_par(&self, input: &SnapshotInput<'_>) -> DetectionReport {
+    pub fn detect_par<V: SnapshotView>(&self, input: &SnapshotInput<'_, V>) -> DetectionReport {
         let meter = CostMeter::new();
         let snap = input.snapshot;
         let high = input.high_reputed_idx(&self.thresholds);
@@ -271,9 +304,9 @@ impl OptimizedDetector {
     /// when the rater is not interned in this snapshot (a partitioned
     /// manager probing an unknown partner) — the probe then sees zero
     /// counters, exactly like the legacy hash lookup of an absent pair.
-    pub(crate) fn check_direction_snap(
+    pub(crate) fn check_direction_snap<V: SnapshotView>(
         &self,
-        snap: &DetectionSnapshot,
+        snap: &V,
         ratee: u32,
         rater: Option<u32>,
         meter: &CostMeter,
@@ -313,9 +346,9 @@ impl OptimizedDetector {
     /// The cache-miss row scan is metered exactly like the legacy
     /// `FrequentCache` fill, even when the actual numbers come from the
     /// snapshot's precomputed table.
-    pub(crate) fn direction_cached(
+    pub(crate) fn direction_cached<V: SnapshotView>(
         &self,
-        snap: &DetectionSnapshot,
+        snap: &V,
         ratee: u32,
         rater: Option<u32>,
         meter: &CostMeter,
@@ -334,10 +367,131 @@ impl OptimizedDetector {
         })
     }
 
-    /// Parallel snapshot direction test backed by shared [`OnceLock`] cells.
-    fn direction_once(
+    /// [`OptimizedDetector::detect_snapshot`] with a Formula (2) band
+    /// pre-filter: before touching a candidate pair's row data, the pass
+    /// asks whether the *row* (ratee) can possibly satisfy the band for
+    /// **any** rater, using only the per-row totals already in cache:
+    ///
+    /// * `N_i < T_N` — no rater can reach the frequency gate, since
+    ///   `N(j,i) ≤ N_i`;
+    /// * `R_i ≥ N_i` — the band's upper bound
+    ///   `2·T_b·(N_i − N(j,i)) + 2·N(j,i) − N_i` never exceeds `N_i` for
+    ///   `T_b ≤ 1`, so a fully-positive reputation sits on or above every
+    ///   band (applied only when `T_b ≤ 1 − 1e-9` and `N_i ≤ 10⁶`, where
+    ///   the f64 evaluation error of the bound is provably below the
+    ///   `2·(1 − T_b)` margin);
+    /// * `R_i <` the band's lower bound at `N(j,i) = T_N` — the computed
+    ///   lower bound `2·T_a·N(j,i) − N_i` is monotone non-decreasing in
+    ///   `N(j,i)` (rounding is monotone), so falling below it at the
+    ///   smallest feasible count falls below it everywhere.
+    ///
+    /// A pair is skipped when the prunable rows make a flag impossible:
+    /// under `require_mutual` either endpoint being prunable kills the
+    /// pair; otherwise both must be prunable. Pruning is sound only for
+    /// the strict community definition — under
+    /// `community_excludes_frequent` the band runs on *adjusted* totals,
+    /// so the pre-filter disables itself and the pass degenerates to
+    /// [`OptimizedDetector::detect_snapshot`].
+    ///
+    /// The suspect set is bit-identical to the unpruned pass (enforced by
+    /// `tests/scale_props.rs`); the metered cost is lower, which is the
+    /// point.
+    pub fn detect_pruned<V: SnapshotView>(
         &self,
-        snap: &DetectionSnapshot,
+        input: &SnapshotInput<'_, V>,
+    ) -> (DetectionReport, PruneStats) {
+        let meter = CostMeter::new();
+        let snap = input.snapshot;
+        let high = input.high_reputed_idx(&self.thresholds);
+        let mut is_high = vec![false; snap.n()];
+        for &i in &high {
+            is_high[i as usize] = true;
+        }
+        let prune_active = !self.policy.community_excludes_frequent;
+        let mut stats = PruneStats::default();
+        let mut prunable = vec![false; snap.n()];
+        if prune_active {
+            for &i in &high {
+                if self.row_prunable(snap.totals_of(i)) {
+                    prunable[i as usize] = true;
+                    stats.rows_pruned += 1;
+                }
+            }
+        }
+        let mut checked = PairSet::with_capacity(snap.nnz());
+        let mut cache: Vec<Option<(u64, i64)>> = vec![None; snap.n()];
+        let mut pairs = Vec::new();
+        for &i in &high {
+            let row_dead = prunable[i as usize];
+            let (cols, _) = snap.row(i);
+            for &j in cols {
+                meter.element_check();
+                if checked.contains(i, j) {
+                    continue;
+                }
+                if !is_high[j as usize] {
+                    continue;
+                }
+                checked.insert(i, j);
+                if prune_active {
+                    let skip = if self.policy.require_mutual {
+                        row_dead || prunable[j as usize]
+                    } else {
+                        row_dead && prunable[j as usize]
+                    };
+                    if skip {
+                        stats.pairs_pruned += 1;
+                        continue;
+                    }
+                    stats.pairs_examined += 1;
+                }
+                let ev_fwd = self.direction_cached(snap, i, Some(j), &meter, &mut cache);
+                if self.policy.require_mutual {
+                    let Some(fwd) = ev_fwd else { continue };
+                    let Some(rev) = self.direction_cached(snap, j, Some(i), &meter, &mut cache)
+                    else {
+                        continue;
+                    };
+                    pairs.push(SuspectPair::new(
+                        snap.node_id(j),
+                        snap.node_id(i),
+                        Some(fwd),
+                        Some(rev),
+                    ));
+                } else {
+                    let ev_rev = self.direction_cached(snap, j, Some(i), &meter, &mut cache);
+                    if ev_fwd.is_none() && ev_rev.is_none() {
+                        continue;
+                    }
+                    pairs.push(SuspectPair::new(snap.node_id(j), snap.node_id(i), ev_fwd, ev_rev));
+                }
+            }
+        }
+        (DetectionReport::new(pairs, meter.snapshot()), stats)
+    }
+
+    /// Whether `totals` prove that **no** rater can put this ratee inside
+    /// its Formula (2) band (see [`OptimizedDetector::detect_pruned`] for
+    /// the three rules and their soundness arguments). Only valid under the
+    /// strict community definition.
+    pub(crate) fn row_prunable(&self, totals: NodeTotals) -> bool {
+        let t = &self.thresholds;
+        let n_i = totals.total;
+        if n_i < t.t_n {
+            return true; // no rater can be frequent: N(j,i) ≤ N_i < T_N
+        }
+        let r = totals.signed();
+        if t.t_b <= 1.0 - 1e-9 && n_i <= 1_000_000 && r >= n_i as i64 {
+            return true; // on or above every band's upper bound
+        }
+        // below the smallest feasible lower bound (monotone in N(j,i))
+        (r as f64) < formula_reputation(t.t_a, 0.0, n_i, t.t_n)
+    }
+
+    /// Parallel snapshot direction test backed by shared [`OnceLock`] cells.
+    fn direction_once<V: SnapshotView>(
+        &self,
+        snap: &V,
         ratee: u32,
         rater: Option<u32>,
         meter: &CostMeter,
@@ -361,6 +515,7 @@ mod tests {
     use collusion_reputation::history::InteractionHistory;
     use collusion_reputation::id::SimTime;
     use collusion_reputation::rating::{Rating, RatingValue};
+    use collusion_reputation::snapshot::DetectionSnapshot;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

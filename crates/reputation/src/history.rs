@@ -58,6 +58,23 @@ impl PairCounters {
         self.positive as i64 - self.negative as i64
     }
 
+    /// Fold one rating value in (`N(j,i) += 1` plus the sign split) — the
+    /// increment [`InteractionHistory::record`] applies, exposed for
+    /// delta-accumulating callers like `epoch::EpochBuffer`.
+    #[inline]
+    pub fn accumulate(&mut self, value: RatingValue) {
+        self.add(value);
+    }
+
+    /// Add another counter cell element-wise (merging an epoch delta into a
+    /// base cell).
+    #[inline]
+    pub fn merge(&mut self, other: &PairCounters) {
+        self.total += other.total;
+        self.positive += other.positive;
+        self.negative += other.negative;
+    }
+
     fn add(&mut self, value: RatingValue) {
         self.total += 1;
         match value {

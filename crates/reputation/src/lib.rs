@@ -37,14 +37,17 @@
 
 pub mod baselines;
 pub mod eigentrust;
+pub mod epoch;
 pub mod history;
 pub mod id;
 pub mod local;
 pub mod manager;
 pub mod rating;
+pub mod sharded;
 pub mod snapshot;
 pub mod thresholds;
 pub mod trust_matrix;
+pub mod view;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -53,12 +56,15 @@ pub mod prelude {
         EigenTrust, EigenTrustConfig, NormalizedWeightedEngine, WeightedSumConfig,
         WeightedSumEngine,
     };
+    pub use crate::epoch::{EpochBuffer, EpochDelta};
     pub use crate::history::{InteractionHistory, PairCounters};
     pub use crate::id::{NodeId, SimTime};
     pub use crate::local::{EBaySum, LocalAggregator, PositiveFraction};
     pub use crate::manager::CentralizedManager;
     pub use crate::rating::{Rating, RatingLog, RatingValue};
+    pub use crate::sharded::ShardedSnapshot;
     pub use crate::snapshot::{DetectionSnapshot, RefreshOutcome};
     pub use crate::thresholds::Thresholds;
     pub use crate::trust_matrix::TrustMatrix;
+    pub use crate::view::SnapshotView;
 }

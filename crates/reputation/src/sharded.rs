@@ -1,0 +1,897 @@
+//! [`ShardedSnapshot`] — the rating matrix split by ratee-id range into
+//! independent CSR shards, for 100k-node scale.
+//!
+//! The monolithic [`DetectionSnapshot`](crate::snapshot::DetectionSnapshot)
+//! keeps one CSR arena for the whole matrix: any refresh that crosses the
+//! patch-overlay threshold rebuilds *everything*, and a rebuild is a single
+//! serial-memory-bound pass. At 100k nodes / millions of cells that is the
+//! dominant cost of an incremental pipeline. This structure splits the
+//! interned index space into `target_shards` contiguous ranges of ratee
+//! rows; each [`Shard`] owns the forward CSR, totals, patch overlay and
+//! optional frequent aggregates for its range:
+//!
+//! * **refresh locality** — a dirty ratee touches exactly one shard; shards
+//!   with no dirty rows are not read, written or compacted;
+//! * **parallel maintenance** — shards rebuild and refresh under
+//!   `rayon::par_iter_mut`, since their row ranges are disjoint;
+//! * **bounded compaction** — the 25% patched-row threshold applies per
+//!   shard, so compacting scattered updates costs O(shard), not O(matrix).
+//!
+//! Instead of the monolithic snapshot's reverse CSR (which interleaves all
+//! shards and would serialize refresh), the sharded form keeps a plain
+//! reverse *adjacency* (`rev_adj[j]` = sorted ratees j has rated, no
+//! counters); pair probes binary-search the ratee's forward row inside its
+//! shard, and the adjacency answers "whose verdicts can a rater's
+//! reputation flip affect" during epoch-incremental detection.
+//!
+//! The snapshot also absorbs closed [`EpochDelta`]s directly
+//! ([`ShardedSnapshot::apply_epoch`]) — counters merge into rows in place,
+//! previously unseen nodes are re-interned with a monotone index remap —
+//! so a long-running engine never replays a full history. Every mutation
+//! path is bit-identical to a fresh build from an equivalent history; the
+//! crate tests and the workspace `detection_equivalence`/`scale_props`
+//! harnesses assert this.
+
+use crate::epoch::EpochDelta;
+use crate::history::{InteractionHistory, NodeTotals, PairCounters};
+use crate::id::NodeId;
+use crate::snapshot::RefreshOutcome;
+use crate::view::SnapshotView;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Per-row refresh diff: `(global row, old rater indices, new rater indices)`.
+type RowDiff = (u32, Vec<u32>, Vec<u32>);
+
+/// One touched row of a grouped epoch delta: `(global row, sorted (rater, counters))`.
+type RowDelta = (u32, Vec<(u32, PairCounters)>);
+
+/// Rows-per-shard so that `n` rows split into at most `target` shards.
+fn rows_per_shard_for(n: usize, target: usize) -> usize {
+    if n == 0 {
+        1
+    } else {
+        n.div_ceil(target.max(1))
+    }
+}
+
+/// One contiguous range of ratee rows with its own CSR arena and overlay.
+#[derive(Clone, Debug)]
+struct Shard {
+    /// First global row index of the range.
+    base: u32,
+    /// Number of rows in the range.
+    rows: usize,
+    /// CSR offsets, `rows + 1` entries.
+    row_offsets: Vec<u32>,
+    /// Rater indices (global, ascending within each row).
+    row_cols: Vec<u32>,
+    /// Counters parallel to `row_cols`.
+    row_cells: Vec<PairCounters>,
+    /// Per-ratee totals for the range.
+    totals: Vec<NodeTotals>,
+    /// Dirty-row overlays; resolved by [`Shard::row`].
+    row_patch: Vec<Option<(Vec<u32>, Vec<PairCounters>)>>,
+    /// Number of rows currently overlaid.
+    patched_rows: usize,
+    /// Per-ratee frequent aggregates, present iff the snapshot keeps them.
+    freq: Option<Vec<(u64, i64)>>,
+    /// Cell count with overlays resolved.
+    nnz: usize,
+}
+
+impl Shard {
+    fn empty(base: u32, rows: usize, with_freq: bool) -> Shard {
+        Shard {
+            base,
+            rows,
+            row_offsets: vec![0u32; rows + 1],
+            row_cols: Vec::new(),
+            row_cells: Vec::new(),
+            totals: vec![NodeTotals::default(); rows],
+            row_patch: (0..rows).map(|_| None).collect(),
+            patched_rows: 0,
+            freq: with_freq.then(|| vec![(0, 0); rows]),
+            nnz: 0,
+        }
+    }
+
+    #[inline]
+    fn row(&self, local: usize) -> (&[u32], &[PairCounters]) {
+        if let Some((cols, cells)) = &self.row_patch[local] {
+            return (cols, cells);
+        }
+        let (s, e) = (self.row_offsets[local] as usize, self.row_offsets[local + 1] as usize);
+        (&self.row_cols[s..e], &self.row_cells[s..e])
+    }
+
+    /// Replace one row through the overlay, keeping `nnz` exact.
+    fn set_row(&mut self, local: usize, cols: Vec<u32>, cells: Vec<PairCounters>) {
+        let old_len = self.row(local).0.len();
+        self.nnz = self.nnz + cols.len() - old_len;
+        if self.row_patch[local].is_none() {
+            self.patched_rows += 1;
+        }
+        self.row_patch[local] = Some((cols, cells));
+    }
+
+    /// Frequent aggregate of one row computed directly.
+    fn row_freq(&self, local: usize, t_n: u64) -> (u64, i64) {
+        let (_, cells) = self.row(local);
+        let mut count = 0u64;
+        let mut signed = 0i64;
+        for c in cells {
+            if c.total >= t_n {
+                count += c.total;
+                signed += c.signed();
+            }
+        }
+        (count, signed)
+    }
+
+    /// Materialize overlays back into a packed arena.
+    fn compact(&mut self) {
+        if self.patched_rows == 0 {
+            return;
+        }
+        assert!(self.nnz <= u32::MAX as usize, "too many cells for u32 shard offsets");
+        let mut row_offsets = Vec::with_capacity(self.rows + 1);
+        row_offsets.push(0u32);
+        let mut row_cols = Vec::with_capacity(self.nnz);
+        let mut row_cells = Vec::with_capacity(self.nnz);
+        for local in 0..self.rows {
+            let (cols, cells) = self.row(local);
+            row_cols.extend_from_slice(cols);
+            row_cells.extend_from_slice(cells);
+            row_offsets.push(row_cols.len() as u32);
+        }
+        self.row_offsets = row_offsets;
+        self.row_cols = row_cols;
+        self.row_cells = row_cells;
+        self.row_patch = (0..self.rows).map(|_| None).collect();
+        self.patched_rows = 0;
+    }
+
+    /// Per-shard compaction threshold: >25% of rows overlaid.
+    fn maybe_compact(&mut self) {
+        if 4 * self.patched_rows > self.rows {
+            self.compact();
+        }
+    }
+}
+
+/// Frozen CSR view of the rating matrix, sharded by ratee-index range.
+///
+/// Functionally equivalent to the monolithic
+/// [`DetectionSnapshot`](crate::snapshot::DetectionSnapshot) (both implement
+/// [`SnapshotView`], and detectors produce bit-identical suspect sets over
+/// either), but maintainable shard-by-shard: refresh and epoch application
+/// touch only shards owning dirty rows, in parallel.
+#[derive(Clone, Debug)]
+pub struct ShardedSnapshot {
+    /// Interned node ids, ascending; `nodes[idx]` is the id of dense `idx`.
+    nodes: Vec<NodeId>,
+    /// id → dense index.
+    index: HashMap<NodeId, u32>,
+    /// Rows per shard (last shard may be short).
+    rows_per_shard: usize,
+    /// Requested shard count; actual count is `n.div_ceil(rows_per_shard)`.
+    target_shards: usize,
+    /// The shards, ascending by row range.
+    shards: Vec<Shard>,
+    /// `rev_adj[j]` = global ratee indices `j` has rated, ascending. No
+    /// counters — pair probes go through the ratee's forward row.
+    rev_adj: Vec<Vec<u32>>,
+    /// `T_N` the per-shard frequent aggregates were computed for, if any.
+    freq_t_n: Option<u64>,
+}
+
+impl ShardedSnapshot {
+    /// Build a sharded snapshot of `history` over at most `target_shards`
+    /// shards. The interned set is the union of `nodes` and every
+    /// rater/ratee in the history, exactly as the monolithic build.
+    pub fn build(history: &InteractionHistory, nodes: &[NodeId], target_shards: usize) -> Self {
+        Self::build_inner(history, nodes.to_vec(), target_shards, None)
+    }
+
+    /// [`ShardedSnapshot::build`] plus eager per-shard frequent aggregates
+    /// for `t_n` (the extended detection policy).
+    pub fn build_with_frequent(
+        history: &InteractionHistory,
+        nodes: &[NodeId],
+        target_shards: usize,
+        t_n: u64,
+    ) -> Self {
+        Self::build_inner(history, nodes.to_vec(), target_shards, Some(t_n))
+    }
+
+    fn build_inner(
+        history: &InteractionHistory,
+        base: Vec<NodeId>,
+        target_shards: usize,
+        freq_t_n: Option<u64>,
+    ) -> Self {
+        let mut nodes = base;
+        for (rater, ratee, _) in history.iter_pairs() {
+            nodes.push(rater);
+            nodes.push(ratee);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert!(nodes.len() <= u32::MAX as usize, "too many nodes for u32 interning");
+        let n = nodes.len();
+        let index: HashMap<NodeId, u32> =
+            nodes.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        let rows_per_shard = rows_per_shard_for(n, target_shards);
+        let n_shards = n.div_ceil(rows_per_shard);
+
+        let nodes_ref = &nodes;
+        let index_ref = &index;
+        let shards: Vec<Shard> = (0..n_shards)
+            .into_par_iter()
+            .map(|s| {
+                let base = s * rows_per_shard;
+                let rows = rows_per_shard.min(n - base);
+                let mut shard = Shard::empty(base as u32, rows, freq_t_n.is_some());
+                let mut scratch: Vec<(u32, PairCounters)> = Vec::new();
+                let mut row_offsets = Vec::with_capacity(rows + 1);
+                row_offsets.push(0u32);
+                let mut row_cols = Vec::new();
+                let mut row_cells = Vec::new();
+                for local in 0..rows {
+                    let id = nodes_ref[base + local];
+                    scratch.clear();
+                    for &r in history.raters_of(id) {
+                        scratch.push((index_ref[&r], history.pair(r, id)));
+                    }
+                    scratch.sort_unstable_by_key(|e| e.0);
+                    for &(c, cell) in &scratch {
+                        row_cols.push(c);
+                        row_cells.push(cell);
+                    }
+                    row_offsets.push(row_cols.len() as u32);
+                    shard.totals[local] = history.totals(id);
+                }
+                assert!(
+                    row_cols.len() <= u32::MAX as usize,
+                    "too many cells for u32 shard offsets"
+                );
+                shard.nnz = row_cols.len();
+                shard.row_offsets = row_offsets;
+                shard.row_cols = row_cols;
+                shard.row_cells = row_cells;
+                if let (Some(t_n), Some(mut freq)) = (freq_t_n, shard.freq.take()) {
+                    for (local, agg) in freq.iter_mut().enumerate() {
+                        *agg = shard.row_freq(local, t_n);
+                    }
+                    shard.freq = Some(freq);
+                }
+                shard
+            })
+            .collect();
+
+        // Reverse adjacency: ascending global row walk keeps each rater's
+        // ratee list sorted without an explicit sort.
+        let mut rev_adj: Vec<Vec<u32>> = (0..n).map(|_| Vec::new()).collect();
+        for shard in &shards {
+            for local in 0..shard.rows {
+                let g = shard.base + local as u32;
+                for &j in shard.row(local).0 {
+                    rev_adj[j as usize].push(g);
+                }
+            }
+        }
+
+        ShardedSnapshot { nodes, index, rows_per_shard, target_shards, shards, rev_adj, freq_t_n }
+    }
+
+    // ----- Shape ------------------------------------------------------------
+
+    /// Number of shards currently held.
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of rows each shard covers (the last shard may be short).
+    #[inline]
+    pub fn rows_per_shard(&self) -> usize {
+        self.rows_per_shard
+    }
+
+    /// Total overlaid rows across all shards.
+    pub fn patched_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.patched_rows).sum()
+    }
+
+    /// Global ratee indices `rater` has rated, ascending — the reverse
+    /// adjacency used to enumerate verdicts a reputation flip can affect.
+    #[inline]
+    pub fn ratees_of(&self, rater: u32) -> &[u32] {
+        &self.rev_adj[rater as usize]
+    }
+
+    #[inline]
+    fn shard_of(&self, idx: u32) -> &Shard {
+        &self.shards[idx as usize / self.rows_per_shard]
+    }
+
+    // ----- Incremental refresh ----------------------------------------------
+
+    /// Bring the snapshot up to date with `history` by rebuilding only the
+    /// rows of the `dirty` ratees, shard-parallel. Shards without dirty
+    /// rows are untouched; a shard whose patch overlay passes 25% of its
+    /// rows compacts locally. Falls back to a full (parallel) rebuild when
+    /// a dirty ratee or one of its raters is not interned yet.
+    pub fn refresh(&mut self, history: &InteractionHistory, dirty: &[NodeId]) -> RefreshOutcome {
+        if dirty.is_empty() {
+            return RefreshOutcome::Unchanged;
+        }
+        let mut need_rebuild = false;
+        'scan: for &id in dirty {
+            if !self.index.contains_key(&id) {
+                need_rebuild = true;
+                break;
+            }
+            for &r in history.raters_of(id) {
+                if !self.index.contains_key(&r) {
+                    need_rebuild = true;
+                    break 'scan;
+                }
+            }
+        }
+        if need_rebuild {
+            let nodes = std::mem::take(&mut self.nodes);
+            *self = Self::build_inner(history, nodes, self.target_shards, self.freq_t_n);
+            return RefreshOutcome::Rebuilt;
+        }
+
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for &id in dirty {
+            let g = self.index[&id];
+            by_shard[g as usize / self.rows_per_shard].push(g);
+        }
+
+        let nodes = &self.nodes;
+        let index = &self.index;
+        let freq_t_n = self.freq_t_n;
+        // Each shard rebuilds its dirty rows independently and reports the
+        // (row, old raters, new raters) diffs for the adjacency fix-up.
+        let diffs: Vec<Vec<RowDiff>> = self
+            .shards
+            .par_iter_mut()
+            .zip(by_shard)
+            .map(|(shard, gs)| {
+                let mut out = Vec::with_capacity(gs.len());
+                for g in gs {
+                    let local = (g - shard.base) as usize;
+                    let id = nodes[g as usize];
+                    let old_cols = shard.row(local).0.to_vec();
+                    let mut new_row: Vec<(u32, PairCounters)> = history
+                        .raters_of(id)
+                        .iter()
+                        .map(|&r| (index[&r], history.pair(r, id)))
+                        .collect();
+                    new_row.sort_unstable_by_key(|e| e.0);
+                    let new_cols: Vec<u32> = new_row.iter().map(|e| e.0).collect();
+                    let new_cells: Vec<PairCounters> = new_row.iter().map(|e| e.1).collect();
+                    shard.set_row(local, new_cols.clone(), new_cells);
+                    shard.totals[local] = history.totals(id);
+                    if let Some(t_n) = freq_t_n {
+                        let agg = shard.row_freq(local, t_n);
+                        if let Some(f) = shard.freq.as_mut() {
+                            f[local] = agg;
+                        }
+                    }
+                    out.push((g, old_cols, new_cols));
+                }
+                shard.maybe_compact();
+                out
+            })
+            .collect();
+
+        for (g, old_cols, new_cols) in diffs.into_iter().flatten() {
+            for &j in &new_cols {
+                if old_cols.binary_search(&j).is_err() {
+                    let list = &mut self.rev_adj[j as usize];
+                    if let Err(pos) = list.binary_search(&g) {
+                        list.insert(pos, g);
+                    }
+                }
+            }
+            for &j in &old_cols {
+                if new_cols.binary_search(&j).is_err() {
+                    let list = &mut self.rev_adj[j as usize];
+                    if let Ok(pos) = list.binary_search(&g) {
+                        list.remove(pos);
+                    }
+                }
+            }
+        }
+        RefreshOutcome::Patched(dirty.len())
+    }
+
+    // ----- Epoch application ------------------------------------------------
+
+    /// Merge one closed epoch's counter delta into the shards, without any
+    /// backing history. Counters add cell-wise (LSM-style), totals and
+    /// frequent aggregates update per touched row, new (rater, ratee) edges
+    /// enter the reverse adjacency, and shards compact locally past the
+    /// overlay threshold.
+    ///
+    /// Previously unseen node ids are re-interned. Because interning is
+    /// ascending by id, that *shifts dense indices*: the return value is
+    /// then `Some(remap)` with `remap[old_idx] = new_idx` (strictly
+    /// monotone) so callers can migrate index-keyed state. `None` means
+    /// indices are unchanged.
+    pub fn apply_epoch(&mut self, delta: &EpochDelta) -> Option<Vec<u32>> {
+        if delta.is_empty() {
+            return None;
+        }
+        let mut fresh: Vec<NodeId> = delta
+            .entries
+            .iter()
+            .flat_map(|&(ratee, rater, _)| [ratee, rater])
+            .filter(|id| !self.index.contains_key(id))
+            .collect();
+        let remap = if fresh.is_empty() {
+            None
+        } else {
+            fresh.sort_unstable();
+            fresh.dedup();
+            Some(self.reintern(&fresh))
+        };
+
+        // Group the sorted delta by ratee row, then by owning shard. Raters
+        // within one group arrive ascending by id, hence by index.
+        let mut by_shard: Vec<Vec<RowDelta>> = vec![Vec::new(); self.shards.len()];
+        let mut k = 0usize;
+        while k < delta.entries.len() {
+            let ratee = delta.entries[k].0;
+            let g = self.index[&ratee];
+            let mut group: Vec<(u32, PairCounters)> = Vec::new();
+            while k < delta.entries.len() && delta.entries[k].0 == ratee {
+                group.push((self.index[&delta.entries[k].1], delta.entries[k].2));
+                k += 1;
+            }
+            by_shard[g as usize / self.rows_per_shard].push((g, group));
+        }
+
+        let freq_t_n = self.freq_t_n;
+        // Per shard: merge-upsert each touched row, collecting brand-new
+        // edges for the adjacency fix-up.
+        let added: Vec<Vec<(u32, u32)>> = self
+            .shards
+            .par_iter_mut()
+            .zip(by_shard)
+            .map(|(shard, rows)| {
+                let mut new_edges = Vec::new();
+                for (g, group) in rows {
+                    let local = (g - shard.base) as usize;
+                    let (cols, cells, delta_totals) = {
+                        let (old_cols, old_cells) = shard.row(local);
+                        let mut cols = Vec::with_capacity(old_cols.len() + group.len());
+                        let mut cells = Vec::with_capacity(old_cols.len() + group.len());
+                        let mut dt = NodeTotals::default();
+                        let (mut a, mut b) = (0usize, 0usize);
+                        while a < old_cols.len() || b < group.len() {
+                            if b >= group.len() || (a < old_cols.len() && old_cols[a] < group[b].0)
+                            {
+                                cols.push(old_cols[a]);
+                                cells.push(old_cells[a]);
+                                a += 1;
+                            } else if a < old_cols.len() && old_cols[a] == group[b].0 {
+                                let mut c = old_cells[a];
+                                c.merge(&group[b].1);
+                                cols.push(old_cols[a]);
+                                cells.push(c);
+                                a += 1;
+                                b += 1;
+                            } else {
+                                cols.push(group[b].0);
+                                cells.push(group[b].1);
+                                new_edges.push((group[b].0, g));
+                                b += 1;
+                            }
+                        }
+                        for (_, c) in &group {
+                            dt.total += c.total;
+                            dt.positive += c.positive;
+                            dt.negative += c.negative;
+                        }
+                        (cols, cells, dt)
+                    };
+                    shard.set_row(local, cols, cells);
+                    let t = &mut shard.totals[local];
+                    t.total += delta_totals.total;
+                    t.positive += delta_totals.positive;
+                    t.negative += delta_totals.negative;
+                    if let Some(t_n) = freq_t_n {
+                        let agg = shard.row_freq(local, t_n);
+                        if let Some(f) = shard.freq.as_mut() {
+                            f[local] = agg;
+                        }
+                    }
+                }
+                shard.maybe_compact();
+                new_edges
+            })
+            .collect();
+
+        for (j, g) in added.into_iter().flatten() {
+            let list = &mut self.rev_adj[j as usize];
+            if let Err(pos) = list.binary_search(&g) {
+                list.insert(pos, g);
+            }
+        }
+        remap
+    }
+
+    /// Intern `fresh` ids (sorted, deduped, all previously unknown) and
+    /// rebuild the shard partition under the widened index space. Returns
+    /// the strictly monotone old-index → new-index remap.
+    fn reintern(&mut self, fresh: &[NodeId]) -> Vec<u32> {
+        let old_nodes = std::mem::take(&mut self.nodes);
+        let old_n = old_nodes.len();
+        let mut merged: Vec<NodeId> = Vec::with_capacity(old_n + fresh.len());
+        let mut remap: Vec<u32> = Vec::with_capacity(old_n);
+        let mut old_of_new: Vec<Option<u32>> = Vec::with_capacity(old_n + fresh.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old_n || b < fresh.len() {
+            if b >= fresh.len() || (a < old_n && old_nodes[a] < fresh[b]) {
+                remap.push(merged.len() as u32);
+                old_of_new.push(Some(a as u32));
+                merged.push(old_nodes[a]);
+                a += 1;
+            } else {
+                old_of_new.push(None);
+                merged.push(fresh[b]);
+                b += 1;
+            }
+        }
+        let n = merged.len();
+        assert!(n <= u32::MAX as usize, "too many nodes for u32 interning");
+        self.index = merged.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        self.nodes = merged;
+
+        let old_rps = self.rows_per_shard;
+        let old_shards = std::mem::take(&mut self.shards);
+        self.rows_per_shard = rows_per_shard_for(n, self.target_shards);
+        let rps = self.rows_per_shard;
+        let n_shards = n.div_ceil(rps);
+
+        let remap_ref = &remap;
+        let old_of_new_ref = &old_of_new;
+        let old_shards_ref = &old_shards;
+        let freq_t_n = self.freq_t_n;
+        self.shards = (0..n_shards)
+            .into_par_iter()
+            .map(|s| {
+                let base = s * rps;
+                let rows = rps.min(n - base);
+                let mut shard = Shard::empty(base as u32, rows, freq_t_n.is_some());
+                let mut row_offsets = Vec::with_capacity(rows + 1);
+                row_offsets.push(0u32);
+                let mut row_cols = Vec::new();
+                let mut row_cells = Vec::new();
+                for local in 0..rows {
+                    if let Some(og) = old_of_new_ref[base + local] {
+                        let osh = &old_shards_ref[og as usize / old_rps];
+                        let olocal = (og - osh.base) as usize;
+                        let (cols, cells) = osh.row(olocal);
+                        row_cols.extend(cols.iter().map(|&c| remap_ref[c as usize]));
+                        row_cells.extend_from_slice(cells);
+                        shard.totals[local] = osh.totals[olocal];
+                        if let (Some(f), Some(of)) = (shard.freq.as_mut(), osh.freq.as_ref()) {
+                            f[local] = of[olocal];
+                        }
+                    }
+                    row_offsets.push(row_cols.len() as u32);
+                }
+                shard.nnz = row_cols.len();
+                shard.row_offsets = row_offsets;
+                shard.row_cols = row_cols;
+                shard.row_cells = row_cells;
+                shard
+            })
+            .collect();
+
+        let old_rev = std::mem::take(&mut self.rev_adj);
+        let mut rev_adj: Vec<Vec<u32>> = (0..n).map(|_| Vec::new()).collect();
+        for (oj, list) in old_rev.into_iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            // The remap is strictly monotone, so remapped lists stay sorted.
+            rev_adj[remap[oj] as usize] = list.into_iter().map(|g| remap[g as usize]).collect();
+        }
+        self.rev_adj = rev_adj;
+        remap
+    }
+}
+
+impl SnapshotView for ShardedSnapshot {
+    #[inline]
+    fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    #[inline]
+    fn node_id(&self, idx: u32) -> NodeId {
+        self.nodes[idx as usize]
+    }
+
+    #[inline]
+    fn index(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    fn nnz(&self) -> usize {
+        self.shards.iter().map(|s| s.nnz).sum()
+    }
+
+    #[inline]
+    fn row(&self, idx: u32) -> (&[u32], &[PairCounters]) {
+        let shard = self.shard_of(idx);
+        shard.row((idx - shard.base) as usize)
+    }
+
+    /// Pair probe via the *ratee's forward row* (the sharded form keeps no
+    /// reverse counters): binary search inside one shard.
+    #[inline]
+    fn pair(&self, rater: u32, ratee: u32) -> PairCounters {
+        let (cols, cells) = self.row(ratee);
+        match cols.binary_search(&rater) {
+            Ok(pos) => cells[pos],
+            Err(_) => PairCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn totals_of(&self, idx: u32) -> NodeTotals {
+        let shard = self.shard_of(idx);
+        shard.totals[(idx - shard.base) as usize]
+    }
+
+    #[inline]
+    fn frequent_agg(&self, t_n: u64, idx: u32) -> Option<(u64, i64)> {
+        if self.freq_t_n != Some(t_n) {
+            return None;
+        }
+        let shard = self.shard_of(idx);
+        shard.freq.as_ref().map(|f| f[(idx - shard.base) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochBuffer;
+    use crate::id::SimTime;
+    use crate::rating::{Rating, RatingValue};
+    use crate::snapshot::DetectionSnapshot;
+
+    fn pseudo_ratings(seed: u64, n: u64, len: u64) -> Vec<Rating> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        (0..len)
+            .map(|t| {
+                let a = next() % n;
+                let mut b = next() % n;
+                if a == b {
+                    b = (b + 1) % n;
+                }
+                let v = match next() % 3 {
+                    0 => RatingValue::Negative,
+                    1 => RatingValue::Neutral,
+                    _ => RatingValue::Positive,
+                };
+                Rating::new(NodeId(a), NodeId(b), v, SimTime(t))
+            })
+            .collect()
+    }
+
+    fn record_all(h: &mut InteractionHistory, ratings: &[Rating]) {
+        for &r in ratings {
+            h.record(r);
+        }
+    }
+
+    /// Both views agree on every probe the detectors make, and the sharded
+    /// reverse adjacency inverts the forward rows exactly.
+    fn assert_views_equal(sharded: &ShardedSnapshot, mono: &DetectionSnapshot) {
+        assert_eq!(SnapshotView::n(sharded), SnapshotView::n(mono));
+        assert_eq!(SnapshotView::nodes(sharded), SnapshotView::nodes(mono));
+        assert_eq!(SnapshotView::nnz(sharded), SnapshotView::nnz(mono));
+        for idx in 0..SnapshotView::n(mono) as u32 {
+            assert_eq!(sharded.totals_of(idx), mono.totals_of(idx), "totals of {idx}");
+            assert_eq!(SnapshotView::signed(sharded, idx), SnapshotView::signed(mono, idx));
+            let (sc, scc) = SnapshotView::row(sharded, idx);
+            let (mc, mcc) = SnapshotView::row(mono, idx);
+            assert_eq!(sc, mc, "row cols of {idx}");
+            assert_eq!(scc, mcc, "row cells of {idx}");
+            for &j in sc {
+                assert_eq!(
+                    SnapshotView::pair(sharded, j, idx),
+                    SnapshotView::pair(mono, j, idx),
+                    "pair {j}->{idx}"
+                );
+                assert!(sharded.ratees_of(j).binary_search(&idx).is_ok(), "rev_adj missing");
+            }
+        }
+        for j in 0..SnapshotView::n(sharded) as u32 {
+            let ratees = sharded.ratees_of(j);
+            assert!(ratees.windows(2).all(|w| w[0] < w[1]), "rev_adj of {j} not sorted");
+            for &i in ratees {
+                assert!(
+                    SnapshotView::row(sharded, i).0.binary_search(&j).is_ok(),
+                    "rev_adj phantom edge {j}->{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_matches_monolithic_across_shard_counts() {
+        let mut h = InteractionHistory::new();
+        record_all(&mut h, &pseudo_ratings(7, 30, 600));
+        let nodes: Vec<NodeId> = (0..30).map(NodeId).collect();
+        let mono = DetectionSnapshot::build(&h, &nodes);
+        for target in [1, 3, 7, 16, 64] {
+            let sharded = ShardedSnapshot::build(&h, &nodes, target);
+            assert!(sharded.n_shards() <= target.max(1));
+            assert_views_equal(&sharded, &mono);
+        }
+    }
+
+    #[test]
+    fn refresh_matches_fresh_build() {
+        let mut h = InteractionHistory::new();
+        record_all(&mut h, &pseudo_ratings(21, 24, 400));
+        let nodes: Vec<NodeId> = (0..24).map(NodeId).collect();
+        let mut sharded = ShardedSnapshot::build(&h, &nodes, 5);
+        h.take_dirty();
+        for round in 0..8u64 {
+            record_all(&mut h, &pseudo_ratings(100 + round, 24, 20));
+            let dirty = h.take_dirty();
+            let outcome = sharded.refresh(&h, &dirty);
+            assert_ne!(outcome, RefreshOutcome::Unchanged);
+            let mono = DetectionSnapshot::build(&h, &nodes);
+            assert_views_equal(&sharded, &mono);
+        }
+    }
+
+    #[test]
+    fn refresh_with_new_node_rebuilds() {
+        let mut h = InteractionHistory::new();
+        record_all(&mut h, &pseudo_ratings(3, 10, 150));
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut sharded = ShardedSnapshot::build(&h, &nodes, 4);
+        h.take_dirty();
+        h.record(Rating::positive(NodeId(500), NodeId(1), SimTime(900)));
+        let dirty = h.take_dirty();
+        assert_eq!(sharded.refresh(&h, &dirty), RefreshOutcome::Rebuilt);
+        assert!(SnapshotView::index(&sharded, NodeId(500)).is_some());
+        assert_views_equal(&sharded, &DetectionSnapshot::build(&h, &nodes));
+    }
+
+    #[test]
+    fn shard_compaction_bounds_overlay() {
+        let mut h = InteractionHistory::new();
+        record_all(&mut h, &pseudo_ratings(9, 40, 400));
+        let nodes: Vec<NodeId> = (0..40).map(NodeId).collect();
+        let mut sharded = ShardedSnapshot::build(&h, &nodes, 4);
+        h.take_dirty();
+        for t in 0..200u64 {
+            h.record(Rating::positive(NodeId(t % 40), NodeId((t + 1) % 40), SimTime(5000 + t)));
+            let dirty = h.take_dirty();
+            sharded.refresh(&h, &dirty);
+            for shard in &sharded.shards {
+                assert!(
+                    4 * shard.patched_rows <= shard.rows + 4 * shard.rows.min(2),
+                    "shard overlay unbounded"
+                );
+            }
+        }
+        assert_views_equal(&sharded, &DetectionSnapshot::build(&h, &nodes));
+    }
+
+    #[test]
+    fn epoch_apply_matches_history_build() {
+        let mut h = InteractionHistory::new();
+        let base = pseudo_ratings(11, 20, 300);
+        record_all(&mut h, &base);
+        let nodes: Vec<NodeId> = (0..20).map(NodeId).collect();
+        let mut sharded = ShardedSnapshot::build(&h, &nodes, 6);
+        let mut buf = EpochBuffer::new();
+        for round in 0..5u64 {
+            let epoch = pseudo_ratings(700 + round, 20, 50);
+            for &r in &epoch {
+                buf.record(r);
+                h.record(r);
+            }
+            let delta = buf.drain();
+            let remap = sharded.apply_epoch(&delta);
+            assert!(remap.is_none(), "no new nodes expected");
+            assert_views_equal(&sharded, &DetectionSnapshot::build(&h, &nodes));
+        }
+    }
+
+    #[test]
+    fn epoch_apply_interns_new_nodes_with_monotone_remap() {
+        let mut h = InteractionHistory::new();
+        record_all(&mut h, &pseudo_ratings(13, 10, 120));
+        // leave gaps so the new ids land between existing ones
+        let nodes: Vec<NodeId> = (0..20).step_by(2).map(NodeId).collect();
+        let mut sharded = ShardedSnapshot::build(&h, &nodes, 3);
+        let old_nodes: Vec<NodeId> = SnapshotView::nodes(&sharded).to_vec();
+        let mut buf = EpochBuffer::new();
+        let extra = [
+            Rating::positive(NodeId(3), NodeId(0), SimTime(100)),
+            Rating::negative(NodeId(15), NodeId(7), SimTime(101)),
+            Rating::positive(NodeId(4), NodeId(100), SimTime(102)),
+        ];
+        for &r in &extra {
+            buf.record(r);
+            h.record(r);
+        }
+        let remap = sharded.apply_epoch(&buf.drain()).expect("new nodes must remap");
+        assert_eq!(remap.len(), old_nodes.len());
+        for (old_idx, &new_idx) in remap.iter().enumerate() {
+            assert_eq!(SnapshotView::node_id(&sharded, new_idx), old_nodes[old_idx]);
+        }
+        assert!(remap.windows(2).all(|w| w[0] < w[1]), "remap must be strictly monotone");
+        assert_views_equal(&sharded, &DetectionSnapshot::build(&h, &nodes));
+    }
+
+    #[test]
+    fn epoch_apply_keeps_frequent_aggregates_exact() {
+        let mut h = InteractionHistory::new();
+        record_all(&mut h, &pseudo_ratings(17, 12, 200));
+        let nodes: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let mut sharded = ShardedSnapshot::build_with_frequent(&h, &nodes, 4, 20);
+        let mut buf = EpochBuffer::new();
+        for t in 0..30u64 {
+            let r = Rating::positive(NodeId(1), NodeId(2), SimTime(800 + t));
+            buf.record(r);
+            h.record(r);
+        }
+        sharded.apply_epoch(&buf.drain());
+        let mono = DetectionSnapshot::build_with_frequent(&h, &nodes, 20);
+        for idx in 0..SnapshotView::n(&sharded) as u32 {
+            assert_eq!(
+                SnapshotView::frequent_agg(&sharded, 20, idx),
+                SnapshotView::frequent_agg(&mono, 20, idx),
+                "frequent agg of {idx}"
+            );
+            assert_eq!(
+                SnapshotView::frequent_agg(&sharded, 20, idx),
+                Some(SnapshotView::row_freq(&sharded, idx, 20))
+            );
+        }
+        assert_eq!(SnapshotView::frequent_agg(&sharded, 19, 0), None);
+    }
+
+    #[test]
+    fn empty_history_and_empty_delta() {
+        let h = InteractionHistory::new();
+        let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut sharded = ShardedSnapshot::build(&h, &nodes, 2);
+        assert_eq!(SnapshotView::n(&sharded), 5);
+        assert_eq!(SnapshotView::nnz(&sharded), 0);
+        assert_eq!(sharded.refresh(&h, &[]), RefreshOutcome::Unchanged);
+        assert!(sharded.apply_epoch(&EpochDelta::default()).is_none());
+        assert_views_equal(&sharded, &DetectionSnapshot::build(&h, &nodes));
+    }
+}

@@ -33,10 +33,12 @@
 //! [`InteractionHistory`] tracks the ratees whose rows changed since the
 //! last [`InteractionHistory::take_dirty`]. [`DetectionSnapshot::refresh`]
 //! rebuilds only those rows (and their reverse-index entries) as overlay
-//! patches — O(changed rows), not O(nnz). When the patch overlay grows past
-//! a quarter of the rows, or a previously unseen node appears, the refresh
-//! compacts into a full rebuild. Either way the refreshed snapshot is
-//! logically identical to a fresh build ([`PartialEq`] compares the
+//! patches — O(changed rows), not O(nnz). When either patch overlay grows
+//! past a quarter of the rows — the *forward* overlay (one entry per dirty
+//! ratee) or the *reverse* overlay (one entry per rater of a dirty ratee,
+//! which grows much faster) — or a previously unseen node appears, the
+//! refresh compacts into a full rebuild. Either way the refreshed snapshot
+//! is logically identical to a fresh build ([`PartialEq`] compares the
 //! resolved rows, not the representation).
 
 use crate::history::{InteractionHistory, NodeTotals, PairCounters};
@@ -95,8 +97,13 @@ pub struct DetectionSnapshot {
     row_patch: Vec<Option<RowPatch>>,
     /// Reverse-row overlays from incremental refreshes.
     rev_patch: Vec<Option<Vec<(u32, PairCounters)>>>,
-    /// Number of rows currently overlaid.
+    /// Number of forward rows currently overlaid.
     patched_rows: usize,
+    /// Number of reverse rows currently overlaid.
+    patched_rev_rows: usize,
+    /// Cached cell count with overlays resolved, so `nnz()` is O(1) even on
+    /// a patched snapshot.
+    nnz: usize,
     /// Optional precomputed frequent-rater aggregates.
     freq: Option<FrequentAggregates>,
 }
@@ -191,6 +198,8 @@ impl DetectionSnapshot {
             row_patch: (0..n).map(|_| None).collect(),
             rev_patch: (0..n).map(|_| None).collect(),
             patched_rows: 0,
+            patched_rev_rows: 0,
+            nnz,
             freq: None,
         };
         if let Some(t_n) = freq_t_n {
@@ -225,19 +234,24 @@ impl DetectionSnapshot {
         self.index.get(&id).copied()
     }
 
-    /// Number of stored (rater, ratee) cells, patches resolved.
+    /// Number of stored (rater, ratee) cells, patches resolved. O(1): the
+    /// count is maintained across incremental refreshes, so detectors can
+    /// pre-size scratch buffers from it on every pass.
+    #[inline]
     pub fn nnz(&self) -> usize {
-        if self.patched_rows == 0 {
-            self.row_cols.len()
-        } else {
-            (0..self.n() as u32).map(|i| self.row(i).0.len()).sum()
-        }
+        self.nnz
     }
 
-    /// Number of rows currently served from refresh overlays.
+    /// Number of forward rows currently served from refresh overlays.
     #[inline]
     pub fn patched_rows(&self) -> usize {
         self.patched_rows
+    }
+
+    /// Number of reverse rows currently served from refresh overlays.
+    #[inline]
+    pub fn patched_rev_rows(&self) -> usize {
+        self.patched_rev_rows
     }
 
     // ----- Probes -----------------------------------------------------------
@@ -329,8 +343,14 @@ impl DetectionSnapshot {
     /// Bring the snapshot up to date with `history` by rebuilding only the
     /// rows of the `dirty` ratees (typically
     /// [`InteractionHistory::take_dirty`]). Falls back to a full rebuild
-    /// when a dirty ratee or one of its raters is not interned yet, or when
-    /// more than a quarter of all rows would end up patched.
+    /// when a dirty ratee or one of its raters is not interned yet, when
+    /// more than a quarter of all forward rows would end up patched, or
+    /// when the *reverse* overlay accumulated by earlier refreshes already
+    /// covers more than a quarter of the rows (it grows by one row per
+    /// rater of a dirty ratee, so without the bound it would grow without
+    /// limit and every reverse probe would chase scattered heap rows; the
+    /// check runs up front so one legitimately large refresh still patches,
+    /// leaving the overlay bounded by n/4 plus that refresh's raters).
     ///
     /// The result is logically identical to `DetectionSnapshot::build`
     /// against the current history (asserted by the crate's property
@@ -356,7 +376,10 @@ impl DetectionSnapshot {
                 }
             }
         }
-        if need_rebuild || 4 * (self.patched_rows + fresh) > self.n() {
+        if need_rebuild
+            || 4 * (self.patched_rows + fresh) > self.n()
+            || 4 * self.patched_rev_rows > self.n()
+        {
             let t_n = self.freq.as_ref().map(|f| f.t_n);
             let nodes = std::mem::take(&mut self.nodes);
             *self = Self::build_inner(history, &nodes, t_n);
@@ -386,6 +409,7 @@ impl DetectionSnapshot {
             if self.row_patch[ii].is_none() {
                 self.patched_rows += 1;
             }
+            self.nnz = self.nnz + new_cols.len() - old_cols.len();
             self.row_patch[ii] =
                 Some(RowPatch { cols: new_cols, cells: new_row.iter().map(|e| e.1).collect() });
             self.totals[ii] = history.totals(id);
@@ -402,6 +426,7 @@ impl DetectionSnapshot {
         if self.rev_patch[j].is_none() {
             let (s, e) = (self.rev_offsets[j] as usize, self.rev_offsets[j + 1] as usize);
             self.rev_patch[j] = Some(self.rev_entries[s..e].to_vec());
+            self.patched_rev_rows += 1;
         }
         self.rev_patch[j].as_mut().expect("just filled")
     }
@@ -648,6 +673,55 @@ mod tests {
         let fresh = DetectionSnapshot::build(&h, &nodes);
         assert_eq!(patched, fresh);
         assert_ne!(patched, fresh_base);
+    }
+
+    #[test]
+    fn nnz_stays_exact_across_refreshes() {
+        let mut h = pseudo_history(23, 12, 250);
+        let nodes: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let mut snap = DetectionSnapshot::build(&h, &nodes);
+        h.take_dirty();
+        for round in 0..6u64 {
+            // a brand-new cell and a repeat rating on an existing cell
+            h.record(Rating::positive(NodeId(round % 12), NodeId((round + 3) % 12), SimTime(9000)));
+            let dirty = h.take_dirty();
+            snap.refresh(&h, &dirty);
+            let resolved: usize = (0..snap.n() as u32).map(|i| snap.row(i).0.len()).sum();
+            assert_eq!(snap.nnz(), resolved, "cached nnz diverged at round {round}");
+            assert_eq!(snap.nnz(), DetectionSnapshot::build(&h, &nodes).nnz());
+        }
+    }
+
+    #[test]
+    fn reverse_overlay_growth_triggers_compaction() {
+        // One ratee stays dirty forever while a rotating rater touches it:
+        // the forward overlay never exceeds one row, but every refresh
+        // overlays another *reverse* row. The reverse-overlay threshold must
+        // force a compaction; without it the overlay grows without bound.
+        let mut h = InteractionHistory::new();
+        let n = 41u64;
+        for k in 1..n {
+            h.record(Rating::positive(NodeId(k), NodeId(0), SimTime(k)));
+        }
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut snap = DetectionSnapshot::build(&h, &nodes);
+        h.take_dirty();
+        let mut rebuilt = false;
+        for k in 1..n {
+            h.record(Rating::negative(NodeId(k), NodeId(0), SimTime(1000 + k)));
+            let dirty = h.take_dirty();
+            if snap.refresh(&h, &dirty) == RefreshOutcome::Rebuilt {
+                rebuilt = true;
+            }
+            assert!(
+                4 * snap.patched_rev_rows() <= snap.n() + 4 * snap.row(0).0.len(),
+                "reverse overlay unbounded: {} rows at step {k}",
+                snap.patched_rev_rows()
+            );
+            assert!(snap.patched_rows() <= 1);
+        }
+        assert!(rebuilt, "reverse-overlay growth never forced a compaction");
+        assert_matches_history(&snap, &h);
     }
 
     #[test]

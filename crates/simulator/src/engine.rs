@@ -41,6 +41,10 @@ pub struct Simulation {
     history: InteractionHistory,
     /// Ratings of the current simulation cycle (kept for windowed detection).
     cycle_history: InteractionHistory,
+    /// Ratings buffered within the current query cycle and folded into the
+    /// histories at its end (epoch-style batched ingestion; see
+    /// [`Simulation::flush_pending`]).
+    pending: Vec<Rating>,
     /// Per-cycle histories of the last `detection_window_cycles` cycles.
     recent: std::collections::VecDeque<InteractionHistory>,
     /// CSR view of the cumulative history, refreshed incrementally from the
@@ -74,6 +78,7 @@ impl Simulation {
             network,
             history: InteractionHistory::new(),
             cycle_history: InteractionHistory::new(),
+            pending: Vec::new(),
             recent: std::collections::VecDeque::new(),
             snapshot: None,
             reputation: vec![0.0; n + 1],
@@ -231,12 +236,43 @@ impl Simulation {
                 }
             }
         }
+        self.flush_pending();
         self.tick += 1;
     }
 
-    /// Record a rating into the cumulative history and, when windowed
-    /// detection is configured, the current cycle's slice.
+    /// Record a rating. Most engines only read the histories at cycle
+    /// boundaries, so the rating is buffered and folded in by
+    /// [`Simulation::flush_pending`] at the end of the query cycle — the
+    /// same write-batching the epoch buffer applies at detection scale.
+    /// First-hand selection reads the live history *inside* the cycle, so
+    /// that engine keeps the immediate path (bit-identical either way for
+    /// the rest).
     fn record(&mut self, rating: Rating) {
+        if matches!(self.config.engine, ReputationEngine::FirstHand) {
+            self.fold(rating);
+        } else {
+            self.pending.push(rating);
+        }
+    }
+
+    /// Fold the query cycle's buffered ratings into the cumulative history
+    /// (and the cycle slice when windowed detection is on), grouped by
+    /// ratee so consecutive inserts hit the same row. Counter arithmetic
+    /// commutes, so the grouped order leaves every history byte-identical
+    /// to immediate ingestion.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.pending);
+        batch.sort_by_key(|r| (r.ratee, r.rater));
+        for rating in batch.drain(..) {
+            self.fold(rating);
+        }
+        self.pending = batch; // keep the allocation for the next cycle
+    }
+
+    fn fold(&mut self, rating: Rating) {
         self.history.record(rating);
         if self.config.detection_window_cycles.is_some() {
             self.cycle_history.record(rating);

@@ -31,6 +31,7 @@ pub mod graph;
 pub mod model;
 pub mod overstock;
 pub mod patterns;
+pub mod scale;
 pub mod stats;
 pub mod suspicious;
 
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use crate::model::{Trace, TraceRecord};
     pub use crate::overstock::{OverstockConfig, OverstockTrace};
     pub use crate::patterns::{classify_rater, RaterPattern};
+    pub use crate::scale::ScaleConfig;
     pub use crate::stats::{RaterFrequency, SellerStats, TraceStats};
     pub use crate::suspicious::{SuspiciousPair, SuspiciousReport};
 }

@@ -23,4 +23,13 @@ cargo test --workspace -q
 echo "== fault matrix (drop ∈ {0, 0.1, 0.3}) =="
 cargo test --release --test fault_tolerance -q
 
+echo "== scale smoke (n=2k sharded/pruned/epoch kernels, fixed shape) =="
+# the smoke run asserts bit-identical suspect sets across all kernel
+# variants internally; the diff pins the deterministic counters
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+timeout 120 cargo run --release -q -p collusion-bench --bin scale_json -- \
+  --smoke --out "$smoke_out"
+diff scripts/BENCH_scale_smoke_expected.json "$smoke_out"
+
 echo "All checks passed."

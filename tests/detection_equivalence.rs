@@ -261,3 +261,58 @@ fn fault_free_plan_is_bit_identical_to_fault_oblivious_run() {
         assert_eq!(none_plan.report.pair_ids(), central.pair_ids(), "seed {seed}: centralized");
     }
 }
+
+#[test]
+fn sharded_snapshot_paths_are_bit_identical_across_seeds() {
+    // The sharded CSR arena feeds the very same generic kernels through
+    // `SnapshotView`, so pairs AND metered cost must match the monolithic
+    // snapshot exactly — for both detectors, both policies, and shard
+    // counts from one to far-more-than-rows.
+    for seed in 0..10u64 {
+        let (h, nodes) = random_history(900 + seed, 40, 3);
+        for shards in [1usize, 3, 8, 64] {
+            for policy in [DetectionPolicy::STRICT, DetectionPolicy::EXTENDED] {
+                let (mono, shard) = if policy.community_excludes_frequent {
+                    (
+                        DetectionSnapshot::build_with_frequent(&h, &nodes, thresholds().t_n),
+                        ShardedSnapshot::build_with_frequent(&h, &nodes, shards, thresholds().t_n),
+                    )
+                } else {
+                    (
+                        DetectionSnapshot::build(&h, &nodes),
+                        ShardedSnapshot::build(&h, &nodes, shards),
+                    )
+                };
+                let mono_in = SnapshotInput::from_signed(&mono, &nodes);
+                let shard_in = SnapshotInput::from_signed(&shard, &nodes);
+                for_both_detectors(&mono_in, &shard_in, seed, shards, policy);
+            }
+        }
+    }
+}
+
+fn for_both_detectors(
+    mono_in: &SnapshotInput<'_, DetectionSnapshot>,
+    shard_in: &SnapshotInput<'_, ShardedSnapshot>,
+    seed: u64,
+    shards: usize,
+    policy: DetectionPolicy,
+) {
+    let basic = BasicDetector::with_policy(thresholds(), policy);
+    let a = basic.detect_snapshot(mono_in);
+    let b = basic.detect_snapshot(shard_in);
+    assert_eq!(a.pairs, b.pairs, "seed {seed}, {shards} shards, {policy:?}: basic pairs");
+    assert_eq!(a.cost, b.cost, "seed {seed}, {shards} shards, {policy:?}: basic cost");
+    let opt = OptimizedDetector::with_policy(thresholds(), policy);
+    let a = opt.detect_snapshot(mono_in);
+    let b = opt.detect_snapshot(shard_in);
+    assert_eq!(a.pairs, b.pairs, "seed {seed}, {shards} shards, {policy:?}: optimized pairs");
+    assert_eq!(a.cost, b.cost, "seed {seed}, {shards} shards, {policy:?}: optimized cost");
+    // band pruning on the sharded view: identical pairs, strictly fewer
+    // (or equal) full checks
+    if !policy.community_excludes_frequent {
+        let (pruned, stats) = opt.detect_pruned(shard_in);
+        assert_eq!(a.pairs, pruned.pairs, "seed {seed}, {shards} shards: pruned pairs");
+        assert!(stats.pairs_examined >= pruned.pairs.len() as u64);
+    }
+}

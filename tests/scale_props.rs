@@ -1,0 +1,159 @@
+//! Property-based guarantees for the scale path: sharded CSR snapshots,
+//! Formula (2) band pruning, and the epoch-incremental engine are all
+//! *bit-identical* to the monolithic full-pass kernels — the correctness
+//! contract that lets `BENCH_scale.json` compare their costs honestly.
+
+use collusion::core::epoch::{EpochEngine, EpochMethod};
+use collusion::core::policy::DetectionPolicy;
+use collusion::prelude::*;
+use proptest::prelude::*;
+
+const N: u64 = 24;
+
+/// Strategy: a rating stream over `N` nodes with enough repeat mass that
+/// frequent pairs (and therefore suspects) actually form.
+fn ratings_strategy(max_len: usize) -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (1..=N, 1..=N, 0..10u8, 0..1_000_000u64).prop_map(|(a, b, v, t)| {
+            let value = match v {
+                0 | 1 => RatingValue::Negative,
+                2 => RatingValue::Neutral,
+                _ => RatingValue::Positive,
+            };
+            Rating::new(NodeId(a), NodeId(b), value, SimTime(t))
+        }),
+        0..max_len,
+    )
+}
+
+fn thresholds() -> Thresholds {
+    Thresholds::new(1.0, 3, 0.8, 0.4)
+}
+
+fn nodes() -> Vec<NodeId> {
+    (1..=N).map(NodeId).collect()
+}
+
+proptest! {
+    /// Sharded detection is bit-identical to monolithic — pairs *and*
+    /// metered cost — for any shard count, both detectors, both policies.
+    #[test]
+    fn sharded_detect_bit_identical(ratings in ratings_strategy(400), shards in 1usize..=16) {
+        let mut h = InteractionHistory::new();
+        for r in &ratings {
+            h.record(*r);
+        }
+        let t = thresholds();
+        let nodes = nodes();
+        for policy in [DetectionPolicy::STRICT, DetectionPolicy::EXTENDED] {
+            let (mono, shard) = if policy.community_excludes_frequent {
+                (
+                    DetectionSnapshot::build_with_frequent(&h, &nodes, t.t_n),
+                    ShardedSnapshot::build_with_frequent(&h, &nodes, shards, t.t_n),
+                )
+            } else {
+                (DetectionSnapshot::build(&h, &nodes), ShardedSnapshot::build(&h, &nodes, shards))
+            };
+            let mono_in = SnapshotInput::from_signed(&mono, &nodes);
+            let shard_in = SnapshotInput::from_signed(&shard, &nodes);
+            let opt = OptimizedDetector::with_policy(t, policy);
+            let a = opt.detect_snapshot(&mono_in);
+            let b = opt.detect_snapshot(&shard_in);
+            prop_assert_eq!(&a.pairs, &b.pairs, "optimized pairs, {:?}", policy);
+            prop_assert_eq!(a.cost, b.cost, "optimized cost, {:?}", policy);
+            let basic = BasicDetector::with_policy(t, policy);
+            let a = basic.detect_snapshot(&mono_in);
+            let b = basic.detect_snapshot(&shard_in);
+            prop_assert_eq!(&a.pairs, &b.pairs, "basic pairs, {:?}", policy);
+            prop_assert_eq!(a.cost, b.cost, "basic cost, {:?}", policy);
+        }
+    }
+
+    /// Random refresh sequences: a sharded snapshot patched wave by wave
+    /// from the dirty set detects identically to a monolithic snapshot
+    /// rebuilt from scratch at every step.
+    #[test]
+    fn sharded_refresh_sequences_bit_identical(
+        waves in prop::collection::vec(ratings_strategy(120), 1..5),
+        shards in 1usize..=8,
+    ) {
+        let t = thresholds();
+        let nodes = nodes();
+        let mut h = InteractionHistory::new();
+        let mut shard = ShardedSnapshot::build(&h, &nodes, shards);
+        h.clear_dirty();
+        let opt = OptimizedDetector::new(t);
+        for wave in &waves {
+            for r in wave {
+                h.record(*r);
+            }
+            let dirty: Vec<NodeId> = h.take_dirty().into_iter().collect();
+            shard.refresh(&h, &dirty);
+            let mono = DetectionSnapshot::build(&h, &nodes);
+            let a = opt.detect_snapshot(&SnapshotInput::from_signed(&mono, &nodes));
+            let b = opt.detect_snapshot(&SnapshotInput::from_signed(&shard, &nodes));
+            prop_assert_eq!(a.pairs, b.pairs);
+        }
+    }
+
+    /// Band pruning never discards a pair the unpruned detector flags: the
+    /// pruned report equals the full report exactly, while the skip
+    /// counters account for every candidate pair once.
+    #[test]
+    fn band_pruning_never_skips_a_flagged_pair(
+        ratings in ratings_strategy(400),
+        shards in 1usize..=8,
+        t_n in 0u64..6,
+        mutual in any::<bool>(),
+    ) {
+        let t = Thresholds::new(1.0, t_n, 0.8, 0.4);
+        let policy = DetectionPolicy { require_mutual: mutual, community_excludes_frequent: false };
+        let nodes = nodes();
+        let mut h = InteractionHistory::new();
+        for r in &ratings {
+            h.record(*r);
+        }
+        let shard = ShardedSnapshot::build(&h, &nodes, shards);
+        let input = SnapshotInput::from_signed(&shard, &nodes);
+        let opt = OptimizedDetector::with_policy(t, policy);
+        let full = opt.detect_snapshot(&input);
+        let (pruned, stats) = opt.detect_pruned(&input);
+        prop_assert_eq!(&full.pairs, &pruned.pairs);
+        // every flagged pair must have been examined, never pruned
+        prop_assert!(stats.pairs_examined >= full.pairs.len() as u64);
+        prop_assert!(stats.skip_rate() >= 0.0 && stats.skip_rate() <= 1.0);
+    }
+
+    /// The epoch engine's standing suspect set after each close equals a
+    /// full detector pass over the same cumulative ratings, for arbitrary
+    /// epoch boundaries.
+    #[test]
+    fn epoch_engine_matches_full_pass(
+        epochs in prop::collection::vec(ratings_strategy(150), 1..5),
+        shards in 1usize..=8,
+        prune in any::<bool>(),
+    ) {
+        let t = thresholds();
+        let nodes = nodes();
+        let mut engine = EpochEngine::new(
+            &nodes,
+            shards,
+            EpochMethod::Optimized,
+            t,
+            DetectionPolicy::STRICT,
+            prune,
+        );
+        let mut h = InteractionHistory::new();
+        for batch in &epochs {
+            for r in batch {
+                engine.record(*r);
+                h.record(*r);
+            }
+            let report = engine.close_epoch();
+            let mono = DetectionSnapshot::build(&h, &nodes);
+            let expect = OptimizedDetector::new(t)
+                .detect_snapshot(&SnapshotInput::from_signed(&mono, &nodes));
+            prop_assert_eq!(report.pairs, expect.pairs);
+        }
+    }
+}
