@@ -1,0 +1,545 @@
+//! Durable detection: [`EpochEngine`] behind a write-ahead log and atomic
+//! checkpoints, with crash-recovery that reproduces the in-memory state
+//! bit-for-bit.
+//!
+//! # Protocol
+//!
+//! * Every accepted rating is appended to the WAL
+//!   ([`collusion_reputation::wal`]) before it is folded into the engine;
+//!   appends are group-fsync'd every [`DurabilityConfig::flush_interval`]
+//!   records (the simulated flush interval).
+//! * Every epoch close — scheduled or forced by the epoch-buffer memory
+//!   watermark — appends an epoch-close marker and fsyncs, so epoch
+//!   boundaries are always durable.
+//! * Every [`DurabilityConfig::checkpoint_interval`] closes, the engine
+//!   state is checkpointed atomically
+//!   ([`collusion_reputation::checkpoint`]): serialized via
+//!   [`EpochEngine::persist_bytes`], written to a temp file, checksummed,
+//!   renamed.
+//!
+//! # Recovery
+//!
+//! [`DurableEngine::recover`] loads the newest checkpoint that validates
+//! (corrupt ones are skipped, stale `.tmp` litter from a mid-checkpoint
+//! crash is ignored), rebuilds the engine from it, then replays the WAL
+//! tail — every record at or past the checkpoint's replay cursor — through
+//! the same `record`/`close_epoch` entry points the live path uses. A torn
+//! or corrupt final WAL record ends the replay and is physically truncated
+//! away; the loss is reported in [`RecoveryReport`], never a panic. Because
+//! detection state is a pure fold over the record stream, the recovered
+//! suspect set and every [`collusion_reputation::history::PairCounters`]
+//! cell are bit-identical to an uncrashed engine that processed the same
+//! durable prefix (property-tested per kill-point in
+//! `tests/durability_props.rs`).
+//!
+//! The epoch-buffer watermark is disarmed while replaying: the durable
+//! epoch-close markers already encode exactly where every close (forced or
+//! scheduled) happened, so replay must follow the log rather than re-trigger
+//! the watermark itself.
+//!
+//! [`KillPoint`] and [`DurableEngine::crash`] simulate the interesting
+//! crash instants by manipulating the on-disk state the way a real crash
+//! would leave it; the seeded crash matrix lives in
+//! `collusion-sim::robustness`.
+
+use std::fs::OpenOptions;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use collusion_reputation::checkpoint::{encode_checkpoint, CheckpointError, CheckpointStore};
+use collusion_reputation::codec::CodecError;
+use collusion_reputation::id::NodeId;
+use collusion_reputation::rating::Rating;
+use collusion_reputation::thresholds::Thresholds;
+use collusion_reputation::wal::{Wal, WalError, WalRecord};
+
+use crate::epoch::{EpochEngine, EpochMethod, EpochStats};
+use crate::policy::DetectionPolicy;
+use crate::report::DetectionReport;
+
+/// Engine construction parameters shared by the create and recover paths
+/// (recovery must rebuild the engine with the same detection configuration
+/// the crashed instance ran).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSetup {
+    /// Target shard count for the sharded snapshot.
+    pub target_shards: usize,
+    /// Detection kernel.
+    pub method: EpochMethod,
+    /// Detection thresholds.
+    pub thresholds: Thresholds,
+    /// Detection policy.
+    pub policy: DetectionPolicy,
+    /// Whether the Formula (2) band pre-filter is armed.
+    pub prune: bool,
+}
+
+/// Durability tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityConfig {
+    /// Group-fsync the WAL every this many rating appends (≥ 1). Epoch
+    /// closes always fsync regardless.
+    pub flush_interval: u64,
+    /// Checkpoint every this many epoch closes; 0 disables periodic
+    /// checkpoints (the WAL alone still makes every record durable).
+    pub checkpoint_interval: u64,
+    /// How many completed checkpoints to retain.
+    pub keep_checkpoints: usize,
+    /// Epoch-buffer max-pairs memory watermark (see
+    /// [`EpochEngine::set_pair_watermark`]).
+    pub pair_watermark: Option<usize>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            flush_interval: 64,
+            checkpoint_interval: 1,
+            keep_checkpoints: 2,
+            pair_watermark: None,
+        }
+    }
+}
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// WAL file operation failed.
+    Wal(WalError),
+    /// Checkpoint file operation failed.
+    Checkpoint(CheckpointError),
+    /// A checkpoint payload passed its checksum but failed structural
+    /// decoding — corruption beyond what the checksum models, or a
+    /// configuration mismatch between the crashed and recovering instance.
+    CorruptState(CodecError),
+    /// Other filesystem I/O failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Wal(e) => write!(f, "durability WAL error: {e}"),
+            DurabilityError::Checkpoint(e) => write!(f, "durability checkpoint error: {e}"),
+            DurabilityError::CorruptState(e) => write!(f, "corrupt checkpoint state: {e}"),
+            DurabilityError::Io(e) => write!(f, "durability I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<WalError> for DurabilityError {
+    fn from(e: WalError) -> Self {
+        DurabilityError::Wal(e)
+    }
+}
+
+impl From<CheckpointError> for DurabilityError {
+    fn from(e: CheckpointError) -> Self {
+        DurabilityError::Checkpoint(e)
+    }
+}
+
+impl From<io::Error> for DurabilityError {
+    fn from(e: io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+/// What recovery found and did.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Replay cursor of the checkpoint used, if any.
+    pub checkpoint_cursor: Option<u64>,
+    /// Completed checkpoint files skipped as invalid.
+    pub invalid_checkpoints: usize,
+    /// Stale checkpoint `.tmp` files found (mid-checkpoint crash evidence).
+    pub stale_tmp: usize,
+    /// WAL records replayed into the engine.
+    pub replayed_records: u64,
+    /// Ratings among the replayed records.
+    pub replayed_ratings: u64,
+    /// Epoch closes among the replayed records.
+    pub replayed_closes: u64,
+    /// WAL records skipped because the checkpoint already covered them.
+    pub skipped_records: u64,
+    /// Bytes discarded from the WAL as a torn/corrupt tail.
+    pub truncated_bytes: u64,
+    /// Why the WAL scan stopped early, if it did.
+    pub wal_corruption: Option<CodecError>,
+    /// Sequence number the resumed WAL will assign next — the client's
+    /// replay-from point for any ratings whose append never became durable.
+    pub next_seq: u64,
+}
+
+/// Live-path bookkeeping counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended (ratings + epoch-close markers).
+    pub wal_appends: u64,
+    /// Group fsyncs issued.
+    pub wal_syncs: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+}
+
+/// Crash instants the injection harness can simulate. Each leaves the
+/// on-disk state exactly as a process death at that point would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Death mid-`write(2)` of a WAL record: the final record is torn in
+    /// half. Recovery must truncate it and resume one sequence number back.
+    MidWalAppend,
+    /// Death between writing the checkpoint temp file and renaming it: a
+    /// partial `.tmp` litters the directory, the previous checkpoint (if
+    /// any) is still the newest valid one, and the WAL is intact.
+    MidCheckpointWrite,
+    /// Death immediately after the checkpoint rename: the new checkpoint is
+    /// complete and recovery should replay nothing beyond it.
+    PostCheckpointRename,
+}
+
+impl KillPoint {
+    /// All kill-points, for crash-matrix sweeps.
+    pub const ALL: [KillPoint; 3] =
+        [KillPoint::MidWalAppend, KillPoint::MidCheckpointWrite, KillPoint::PostCheckpointRename];
+}
+
+/// WAL file name inside a durability directory.
+const WAL_FILE: &str = "engine.wal";
+
+/// An [`EpochEngine`] whose rating stream and epoch state are durable.
+#[derive(Debug)]
+pub struct DurableEngine {
+    engine: EpochEngine,
+    wal: Wal,
+    store: CheckpointStore,
+    cfg: DurabilityConfig,
+    setup: EngineSetup,
+    appends_since_sync: u64,
+    closes_since_ckpt: u64,
+    stats: DurabilityStats,
+}
+
+impl DurableEngine {
+    /// Create a fresh durable engine over `dir` (created if absent; any
+    /// previous WAL there is truncated — use [`DurableEngine::recover`] to
+    /// resume instead).
+    pub fn create(
+        dir: &Path,
+        nodes: &[NodeId],
+        setup: EngineSetup,
+        cfg: DurabilityConfig,
+    ) -> Result<Self, DurabilityError> {
+        std::fs::create_dir_all(dir)?;
+        let store = CheckpointStore::new(dir, cfg.keep_checkpoints)?;
+        let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
+        let mut engine = EpochEngine::new(
+            nodes,
+            setup.target_shards,
+            setup.method,
+            setup.thresholds,
+            setup.policy,
+            setup.prune,
+        );
+        engine.set_pair_watermark(cfg.pair_watermark);
+        Ok(DurableEngine {
+            engine,
+            wal,
+            store,
+            cfg,
+            setup,
+            appends_since_sync: 0,
+            closes_since_ckpt: 0,
+            stats: DurabilityStats::default(),
+        })
+    }
+
+    /// Recover a durable engine from `dir`: newest valid checkpoint plus
+    /// WAL-tail replay. `nodes` and `setup` must match the crashed
+    /// instance's configuration (they are not stored on disk).
+    pub fn recover(
+        dir: &Path,
+        nodes: &[NodeId],
+        setup: EngineSetup,
+        cfg: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let store = CheckpointStore::new(dir, cfg.keep_checkpoints)?;
+        let load = store.load_latest()?;
+        let mut report = RecoveryReport {
+            invalid_checkpoints: load.invalid_skipped,
+            stale_tmp: load.stale_tmp,
+            ..RecoveryReport::default()
+        };
+        let (mut engine, replay_from) = match load.latest {
+            Some((cursor, payload)) => {
+                let (engine, cursor2) = EpochEngine::recover_from_bytes(
+                    &payload,
+                    setup.target_shards,
+                    setup.method,
+                    setup.thresholds,
+                    setup.policy,
+                    setup.prune,
+                )
+                .map_err(DurabilityError::CorruptState)?;
+                debug_assert_eq!(cursor, cursor2);
+                report.checkpoint_cursor = Some(cursor2);
+                (engine, cursor2)
+            }
+            None => (
+                EpochEngine::new(
+                    nodes,
+                    setup.target_shards,
+                    setup.method,
+                    setup.thresholds,
+                    setup.policy,
+                    setup.prune,
+                ),
+                0,
+            ),
+        };
+
+        let wal_path = dir.join(WAL_FILE);
+        let wal = if wal_path.exists() {
+            let (wal, replay) = Wal::open_existing(&wal_path)?;
+            report.truncated_bytes = replay.truncated_bytes;
+            report.wal_corruption = replay.corruption;
+            for (seq, record) in replay.records {
+                if seq < replay_from {
+                    report.skipped_records += 1;
+                    continue;
+                }
+                report.replayed_records += 1;
+                match record {
+                    WalRecord::Rating(r) => {
+                        report.replayed_ratings += 1;
+                        engine.record(r);
+                    }
+                    WalRecord::EpochClose { forced } => {
+                        report.replayed_closes += 1;
+                        if forced {
+                            engine.close_epoch_forced();
+                        } else {
+                            engine.close_epoch();
+                        }
+                    }
+                }
+            }
+            if wal.next_seq() < replay_from {
+                // A torn tail ate records the newest checkpoint already
+                // covers (e.g. a close marker whose checkpoint hit disk
+                // before the marker's sector). The checkpoint is
+                // authoritative; restart the log at its cursor so sequence
+                // numbers stay monotonic and a later checkpoint's cursor
+                // can never move backwards.
+                drop(wal);
+                Wal::create(&wal_path, replay_from)?
+            } else {
+                wal
+            }
+        } else {
+            Wal::create(&wal_path, replay_from)?
+        };
+        report.next_seq = wal.next_seq();
+        // replay followed the durable close markers; arm the watermark only
+        // now that the log has been consumed
+        engine.set_pair_watermark(cfg.pair_watermark);
+        // A torn tail can eat the marker of a watermark-forced close while
+        // the triggering rating stayed durable. An uncrashed engine folding
+        // that prefix would have closed, so re-trigger the close here —
+        // deterministic from the log bytes, hence stable across repeated
+        // recoveries.
+        if engine.buffer_over_watermark() {
+            engine.close_epoch_forced();
+        }
+        store.clear_stale_tmp()?;
+        Ok((
+            DurableEngine {
+                engine,
+                wal,
+                store,
+                cfg,
+                setup,
+                appends_since_sync: 0,
+                closes_since_ckpt: 0,
+                stats: DurabilityStats::default(),
+            },
+            report,
+        ))
+    }
+
+    /// Log and fold one rating. Returns the WAL sequence number under which
+    /// the rating is (or will be, at the next group fsync) durable.
+    pub fn record(&mut self, rating: Rating) -> Result<u64, DurabilityError> {
+        let seq = self.wal.append(&WalRecord::Rating(rating))?;
+        self.stats.wal_appends += 1;
+        self.appends_since_sync += 1;
+        if self.appends_since_sync >= self.cfg.flush_interval.max(1) {
+            self.wal.sync()?;
+            self.stats.wal_syncs += 1;
+            self.appends_since_sync = 0;
+        }
+        let epochs_before = self.engine.stats().epochs;
+        self.engine.record(rating);
+        if self.engine.stats().epochs > epochs_before {
+            // the memory watermark forced an early close
+            self.log_close(true)?;
+        }
+        Ok(seq)
+    }
+
+    /// Close the open epoch durably: fold, append the close marker, fsync,
+    /// and checkpoint if the interval came due.
+    pub fn close_epoch(&mut self) -> Result<DetectionReport, DurabilityError> {
+        let report = self.engine.close_epoch();
+        self.log_close(false)?;
+        Ok(report)
+    }
+
+    fn log_close(&mut self, forced: bool) -> Result<(), DurabilityError> {
+        self.wal.append(&WalRecord::EpochClose { forced })?;
+        self.stats.wal_appends += 1;
+        self.wal.sync()?;
+        self.stats.wal_syncs += 1;
+        self.appends_since_sync = 0;
+        self.closes_since_ckpt += 1;
+        if self.cfg.checkpoint_interval > 0
+            && self.closes_since_ckpt >= self.cfg.checkpoint_interval
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint now. Must be called at an epoch boundary (the
+    /// engine's open buffer is empty right after a close; `record` never
+    /// leaves one open across a forced close).
+    pub fn checkpoint(&mut self) -> Result<(), DurabilityError> {
+        let cursor = self.wal.next_seq();
+        let payload = self.engine.persist_bytes(cursor);
+        self.store.save(cursor, &payload)?;
+        self.stats.checkpoints += 1;
+        self.closes_since_ckpt = 0;
+        Ok(())
+    }
+
+    /// The wrapped engine (read-only; mutations must go through the logged
+    /// entry points).
+    #[inline]
+    pub fn engine(&self) -> &EpochEngine {
+        &self.engine
+    }
+
+    /// The standing suspect set (no kernel work).
+    pub fn report(&self) -> DetectionReport {
+        self.engine.report()
+    }
+
+    /// Cumulative engine counters.
+    #[inline]
+    pub fn engine_stats(&self) -> EpochStats {
+        self.engine.stats()
+    }
+
+    /// Durability bookkeeping counters.
+    #[inline]
+    pub fn stats(&self) -> DurabilityStats {
+        self.stats
+    }
+
+    /// The underlying WAL (for harnesses that inspect spans/paths).
+    #[inline]
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// The checkpoint store.
+    #[inline]
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// The engine construction parameters this instance runs with (recovery
+    /// must be handed the same values).
+    #[inline]
+    pub fn setup(&self) -> EngineSetup {
+        self.setup
+    }
+
+    /// The durability configuration.
+    #[inline]
+    pub fn config(&self) -> DurabilityConfig {
+        self.cfg
+    }
+
+    /// Force any buffered WAL appends to stable storage.
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.wal.sync()?;
+        self.stats.wal_syncs += 1;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Simulate a crash at `kill`, consuming the engine and leaving the
+    /// durability directory exactly as a process death at that instant
+    /// would. The in-memory state is discarded unconditionally; only the
+    /// on-disk mutation differs per kill-point.
+    pub fn crash(self, kill: KillPoint) -> Result<(), DurabilityError> {
+        let DurableEngine { engine, mut wal, store, .. } = self;
+        match kill {
+            KillPoint::MidWalAppend => {
+                // the final record's bytes only partially reached the disk
+                wal.sync()?;
+                let (start, end) = wal.last_record_span();
+                let path = wal.path().to_path_buf();
+                drop(wal);
+                if end > start {
+                    let tear_at = start + (end - start) / 2;
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(tear_at)?;
+                    f.sync_data()?;
+                }
+            }
+            KillPoint::MidCheckpointWrite => {
+                // checkpoint temp file half-written, never renamed. The tmp
+                // is torn garbage either way, so mid-epoch crashes use a
+                // placeholder payload instead of a boundary serialization.
+                wal.sync()?;
+                let cursor = wal.next_seq();
+                let payload = if engine.pending_ratings() == 0 {
+                    engine.persist_bytes(cursor)
+                } else {
+                    vec![0u8; 256]
+                };
+                let image = encode_checkpoint(cursor, &payload);
+                std::fs::write(store.tmp_path(cursor), &image[..image.len() / 2])?;
+            }
+            KillPoint::PostCheckpointRename => {
+                // only meaningful at an epoch boundary (checkpoints are only
+                // ever written there); harnesses drive it after close_epoch
+                wal.sync()?;
+                let cursor = wal.next_seq();
+                let payload = engine.persist_bytes(cursor);
+                store.save(cursor, &payload)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Create a unique scratch directory for durability tests and benches
+/// (under the system temp dir; callers clean up with `remove_dir_all`).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "collusion-durable-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

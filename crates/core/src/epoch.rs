@@ -38,12 +38,16 @@
 
 use std::collections::BTreeMap;
 
+use collusion_reputation::codec::{ByteReader, ByteWriter, CodecError};
 use collusion_reputation::epoch::{EpochBuffer, EpochDelta};
+use collusion_reputation::history::{InteractionHistory, PairCounters};
 use collusion_reputation::id::NodeId;
 use collusion_reputation::rating::Rating;
 use collusion_reputation::sharded::ShardedSnapshot;
 use collusion_reputation::thresholds::Thresholds;
 use collusion_reputation::view::SnapshotView;
+
+use crate::model::DirectionEvidence;
 
 use crate::basic::BasicDetector;
 use crate::cost::CostMeter;
@@ -78,6 +82,9 @@ pub struct EpochStats {
     /// are standing-verdict re-checks; newly enumerated pairs the band
     /// bans are filtered out before they ever become candidates).
     pub pruned: u64,
+    /// Epoch closes forced by the [`EpochBuffer`] max-pairs memory
+    /// watermark rather than the caller's schedule (a subset of `epochs`).
+    pub forced_closes: u64,
 }
 
 /// Incremental detector maintaining an exact suspect set across epochs.
@@ -135,9 +142,39 @@ impl EpochEngine {
     }
 
     /// Fold one rating into the open epoch (O(1); self-ratings ignored).
+    /// If the buffer's max-pairs watermark is armed and this rating pushes
+    /// the buffered delta to the limit, the epoch closes early (the
+    /// standing verdict map absorbs the results; `forced_closes` counts
+    /// it). Returns whether the rating was accepted.
     #[inline]
     pub fn record(&mut self, rating: Rating) -> bool {
-        self.buffer.record(rating)
+        let accepted = self.buffer.record(rating);
+        if self.buffer.over_watermark() {
+            self.stats.forced_closes += 1;
+            let _ = self.close_epoch();
+        }
+        accepted
+    }
+
+    /// Arm or disarm the epoch-buffer max-pairs memory watermark (see
+    /// [`EpochBuffer::with_max_pairs`]). `None` (the default) never forces
+    /// a close.
+    pub fn set_pair_watermark(&mut self, max_pairs: Option<usize>) {
+        self.buffer.set_max_pairs(max_pairs);
+    }
+
+    /// The configured epoch-buffer watermark, if any.
+    #[inline]
+    pub fn pair_watermark(&self) -> Option<usize> {
+        self.buffer.max_pairs()
+    }
+
+    /// Whether the open buffer has reached an armed watermark. Recovery
+    /// uses this to re-trigger a forced close whose marker was lost to a
+    /// torn WAL tail while the triggering rating stayed durable.
+    #[inline]
+    pub fn buffer_over_watermark(&self) -> bool {
+        self.buffer.over_watermark()
     }
 
     /// The sharded snapshot as of the last closed epoch.
@@ -340,6 +377,217 @@ impl EpochEngine {
         }
         DetectionReport::new(self.verdicts.values().copied().collect(), meter.snapshot())
     }
+
+    /// Close the epoch, accounting it as watermark-forced. WAL replay calls
+    /// this for epoch-close markers whose `forced` flag is set, so recovered
+    /// [`EpochStats`] match the uncrashed run exactly.
+    pub fn close_epoch_forced(&mut self) -> DetectionReport {
+        self.stats.forced_closes += 1;
+        self.close_epoch()
+    }
+
+    // ----- Durability ---------------------------------------------------
+
+    /// Serialize the engine's detection state — interned nodes, snapshot
+    /// rows, standing verdicts and cumulative stats — as a checkpoint
+    /// payload covering the WAL prefix up to and including `wal_seq`.
+    ///
+    /// Must be called at an epoch boundary (open buffer empty): ratings
+    /// still buffered live only in the WAL *after* the last epoch-close
+    /// marker, and a checkpoint claiming a later `wal_seq` would cause
+    /// recovery to skip their replay.
+    pub fn persist_bytes(&self, wal_seq: u64) -> Vec<u8> {
+        debug_assert!(
+            self.buffer.is_empty(),
+            "persist_bytes requires an epoch boundary (open buffer must be empty)"
+        );
+        let n = self.snap.n();
+        let mut w = ByteWriter::with_capacity(64 + n * 8 + self.snap.nnz() * 28);
+        w.put_u32(STATE_VERSION);
+        w.put_u64(wal_seq);
+        w.put_u32(n as u32);
+        for i in 0..n as u32 {
+            w.put_u64(self.snap.node_id(i).raw());
+        }
+        for i in 0..n as u32 {
+            let (cols, cells) = self.snap.row(i);
+            w.put_u32(cols.len() as u32);
+            for (k, &col) in cols.iter().enumerate() {
+                w.put_u32(col);
+                w.put_u64(cells[k].total);
+                w.put_u64(cells[k].positive);
+                w.put_u64(cells[k].negative);
+            }
+        }
+        w.put_u32(self.verdicts.len() as u32);
+        for pair in self.verdicts.values() {
+            w.put_u64(pair.low.raw());
+            w.put_u64(pair.high.raw());
+            encode_evidence(&mut w, pair.low_boosts_high.as_ref());
+            encode_evidence(&mut w, pair.high_boosts_low.as_ref());
+        }
+        w.put_u64(self.stats.epochs);
+        w.put_u64(self.stats.ratings);
+        w.put_u64(self.stats.candidates);
+        w.put_u64(self.stats.checked);
+        w.put_u64(self.stats.pruned);
+        w.put_u64(self.stats.forced_closes);
+        w.into_bytes()
+    }
+
+    /// Rebuild an engine from a [`EpochEngine::persist_bytes`] payload.
+    /// Returns the engine plus the checkpoint's WAL high-water mark;
+    /// recovery replays WAL records with sequence numbers beyond it.
+    ///
+    /// Counters and verdicts round-trip bit-identically: rows are replayed
+    /// through [`InteractionHistory::insert_pair_counters`] and the
+    /// deterministic snapshot build, evidence `f64`s travel as bit
+    /// patterns, and high-reputed flags are recomputed from the restored
+    /// snapshot (they are a pure function of it at epoch boundaries).
+    /// Malformed payloads yield `Err`, never a panic.
+    pub fn recover_from_bytes(
+        bytes: &[u8],
+        target_shards: usize,
+        method: EpochMethod,
+        thresholds: Thresholds,
+        policy: DetectionPolicy,
+        prune: bool,
+    ) -> Result<(Self, u64), CodecError> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_u32()? != STATE_VERSION {
+            return Err(CodecError::BadMagic);
+        }
+        let wal_seq = r.get_u64()?;
+        let n_raw = r.get_u32()? as u64;
+        let n = r.checked_count(n_raw, 8)?;
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(NodeId(r.get_u64()?));
+        }
+        // interning order must be strictly ascending for row indices to be
+        // meaningful against the rebuilt snapshot
+        if !nodes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(CodecError::BadLength);
+        }
+        let mut history = InteractionHistory::new();
+        for i in 0..n {
+            let row_raw = r.get_u32()? as u64;
+            let row_len = r.checked_count(row_raw, 28)?;
+            for _ in 0..row_len {
+                let col = r.get_u32()? as usize;
+                let counters = PairCounters {
+                    total: r.get_u64()?,
+                    positive: r.get_u64()?,
+                    negative: r.get_u64()?,
+                };
+                if col >= n || col == i || counters.total == 0 {
+                    return Err(CodecError::BadLength);
+                }
+                history.insert_pair_counters(nodes[col], nodes[i], counters);
+            }
+        }
+        let snap = if policy.community_excludes_frequent {
+            ShardedSnapshot::build_with_frequent(&history, &nodes, target_shards, thresholds.t_n)
+        } else {
+            ShardedSnapshot::build(&history, &nodes, target_shards)
+        };
+        let mut verdicts = BTreeMap::new();
+        let verdict_raw = r.get_u32()? as u64;
+        let verdict_count = r.checked_count(verdict_raw, 18)?;
+        for _ in 0..verdict_count {
+            let low = NodeId(r.get_u64()?);
+            let high = NodeId(r.get_u64()?);
+            let low_boosts_high = decode_evidence(&mut r)?;
+            let high_boosts_low = decode_evidence(&mut r)?;
+            let valid = low < high
+                && (low_boosts_high.is_some() || high_boosts_low.is_some())
+                && snap.index(low).is_some()
+                && snap.index(high).is_some();
+            if !valid {
+                return Err(CodecError::BadLength);
+            }
+            verdicts
+                .insert((low, high), SuspectPair { low, high, low_boosts_high, high_boosts_low });
+        }
+        let stats = EpochStats {
+            epochs: r.get_u64()?,
+            ratings: r.get_u64()?,
+            candidates: r.get_u64()?,
+            checked: r.get_u64()?,
+            pruned: r.get_u64()?,
+            forced_closes: r.get_u64()?,
+        };
+        if !r.is_exhausted() {
+            return Err(CodecError::BadLength);
+        }
+        let high = (0..snap.n() as u32)
+            .map(|i| thresholds.is_high_reputed(snap.signed(i) as f64))
+            .collect();
+        let engine = EpochEngine {
+            thresholds,
+            policy,
+            method,
+            prune,
+            basic: BasicDetector::with_policy(thresholds, policy),
+            optimized: OptimizedDetector::with_policy(thresholds, policy),
+            snap,
+            buffer: EpochBuffer::new(),
+            high,
+            verdicts,
+            stats,
+        };
+        Ok((engine, wal_seq))
+    }
+}
+
+/// Version tag inside checkpoint payloads (the file-level header is owned
+/// by `collusion_reputation::checkpoint`).
+const STATE_VERSION: u32 = 1;
+
+fn encode_evidence(w: &mut ByteWriter, ev: Option<&DirectionEvidence>) {
+    match ev {
+        None => w.put_u8(0),
+        Some(e) => {
+            w.put_u8(1);
+            w.put_u64(e.pair_ratings);
+            match e.fraction_a {
+                None => w.put_u8(0),
+                Some(v) => {
+                    w.put_u8(1);
+                    w.put_f64(v);
+                }
+            }
+            match e.fraction_b {
+                None => w.put_u8(0),
+                Some(v) => {
+                    w.put_u8(1);
+                    w.put_f64(v);
+                }
+            }
+            w.put_i64(e.signed_reputation);
+        }
+    }
+}
+
+fn decode_evidence(r: &mut ByteReader<'_>) -> Result<Option<DirectionEvidence>, CodecError> {
+    let opt_f64 = |r: &mut ByteReader<'_>| -> Result<Option<f64>, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(r.get_f64()?)),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    };
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => {
+            let pair_ratings = r.get_u64()?;
+            let fraction_a = opt_f64(r)?;
+            let fraction_b = opt_f64(r)?;
+            let signed_reputation = r.get_i64()?;
+            Ok(Some(DirectionEvidence { pair_ratings, fraction_a, fraction_b, signed_reputation }))
+        }
+        t => Err(CodecError::InvalidTag(t)),
+    }
 }
 
 #[cfg(test)]
@@ -532,6 +780,136 @@ mod tests {
         );
         assert_eq!(pair_keys(&r2.pairs), pair_keys(&expect));
         assert!(!r2.is_colluder(NodeId(1)), "verdict retracted after community evidence");
+    }
+
+    #[test]
+    fn persist_recover_round_trips_bit_identically() {
+        let thresholds = Thresholds::new(1.0, 3, 0.8, 0.4);
+        let base_ids: Vec<u64> = (1..=12).collect();
+        let nodes: Vec<NodeId> = base_ids.iter().map(|&i| NodeId(i)).collect();
+        for (method, policy, prune) in [
+            (EpochMethod::Optimized, DetectionPolicy::STRICT, true),
+            (EpochMethod::Basic, DetectionPolicy::STRICT, false),
+            (EpochMethod::Optimized, DetectionPolicy::EXTENDED, false),
+        ] {
+            let mut engine = EpochEngine::new(&nodes, 4, method, thresholds, policy, prune);
+            for epoch in 0..4u64 {
+                for r in epoch_ratings(&base_ids, 60, 0x5EED ^ epoch, epoch * 10_000) {
+                    engine.record(r);
+                }
+                engine.close_epoch();
+            }
+            let bytes = engine.persist_bytes(77);
+            let (mut recovered, cursor) =
+                EpochEngine::recover_from_bytes(&bytes, 4, method, thresholds, policy, prune)
+                    .expect("round trip");
+            assert_eq!(cursor, 77);
+            assert_eq!(recovered.stats(), engine.stats());
+            assert_eq!(recovered.report().pairs, engine.report().pairs);
+            assert_eq!(recovered.high, engine.high);
+            // snapshot counters are bit-identical cell by cell
+            assert_eq!(recovered.snap.n(), engine.snap.n());
+            for i in 0..engine.snap.n() as u32 {
+                assert_eq!(recovered.snap.node_id(i), engine.snap.node_id(i));
+                assert_eq!(recovered.snap.totals_of(i), engine.snap.totals_of(i));
+                assert_eq!(recovered.snap.row(i), engine.snap.row(i), "row {i}");
+            }
+            // both engines evolve identically after the round trip
+            for r in epoch_ratings(&base_ids, 60, 0xFACE, 90_000) {
+                engine.record(r);
+                recovered.record(r);
+            }
+            let a = engine.close_epoch();
+            let b = recovered.close_epoch();
+            assert_eq!(a.pairs, b.pairs, "post-recovery epochs diverge");
+        }
+    }
+
+    #[test]
+    fn recover_rejects_malformed_payloads_without_panicking() {
+        let thresholds = Thresholds::new(1.0, 3, 0.8, 0.4);
+        let nodes: Vec<NodeId> = (1..=6).map(NodeId).collect();
+        let mut engine = EpochEngine::new(
+            &nodes,
+            2,
+            EpochMethod::Optimized,
+            thresholds,
+            DetectionPolicy::STRICT,
+            true,
+        );
+        for r in epoch_ratings(&[1, 2, 3, 4, 5, 6], 40, 0xAB, 0) {
+            engine.record(r);
+        }
+        engine.close_epoch();
+        let good = engine.persist_bytes(5);
+        let recover = |bytes: &[u8]| {
+            EpochEngine::recover_from_bytes(
+                bytes,
+                2,
+                EpochMethod::Optimized,
+                thresholds,
+                DetectionPolicy::STRICT,
+                true,
+            )
+        };
+        assert!(recover(&good).is_ok());
+        // truncations at every prefix must error, never panic
+        for cut in 0..good.len() {
+            assert!(recover(&good[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // trailing garbage is rejected
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(recover(&padded).is_err());
+        // wrong version tag
+        let mut wrong = good;
+        wrong[0] ^= 0xFF;
+        assert!(recover(&wrong).is_err());
+    }
+
+    #[test]
+    fn watermark_forces_early_close_and_counts_it() {
+        let thresholds = Thresholds::new(1.0, 3, 0.8, 0.4);
+        let nodes: Vec<NodeId> = (1..=8).map(NodeId).collect();
+        let mut bounded = EpochEngine::new(
+            &nodes,
+            2,
+            EpochMethod::Optimized,
+            thresholds,
+            DetectionPolicy::STRICT,
+            true,
+        );
+        bounded.set_pair_watermark(Some(4));
+        assert_eq!(bounded.pair_watermark(), Some(4));
+        let mut unbounded = EpochEngine::new(
+            &nodes,
+            2,
+            EpochMethod::Optimized,
+            thresholds,
+            DetectionPolicy::STRICT,
+            true,
+        );
+        let mut history = InteractionHistory::new();
+        for r in epoch_ratings(&[1, 2, 3, 4, 5, 6, 7, 8], 120, 0xCAFE, 0) {
+            bounded.record(r);
+            unbounded.record(r);
+            history.record(r);
+        }
+        let rb = bounded.close_epoch();
+        let ru = unbounded.close_epoch();
+        assert!(bounded.stats().forced_closes > 0, "watermark never tripped");
+        assert_eq!(unbounded.stats().forced_closes, 0);
+        assert!(bounded.stats().epochs > unbounded.stats().epochs);
+        // same final suspect set as the unbounded engine and the full pass
+        assert_eq!(pair_keys(&rb.pairs), pair_keys(&ru.pairs));
+        let expect = full_pass(
+            &history,
+            &nodes,
+            EpochMethod::Optimized,
+            thresholds,
+            DetectionPolicy::STRICT,
+        );
+        assert_eq!(rb.pairs, expect);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod basic;
 pub mod calibrate;
 pub mod cost;
 pub mod decentralized;
+pub mod durability;
 pub mod epoch;
 pub mod fault;
 pub mod formula;
@@ -75,6 +76,9 @@ pub mod prelude {
     pub use crate::calibrate::{calibrate, Calibration};
     pub use crate::cost::{CostMeter, CostSnapshot};
     pub use crate::decentralized::{DecentralizedDetector, DecentralizedOutcome};
+    pub use crate::durability::{
+        DurabilityConfig, DurableEngine, EngineSetup, KillPoint, RecoveryReport,
+    };
     pub use crate::epoch::{EpochEngine, EpochMethod, EpochStats};
     pub use crate::fault::{ChurnSchedule, ExchangeOutcome, FaultPlan, FaultSession, FaultStats};
     pub use crate::formula::{formula_band, formula_reputation, Fig4Surface};

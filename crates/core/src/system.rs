@@ -24,6 +24,7 @@
 use crate::basic::BasicDetector;
 use crate::cost::CostMeter;
 use crate::decentralized::Method;
+use crate::durability::DurabilityError;
 use crate::fault::{ChurnSchedule, FaultPlan, FaultSession, FaultStats};
 use crate::input::SnapshotInput;
 use crate::model::{DirectionEvidence, SuspectPair};
@@ -40,8 +41,11 @@ use collusion_reputation::id::NodeId;
 use collusion_reputation::rating::Rating;
 use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
+use collusion_reputation::wal::{replay_bytes, Wal, WalRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// Cumulative network-cost counters of a running system.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,6 +65,21 @@ pub struct SystemStats {
     pub recovered_nodes: u64,
     /// Node histories irrecoverably lost to a crash (no surviving replica).
     pub lost_nodes: u64,
+    /// Node histories rebuilt by replaying the system WAL after a manager
+    /// crash — the preferred path whenever the disk copy is at least as
+    /// complete as the best surviving replica.
+    pub disk_recovered_nodes: u64,
+}
+
+/// The system-wide write-ahead log: every accepted submit is appended
+/// *before* it is applied, group-fsync'd every `flush_interval` appends.
+/// Shared behind a mutex so a cloned system keeps appending to the same
+/// durable stream (clones model restarted processes over one disk).
+#[derive(Clone, Debug)]
+struct SystemWal {
+    wal: Arc<Mutex<Wal>>,
+    flush_interval: u64,
+    appends_since_sync: u64,
 }
 
 /// Result of a detection round run under a [`FaultPlan`].
@@ -96,6 +115,8 @@ pub struct DecentralizedSystem {
     replicas: HashMap<NodeId, InteractionHistory>,
     /// id source for managers spawned by churn joins
     next_spawned_manager: u64,
+    /// optional durability: the global WAL of every accepted submit
+    wal: Option<SystemWal>,
 }
 
 impl DecentralizedSystem {
@@ -146,7 +167,104 @@ impl DecentralizedSystem {
             replication,
             replicas: HashMap::new(),
             next_spawned_manager: 0x5000_0000,
+            wal: None,
         }
+    }
+
+    /// Attach a write-ahead log at `path`: from now on every accepted
+    /// [`DecentralizedSystem::submit`] is appended to it before it is
+    /// applied, group-fsync'd every `flush_interval` appends (0 is treated
+    /// as 1 — sync on every append). A crashed manager is then recovered by
+    /// replaying the log ([`DecentralizedSystem::manager_crash`] prefers
+    /// the disk copy over replicas whenever it is at least as complete),
+    /// and a cold restart can rebuild everything via
+    /// [`DecentralizedSystem::recover_from_wal`].
+    ///
+    /// An existing file at `path` is opened and appended to (its torn tail,
+    /// if any, is truncated); otherwise a fresh log is created.
+    pub fn enable_durability(
+        &mut self,
+        path: impl AsRef<Path>,
+        flush_interval: u64,
+    ) -> Result<(), DurabilityError> {
+        let path = path.as_ref();
+        let wal = if path.exists() { Wal::open_existing(path)?.0 } else { Wal::create(path, 0)? };
+        self.wal = Some(SystemWal {
+            wal: Arc::new(Mutex::new(wal)),
+            flush_interval: flush_interval.max(1),
+            appends_since_sync: 0,
+        });
+        Ok(())
+    }
+
+    /// Whether a system WAL is attached.
+    pub fn durability_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Force any buffered WAL appends to stable storage.
+    pub fn wal_sync(&mut self) -> Result<(), DurabilityError> {
+        if let Some(d) = self.wal.as_mut() {
+            d.wal.lock().expect("system WAL lock poisoned").sync()?;
+            d.appends_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Cold-restart recovery: open the WAL at `path` (truncating any torn
+    /// tail), re-apply every logged rating through the normal ownership
+    /// routing, rebuild the replicas, and keep the log attached for further
+    /// appends. Participant nodes must be registered first — the log stores
+    /// ratings, not memberships. Returns the number of ratings re-applied.
+    ///
+    /// Recovery counters are bit-identical to the uncrashed run because the
+    /// log *is* the accepted rating stream and counters are a pure fold
+    /// over it; only the network-cost stats differ (replay pays no hops).
+    pub fn recover_from_wal(
+        &mut self,
+        path: impl AsRef<Path>,
+        flush_interval: u64,
+    ) -> Result<u64, DurabilityError> {
+        let (wal, replay) = Wal::open_existing(path.as_ref())?;
+        let mut applied = 0u64;
+        for (_, record) in &replay.records {
+            let WalRecord::Rating(rating) = record else { continue };
+            if rating.is_self_rating() {
+                continue;
+            }
+            let Some(&owner_key) = self.manager_of.get(&rating.ratee) else {
+                continue;
+            };
+            let manager = self.key_to_manager[&owner_key.raw()];
+            self.histories.entry(manager).or_default().record(*rating);
+            applied += 1;
+        }
+        self.rebuild_replicas();
+        self.wal = Some(SystemWal {
+            wal: Arc::new(Mutex::new(wal)),
+            flush_interval: flush_interval.max(1),
+            appends_since_sync: 0,
+        });
+        Ok(applied)
+    }
+
+    /// Replay the attached WAL into a standalone history of every logged
+    /// rating — the disk image a crashed manager's slices are carved from.
+    /// `None` when durability is off or the log cannot be read back.
+    fn replay_wal_history(&self) -> Option<InteractionHistory> {
+        let d = self.wal.as_ref()?;
+        let bytes = {
+            let guard = d.wal.lock().expect("system WAL lock poisoned");
+            std::fs::read(guard.path()).ok()?
+        };
+        let replay = replay_bytes(&bytes).ok()?;
+        let mut history = InteractionHistory::new();
+        for (_, record) in replay.records {
+            if let WalRecord::Rating(rating) = record {
+                history.record(rating);
+            }
+        }
+        Some(history)
     }
 
     /// The backup managers for histories owned by the manager at
@@ -226,6 +344,17 @@ impl DecentralizedSystem {
         let Some(&owner_key) = self.manager_of.get(&rating.ratee) else {
             return false;
         };
+        // write-ahead: the rating is logged before any state changes, so a
+        // crash between here and the history update loses nothing
+        if let Some(d) = self.wal.as_mut() {
+            let mut wal = d.wal.lock().expect("system WAL lock poisoned");
+            wal.append(&WalRecord::Rating(rating)).expect("system WAL append failed");
+            d.appends_since_sync += 1;
+            if d.appends_since_sync >= d.flush_interval {
+                wal.sync().expect("system WAL fsync failed");
+                d.appends_since_sync = 0;
+            }
+        }
         // route from the gateway to the owner, paying hops
         let gateway = self.ring.members().next().expect("ring non-empty");
         let route =
@@ -327,8 +456,12 @@ impl DecentralizedSystem {
         // Reassign ownership; slices between survivors move as usual, the
         // crashed manager's are skipped (its data no longer exists).
         let migrated = self.rebalance();
-        // Recover each orphaned node's slice from the fullest surviving
-        // backup copy (deterministic: managers scanned in ascending order).
+        // Recover each orphaned node's slice, disk first: replaying the
+        // system WAL reconstructs the full accepted rating stream, so the
+        // disk copy is bit-identical to the uncrashed counters. Replicas
+        // are the degraded fallback — used only when the disk copy is
+        // absent or less complete (e.g. the WAL was attached late).
+        let mut disk = self.replay_wal_history();
         let mut backup_managers: Vec<NodeId> = self.replicas.keys().copied().collect();
         backup_managers.sort_unstable();
         for node in orphaned {
@@ -337,6 +470,14 @@ impl DecentralizedSystem {
                 .map(|&m| (self.replicas[&m].ratings_for(node), m))
                 .filter(|&(count, _)| count > 0)
                 .max_by_key(|&(count, m)| (count, std::cmp::Reverse(m)));
+            let disk_count = disk.as_ref().map_or(0, |h| h.ratings_for(node));
+            if disk_count > 0 && disk_count >= best.map_or(0, |(count, _)| count) {
+                let slice = disk.as_mut().expect("disk history present").split_off_ratee(node);
+                let new_owner = self.key_to_manager[&self.manager_of[&node].raw()];
+                self.histories.entry(new_owner).or_default().merge(&slice);
+                self.stats.disk_recovered_nodes += 1;
+                continue;
+            }
             let Some((_, source)) = best else {
                 self.stats.lost_nodes += 1;
                 continue;
@@ -837,6 +978,116 @@ mod tests {
         let a = run(build_replicated_system(8, 3));
         let b = run(build_replicated_system(8, 3));
         assert_eq!(a, b, "same churn schedule must replay identically");
+    }
+
+    #[test]
+    fn unreplicated_crash_recovers_from_wal() {
+        let baseline = build_system(8).detect().pair_ids();
+        let dir = crate::durability::scratch_dir("sys-unreplicated");
+        // unreplicated system, but with a WAL attached before any submit
+        let manager_ids: Vec<NodeId> = (1000..1008u64).map(NodeId).collect();
+        let mut logged = DecentralizedSystem::new(
+            &manager_ids,
+            thresholds(),
+            Method::Optimized,
+            DetectionPolicy::STRICT,
+        );
+        logged.enable_durability(dir.join("logged.wal"), 16).unwrap();
+        for id in (1..=2).chain(20..=21).chain(40..45) {
+            logged.register(NodeId(id));
+        }
+        for r in ratings() {
+            logged.submit(r);
+        }
+        // crash every data-bearing manager except the survivor; without the
+        // WAL this loses slices (see unreplicated_crash_loses_data test)
+        for id in 1000..1007u64 {
+            logged.manager_crash(NodeId(id));
+        }
+        assert_eq!(logged.stats().lost_nodes, 0, "WAL must cover every orphaned slice");
+        assert!(logged.stats().disk_recovered_nodes > 0);
+        assert_eq!(logged.stats().recovered_nodes, 0, "no replicas to recover from");
+        assert_eq!(logged.lookup_reputation(NodeId(1)), 25);
+        assert_eq!(logged.lookup_reputation(NodeId(40)), 4);
+        assert_eq!(logged.detect().pair_ids(), baseline);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_recovery_preferred_over_replicas_and_identical() {
+        let baseline = build_system(8).detect().pair_ids();
+        let dir = crate::durability::scratch_dir("sys-disk-first");
+        // replicated AND logged: the disk copy is always at least as
+        // complete as any replica, so it must win every recovery
+        let manager_ids: Vec<NodeId> = (1000..1008u64).map(NodeId).collect();
+        let mut sys = DecentralizedSystem::with_replication(
+            &manager_ids,
+            thresholds(),
+            Method::Optimized,
+            DetectionPolicy::STRICT,
+            3,
+        );
+        sys.enable_durability(dir.join("system.wal"), 16).unwrap();
+        for id in (1..=2).chain(20..=21).chain(40..45) {
+            sys.register(NodeId(id));
+        }
+        for r in ratings() {
+            sys.submit(r);
+        }
+        let mut replica_only = build_replicated_system(8, 3);
+        for id in [1000u64, 1003, 1006] {
+            assert!(sys.manager_crash(NodeId(id)).is_some());
+            assert!(replica_only.manager_crash(NodeId(id)).is_some());
+        }
+        let stats = sys.stats();
+        assert!(stats.disk_recovered_nodes > 0);
+        assert_eq!(stats.recovered_nodes, 0, "disk must preempt every replica recovery");
+        assert_eq!(stats.lost_nodes, 0);
+        // identical verdicts to both the replica-rebuilt world and baseline
+        assert_eq!(sys.detect().pair_ids(), baseline);
+        assert_eq!(replica_only.detect().pair_ids(), baseline);
+        // and bit-identical counters: every reputation matches
+        for id in (1..=2).chain(20..=21).chain(40..45) {
+            assert_eq!(
+                sys.lookup_reputation(NodeId(id)),
+                replica_only.lookup_reputation(NodeId(id)),
+                "node {id} counters diverged between disk and replica recovery"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cold_restart_replays_the_wal_bit_identically() {
+        let dir = crate::durability::scratch_dir("sys-cold-restart");
+        let wal_path = dir.join("system.wal");
+        let baseline = {
+            let mut sys = build_replicated_system(8, 1);
+            sys.enable_durability(&wal_path, 16).unwrap();
+            for r in ratings() {
+                sys.submit(r);
+            }
+            sys.wal_sync().unwrap();
+            sys.detect().pair_ids()
+        }; // process "dies" here; only the WAL file survives
+        let manager_ids: Vec<NodeId> = (1000..1008u64).map(NodeId).collect();
+        let mut restarted = DecentralizedSystem::new(
+            &manager_ids,
+            thresholds(),
+            Method::Optimized,
+            DetectionPolicy::STRICT,
+        );
+        for id in (1..=2).chain(20..=21).chain(40..45) {
+            restarted.register(NodeId(id));
+        }
+        let replayed = restarted.recover_from_wal(&wal_path, 16).unwrap();
+        assert_eq!(replayed, ratings().len() as u64);
+        assert!(restarted.durability_enabled(), "log stays attached after recovery");
+        assert_eq!(restarted.lookup_reputation(NodeId(1)), 25);
+        assert_eq!(restarted.detect().pair_ids(), baseline);
+        // the reopened log keeps accepting submits where it left off
+        assert!(restarted.submit(Rating::positive(NodeId(40), NodeId(1), SimTime(99_999))));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

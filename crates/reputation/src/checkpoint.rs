@@ -1,0 +1,345 @@
+//! Atomic, checksummed checkpoints of detection state.
+//!
+//! A checkpoint bounds WAL replay: it captures the full detection state as of
+//! a WAL sequence number, so recovery only replays records *after* it. The
+//! payload encoding is owned by the caller (the engine serializes its
+//! snapshot, verdict map and stats in `collusion-core`); this module owns the
+//! file protocol:
+//!
+//! * **Atomicity** — the payload is written to `ckpt-<seq>.tmp`, fsync'd,
+//!   then renamed to `ckpt-<seq>.ckpt`. A crash before the rename leaves
+//!   only a `.tmp`, which loading ignores; after the rename the checkpoint
+//!   is complete. There is no in-between state in which a half-written file
+//!   can be mistaken for a checkpoint.
+//! * **Integrity** — every file carries a header with magic, version,
+//!   payload length and an FNV-1a 64 checksum. [`CheckpointStore::load_latest`]
+//!   walks checkpoints newest-first and returns the first one that validates,
+//!   so a corrupt newest checkpoint degrades to the previous one instead of
+//!   failing recovery.
+//! * **Retention** — after a successful save, all but the newest
+//!   `keep` checkpoints (and any stale `.tmp` litter) are deleted.
+//!
+//! ```text
+//! file := "CCKP" version:u32 wal_seq:u64 payload_len:u64 checksum:u64 payload
+//! ```
+
+use crate::codec::{fnv64, ByteReader, ByteWriter};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: "CCKP".
+const CKPT_MAGIC: [u8; 4] = *b"CCKP";
+/// Format version.
+const CKPT_VERSION: u32 = 1;
+/// Header size: magic + version + wal_seq + payload_len + checksum.
+const CKPT_HEADER_LEN: usize = 32;
+/// Completed-checkpoint file suffix.
+const CKPT_SUFFIX: &str = ".ckpt";
+/// In-progress (pre-rename) file suffix.
+const TMP_SUFFIX: &str = ".tmp";
+
+/// Errors from checkpoint file operations.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem I/O failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// What [`CheckpointStore::load_latest`] found.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointLoad {
+    /// The newest valid checkpoint: (WAL high-water seq, payload bytes).
+    pub latest: Option<(u64, Vec<u8>)>,
+    /// Completed checkpoint files that failed validation and were skipped.
+    pub invalid_skipped: usize,
+    /// Stale `.tmp` files seen (evidence of a crash mid-checkpoint).
+    pub stale_tmp: usize,
+}
+
+/// Encode a checkpoint file image: header + checksummed payload.
+pub fn encode_checkpoint(wal_seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(CKPT_HEADER_LEN + payload.len());
+    w.put_bytes(&CKPT_MAGIC);
+    w.put_u32(CKPT_VERSION);
+    w.put_u64(wal_seq);
+    w.put_u64(payload.len() as u64);
+    w.put_u64(fnv64(payload));
+    w.put_bytes(payload);
+    w.into_bytes()
+}
+
+/// Decode and validate a checkpoint file image. Returns
+/// `(wal_seq, payload)` or `None` for any malformed input — never panics.
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<(u64, Vec<u8>)> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.get_bytes(4).ok()?;
+    let version = r.get_u32().ok()?;
+    if magic != CKPT_MAGIC || version != CKPT_VERSION {
+        return None;
+    }
+    let wal_seq = r.get_u64().ok()?;
+    let len = r.get_u64().ok()?;
+    let checksum = r.get_u64().ok()?;
+    if len != r.remaining() as u64 {
+        return None;
+    }
+    let payload = r.get_bytes(len as usize).ok()?;
+    if fnv64(payload) != checksum {
+        return None;
+    }
+    Some((wal_seq, payload.to_vec()))
+}
+
+/// A directory of numbered checkpoint files.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Store over `dir` (created if absent), retaining the newest `keep`
+    /// checkpoints (minimum 1).
+    pub fn new(dir: &Path, keep: usize) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointStore { dir: dir.to_path_buf(), keep: keep.max(1) })
+    }
+
+    /// The directory holding the checkpoint files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn ckpt_path(&self, wal_seq: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{wal_seq:020}{CKPT_SUFFIX}"))
+    }
+
+    /// Path a checkpoint for `wal_seq` is staged at before its rename.
+    /// Exposed for crash-injection harnesses that simulate a mid-checkpoint
+    /// crash by leaving a partial `.tmp` behind.
+    pub fn tmp_path(&self, wal_seq: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{wal_seq:020}{TMP_SUFFIX}"))
+    }
+
+    /// Atomically persist a checkpoint covering the WAL prefix up to and
+    /// including `wal_seq`: write `.tmp`, fsync, rename, prune old files.
+    pub fn save(&self, wal_seq: u64, payload: &[u8]) -> Result<PathBuf, CheckpointError> {
+        let tmp = self.tmp_path(wal_seq);
+        let finished = self.ckpt_path(wal_seq);
+        let image = encode_checkpoint(wal_seq, payload);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &finished)?;
+        self.prune()?;
+        Ok(finished)
+    }
+
+    /// Sequence numbers of completed checkpoint files, ascending. Files whose
+    /// names do not parse are ignored.
+    fn completed_seqs(&self) -> Result<Vec<u64>, CheckpointError> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(stem) = name.strip_prefix("ckpt-").and_then(|s| s.strip_suffix(CKPT_SUFFIX))
+            {
+                if let Ok(seq) = stem.parse::<u64>() {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    fn prune(&self) -> Result<(), CheckpointError> {
+        let seqs = self.completed_seqs()?;
+        if seqs.len() > self.keep {
+            for &seq in &seqs[..seqs.len() - self.keep] {
+                fs::remove_file(self.ckpt_path(seq)).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the newest checkpoint that validates, skipping corrupt files and
+    /// ignoring stale `.tmp` litter. Returns what was found and skipped.
+    pub fn load_latest(&self) -> Result<CheckpointLoad, CheckpointError> {
+        let mut load = CheckpointLoad::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_name().to_str().is_some_and(|n| n.ends_with(TMP_SUFFIX)) {
+                load.stale_tmp += 1;
+            }
+        }
+        let mut seqs = self.completed_seqs()?;
+        seqs.reverse();
+        for seq in seqs {
+            let bytes = match fs::read(self.ckpt_path(seq)) {
+                Ok(b) => b,
+                Err(_) => {
+                    load.invalid_skipped += 1;
+                    continue;
+                }
+            };
+            match decode_checkpoint(&bytes) {
+                // trust the header's wal_seq only if it matches the filename
+                Some((wal_seq, payload)) if wal_seq == seq => {
+                    load.latest = Some((wal_seq, payload));
+                    return Ok(load);
+                }
+                _ => load.invalid_skipped += 1,
+            }
+        }
+        Ok(load)
+    }
+
+    /// Remove stale `.tmp` files (called after a successful recovery).
+    pub fn clear_stale_tmp(&self) -> Result<usize, CheckpointError> {
+        let mut removed = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_name().to_str().is_some_and(|n| n.ends_with(TMP_SUFFIX))
+                && fs::remove_file(entry.path()).is_ok()
+            {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "collusion-ckpt-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = scratch("roundtrip");
+        let store = CheckpointStore::new(&dir, 2).unwrap();
+        store.save(5, b"state at five").unwrap();
+        store.save(9, b"state at nine").unwrap();
+        let load = store.load_latest().unwrap();
+        let (seq, payload) = load.latest.unwrap();
+        assert_eq!(seq, 9);
+        assert_eq!(payload, b"state at nine");
+        assert_eq!(load.invalid_skipped, 0);
+        assert_eq!(load.stale_tmp, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_keeps_newest_k() {
+        let dir = scratch("retain");
+        let store = CheckpointStore::new(&dir, 2).unwrap();
+        for seq in [1, 2, 3, 4] {
+            store.save(seq, b"x").unwrap();
+        }
+        let seqs = store.completed_seqs().unwrap();
+        assert_eq!(seqs, vec![3, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = scratch("fallback");
+        let store = CheckpointStore::new(&dir, 3).unwrap();
+        store.save(3, b"good old state").unwrap();
+        let newest = store.save(7, b"good new state").unwrap();
+        // corrupt the newest checkpoint's payload
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let load = store.load_latest().unwrap();
+        let (seq, payload) = load.latest.unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(payload, b"good old state");
+        assert_eq!(load.invalid_skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tmp_is_ignored_and_counted() {
+        let dir = scratch("tmp");
+        let store = CheckpointStore::new(&dir, 2).unwrap();
+        store.save(4, b"complete").unwrap();
+        // simulate a crash mid-checkpoint: partial tmp never renamed
+        let image = encode_checkpoint(8, b"half written");
+        fs::write(store.tmp_path(8), &image[..image.len() / 2]).unwrap();
+        let load = store.load_latest().unwrap();
+        assert_eq!(load.latest.as_ref().unwrap().0, 4);
+        assert_eq!(load.stale_tmp, 1);
+        assert_eq!(store.clear_stale_tmp().unwrap(), 1);
+        let load = store.load_latest().unwrap();
+        assert_eq!(load.stale_tmp, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decode_rejects_malformed_images() {
+        assert!(decode_checkpoint(b"").is_none());
+        assert!(decode_checkpoint(b"CCKP").is_none());
+        let good = encode_checkpoint(1, b"payload");
+        assert!(decode_checkpoint(&good).is_some());
+        // truncation
+        assert!(decode_checkpoint(&good[..good.len() - 1]).is_none());
+        // extra trailing byte makes the length field inconsistent
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_checkpoint(&padded).is_none());
+        // bit flip in payload
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(decode_checkpoint(&flipped).is_none());
+        // wrong magic
+        let mut wrong = good;
+        wrong[0] = b'X';
+        assert!(decode_checkpoint(&wrong).is_none());
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let dir = scratch("empty");
+        let store = CheckpointStore::new(&dir, 2).unwrap();
+        let load = store.load_latest().unwrap();
+        assert!(load.latest.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

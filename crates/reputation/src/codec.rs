@@ -1,0 +1,269 @@
+//! Panic-free binary codec for the durability layer.
+//!
+//! Both the write-ahead log ([`crate::wal`]) and the checkpoint files
+//! ([`crate::checkpoint`]) persist state as little-endian, length-prefixed,
+//! checksummed binary records. This module holds the shared primitives:
+//!
+//! * [`ByteWriter`] — append-only encoder over a growable byte buffer;
+//! * [`ByteReader`] — bounds-checked decoder that returns [`CodecError`]
+//!   instead of panicking, whatever bytes it is fed (the corruption fuzz
+//!   tests in `tests/durability_props.rs` hold it to that contract);
+//! * [`fnv64`] — the FNV-1a 64-bit checksum guarding every record and
+//!   checkpoint payload. Not cryptographic: it detects torn writes and
+//!   bit rot, which is the failure model of a crashed local disk, not an
+//!   adversary with write access to the file.
+//!
+//! Decoders must never trust a length field: collection reads reserve at
+//! most the number of bytes actually remaining, so a corrupt header cannot
+//! trigger an unbounded allocation.
+
+use std::fmt;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit checksum of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a decode failed. Every variant is a *data* problem — decoding never
+/// panics and never aborts the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// A tag or enum discriminant held an undefined value.
+    InvalidTag(u8),
+    /// A magic number or version field did not match.
+    BadMagic,
+    /// A checksum did not match its payload.
+    ChecksumMismatch,
+    /// A length field was inconsistent with the data that followed.
+    BadLength,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            CodecError::BadMagic => write!(f, "bad magic or version"),
+            CodecError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            CodecError::BadLength => write!(f, "inconsistent length field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian encoder.
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Empty writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader consumed everything.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Validate a count field against the bytes that remain: each element
+    /// occupies at least `min_elem_bytes`, so a count that promises more
+    /// elements than could possibly fit is corrupt. Returns the count as
+    /// `usize`. Guards collection reads against allocation bombs.
+    pub fn checked_count(&self, count: u64, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let max = self.remaining() / min_elem_bytes.max(1);
+        if count as usize > max {
+            return Err(CodecError::BadLength);
+        }
+        Ok(count as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 7);
+        w.put_i64(-42);
+        w.put_f64(0.1 + 0.2);
+        w.put_bytes(b"tail");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(r.get_bytes(4).unwrap(), b"tail");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn short_reads_error_instead_of_panicking() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.get_u64(), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u32(), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.get_bytes(3), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.get_bytes(2).unwrap(), &[2, 3]);
+        assert_eq!(r.get_u8(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_input_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+        assert_ne!(fnv64(b"abc"), fnv64(b"ab"));
+        assert_eq!(fnv64(b"collusion"), fnv64(b"collusion"));
+    }
+
+    #[test]
+    fn checked_count_rejects_allocation_bombs() {
+        let bytes = [0u8; 16];
+        let r = ByteReader::new(&bytes);
+        assert_eq!(r.checked_count(2, 8).unwrap(), 2);
+        assert_eq!(r.checked_count(3, 8), Err(CodecError::BadLength));
+        assert_eq!(r.checked_count(u64::MAX, 1), Err(CodecError::BadLength));
+        assert_eq!(r.checked_count(16, 0).unwrap(), 16);
+    }
+}

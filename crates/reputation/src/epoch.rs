@@ -28,12 +28,43 @@ pub struct EpochBuffer {
     /// (ratee, rater) → counter delta for this epoch.
     delta: HashMap<(NodeId, NodeId), PairCounters>,
     ratings: u64,
+    /// Memory watermark: when the delta map reaches this many pairs the
+    /// buffer reports itself over the watermark and the engine closes the
+    /// epoch early. `None` = unbounded (the default, preserving historical
+    /// behavior).
+    max_pairs: Option<usize>,
 }
 
 impl EpochBuffer {
     /// Empty buffer.
     pub fn new() -> Self {
         EpochBuffer::default()
+    }
+
+    /// Empty buffer that reports itself over the watermark once `max_pairs`
+    /// distinct (ratee, rater) pairs are buffered. Bounds the buffer's
+    /// memory: each pair costs one map cell, so the watermark caps resident
+    /// delta size regardless of how hot the rating stream runs.
+    pub fn with_max_pairs(max_pairs: usize) -> Self {
+        EpochBuffer { max_pairs: Some(max_pairs.max(1)), ..EpochBuffer::default() }
+    }
+
+    /// Set or clear the max-pairs watermark on an existing buffer.
+    pub fn set_max_pairs(&mut self, max_pairs: Option<usize>) {
+        self.max_pairs = max_pairs.map(|m| m.max(1));
+    }
+
+    /// The configured watermark, if any.
+    #[inline]
+    pub fn max_pairs(&self) -> Option<usize> {
+        self.max_pairs
+    }
+
+    /// Whether the buffered delta has reached the memory watermark and the
+    /// epoch should be closed early.
+    #[inline]
+    pub fn over_watermark(&self) -> bool {
+        self.max_pairs.is_some_and(|m| self.delta.len() >= m)
     }
 
     /// Fold one rating in. Self-ratings are ignored (returns `false`),
@@ -138,6 +169,30 @@ mod tests {
         }
         assert!(delta.entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
         assert_eq!(delta.dirty_ratees().collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn watermark_trips_at_max_pairs() {
+        let mut buf = EpochBuffer::with_max_pairs(2);
+        assert_eq!(buf.max_pairs(), Some(2));
+        buf.record(Rating::positive(NodeId(1), NodeId(2), SimTime(0)));
+        assert!(!buf.over_watermark());
+        // same pair again: no new cell, still under
+        buf.record(Rating::positive(NodeId(1), NodeId(2), SimTime(1)));
+        assert!(!buf.over_watermark());
+        buf.record(Rating::positive(NodeId(3), NodeId(2), SimTime(2)));
+        assert!(buf.over_watermark());
+        // draining resets the watermark; the limit survives the drain
+        let delta = buf.drain();
+        assert_eq!(delta.ratings, 3);
+        assert!(!buf.over_watermark());
+        assert_eq!(buf.max_pairs(), Some(2));
+        // clearing the limit disables the watermark
+        buf.set_max_pairs(None);
+        for k in 0..10 {
+            buf.record(Rating::positive(NodeId(k), NodeId(k + 100), SimTime(k)));
+        }
+        assert!(!buf.over_watermark());
     }
 
     #[test]

@@ -35,11 +35,19 @@ pub struct PairCounters {
     pub negative: u64,
 }
 
+/// Clamp a `u64` counter into `i64` range for signed arithmetic.
+#[inline]
+fn clamped_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
 impl PairCounters {
-    /// Neutral ratings (neither positive nor negative).
+    /// Neutral ratings (neither positive nor negative). Saturating: a cell
+    /// whose splits exceed its total (only possible via corrupt or hostile
+    /// input) reads as zero neutral instead of wrapping.
     #[inline]
     pub fn neutral(&self) -> u64 {
-        self.total - self.positive - self.negative
+        self.total.saturating_sub(self.positive).saturating_sub(self.negative)
     }
 
     /// Fraction of positive ratings, `None` if the pair has no ratings.
@@ -52,10 +60,11 @@ impl PairCounters {
         }
     }
 
-    /// Signed contribution to the ratee's reputation (`#pos − #neg`).
+    /// Signed contribution to the ratee's reputation (`#pos − #neg`),
+    /// saturating at the `i64` limits.
     #[inline]
     pub fn signed(&self) -> i64 {
-        self.positive as i64 - self.negative as i64
+        clamped_i64(self.positive).saturating_sub(clamped_i64(self.negative))
     }
 
     /// Fold one rating value in (`N(j,i) += 1` plus the sign split) — the
@@ -67,19 +76,20 @@ impl PairCounters {
     }
 
     /// Add another counter cell element-wise (merging an epoch delta into a
-    /// base cell).
+    /// base cell). Saturating, so replayed-duplicate or hostile streams can
+    /// pin counters at the ceiling instead of wrapping them back to zero.
     #[inline]
     pub fn merge(&mut self, other: &PairCounters) {
-        self.total += other.total;
-        self.positive += other.positive;
-        self.negative += other.negative;
+        self.total = self.total.saturating_add(other.total);
+        self.positive = self.positive.saturating_add(other.positive);
+        self.negative = self.negative.saturating_add(other.negative);
     }
 
     fn add(&mut self, value: RatingValue) {
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         match value {
-            RatingValue::Positive => self.positive += 1,
-            RatingValue::Negative => self.negative += 1,
+            RatingValue::Positive => self.positive = self.positive.saturating_add(1),
+            RatingValue::Negative => self.negative = self.negative.saturating_add(1),
             RatingValue::Neutral => {}
         }
     }
@@ -97,10 +107,11 @@ pub struct NodeTotals {
 }
 
 impl NodeTotals {
-    /// Signed (eBay-style) reputation `#pos − #neg`.
+    /// Signed (eBay-style) reputation `#pos − #neg`, saturating at the
+    /// `i64` limits.
     #[inline]
     pub fn signed(&self) -> i64 {
-        self.positive as i64 - self.negative as i64
+        clamped_i64(self.positive).saturating_sub(clamped_i64(self.negative))
     }
 
     /// Amazon-style positive fraction, `None` when unrated.
@@ -148,14 +159,43 @@ impl InteractionHistory {
         }
         pair.add(rating.value);
         let tot = self.totals.entry(rating.ratee).or_default();
-        tot.total += 1;
+        tot.total = tot.total.saturating_add(1);
         match rating.value {
-            RatingValue::Positive => tot.positive += 1,
-            RatingValue::Negative => tot.negative += 1,
+            RatingValue::Positive => tot.positive = tot.positive.saturating_add(1),
+            RatingValue::Negative => tot.negative = tot.negative.saturating_add(1),
             RatingValue::Neutral => {}
         }
-        self.recorded += 1;
+        self.recorded = self.recorded.saturating_add(1);
         self.dirty.insert(rating.ratee);
+        true
+    }
+
+    /// Insert a whole counter cell for the ordered pair (rater → ratee),
+    /// merging with any existing cell and updating the ratee's aggregate
+    /// totals. This is the bulk-restore path checkpoint recovery uses to
+    /// rebuild a history from serialized [`PairCounters`] rows; counters
+    /// rebuilt this way are bit-identical to the originals. Self-pairs and
+    /// empty cells are ignored (returns `false`).
+    pub fn insert_pair_counters(
+        &mut self,
+        rater: NodeId,
+        ratee: NodeId,
+        counters: PairCounters,
+    ) -> bool {
+        if rater == ratee || counters.total == 0 {
+            return false;
+        }
+        let pair = self.pairs.entry((rater, ratee)).or_default();
+        if pair.total == 0 {
+            self.raters_of.entry(ratee).or_default().push(rater);
+        }
+        pair.merge(&counters);
+        let tot = self.totals.entry(ratee).or_default();
+        tot.total = tot.total.saturating_add(counters.total);
+        tot.positive = tot.positive.saturating_add(counters.positive);
+        tot.negative = tot.negative.saturating_add(counters.negative);
+        self.recorded = self.recorded.saturating_add(counters.total);
+        self.dirty.insert(ratee);
         true
     }
 
@@ -300,7 +340,7 @@ impl InteractionHistory {
             }
         }
         if let Some(totals) = self.totals.remove(&ratee) {
-            self.recorded -= totals.total;
+            self.recorded = self.recorded.saturating_sub(totals.total);
             out.recorded = totals.total;
             out.totals.insert(ratee, totals);
         }
@@ -318,19 +358,17 @@ impl InteractionHistory {
             if pair.total == 0 && c.total > 0 {
                 self.raters_of.entry(ratee).or_default().push(rater);
             }
-            pair.total += c.total;
-            pair.positive += c.positive;
-            pair.negative += c.negative;
+            pair.merge(c);
             self.dirty.insert(ratee);
         }
         for (&ratee, t) in &other.totals {
             let tot = self.totals.entry(ratee).or_default();
-            tot.total += t.total;
-            tot.positive += t.positive;
-            tot.negative += t.negative;
+            tot.total = tot.total.saturating_add(t.total);
+            tot.positive = tot.positive.saturating_add(t.positive);
+            tot.negative = tot.negative.saturating_add(t.negative);
             self.dirty.insert(ratee);
         }
-        self.recorded += other.recorded;
+        self.recorded = self.recorded.saturating_add(other.recorded);
     }
 }
 
@@ -471,6 +509,48 @@ mod tests {
         assert_eq!(slice.dirty_ratees().collect::<Vec<_>>(), vec![NodeId(2)]);
         h.clear_dirty();
         assert_eq!(h.dirty_ratees().count(), 0);
+    }
+
+    #[test]
+    fn saturating_counters_never_wrap() {
+        let mut c = PairCounters { total: u64::MAX - 1, positive: u64::MAX, negative: 0 };
+        c.accumulate(RatingValue::Positive);
+        c.accumulate(RatingValue::Positive);
+        assert_eq!(c.total, u64::MAX);
+        assert_eq!(c.positive, u64::MAX);
+        let other = PairCounters { total: 10, positive: 10, negative: 0 };
+        c.merge(&other);
+        assert_eq!(c.total, u64::MAX);
+        assert_eq!(c.positive, u64::MAX);
+        // splits exceeding total (corrupt cell) read as zero neutral
+        let corrupt = PairCounters { total: 1, positive: 5, negative: 5 };
+        assert_eq!(corrupt.neutral(), 0);
+        // signed saturates instead of overflowing the i64 conversion
+        let huge = PairCounters { total: u64::MAX, positive: u64::MAX, negative: 0 };
+        assert_eq!(huge.signed(), i64::MAX);
+        let tot = NodeTotals { total: u64::MAX, positive: 0, negative: u64::MAX };
+        assert_eq!(tot.signed(), i64::MIN + 1);
+    }
+
+    #[test]
+    fn insert_pair_counters_matches_recording() {
+        let reference = hist(&[(1, 2, 1), (1, 2, -1), (3, 2, 1), (1, 3, 0)]);
+        let mut rebuilt = InteractionHistory::new();
+        let mut cells: Vec<_> = reference.iter_pairs().collect();
+        cells.sort_by_key(|&(j, i, _)| (i, j));
+        for (rater, ratee, c) in cells {
+            assert!(rebuilt.insert_pair_counters(rater, ratee, c));
+        }
+        assert_eq!(rebuilt.recorded(), reference.recorded());
+        for (rater, ratee, c) in reference.iter_pairs() {
+            assert_eq!(rebuilt.pair(rater, ratee), c);
+        }
+        for ratee in reference.ratees() {
+            assert_eq!(rebuilt.totals(ratee), reference.totals(ratee));
+        }
+        // self-pairs and empty cells rejected
+        assert!(!rebuilt.insert_pair_counters(NodeId(7), NodeId(7), PairCounters::default()));
+        assert!(!rebuilt.insert_pair_counters(NodeId(7), NodeId(8), PairCounters::default()));
     }
 
     #[test]

@@ -36,6 +36,8 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod checkpoint;
+pub mod codec;
 pub mod eigentrust;
 pub mod epoch;
 pub mod history;
@@ -48,10 +50,13 @@ pub mod snapshot;
 pub mod thresholds;
 pub mod trust_matrix;
 pub mod view;
+pub mod wal;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::baselines::{DampenedConfig, DampenedEngine, FirstHandEngine};
+    pub use crate::checkpoint::{CheckpointLoad, CheckpointStore};
+    pub use crate::codec::{ByteReader, ByteWriter, CodecError};
     pub use crate::eigentrust::{
         EigenTrust, EigenTrustConfig, NormalizedWeightedEngine, WeightedSumConfig,
         WeightedSumEngine,
@@ -67,4 +72,5 @@ pub mod prelude {
     pub use crate::thresholds::Thresholds;
     pub use crate::trust_matrix::TrustMatrix;
     pub use crate::view::SnapshotView;
+    pub use crate::wal::{Wal, WalRecord, WalReplay};
 }

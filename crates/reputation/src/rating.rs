@@ -14,6 +14,32 @@ use crate::id::{NodeId, SimTime, TimeWindow};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// An externally supplied rating value that fails validation at the API
+/// boundary. Hostile or buggy clients send these; they must be rejected
+/// before they can poison counters, not folded in silently.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RatingValueError {
+    /// An Amazon star score outside 1..=5.
+    OutOfRangeStars(u8),
+    /// A continuous score or threshold that is NaN or infinite.
+    NonFinite(f64),
+}
+
+impl fmt::Display for RatingValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatingValueError::OutOfRangeStars(s) => {
+                write!(f, "Amazon star score must be 1..=5, got {s}")
+            }
+            RatingValueError::NonFinite(v) => {
+                write!(f, "rating score must be finite, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RatingValueError {}
+
 /// The tri-valued local reputation rating of one interaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RatingValue {
@@ -36,24 +62,53 @@ impl RatingValue {
         }
     }
 
-    /// Classify an Amazon 1–5 star score. Panics on scores outside 1–5.
-    pub fn from_amazon_stars(stars: u8) -> Self {
+    /// Classify an Amazon 1–5 star score, rejecting out-of-range scores.
+    pub fn try_from_amazon_stars(stars: u8) -> Result<Self, RatingValueError> {
         match stars {
-            1 | 2 => RatingValue::Negative,
-            3 => RatingValue::Neutral,
-            4 | 5 => RatingValue::Positive,
-            _ => panic!("Amazon star score must be 1..=5, got {stars}"),
+            1 | 2 => Ok(RatingValue::Negative),
+            3 => Ok(RatingValue::Neutral),
+            4 | 5 => Ok(RatingValue::Positive),
+            _ => Err(RatingValueError::OutOfRangeStars(stars)),
+        }
+    }
+
+    /// Classify an Amazon 1–5 star score. Panics on scores outside 1–5;
+    /// use [`RatingValue::try_from_amazon_stars`] for untrusted input.
+    pub fn from_amazon_stars(stars: u8) -> Self {
+        match RatingValue::try_from_amazon_stars(stars) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Binarize a continuous local reputation score against the reputation
+    /// threshold `t_r`, rejecting NaN and infinite inputs — a NaN score
+    /// compares false against any threshold and would otherwise be silently
+    /// classified negative, letting a hostile client smuggle garbage past
+    /// the boundary.
+    pub fn try_from_continuous(score: f64, t_r: f64) -> Result<Self, RatingValueError> {
+        if !score.is_finite() {
+            return Err(RatingValueError::NonFinite(score));
+        }
+        if !t_r.is_finite() {
+            return Err(RatingValueError::NonFinite(t_r));
+        }
+        if score >= t_r {
+            Ok(RatingValue::Positive)
+        } else {
+            Ok(RatingValue::Negative)
         }
     }
 
     /// Binarize a continuous local reputation score against the reputation
     /// threshold `t_r` (§IV.A: "we regard local reputation rating with
     /// ≥ T_R as 1, and local reputation rating with < T_R as −1").
+    /// Panics on NaN/infinite inputs; use
+    /// [`RatingValue::try_from_continuous`] for untrusted input.
     pub fn from_continuous(score: f64, t_r: f64) -> Self {
-        if score >= t_r {
-            RatingValue::Positive
-        } else {
-            RatingValue::Negative
+        match RatingValue::try_from_continuous(score, t_r) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -256,6 +311,38 @@ mod tests {
     fn continuous_binarization_uses_threshold() {
         assert_eq!(RatingValue::from_continuous(0.05, 0.05), RatingValue::Positive);
         assert_eq!(RatingValue::from_continuous(0.049, 0.05), RatingValue::Negative);
+    }
+
+    #[test]
+    fn try_constructors_reject_hostile_values() {
+        assert_eq!(
+            RatingValue::try_from_amazon_stars(0),
+            Err(RatingValueError::OutOfRangeStars(0))
+        );
+        assert_eq!(
+            RatingValue::try_from_amazon_stars(6),
+            Err(RatingValueError::OutOfRangeStars(6))
+        );
+        assert_eq!(RatingValue::try_from_amazon_stars(3), Ok(RatingValue::Neutral));
+        assert!(matches!(
+            RatingValue::try_from_continuous(f64::NAN, 0.5),
+            Err(RatingValueError::NonFinite(_))
+        ));
+        assert!(matches!(
+            RatingValue::try_from_continuous(f64::INFINITY, 0.5),
+            Err(RatingValueError::NonFinite(_))
+        ));
+        assert!(matches!(
+            RatingValue::try_from_continuous(0.9, f64::NAN),
+            Err(RatingValueError::NonFinite(_))
+        ));
+        assert_eq!(RatingValue::try_from_continuous(0.9, 0.5), Ok(RatingValue::Positive));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_continuous_score_rejected_at_boundary() {
+        let _ = RatingValue::from_continuous(f64::NAN, 0.5);
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Write-ahead log for epoch ratings.
+//!
+//! Detection state is a pure fold over the rating stream, so durability
+//! reduces to making the stream itself durable: every rating a manager
+//! accepts is appended to a WAL *before* it is considered recorded, and an
+//! epoch-close marker is appended whenever the detection engine seals an
+//! epoch. Crash recovery loads the newest valid checkpoint
+//! ([`crate::checkpoint`]) and replays the WAL tail — every record with a
+//! sequence number greater than the checkpoint's high-water mark — through
+//! the same `record`/`close_epoch` entry points the live path uses, which is
+//! what makes recovered counters bit-identical to an uncrashed run.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! header   := "CWAL" version:u32 start_seq:u64                (16 bytes)
+//! record   := len:u32 checksum:u64 payload[len]
+//! payload  := seq:u64 kind:u8 body
+//! body     := kind 0x01 (rating)      rater:u64 ratee:u64 value:u8 time:u64
+//!           | kind 0x02 (epoch close) forced:u8
+//! ```
+//!
+//! All integers little-endian; `checksum` is [`crate::codec::fnv64`] over
+//! `payload`. Sequence numbers increase by exactly 1 per record, so replay
+//! can detect splices as well as tears.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a record whose length prefix, payload or
+//! checksum is incomplete or wrong. [`WalReplay`] stops at the *first* record
+//! that fails any validation, reports everything before it, and records how
+//! many bytes were discarded — recovery then physically truncates the file to
+//! the valid prefix ([`Wal::open_existing`] does this) and resumes appending.
+//! Corruption is data, not a programming error: nothing in this module
+//! panics on malformed input (fuzzed in `tests/durability_props.rs`).
+
+use crate::codec::{fnv64, ByteReader, ByteWriter, CodecError};
+use crate::id::{NodeId, SimTime};
+use crate::rating::{Rating, RatingValue};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: "CWAL".
+const WAL_MAGIC: [u8; 4] = *b"CWAL";
+/// Format version.
+const WAL_VERSION: u32 = 1;
+/// Header size in bytes (magic + version + start_seq).
+const WAL_HEADER_LEN: usize = 16;
+/// Record tag: one rating.
+const KIND_RATING: u8 = 0x01;
+/// Record tag: epoch close marker.
+const KIND_EPOCH_CLOSE: u8 = 0x02;
+/// Upper bound on a sane record payload; anything larger is treated as a
+/// torn/corrupt length prefix. The largest legal payload (a rating) is
+/// 34 bytes, so this is generous headroom for future record kinds.
+const MAX_PAYLOAD_LEN: u32 = 4096;
+
+/// One logical WAL entry, decoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A rating accepted into the current epoch.
+    Rating(Rating),
+    /// The engine closed an epoch here. `forced` marks a close triggered by
+    /// the epoch-buffer memory watermark rather than the caller's schedule.
+    EpochClose {
+        /// Whether the watermark forced this close.
+        forced: bool,
+    },
+}
+
+/// Errors from WAL file operations. Decode problems inside the record stream
+/// are *not* errors — they terminate replay and are reported in
+/// [`WalReplay`] instead.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem I/O failed.
+    Io(io::Error),
+    /// The file header is missing, truncated, or from a different format.
+    BadHeader,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::BadHeader => write!(f, "WAL header missing or invalid"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Result of scanning a WAL byte stream: the valid prefix, decoded.
+#[derive(Clone, Debug, Default)]
+pub struct WalReplay {
+    /// Decoded records of the valid prefix, in append order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte length of the valid prefix (header + intact records).
+    pub valid_len: u64,
+    /// Bytes after the valid prefix that were discarded as torn/corrupt.
+    pub truncated_bytes: u64,
+    /// Why the scan stopped early, if it did.
+    pub corruption: Option<CodecError>,
+    /// Sequence number the next append should use.
+    pub next_seq: u64,
+}
+
+impl WalReplay {
+    /// Whether the scan hit a torn or corrupt record.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated_bytes > 0
+    }
+}
+
+fn encode_record(seq: u64, record: &WalRecord) -> Vec<u8> {
+    let mut payload = ByteWriter::with_capacity(40);
+    payload.put_u64(seq);
+    match record {
+        WalRecord::Rating(r) => {
+            payload.put_u8(KIND_RATING);
+            payload.put_u64(r.rater.raw());
+            payload.put_u64(r.ratee.raw());
+            payload.put_u8(match r.value {
+                RatingValue::Negative => 0,
+                RatingValue::Neutral => 1,
+                RatingValue::Positive => 2,
+            });
+            payload.put_u64(r.time.raw());
+        }
+        WalRecord::EpochClose { forced } => {
+            payload.put_u8(KIND_EPOCH_CLOSE);
+            payload.put_u8(u8::from(*forced));
+        }
+    }
+    let payload = payload.into_bytes();
+    let mut out = ByteWriter::with_capacity(payload.len() + 12);
+    out.put_u32(payload.len() as u32);
+    out.put_u64(fnv64(&payload));
+    out.put_bytes(&payload);
+    out.into_bytes()
+}
+
+fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), CodecError> {
+    let mut r = ByteReader::new(payload);
+    let seq = r.get_u64()?;
+    let kind = r.get_u8()?;
+    let record = match kind {
+        KIND_RATING => {
+            let rater = NodeId(r.get_u64()?);
+            let ratee = NodeId(r.get_u64()?);
+            let value = match r.get_u8()? {
+                0 => RatingValue::Negative,
+                1 => RatingValue::Neutral,
+                2 => RatingValue::Positive,
+                t => return Err(CodecError::InvalidTag(t)),
+            };
+            let time = SimTime(r.get_u64()?);
+            WalRecord::Rating(Rating::new(rater, ratee, value, time))
+        }
+        KIND_EPOCH_CLOSE => {
+            let forced = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(CodecError::InvalidTag(t)),
+            };
+            WalRecord::EpochClose { forced }
+        }
+        t => return Err(CodecError::InvalidTag(t)),
+    };
+    if !r.is_exhausted() {
+        return Err(CodecError::BadLength);
+    }
+    Ok((seq, record))
+}
+
+/// Scan raw WAL bytes (header included) and decode the valid prefix.
+///
+/// Never panics: any malformed region simply ends the scan. Records must
+/// carry consecutive sequence numbers starting from the header's
+/// `start_seq`; a gap or repeat is treated as corruption at that point.
+pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, WalError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(WalError::BadHeader);
+    }
+    let mut hdr = ByteReader::new(&bytes[..WAL_HEADER_LEN]);
+    let magic = hdr.get_bytes(4).map_err(|_| WalError::BadHeader)?;
+    let version = hdr.get_u32().map_err(|_| WalError::BadHeader)?;
+    if magic != WAL_MAGIC || version != WAL_VERSION {
+        return Err(WalError::BadHeader);
+    }
+    let start_seq = hdr.get_u64().map_err(|_| WalError::BadHeader)?;
+
+    let mut replay =
+        WalReplay { valid_len: WAL_HEADER_LEN as u64, next_seq: start_seq, ..WalReplay::default() };
+    let mut pos = WAL_HEADER_LEN;
+    let mut expect_seq = start_seq;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            break;
+        }
+        let mut frame = ByteReader::new(rest);
+        let outcome = (|| -> Result<(usize, u64, WalRecord), CodecError> {
+            let len = frame.get_u32()?;
+            if len > MAX_PAYLOAD_LEN {
+                return Err(CodecError::BadLength);
+            }
+            let checksum = frame.get_u64()?;
+            let payload = frame.get_bytes(len as usize)?;
+            if fnv64(payload) != checksum {
+                return Err(CodecError::ChecksumMismatch);
+            }
+            let (seq, record) = decode_payload(payload)?;
+            Ok((frame.pos(), seq, record))
+        })();
+        match outcome {
+            Ok((consumed, seq, record)) if seq == expect_seq => {
+                pos += consumed;
+                replay.valid_len = pos as u64;
+                replay.records.push((seq, record));
+                expect_seq += 1;
+            }
+            Ok(_) => {
+                replay.corruption = Some(CodecError::BadLength);
+                break;
+            }
+            Err(e) => {
+                replay.corruption = Some(e);
+                break;
+            }
+        }
+    }
+    replay.truncated_bytes = bytes.len() as u64 - replay.valid_len;
+    replay.next_seq = expect_seq;
+    Ok(replay)
+}
+
+/// An append-only write-ahead log file.
+///
+/// Appends buffer in the OS page cache; [`Wal::sync`] makes them durable.
+/// Callers group-sync every `flush_interval` appends (the engine's simulated
+/// flush interval) and before every checkpoint.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    len: u64,
+    /// Byte span `[start, end)` of the most recent append, for crash-injection
+    /// harnesses that tear the final record.
+    last_record_span: (u64, u64),
+}
+
+impl Wal {
+    /// Create a fresh WAL at `path` (truncating any existing file), with
+    /// sequence numbers starting at `start_seq`.
+    pub fn create(path: &Path, start_seq: u64) -> Result<Self, WalError> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut hdr = ByteWriter::with_capacity(WAL_HEADER_LEN);
+        hdr.put_bytes(&WAL_MAGIC);
+        hdr.put_u32(WAL_VERSION);
+        hdr.put_u64(start_seq);
+        file.write_all(hdr.as_bytes())?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            next_seq: start_seq,
+            len: WAL_HEADER_LEN as u64,
+            last_record_span: (WAL_HEADER_LEN as u64, WAL_HEADER_LEN as u64),
+        })
+    }
+
+    /// Open an existing WAL, replaying it first. The file is truncated to its
+    /// valid prefix (dropping any torn tail) and positioned for appending.
+    /// Returns the writer plus the replay of the surviving records.
+    pub fn open_existing(path: &Path) -> Result<(Self, WalReplay), WalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let replay = replay_bytes(&bytes)?;
+        if replay.truncated_bytes > 0 {
+            file.set_len(replay.valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(replay.valid_len))?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            next_seq: replay.next_seq,
+            len: replay.valid_len,
+            last_record_span: (replay.valid_len, replay.valid_len),
+        };
+        Ok((wal, replay))
+    }
+
+    /// Append one record, returning its sequence number. The bytes reach the
+    /// OS immediately but are only crash-durable after [`Wal::sync`].
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        let seq = self.next_seq;
+        let bytes = encode_record(seq, record);
+        self.file.write_all(&bytes)?;
+        self.last_record_span = (self.len, self.len + bytes.len() as u64);
+        self.len += bytes.len() as u64;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Force appended records to stable storage (group fsync point).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Sequence number the next append will use.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current file length in bytes.
+    #[inline]
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte span `[start, end)` of the most recently appended record.
+    #[inline]
+    pub fn last_record_span(&self) -> (u64, u64) {
+        self.last_record_span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "collusion-wal-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn rating(j: u64, i: u64, t: u64) -> Rating {
+        Rating::positive(NodeId(j), NodeId(i), SimTime(t))
+    }
+
+    #[test]
+    fn append_sync_replay_round_trips() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("test.wal");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        let records = [
+            WalRecord::Rating(rating(1, 2, 0)),
+            WalRecord::Rating(Rating::negative(NodeId(3), NodeId(2), SimTime(1))),
+            WalRecord::EpochClose { forced: false },
+            WalRecord::Rating(Rating::neutral(NodeId(4), NodeId(5), SimTime(2))),
+            WalRecord::EpochClose { forced: true },
+        ];
+        for (k, r) in records.iter().enumerate() {
+            assert_eq!(wal.append(r).unwrap(), k as u64);
+        }
+        wal.sync().unwrap();
+        let (wal2, replay) = Wal::open_existing(&path).unwrap();
+        assert!(!replay.is_truncated());
+        assert_eq!(replay.corruption, None);
+        assert_eq!(replay.records.len(), records.len());
+        for (k, (seq, rec)) in replay.records.iter().enumerate() {
+            assert_eq!(*seq, k as u64);
+            assert_eq!(rec, &records[k]);
+        }
+        assert_eq!(wal2.next_seq(), records.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = scratch("torn");
+        let path = dir.join("torn.wal");
+        let mut wal = Wal::create(&path, 10).unwrap();
+        wal.append(&WalRecord::Rating(rating(1, 2, 0))).unwrap();
+        wal.append(&WalRecord::Rating(rating(3, 2, 1))).unwrap();
+        wal.sync().unwrap();
+        let (start, end) = wal.last_record_span();
+        drop(wal);
+        // tear the final record in half
+        let tear_at = start + (end - start) / 2;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(tear_at).unwrap();
+        drop(f);
+
+        let (mut wal, replay) = Wal::open_existing(&path).unwrap();
+        assert!(replay.is_truncated());
+        assert!(replay.corruption.is_some());
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].0, 10);
+        assert_eq!(replay.next_seq, 11);
+        // appending after truncation continues the sequence cleanly
+        assert_eq!(wal.append(&WalRecord::EpochClose { forced: false }).unwrap(), 11);
+        wal.sync().unwrap();
+        let (_, replay) = Wal::open_existing(&path).unwrap();
+        assert!(!replay.is_truncated());
+        assert_eq!(replay.records.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_payload_stops_replay_at_checksum() {
+        let dir = scratch("flip");
+        let path = dir.join("flip.wal");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(&WalRecord::Rating(rating(1, 2, 0))).unwrap();
+        wal.append(&WalRecord::Rating(rating(3, 2, 1))).unwrap();
+        wal.sync().unwrap();
+        let (start, _) = wal.last_record_span();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // flip a bit inside the second record's payload
+        let idx = start as usize + 14;
+        bytes[idx] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = replay_bytes(&bytes).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.corruption, Some(CodecError::ChecksumMismatch));
+        assert!(replay.is_truncated());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_header_is_an_error_not_a_panic() {
+        assert!(matches!(replay_bytes(b""), Err(WalError::BadHeader)));
+        assert!(matches!(replay_bytes(b"CWALxx"), Err(WalError::BadHeader)));
+        let mut bogus = Vec::from(*b"NOPE");
+        bogus.extend_from_slice(&[0u8; 12]);
+        assert!(matches!(replay_bytes(&bogus), Err(WalError::BadHeader)));
+    }
+
+    #[test]
+    fn sequence_gap_treated_as_corruption() {
+        let mut bytes = {
+            let mut hdr = ByteWriter::new();
+            hdr.put_bytes(&WAL_MAGIC);
+            hdr.put_u32(WAL_VERSION);
+            hdr.put_u64(0);
+            hdr.into_bytes()
+        };
+        bytes.extend_from_slice(&encode_record(0, &WalRecord::EpochClose { forced: false }));
+        // next record skips seq 1
+        bytes.extend_from_slice(&encode_record(2, &WalRecord::EpochClose { forced: false }));
+        let replay = replay_bytes(&bytes).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.is_truncated());
+        assert_eq!(replay.next_seq, 1);
+    }
+}

@@ -22,6 +22,10 @@
 use crate::config::SimConfig;
 use crate::engine::Simulation;
 use collusion_core::decentralized::Method;
+use collusion_core::durability::{
+    scratch_dir, DurabilityConfig, DurableEngine, EngineSetup, KillPoint,
+};
+use collusion_core::epoch::{EpochEngine, EpochMethod};
 use collusion_core::fault::{FaultPlan, FaultStats};
 use collusion_core::policy::DetectionPolicy;
 use collusion_core::system::DecentralizedSystem;
@@ -48,6 +52,10 @@ pub struct RobustnessConfig {
     /// `T_R = 1` accepts any positively reputed node — the pair-rate and
     /// fraction thresholds do the discriminating on this workload.
     pub thresholds: Thresholds,
+    /// Write-ahead-log every accepted submit of the *faulty* system into a
+    /// scratch directory, so crashed managers recover orphaned histories
+    /// from disk before falling back to replicas.
+    pub durable: bool,
 }
 
 impl RobustnessConfig {
@@ -66,6 +74,7 @@ impl RobustnessConfig {
             plan: FaultPlan::none(),
             churn_periods: 4,
             thresholds: Thresholds::new(1.0, 100, 0.95, 0.7),
+            durable: false,
         }
     }
 
@@ -78,6 +87,12 @@ impl RobustnessConfig {
     /// Replace the replication factor.
     pub fn with_replication(mut self, replication: usize) -> Self {
         self.replication = replication;
+        self
+    }
+
+    /// Enable the system write-ahead log on the faulty run.
+    pub fn with_durability(mut self) -> Self {
+        self.durable = true;
         self
     }
 }
@@ -110,6 +125,9 @@ pub struct RobustnessOutcome {
     pub joined: usize,
     /// Node histories recovered from replicas after crashes.
     pub recovered_nodes: u64,
+    /// Node histories recovered by replaying the system write-ahead log
+    /// (the preferred path when [`RobustnessConfig::durable`] is on).
+    pub disk_recovered_nodes: u64,
     /// Node histories lost to crashes (no surviving replica).
     pub lost_nodes: u64,
 }
@@ -130,6 +148,7 @@ fn build_system(
     cfg: &RobustnessConfig,
     replication: usize,
     entries: &[(NodeId, NodeId, PairCounters)],
+    wal_path: Option<&std::path::Path>,
 ) -> DecentralizedSystem {
     let manager_ids: Vec<NodeId> = (0..cfg.managers).map(|k| NodeId(0x4000_0000 + k)).collect();
     let mut sys = DecentralizedSystem::with_replication(
@@ -139,6 +158,9 @@ fn build_system(
         DetectionPolicy::STRICT,
         replication,
     );
+    if let Some(path) = wal_path {
+        sys.enable_durability(path, 64).expect("enable system WAL");
+    }
     for id in 1..=cfg.sim.n_nodes {
         sys.register(NodeId(id));
     }
@@ -162,13 +184,15 @@ pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessOutcome {
     let entries = sorted_pairs(&history);
 
     // fault-free baseline: unreplicated, no churn, no message faults
-    let mut baseline = build_system(cfg, 1, &entries);
+    let mut baseline = build_system(cfg, 1, &entries, None);
     let baseline_report = baseline.detect();
     let baseline_pairs = baseline_report.pair_ids();
     let baseline_messages = baseline.stats().detection_messages;
 
     // faulty run: churn between periods, then the detection round
-    let mut sys = build_system(cfg, cfg.replication, &entries);
+    let wal_dir = cfg.durable.then(|| scratch_dir("robustness-syswal"));
+    let wal_path = wal_dir.as_ref().map(|d| d.join("system.wal"));
+    let mut sys = build_system(cfg, cfg.replication, &entries, wal_path.as_deref());
     let (mut crashed, mut joined) = (0, 0);
     for period in 0..cfg.churn_periods {
         let (c, j) = sys.apply_churn(&cfg.plan.churn, period);
@@ -189,6 +213,10 @@ pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessOutcome {
     let frac = |k: usize| if denom == 0 { 1.0 } else { k as f64 / denom as f64 };
     let fault = out.fault;
     let stats = sys.stats();
+    drop(sys);
+    if let Some(dir) = wal_dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
     RobustnessOutcome {
         recall: frac(recalled),
         reported_fraction: frac(reported),
@@ -206,8 +234,240 @@ pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessOutcome {
         crashed,
         joined,
         recovered_nodes: stats.recovered_nodes,
+        disk_recovered_nodes: stats.disk_recovered_nodes,
         lost_nodes: stats.lost_nodes,
     }
+}
+
+/// One step of a durable rating stream: fold a rating, or close the epoch
+/// on the driver's schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StreamAction {
+    Record(Rating),
+    Close,
+}
+
+/// Configuration of one crash-recovery experiment: a simulated workload
+/// streamed through a [`DurableEngine`], killed at a chosen stream position
+/// and kill-point, recovered from disk, and resumed to completion.
+#[derive(Clone, Debug)]
+pub struct CrashRecoveryConfig {
+    /// Workload generator (the rating stream fed to the engine).
+    pub sim: SimConfig,
+    /// Scheduled epoch length in ratings (a close every `epoch_len`).
+    pub epoch_len: usize,
+    /// Stream position (in actions) at which the process dies. Snapped to
+    /// the next epoch boundary for boundary-only kill-points.
+    pub crash_after: usize,
+    /// WAL flush interval, checkpoint cadence, watermark.
+    pub durability: DurabilityConfig,
+    /// Shard count of the engine's snapshot.
+    pub shards: usize,
+    /// Detection thresholds.
+    pub thresholds: Thresholds,
+}
+
+impl CrashRecoveryConfig {
+    /// The standard crash scenario: the shrunk 200-node workload with
+    /// deceptive colluders, epochs of 500 ratings, a checkpoint every other
+    /// close, and a crash roughly 60% into the stream.
+    pub fn standard(seed: u64) -> Self {
+        let mut sim = SimConfig::paper_baseline(seed);
+        sim.colluder_good_prob = 0.2;
+        sim.sim_cycles = 6;
+        CrashRecoveryConfig {
+            sim,
+            epoch_len: 500,
+            crash_after: 0, // 0 = auto: 60% of the stream
+            durability: DurabilityConfig {
+                flush_interval: 32,
+                checkpoint_interval: 2,
+                keep_checkpoints: 2,
+                pair_watermark: None,
+            },
+            shards: 8,
+            thresholds: Thresholds::new(1.0, 100, 0.95, 0.7),
+        }
+    }
+}
+
+/// Result of one crash-recovery experiment.
+#[derive(Clone, Debug)]
+pub struct CrashRecoveryOutcome {
+    /// The kill-point exercised.
+    pub kill: KillPoint,
+    /// Whether the recovered-and-resumed engine's serialized state (every
+    /// pair counter, verdict, and stat) equals the uncrashed reference's
+    /// byte for byte.
+    pub bit_identical: bool,
+    /// Whether the final suspect sets agree.
+    pub suspects_match: bool,
+    /// Final suspect pairs of the uncrashed reference run.
+    pub reference_pairs: Vec<(NodeId, NodeId)>,
+    /// Final suspect pairs of the crashed-recovered-resumed run.
+    pub recovered_pairs: Vec<(NodeId, NodeId)>,
+    /// WAL records replayed during recovery.
+    pub replayed_records: u64,
+    /// WAL records the checkpoint already covered.
+    pub skipped_records: u64,
+    /// Bytes truncated from the WAL as a torn tail.
+    pub truncated_bytes: u64,
+    /// Stream position the crash happened at (after boundary snapping).
+    pub crashed_at: usize,
+    /// Stream position the resumed driver continued from (actions whose
+    /// WAL append never became durable are re-applied from here).
+    pub resumed_from: usize,
+    /// Total actions in the stream (ratings + scheduled closes).
+    pub total_actions: usize,
+}
+
+/// Expand the workload into the driver's action stream: ratings in
+/// deterministic order with a scheduled close every `epoch_len`, and a
+/// final close sealing the tail epoch.
+fn stream_actions(cfg: &CrashRecoveryConfig) -> Vec<StreamAction> {
+    let (_, history) = Simulation::new(cfg.sim.clone()).run_with_history();
+    let mut actions = Vec::new();
+    let mut in_epoch = 0usize;
+    let mut t = 0u64;
+    for (rater, ratee, c) in sorted_pairs(&history) {
+        for k in 0..c.positive + c.negative {
+            t += 1;
+            let rating = if k < c.positive {
+                Rating::positive(rater, ratee, SimTime(t))
+            } else {
+                Rating::negative(rater, ratee, SimTime(t))
+            };
+            actions.push(StreamAction::Record(rating));
+            in_epoch += 1;
+            if in_epoch == cfg.epoch_len {
+                actions.push(StreamAction::Close);
+                in_epoch = 0;
+            }
+        }
+    }
+    if in_epoch > 0 {
+        actions.push(StreamAction::Close);
+    }
+    actions
+}
+
+/// Run one crash-recovery experiment (see [`CrashRecoveryConfig`]):
+///
+/// 1. an uncrashed reference [`EpochEngine`] folds the whole action stream;
+/// 2. a [`DurableEngine`] folds the stream up to the crash position, then
+///    dies at `kill` (leaving the durability directory exactly as a real
+///    process death would);
+/// 3. [`DurableEngine::recover`] rebuilds from checkpoint + WAL tail, and
+///    the driver re-submits every action whose WAL append never became
+///    durable (first recorded sequence ≥ the recovered `next_seq`), then
+///    the rest of the stream;
+/// 4. the final states are compared byte for byte.
+pub fn run_crash_recovery(cfg: &CrashRecoveryConfig, kill: KillPoint) -> CrashRecoveryOutcome {
+    let actions = stream_actions(cfg);
+    let nodes: Vec<NodeId> = (1..=cfg.sim.n_nodes).map(NodeId).collect();
+    let setup = EngineSetup {
+        target_shards: cfg.shards,
+        method: EpochMethod::Optimized,
+        thresholds: cfg.thresholds,
+        policy: DetectionPolicy::STRICT,
+        prune: true,
+    };
+
+    // 1. uncrashed reference
+    let mut reference = EpochEngine::new(
+        &nodes,
+        setup.target_shards,
+        setup.method,
+        setup.thresholds,
+        setup.policy,
+        setup.prune,
+    );
+    reference.set_pair_watermark(cfg.durability.pair_watermark);
+    for action in &actions {
+        match action {
+            StreamAction::Record(r) => {
+                reference.record(*r);
+            }
+            StreamAction::Close => {
+                reference.close_epoch();
+            }
+        }
+    }
+
+    // 2. durable run, killed at the crash position
+    let crash_after = if cfg.crash_after == 0 {
+        actions.len() * 3 / 5
+    } else {
+        cfg.crash_after.min(actions.len())
+    };
+    // checkpoints only happen at epoch boundaries, so the post-rename
+    // kill-point snaps forward to the next scheduled close
+    let crash_at = match kill {
+        KillPoint::PostCheckpointRename => {
+            let mut k = crash_after;
+            while k > 0 && k < actions.len() && actions[k - 1] != StreamAction::Close {
+                k += 1;
+            }
+            k
+        }
+        _ => crash_after,
+    };
+    let dir = scratch_dir("crash-matrix");
+    let mut durable =
+        DurableEngine::create(&dir, &nodes, setup, cfg.durability).expect("create durable engine");
+    let mut seqs: Vec<u64> = Vec::with_capacity(crash_at);
+    for action in &actions[..crash_at] {
+        match action {
+            StreamAction::Record(r) => {
+                seqs.push(durable.record(*r).expect("durable record"));
+            }
+            StreamAction::Close => {
+                let seq = durable.wal().next_seq();
+                durable.close_epoch().expect("durable close");
+                seqs.push(seq);
+            }
+        }
+    }
+    durable.crash(kill).expect("crash injection");
+
+    // 3. recover and resume from the first non-durable action
+    let (mut recovered, report) =
+        DurableEngine::recover(&dir, &nodes, setup, cfg.durability).expect("recover");
+    let resumed_from = seqs.iter().position(|&s| s >= report.next_seq).unwrap_or(seqs.len());
+    for action in &actions[resumed_from..] {
+        match action {
+            StreamAction::Record(r) => {
+                recovered.record(*r).expect("resumed record");
+            }
+            StreamAction::Close => {
+                recovered.close_epoch().expect("resumed close");
+            }
+        }
+    }
+
+    // 4. byte-for-byte comparison of the serialized end states
+    let reference_pairs = reference.report().pair_ids();
+    let recovered_pairs = recovered.report().pair_ids();
+    let outcome = CrashRecoveryOutcome {
+        kill,
+        bit_identical: reference.persist_bytes(0) == recovered.engine().persist_bytes(0),
+        suspects_match: reference_pairs == recovered_pairs,
+        reference_pairs,
+        recovered_pairs,
+        replayed_records: report.replayed_records,
+        skipped_records: report.skipped_records,
+        truncated_bytes: report.truncated_bytes,
+        crashed_at: crash_at,
+        resumed_from,
+        total_actions: actions.len(),
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    outcome
+}
+
+/// Run the full crash matrix: one experiment per [`KillPoint`].
+pub fn run_crash_matrix(cfg: &CrashRecoveryConfig) -> Vec<CrashRecoveryOutcome> {
+    KillPoint::ALL.iter().map(|&kill| run_crash_recovery(cfg, kill)).collect()
 }
 
 #[cfg(test)]
@@ -263,5 +523,59 @@ mod tests {
         assert_eq!(a.unconfirmed_pairs, b.unconfirmed_pairs);
         assert_eq!(a.fault, b.fault);
         assert_eq!((a.crashed, a.joined), (b.crashed, b.joined));
+    }
+
+    fn crash_quick(seed: u64) -> CrashRecoveryConfig {
+        let mut cfg = CrashRecoveryConfig::standard(seed);
+        cfg.sim.n_nodes = 80;
+        cfg.sim.sim_cycles = 3;
+        cfg.epoch_len = 300;
+        cfg
+    }
+
+    #[test]
+    fn crash_matrix_recovers_bit_identically() {
+        let cfg = crash_quick(1);
+        for out in run_crash_matrix(&cfg) {
+            assert!(!out.reference_pairs.is_empty(), "workload must produce suspects");
+            assert!(
+                out.suspects_match,
+                "{:?}: {:?} vs {:?}",
+                out.kill, out.reference_pairs, out.recovered_pairs
+            );
+            assert!(out.bit_identical, "{:?}: recovered state diverged", out.kill);
+        }
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_and_resumed() {
+        let out = run_crash_recovery(&crash_quick(2), KillPoint::MidWalAppend);
+        assert!(out.truncated_bytes > 0, "mid-append crash must tear the tail");
+        assert_eq!(out.resumed_from, out.crashed_at - 1, "exactly the torn action re-applies");
+        assert!(out.bit_identical);
+    }
+
+    #[test]
+    fn watermark_forced_closes_survive_crashes() {
+        let mut cfg = crash_quick(3);
+        cfg.durability.pair_watermark = Some(64);
+        for out in run_crash_matrix(&cfg) {
+            assert!(out.bit_identical, "{:?}: diverged under watermark closes", out.kill);
+        }
+    }
+
+    #[test]
+    fn checkpoints_bound_the_replay_tail() {
+        let out = run_crash_recovery(&crash_quick(4), KillPoint::PostCheckpointRename);
+        assert_eq!(out.replayed_records, 0, "a just-renamed checkpoint covers the whole log");
+        assert!(out.skipped_records > 0);
+        assert!(out.bit_identical);
+        // without checkpoints the entire log replays instead
+        let mut no_ckpt = crash_quick(4);
+        no_ckpt.durability.checkpoint_interval = 0;
+        let out = run_crash_recovery(&no_ckpt, KillPoint::MidCheckpointWrite);
+        assert!(out.replayed_records > 0);
+        assert_eq!(out.skipped_records, 0);
+        assert!(out.bit_identical);
     }
 }

@@ -23,13 +23,24 @@ cargo test --workspace -q
 echo "== fault matrix (drop ∈ {0, 0.1, 0.3}) =="
 cargo test --release --test fault_tolerance -q
 
+echo "== crash matrix (every kill-point, fixed seed, bit-identical recovery) =="
+cargo test --release -q -p collusion-sim crash -- --nocapture
+
 echo "== scale smoke (n=2k sharded/pruned/epoch kernels, fixed shape) =="
 # the smoke run asserts bit-identical suspect sets across all kernel
 # variants internally; the diff pins the deterministic counters
 smoke_out="$(mktemp)"
-trap 'rm -f "$smoke_out"' EXIT
+recovery_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$recovery_out"' EXIT
 timeout 120 cargo run --release -q -p collusion-bench --bin scale_json -- \
   --smoke --out "$smoke_out"
 diff scripts/BENCH_scale_smoke_expected.json "$smoke_out"
+
+echo "== recovery smoke (n=2k WAL/checkpoint cadences, fixed replay volumes) =="
+# every cadence asserts the recovered engine equals the crashed image
+# byte for byte; the diff pins replay/skip counts per checkpoint cadence
+timeout 120 cargo run --release -q -p collusion-bench --bin recovery_json -- \
+  --smoke --out "$recovery_out"
+diff scripts/BENCH_recovery_smoke_expected.json "$recovery_out"
 
 echo "All checks passed."

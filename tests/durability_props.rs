@@ -1,0 +1,309 @@
+//! Property-based tests for the durability layer: corruption fuzzing over
+//! the WAL and checkpoint codecs (decoding hostile bytes must never panic
+//! and never yield a record that failed validation), and crash-point
+//! recovery (for every kill-point, recover + resume is bit-identical to an
+//! uncrashed engine over the same stream).
+
+use collusion::core::durability::scratch_dir;
+use collusion::core::epoch::{EpochEngine, EpochMethod};
+use collusion::prelude::*;
+use collusion::reputation::checkpoint::{decode_checkpoint, encode_checkpoint};
+use collusion::reputation::wal::{replay_bytes, Wal, WalRecord};
+use proptest::prelude::*;
+
+/// Strategy: a list of ratings among `n` nodes (self-ratings included —
+/// the engine must reject them consistently on both paths).
+fn ratings_strategy(n: u64, max_len: usize) -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..n, 0..n, 0..3u8, 0..1000u64).prop_map(move |(a, b, v, t)| {
+            let value = match v {
+                0 => RatingValue::Negative,
+                1 => RatingValue::Neutral,
+                _ => RatingValue::Positive,
+            };
+            Rating::new(NodeId(a), NodeId(b), value, SimTime(t))
+        }),
+        0..max_len,
+    )
+}
+
+/// Strategy: a WAL record (rating or epoch-close marker).
+fn record_strategy() -> impl Strategy<Value = WalRecord> {
+    (0..5u8, 0..16u64, 0..16u64, 0..1000u64).prop_map(|(kind, a, b, t)| match kind {
+        0 => WalRecord::EpochClose { forced: false },
+        1 => WalRecord::EpochClose { forced: true },
+        _ => {
+            let value = match kind {
+                2 => RatingValue::Negative,
+                3 => RatingValue::Neutral,
+                _ => RatingValue::Positive,
+            };
+            WalRecord::Rating(Rating::new(NodeId(a), NodeId(b), value, SimTime(t)))
+        }
+    })
+}
+
+/// Write `records` into a fresh WAL file and return its raw bytes.
+fn wal_bytes(records: &[WalRecord], start_seq: u64) -> Vec<u8> {
+    let dir = scratch_dir("props-walbytes");
+    let path = dir.join("w.wal");
+    let mut wal = Wal::create(&path, start_seq).expect("create wal");
+    for r in records {
+        wal.append(r).expect("append");
+    }
+    wal.sync().expect("sync");
+    drop(wal);
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_dir_all(&dir).ok();
+    bytes
+}
+
+proptest! {
+    /// Arbitrary bytes through the WAL scanner: no panic, and the reported
+    /// valid prefix + discarded tail always account for every input byte.
+    #[test]
+    fn wal_scan_of_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok(replay) = replay_bytes(&bytes) {
+            prop_assert!(replay.valid_len as usize <= bytes.len());
+            prop_assert_eq!(replay.valid_len + replay.truncated_bytes, bytes.len() as u64);
+        }
+    }
+
+    /// A truncated valid WAL yields a strict prefix of the original records
+    /// — never a wrong or reordered record.
+    #[test]
+    fn truncated_wal_yields_a_record_prefix(
+        records in prop::collection::vec(record_strategy(), 1..40),
+        start_seq in 0u64..1000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = wal_bytes(&records, start_seq);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        match replay_bytes(&bytes[..cut]) {
+            Err(_) => prop_assert!(cut < 16, "header-long prefixes must scan"),
+            Ok(replay) => {
+                prop_assert!(replay.records.len() <= records.len());
+                for (k, (seq, rec)) in replay.records.iter().enumerate() {
+                    prop_assert_eq!(*seq, start_seq + k as u64);
+                    prop_assert_eq!(rec, &records[k]);
+                }
+            }
+        }
+    }
+
+    /// A single flipped bit anywhere in a valid WAL never produces a record
+    /// that differs from the original stream: the scan returns a (possibly
+    /// shorter) prefix, or a header error if the flip hit the header.
+    #[test]
+    fn bit_flipped_wal_never_yields_a_corrupt_record(
+        records in prop::collection::vec(record_strategy(), 1..40),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = wal_bytes(&records, 0);
+        let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        bytes[idx] ^= 1 << bit;
+        if let Ok(replay) = replay_bytes(&bytes) {
+            prop_assert!(replay.records.len() <= records.len());
+            for (k, (seq, rec)) in replay.records.iter().enumerate() {
+                prop_assert_eq!(*seq, k as u64);
+                prop_assert_eq!(rec, &records[k]);
+            }
+        }
+    }
+
+    /// Arbitrary bytes through the checkpoint decoder: no panic, and any
+    /// accepted image round-trips through the encoder.
+    #[test]
+    fn checkpoint_decode_of_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        if let Some((wal_seq, payload)) = decode_checkpoint(&bytes) {
+            prop_assert_eq!(encode_checkpoint(wal_seq, &payload), bytes);
+        }
+    }
+
+    /// A flipped bit in a checkpoint image is always caught — except in the
+    /// header's `wal_seq` field, which the checksum does not cover; there
+    /// the payload still decodes intact (the store's filename cross-check
+    /// rejects such files at load time).
+    #[test]
+    fn bit_flipped_checkpoint_never_yields_a_corrupt_payload(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        wal_seq in 0u64..1_000_000,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut image = encode_checkpoint(wal_seq, &payload);
+        let idx = ((image.len() - 1) as f64 * byte_frac) as usize;
+        image[idx] ^= 1 << bit;
+        match decode_checkpoint(&image) {
+            None => {}
+            Some((seq, decoded)) => {
+                prop_assert_eq!(&decoded, &payload, "payload corruption must never decode");
+                prop_assert!((8..16).contains(&idx), "only a wal_seq flip may survive");
+                prop_assert_ne!(seq, wal_seq);
+            }
+        }
+    }
+
+    /// Truncated checkpoint images never decode.
+    #[test]
+    fn truncated_checkpoint_never_decodes(
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        wal_seq in 0u64..1_000_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let image = encode_checkpoint(wal_seq, &payload);
+        let cut = ((image.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert_eq!(decode_checkpoint(&image[..cut]), None);
+    }
+}
+
+/// One driver step: fold a rating or close the epoch on schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Step {
+    Record(Rating),
+    Close,
+}
+
+fn steps_of(ratings: &[Rating], epoch_len: usize) -> Vec<Step> {
+    let mut steps = Vec::with_capacity(ratings.len() + ratings.len() / epoch_len + 1);
+    for (k, &r) in ratings.iter().enumerate() {
+        steps.push(Step::Record(r));
+        if (k + 1) % epoch_len == 0 {
+            steps.push(Step::Close);
+        }
+    }
+    if !ratings.len().is_multiple_of(epoch_len) || ratings.is_empty() {
+        steps.push(Step::Close);
+    }
+    steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every kill-point: stream → crash → recover → resume equals an
+    /// uncrashed engine over the same stream, byte for byte (pair counters,
+    /// verdicts, evidence floats, and stats all travel through
+    /// `persist_bytes`).
+    #[test]
+    fn every_kill_point_recovers_bit_identically(
+        ratings in ratings_strategy(10, 240),
+        epoch_len in 8usize..40,
+        crash_frac in 0.0f64..1.0,
+        watermark in (prop::bool::ANY, 2usize..12).prop_map(|(armed, w)| armed.then_some(w)),
+        checkpoint_interval in 0u64..3,
+    ) {
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let thresholds = Thresholds::new(1.0, 4, 0.6, 0.4);
+        let setup = EngineSetup {
+            target_shards: 2,
+            method: EpochMethod::Optimized,
+            thresholds,
+            policy: DetectionPolicy::STRICT,
+            prune: true,
+        };
+        let cfg = DurabilityConfig {
+            flush_interval: 8,
+            checkpoint_interval,
+            keep_checkpoints: 2,
+            pair_watermark: watermark,
+        };
+        let steps = steps_of(&ratings, epoch_len);
+
+        // uncrashed reference
+        let mut reference = EpochEngine::new(
+            &nodes, setup.target_shards, setup.method, setup.thresholds, setup.policy, setup.prune,
+        );
+        reference.set_pair_watermark(cfg.pair_watermark);
+        for step in &steps {
+            match step {
+                Step::Record(r) => { reference.record(*r); }
+                Step::Close => { reference.close_epoch(); }
+            }
+        }
+        let expected = reference.persist_bytes(0);
+
+        for kill in KillPoint::ALL {
+            // checkpoints only exist at epoch boundaries: snap the
+            // post-rename kill-point forward to the next scheduled close
+            let mut crash_at = (steps.len() as f64 * crash_frac) as usize;
+            if kill == KillPoint::PostCheckpointRename {
+                while crash_at > 0 && crash_at < steps.len() && steps[crash_at - 1] != Step::Close {
+                    crash_at += 1;
+                }
+            }
+            let dir = scratch_dir("props-killpoint");
+            let mut durable = DurableEngine::create(&dir, &nodes, setup, cfg).expect("create");
+            let mut seqs = Vec::with_capacity(crash_at);
+            for step in &steps[..crash_at] {
+                match step {
+                    Step::Record(r) => seqs.push(durable.record(*r).expect("record")),
+                    Step::Close => {
+                        let seq = durable.wal().next_seq();
+                        durable.close_epoch().expect("close");
+                        seqs.push(seq);
+                    }
+                }
+            }
+            durable.crash(kill).expect("crash injection");
+
+            let (mut recovered, report) =
+                DurableEngine::recover(&dir, &nodes, setup, cfg).expect("recover");
+            let resume = seqs.iter().position(|&s| s >= report.next_seq).unwrap_or(seqs.len());
+            for step in &steps[resume..] {
+                match step {
+                    Step::Record(r) => { recovered.record(*r).expect("resumed record"); }
+                    Step::Close => { recovered.close_epoch().expect("resumed close"); }
+                }
+            }
+            let got = recovered.engine().persist_bytes(0);
+            std::fs::remove_dir_all(&dir).ok();
+            prop_assert_eq!(
+                &got, &expected,
+                "kill={:?} crash_at={}/{} resume={} diverged", kill, crash_at, steps.len(), resume
+            );
+        }
+    }
+
+    /// Recovery is idempotent: recovering twice from the same directory
+    /// (no writes in between) produces identical engines and reports.
+    #[test]
+    fn repeated_recovery_is_stable(
+        ratings in ratings_strategy(8, 120),
+        epoch_len in 8usize..30,
+        crash_frac in 0.0f64..1.0,
+    ) {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let setup = EngineSetup {
+            target_shards: 2,
+            method: EpochMethod::Optimized,
+            thresholds: Thresholds::new(1.0, 4, 0.6, 0.4),
+            policy: DetectionPolicy::STRICT,
+            prune: true,
+        };
+        let cfg = DurabilityConfig::default();
+        let steps = steps_of(&ratings, epoch_len);
+        let crash_at = (steps.len() as f64 * crash_frac) as usize;
+        let dir = scratch_dir("props-idempotent");
+        let mut durable = DurableEngine::create(&dir, &nodes, setup, cfg).expect("create");
+        for step in &steps[..crash_at] {
+            match step {
+                Step::Record(r) => { durable.record(*r).expect("record"); }
+                Step::Close => { durable.close_epoch().expect("close"); }
+            }
+        }
+        durable.crash(KillPoint::MidWalAppend).expect("crash");
+        let (mut a, ra) = DurableEngine::recover(&dir, &nodes, setup, cfg).expect("first recover");
+        let (mut b, rb) = DurableEngine::recover(&dir, &nodes, setup, cfg).expect("second recover");
+        // `persist_bytes` requires an epoch boundary; close the (possibly
+        // open) recovered buffers identically before comparing
+        a.close_epoch().expect("close a");
+        b.close_epoch().expect("close b");
+        let bytes_a = a.engine().persist_bytes(0);
+        let bytes_b = b.engine().persist_bytes(0);
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(bytes_a, bytes_b);
+        prop_assert_eq!(ra.next_seq, rb.next_seq);
+    }
+}
