@@ -1,0 +1,344 @@
+//! Ingest benchmark: pipelined concurrent intake vs the serial durable
+//! engine (`BENCH_ingest.json`).
+//!
+//! ```text
+//! cargo run --release -p collusion-bench --bin ingest_json [-- --smoke] [--out FILE]
+//! ```
+//!
+//! The full grid streams the seeded [`ScaleConfig`] trace at
+//! `n ∈ {20 000, 100 000}` through:
+//!
+//! * the serial **baseline** — a [`DurableEngine`] folding every rating on
+//!   the caller's thread: one WAL `write(2)` per record, an fsync every 64
+//!   records, detection inline at every close;
+//! * the staged [`PipelinedEngine`] at **1..8 producer threads** — sharded
+//!   lock-striped intake, batched WAL appends on a dedicated stage thread,
+//!   group-commit fsync at epoch closes, merge and detect stages overlapped
+//!   with intake.
+//!
+//! Reported per point: sustained ratings/sec over the whole stream, the
+//! median epoch-close latency (close → report), WAL record/sync counts,
+//! and — via a counting global allocator — heap allocations of the first
+//! vs a steady-state serial close, confirming the reused
+//! detection-scratch buffers stop allocating once warm.
+//!
+//! Every measured point asserts bit-identity, not sampled: each pipelined
+//! close's suspect set must equal the serial engine's for the same epoch,
+//! and the finished pipelined engine's full state (snapshot cells, high
+//! flags, verdict map, stats) must equal the serial engine's.
+//!
+//! `--smoke` runs only `n = 2 000` with producer counts {1, 4} and writes
+//! the *deterministic* fields (record counts, suspect sets, identity
+//! flags — no timings, no allocation counts) so CI can diff the output
+//! against `scripts/BENCH_ingest_smoke_expected.json`.
+
+use collusion_core::durability::{scratch_dir, DurabilityConfig, DurableEngine, EngineSetup};
+use collusion_core::epoch::EpochMethod;
+use collusion_core::pipeline::{IngestHandle, PipelineConfig, PipelinedEngine};
+use collusion_core::policy::DetectionPolicy;
+use collusion_core::prelude::Thresholds;
+use collusion_core::report::DetectionReport;
+use collusion_reputation::id::NodeId;
+use collusion_reputation::rating::Rating;
+use collusion_reputation::wal::SyncPolicy;
+use collusion_trace::scale::ScaleConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counting allocator: every heap allocation bumps a counter, so the bench
+/// can report how many allocations an epoch close costs (the detection
+/// scratch buffers are reused — steady-state closes should allocate far
+/// less than the first).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const SEED: u64 = 42;
+const EPOCHS: usize = 10;
+
+fn median_of(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    if times.is_empty() {
+        0
+    } else {
+        times[times.len() / 2]
+    }
+}
+
+fn pair_ids(report: &DetectionReport) -> Vec<(u64, u64)> {
+    report.pairs.iter().map(|p| (p.low.raw(), p.high.raw())).collect()
+}
+
+struct SerialRun {
+    engine: collusion_core::epoch::EpochEngine,
+    epoch_reports: Vec<Vec<(u64, u64)>>,
+    wal_records: u64,
+    elapsed_ns: u128,
+    close_median_ns: u128,
+    allocs_first_close: u64,
+    allocs_steady_close: u64,
+}
+
+/// The baseline: a serial durable engine folding the stream on one thread
+/// (per-record WAL appends, fsync every 64, detection inline at closes).
+fn run_serial(nodes: &[NodeId], setup: EngineSetup, chunks: &[&[Rating]]) -> SerialRun {
+    let dcfg = DurabilityConfig {
+        sync_policy: SyncPolicy::EveryK(64),
+        checkpoint_interval: 0, // WAL-only: measure ingest, not snapshots
+        keep_checkpoints: 2,
+        pair_watermark: None,
+    };
+    let dir = scratch_dir("ingest-bench-serial");
+    let mut engine = DurableEngine::create(&dir, nodes, setup, dcfg).expect("create baseline");
+    let mut epoch_reports = Vec::with_capacity(chunks.len());
+    let mut closes = Vec::with_capacity(chunks.len());
+    let mut allocs_first_close = 0u64;
+    let mut allocs_steady_close = 0u64;
+    let start = Instant::now();
+    for (e, chunk) in chunks.iter().enumerate() {
+        for &r in *chunk {
+            engine.record(r).expect("baseline record");
+        }
+        let a0 = allocs_now();
+        let t0 = Instant::now();
+        let report = engine.close_epoch().expect("baseline close");
+        closes.push(t0.elapsed().as_nanos());
+        let cost = allocs_now() - a0;
+        if e == 0 {
+            allocs_first_close = cost;
+        }
+        allocs_steady_close = cost; // last close = steady state
+        epoch_reports.push(pair_ids(&report));
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let wal_records = engine.wal().next_seq();
+    let engine = engine.into_engine();
+    std::fs::remove_dir_all(&dir).ok();
+    SerialRun {
+        engine,
+        epoch_reports,
+        wal_records,
+        elapsed_ns,
+        close_median_ns: median_of(closes),
+        allocs_first_close,
+        allocs_steady_close,
+    }
+}
+
+struct PipelinedRun {
+    producers: usize,
+    elapsed_ns: u128,
+    close_median_ns: u128,
+    wal_records: u64,
+    wal_syncs: u64,
+    batches: u64,
+    suspects: usize,
+    reports_identical: bool,
+    state_identical: bool,
+}
+
+/// One pipelined run: `producers` threads submit each epoch's ratings
+/// round-robin through their own handles, the epoch closes through the
+/// staged pipeline, and every close's suspect set is checked against the
+/// serial baseline's.
+fn run_pipelined(
+    nodes: &[NodeId],
+    setup: EngineSetup,
+    chunks: &[&[Rating]],
+    producers: usize,
+    serial: &SerialRun,
+) -> PipelinedRun {
+    let dir = scratch_dir("ingest-bench-piped");
+    let mut cfg = PipelineConfig::new(setup);
+    cfg.batch = 256;
+    let mut piped = PipelinedEngine::with_wal(&dir, nodes, cfg).expect("create pipelined");
+    let mut closes = Vec::with_capacity(chunks.len());
+    let mut reports_identical = true;
+    let start = Instant::now();
+    for (e, chunk) in chunks.iter().enumerate() {
+        let mut handles: Vec<IngestHandle> = (0..producers).map(|_| piped.handle()).collect();
+        std::thread::scope(|scope| {
+            for (p, h) in handles.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for r in chunk.iter().skip(p).step_by(producers) {
+                        h.submit(*r);
+                    }
+                    h.flush();
+                });
+            }
+        });
+        drop(handles);
+        let t0 = Instant::now();
+        let report = piped.close_epoch_sync();
+        closes.push(t0.elapsed().as_nanos());
+        if pair_ids(&report) != serial.epoch_reports[e] {
+            reports_identical = false;
+        }
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let (finished, pstats) = piped.finish();
+    let state_identical = finished.state_eq(&serial.engine);
+    if let Some(diff) = finished.state_diff(&serial.engine) {
+        eprintln!("  !! {producers} producers: state diverged: {diff}");
+    }
+    let suspects = finished.report().pairs.len();
+    std::fs::remove_dir_all(&dir).ok();
+    PipelinedRun {
+        producers,
+        elapsed_ns,
+        close_median_ns: median_of(closes),
+        wal_records: pstats.wal_appends,
+        wal_syncs: pstats.wal_syncs,
+        batches: pstats.batches,
+        suspects,
+        reports_identical,
+        state_identical,
+    }
+}
+
+struct GridPoint {
+    n: u64,
+    ratings: usize,
+    serial: SerialRun,
+    runs: Vec<PipelinedRun>,
+}
+
+fn run_point(n: u64, producer_counts: &[usize]) -> GridPoint {
+    let cfg = ScaleConfig::at_scale(n, SEED);
+    let ratings = cfg.generate();
+    let nodes = cfg.node_ids();
+    let shards = (n as usize / 1024).clamp(2, 64);
+    let setup = EngineSetup {
+        target_shards: shards,
+        method: EpochMethod::Optimized,
+        thresholds: Thresholds::new(1.0, 20, 0.8, 0.2),
+        policy: DetectionPolicy::STRICT,
+        prune: true,
+    };
+    eprintln!("n={n}: {} ratings…", ratings.len());
+    let chunks: Vec<&[Rating]> = ratings.chunks(ratings.len().div_ceil(EPOCHS)).collect();
+
+    let serial = run_serial(&nodes, setup, &chunks);
+    eprintln!(
+        "  serial: {:.0} ratings/s ({} WAL records)",
+        ratings.len() as f64 / (serial.elapsed_ns as f64 / 1e9),
+        serial.wal_records
+    );
+    let runs: Vec<PipelinedRun> = producer_counts
+        .iter()
+        .map(|&p| {
+            let run = run_pipelined(&nodes, setup, &chunks, p, &serial);
+            eprintln!(
+                "  {p} producer(s): {:.0} ratings/s ({:.2}x), identical={}",
+                ratings.len() as f64 / (run.elapsed_ns as f64 / 1e9),
+                serial.elapsed_ns as f64 / run.elapsed_ns as f64,
+                run.reports_identical && run.state_identical
+            );
+            run
+        })
+        .collect();
+    GridPoint { n, ratings: ratings.len(), serial, runs }
+}
+
+fn json_point(p: &GridPoint, smoke: bool) -> String {
+    let rps = |elapsed_ns: u128| p.ratings as f64 / (elapsed_ns as f64 / 1e9);
+    let mut j = String::from("    {\n");
+    j.push_str(&format!("      \"n\": {},\n", p.n));
+    j.push_str(&format!("      \"ratings\": {},\n", p.ratings));
+    j.push_str(&format!("      \"epochs\": {EPOCHS},\n"));
+    j.push_str("      \"serial\": {");
+    j.push_str(&format!("\"wal_records\": {}, ", p.serial.wal_records));
+    j.push_str(&format!("\"suspects\": {}", p.serial.engine.report().pairs.len()));
+    if !smoke {
+        j.push_str(&format!(", \"ratings_per_sec\": {:.1}", rps(p.serial.elapsed_ns)));
+        j.push_str(&format!(", \"close_median_ns\": {}", p.serial.close_median_ns));
+        j.push_str(&format!(", \"allocs_first_close\": {}", p.serial.allocs_first_close));
+        j.push_str(&format!(", \"allocs_steady_close\": {}", p.serial.allocs_steady_close));
+    }
+    j.push_str("},\n");
+    j.push_str("      \"producers\": [\n");
+    for (i, r) in p.runs.iter().enumerate() {
+        j.push_str("        {");
+        j.push_str(&format!("\"producers\": {}, ", r.producers));
+        j.push_str(&format!("\"wal_records\": {}, ", r.wal_records));
+        j.push_str(&format!("\"suspects\": {}, ", r.suspects));
+        j.push_str(&format!("\"reports_identical\": {}, ", r.reports_identical));
+        j.push_str(&format!("\"state_identical\": {}", r.state_identical));
+        if !smoke {
+            j.push_str(&format!(", \"ratings_per_sec\": {:.1}", rps(r.elapsed_ns)));
+            j.push_str(&format!(
+                ", \"speedup_vs_serial\": {:.3}",
+                p.serial.elapsed_ns as f64 / r.elapsed_ns as f64
+            ));
+            j.push_str(&format!(", \"close_median_ns\": {}", r.close_median_ns));
+            j.push_str(&format!(", \"wal_syncs\": {}", r.wal_syncs));
+            j.push_str(&format!(", \"batches\": {}", r.batches));
+        }
+        j.push('}');
+        j.push_str(if i + 1 == p.runs.len() { "\n" } else { ",\n" });
+    }
+    j.push_str("      ]\n");
+    j.push_str("    }");
+    j
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            if smoke {
+                "BENCH_ingest_smoke.json".into()
+            } else {
+                "BENCH_ingest.json".into()
+            }
+        });
+    let (grid, producer_counts): (&[u64], &[usize]) =
+        if smoke { (&[2_000], &[1, 4]) } else { (&[20_000, 100_000], &[1, 2, 3, 4, 5, 6, 7, 8]) };
+
+    let points: Vec<GridPoint> = grid.iter().map(|&n| run_point(n, producer_counts)).collect();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"grid\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&json_point(p, smoke));
+        json.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write output file");
+    eprintln!("wrote {out}");
+
+    let identical =
+        points.iter().all(|p| p.runs.iter().all(|r| r.reports_identical && r.state_identical));
+    assert!(identical, "pipelined output diverged from the serial baseline");
+}

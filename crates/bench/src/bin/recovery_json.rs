@@ -28,6 +28,7 @@ use collusion_core::durability::{scratch_dir, DurabilityConfig, DurableEngine, E
 use collusion_core::epoch::EpochMethod;
 use collusion_core::policy::DetectionPolicy;
 use collusion_core::prelude::Thresholds;
+use collusion_reputation::wal::SyncPolicy;
 use collusion_trace::scale::ScaleConfig;
 use std::hint::black_box;
 use std::time::Instant;
@@ -103,7 +104,7 @@ fn run_point(n: u64, iters: usize) -> GridPoint {
     let mut cadences = Vec::with_capacity(CADENCES.len());
     for &interval in &CADENCES {
         let dcfg = DurabilityConfig {
-            flush_interval: 64,
+            sync_policy: SyncPolicy::EveryK(64),
             checkpoint_interval: interval,
             keep_checkpoints: 2,
             pair_watermark: None,

@@ -98,8 +98,9 @@ impl BasicDetector {
     /// Rayon-parallel detection. Rows are examined concurrently without the
     /// cross-row marking optimization, so metered cost is up to 2× the
     /// sequential pass (each unordered pair may be examined from both
-    /// sides; [`DetectionReport::new`] deduplicates); the reported pairs are
-    /// identical.
+    /// sides; [`crate::report::normalize_pairs`] deduplicates); the reported
+    /// pairs are identical and sorted before the report is built, so the
+    /// output ordering never depends on thread scheduling.
     ///
     /// Note the iteration is sparse (each row visits only its raters), so a
     /// pair whose ratings flow in one direction only is reached from the
@@ -111,7 +112,7 @@ impl BasicDetector {
         let high_set: HashSet<NodeId> = high.iter().copied().collect();
         let meter_ref = &meter;
         let high_set_ref = &high_set;
-        let pairs: Vec<SuspectPair> = high
+        let mut pairs: Vec<SuspectPair> = high
             .par_iter()
             .flat_map_iter(|&i| {
                 input.history.raters_of(i).iter().filter_map(move |&j| {
@@ -123,6 +124,7 @@ impl BasicDetector {
                 })
             })
             .collect();
+        crate::report::normalize_pairs(&mut pairs);
         DetectionReport::new(pairs, meter.snapshot())
     }
 

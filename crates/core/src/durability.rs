@@ -6,8 +6,9 @@
 //!
 //! * Every accepted rating is appended to the WAL
 //!   ([`collusion_reputation::wal`]) before it is folded into the engine;
-//!   appends are group-fsync'd every [`DurabilityConfig::flush_interval`]
-//!   records (the simulated flush interval).
+//!   fsync scheduling follows [`DurabilityConfig::sync_policy`] — per
+//!   record, every k records (the default, k = 64), or group-commit only
+//!   at epoch closes.
 //! * Every epoch close — scheduled or forced by the epoch-buffer memory
 //!   watermark — appends an epoch-close marker and fsyncs, so epoch
 //!   boundaries are always durable.
@@ -52,7 +53,7 @@ use collusion_reputation::codec::CodecError;
 use collusion_reputation::id::NodeId;
 use collusion_reputation::rating::Rating;
 use collusion_reputation::thresholds::Thresholds;
-use collusion_reputation::wal::{Wal, WalError, WalRecord};
+use collusion_reputation::wal::{SyncPolicy, Wal, WalError, WalRecord};
 
 use crate::epoch::{EpochEngine, EpochMethod, EpochStats};
 use crate::policy::DetectionPolicy;
@@ -78,9 +79,9 @@ pub struct EngineSetup {
 /// Durability tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct DurabilityConfig {
-    /// Group-fsync the WAL every this many rating appends (≥ 1). Epoch
-    /// closes always fsync regardless.
-    pub flush_interval: u64,
+    /// When rating appends are fsync'd (see [`SyncPolicy`]). Epoch closes
+    /// always fsync regardless.
+    pub sync_policy: SyncPolicy,
     /// Checkpoint every this many epoch closes; 0 disables periodic
     /// checkpoints (the WAL alone still makes every record durable).
     pub checkpoint_interval: u64,
@@ -94,7 +95,7 @@ pub struct DurabilityConfig {
 impl Default for DurabilityConfig {
     fn default() -> Self {
         DurabilityConfig {
-            flush_interval: 64,
+            sync_policy: SyncPolicy::DEFAULT,
             checkpoint_interval: 1,
             keep_checkpoints: 2,
             pair_watermark: None,
@@ -376,7 +377,7 @@ impl DurableEngine {
         let seq = self.wal.append(&WalRecord::Rating(rating))?;
         self.stats.wal_appends += 1;
         self.appends_since_sync += 1;
-        if self.appends_since_sync >= self.cfg.flush_interval.max(1) {
+        if self.cfg.sync_policy.due(self.appends_since_sync) {
             self.wal.sync()?;
             self.stats.wal_syncs += 1;
             self.appends_since_sync = 0;
@@ -430,6 +431,13 @@ impl DurableEngine {
     #[inline]
     pub fn engine(&self) -> &EpochEngine {
         &self.engine
+    }
+
+    /// Consume the durable wrapper and return the in-memory engine. The
+    /// WAL file handle closes; the directory is left on disk for
+    /// [`DurableEngine::recover`].
+    pub fn into_engine(self) -> EpochEngine {
+        self.engine
     }
 
     /// The standing suspect set (no kernel work).

@@ -87,6 +87,29 @@ pub struct EpochStats {
     pub forced_closes: u64,
 }
 
+/// Reusable per-close scratch buffers. Clearing and re-growing these is
+/// semantically identical to the fresh `vec![..; n]` allocations of the
+/// original close loop, but steady-state closes stop allocating.
+#[derive(Debug, Default)]
+pub(crate) struct CloseScratch {
+    /// Dirty-or-flipped node flags (step 3).
+    pub(crate) active: Vec<bool>,
+    /// Prunability memo: 0 unknown, 1 prunable, 2 not (step 3).
+    pub(crate) memo: Vec<u8>,
+    /// Per-ratee frequent-aggregate cache (step 4).
+    pub(crate) cache: Vec<Option<(u64, i64)>>,
+}
+
+impl CloseScratch {
+    /// Reset `active` and `memo` for a snapshot of `n` nodes.
+    pub(crate) fn reset_merge(&mut self, n: usize) {
+        self.active.clear();
+        self.active.resize(n, false);
+        self.memo.clear();
+        self.memo.resize(n, 0);
+    }
+}
+
 /// Incremental detector maintaining an exact suspect set across epochs.
 #[derive(Debug)]
 pub struct EpochEngine {
@@ -101,6 +124,262 @@ pub struct EpochEngine {
     high: Vec<bool>,
     verdicts: BTreeMap<(NodeId, NodeId), SuspectPair>,
     stats: EpochStats,
+    scratch: CloseScratch,
+}
+
+/// Build the empty initial snapshot + high flags shared by the serial
+/// engine and the pipelined engine's merge stage.
+pub(crate) fn initial_state(
+    nodes: &[NodeId],
+    target_shards: usize,
+    thresholds: Thresholds,
+    policy: DetectionPolicy,
+) -> (ShardedSnapshot, Vec<bool>) {
+    let empty = InteractionHistory::new();
+    let snap = if policy.community_excludes_frequent {
+        ShardedSnapshot::build_with_frequent(&empty, nodes, target_shards, thresholds.t_n)
+    } else {
+        ShardedSnapshot::build(&empty, nodes, target_shards)
+    };
+    let high =
+        (0..snap.n() as u32).map(|i| thresholds.is_high_reputed(snap.signed(i) as f64)).collect();
+    (snap, high)
+}
+
+/// Steps 1–2 of an epoch close: advance the snapshot in place (carrying
+/// high flags across any re-interning) and recompute the high-reputed
+/// flags, returning the indices that flipped.
+pub(crate) fn advance_epoch_state(
+    snap: &mut ShardedSnapshot,
+    high: &mut Vec<bool>,
+    thresholds: &Thresholds,
+    delta: &EpochDelta,
+) -> Vec<u32> {
+    if let Some(remap) = snap.apply_epoch(delta) {
+        let mut carried = vec![false; snap.n()];
+        for (old, &new) in remap.iter().enumerate() {
+            carried[new as usize] = high[old];
+        }
+        *high = carried;
+    }
+    let mut flips: Vec<u32> = Vec::new();
+    for i in 0..snap.n() as u32 {
+        let now = thresholds.is_high_reputed(snap.signed(i) as f64);
+        if now != high[i as usize] {
+            high[i as usize] = now;
+            flips.push(i);
+        }
+    }
+    flips
+}
+
+/// Inputs of the candidate-enumeration pass that are not per-close state.
+pub(crate) struct CandidateParams<'a> {
+    /// Band detector supplying [`OptimizedDetector::row_prunable`].
+    pub(crate) optimized: &'a OptimizedDetector,
+    /// [`DetectionPolicy::require_mutual`].
+    pub(crate) require_mutual: bool,
+    /// Whether the Formula (2) pre-filter is armed *and* sound.
+    pub(crate) prune_on: bool,
+}
+
+/// Step 3 of an epoch close: enumerate the candidate pairs whose verdict
+/// could have changed. `verdict_keys` must iterate the standing verdict
+/// keys in ascending order (the [`BTreeMap`] key order) so the candidate
+/// list is reproduced exactly regardless of who owns the verdict map.
+pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
+    snap: &ShardedSnapshot,
+    high: &[bool],
+    params: &CandidateParams<'_>,
+    delta: &EpochDelta,
+    flips: &[u32],
+    verdict_keys: I,
+    scratch: &mut CloseScratch,
+) -> Vec<(u32, u32)> {
+    let prune_on = params.prune_on;
+    scratch.reset_merge(snap.n());
+    let active = &mut scratch.active;
+    for id in delta.dirty_ratees() {
+        let d = snap.index(id).expect("dirty ratee interned by apply_epoch");
+        active[d as usize] = true;
+    }
+    for &f in flips {
+        active[f as usize] = true;
+    }
+    let mut seen = PairSet::with_capacity(delta.entries.len() * 2);
+    let mut cands: Vec<(u32, u32)> = Vec::new();
+    for (a, b) in verdict_keys {
+        let (i, j) = (
+            snap.index(a).expect("verdict node interned"),
+            snap.index(b).expect("verdict node interned"),
+        );
+        if (active[i as usize] || active[j as usize]) && seen.insert(i, j) {
+            cands.push((i, j));
+        }
+    }
+    let memo = &mut scratch.memo;
+    let optimized = params.optimized;
+    let prunable = |x: u32, memo: &mut Vec<u8>| -> bool {
+        if !prune_on {
+            return false;
+        }
+        let m = memo[x as usize];
+        if m != 0 {
+            return m == 1;
+        }
+        let p = optimized.row_prunable(snap.totals_of(x));
+        memo[x as usize] = if p { 1 } else { 2 };
+        p
+    };
+    for c in 0..snap.n() as u32 {
+        if !active[c as usize] || !high[c as usize] {
+            continue;
+        }
+        let c_banned = prunable(c, memo);
+        if c_banned && params.require_mutual {
+            continue; // no pair with this endpoint can be flagged
+        }
+        let admit = |x: u32, memo: &mut Vec<u8>| -> bool {
+            if x == c || !high[x as usize] {
+                return false;
+            }
+            let x_banned = prunable(x, memo);
+            let banned = if params.require_mutual {
+                x_banned // c already known not banned here
+            } else {
+                c_banned && x_banned
+            };
+            !banned
+        };
+        let (cols, _) = snap.row(c);
+        for &x in cols {
+            if admit(x, memo) && seen.insert(x, c) {
+                cands.push((x, c));
+            }
+        }
+        for &y in snap.ratees_of(c) {
+            if admit(y, memo) && seen.insert(c, y) {
+                cands.push((c, y));
+            }
+        }
+    }
+    cands
+}
+
+/// Kernel configuration of the re-check pass (step 4).
+pub(crate) struct RecheckKernels<'a> {
+    /// Which kernel runs on candidate pairs.
+    pub(crate) method: EpochMethod,
+    /// [`DetectionPolicy::require_mutual`].
+    pub(crate) require_mutual: bool,
+    /// Whether the Formula (2) pre-filter is armed *and* sound.
+    pub(crate) prune_active: bool,
+    /// §IV.B row-scan kernel.
+    pub(crate) basic: &'a BasicDetector,
+    /// §IV.C band kernel.
+    pub(crate) optimized: &'a OptimizedDetector,
+}
+
+/// What a re-check pass did, beyond mutating the verdict map.
+pub(crate) struct RecheckOutcome {
+    /// Updated standing suspect set plus this pass's kernel cost.
+    pub(crate) report: DetectionReport,
+    /// Candidates that reached a kernel check.
+    pub(crate) checked: u64,
+    /// Candidates discarded by the band pre-filter at check time.
+    pub(crate) pruned: u64,
+}
+
+/// Step 4 of an epoch close: re-check `cands` with the configured kernel,
+/// updating `verdicts` both ways (insert on flag, remove on retraction).
+/// Generic over [`SnapshotView`] so the pipelined engine can run it
+/// against a partial slice of the snapshot covering only the candidate
+/// endpoints; the kernels read nothing else.
+pub(crate) fn recheck_candidates<V: SnapshotView>(
+    kernels: &RecheckKernels<'_>,
+    snap: &V,
+    high: &[bool],
+    cands: &[(u32, u32)],
+    verdicts: &mut BTreeMap<(NodeId, NodeId), SuspectPair>,
+    cache: &mut Vec<Option<(u64, i64)>>,
+) -> RecheckOutcome {
+    let meter = CostMeter::new();
+    cache.clear();
+    cache.resize(snap.n(), None);
+    let mut checked = 0u64;
+    let mut pruned = 0u64;
+    for &(i, j) in cands {
+        let (id_i, id_j) = (snap.node_id(i), snap.node_id(j));
+        let key = if id_i < id_j { (id_i, id_j) } else { (id_j, id_i) };
+        if !(high[i as usize] && high[j as usize]) {
+            verdicts.remove(&key);
+            continue;
+        }
+        if kernels.prune_active {
+            let pi = kernels.optimized.row_prunable(snap.totals_of(i));
+            let pj = kernels.optimized.row_prunable(snap.totals_of(j));
+            let skip = if kernels.require_mutual { pi || pj } else { pi && pj };
+            if skip {
+                // sound: a prunable row's direction check cannot pass,
+                // so the full kernel would produce no flag here
+                pruned += 1;
+                verdicts.remove(&key);
+                continue;
+            }
+        }
+        checked += 1;
+        let verdict = match kernels.method {
+            EpochMethod::Basic => kernels.basic.check_pair_snap(snap, i, j, &meter),
+            EpochMethod::Optimized => {
+                let ev_fwd = kernels.optimized.direction_cached(snap, i, Some(j), &meter, cache);
+                let ev_rev = kernels.optimized.direction_cached(snap, j, Some(i), &meter, cache);
+                if kernels.require_mutual {
+                    match (ev_fwd, ev_rev) {
+                        (Some(f), Some(r)) => Some(SuspectPair::new(id_j, id_i, Some(f), Some(r))),
+                        _ => None,
+                    }
+                } else if ev_fwd.is_none() && ev_rev.is_none() {
+                    None
+                } else {
+                    Some(SuspectPair::new(id_j, id_i, ev_fwd, ev_rev))
+                }
+            }
+        };
+        match verdict {
+            Some(pair) => {
+                verdicts.insert(key, pair);
+            }
+            None => {
+                verdicts.remove(&key);
+            }
+        }
+    }
+    RecheckOutcome {
+        report: DetectionReport::new(verdicts.values().copied().collect(), meter.snapshot()),
+        checked,
+        pruned,
+    }
+}
+
+/// Everything needed to assemble an [`EpochEngine`] from externally
+/// evolved state (the pipelined engine's tear-down path).
+pub(crate) struct EngineParts {
+    /// Detection thresholds.
+    pub(crate) thresholds: Thresholds,
+    /// Detection policy.
+    pub(crate) policy: DetectionPolicy,
+    /// Kernel selection.
+    pub(crate) method: EpochMethod,
+    /// Formula (2) pre-filter armed.
+    pub(crate) prune: bool,
+    /// Snapshot as of the last closed epoch.
+    pub(crate) snap: ShardedSnapshot,
+    /// High-reputed flags matching `snap`.
+    pub(crate) high: Vec<bool>,
+    /// Standing verdict map.
+    pub(crate) verdicts: BTreeMap<(NodeId, NodeId), SuspectPair>,
+    /// Cumulative counters.
+    pub(crate) stats: EpochStats,
 }
 
 impl EpochEngine {
@@ -117,27 +396,36 @@ impl EpochEngine {
         policy: DetectionPolicy,
         prune: bool,
     ) -> Self {
-        let empty = collusion_reputation::history::InteractionHistory::new();
-        let snap = if policy.community_excludes_frequent {
-            ShardedSnapshot::build_with_frequent(&empty, nodes, target_shards, thresholds.t_n)
-        } else {
-            ShardedSnapshot::build(&empty, nodes, target_shards)
-        };
-        let high = (0..snap.n() as u32)
-            .map(|i| thresholds.is_high_reputed(snap.signed(i) as f64))
-            .collect();
-        EpochEngine {
+        let (snap, high) = initial_state(nodes, target_shards, thresholds, policy);
+        EpochEngine::from_parts(EngineParts {
             thresholds,
             policy,
             method,
             prune,
-            basic: BasicDetector::with_policy(thresholds, policy),
-            optimized: OptimizedDetector::with_policy(thresholds, policy),
             snap,
-            buffer: EpochBuffer::new(),
             high,
             verdicts: BTreeMap::new(),
             stats: EpochStats::default(),
+        })
+    }
+
+    /// Assemble an engine around already-evolved detection state. The
+    /// caller owns the invariant that `high` and `verdicts` are consistent
+    /// with `snap` (both are pure functions of it at epoch boundaries).
+    pub(crate) fn from_parts(parts: EngineParts) -> Self {
+        EpochEngine {
+            thresholds: parts.thresholds,
+            policy: parts.policy,
+            method: parts.method,
+            prune: parts.prune,
+            basic: BasicDetector::with_policy(parts.thresholds, parts.policy),
+            optimized: OptimizedDetector::with_policy(parts.thresholds, parts.policy),
+            snap: parts.snap,
+            buffer: EpochBuffer::new(),
+            high: parts.high,
+            verdicts: parts.verdicts,
+            stats: parts.stats,
+            scratch: CloseScratch::default(),
         }
     }
 
@@ -154,6 +442,13 @@ impl EpochEngine {
             let _ = self.close_epoch();
         }
         accepted
+    }
+
+    /// Re-fold an aggregated counter cell into the open epoch buffer — the
+    /// pipelined engine's tear-down path for ratings that were folded into
+    /// its intake but never closed.
+    pub(crate) fn refold_counters(&mut self, ratee: NodeId, rater: NodeId, counters: PairCounters) {
+        self.buffer.record_counters(ratee, rater, counters);
     }
 
     /// Arm or disarm the epoch-buffer max-pairs memory watermark (see
@@ -209,31 +504,25 @@ impl EpochEngine {
     /// and return the updated standing suspect set. The reported cost
     /// covers only this close's kernel work.
     pub fn close_epoch(&mut self) -> DetectionReport {
-        self.stats.epochs += 1;
         let delta: EpochDelta = self.buffer.drain();
+        self.close_epoch_delta(delta)
+    }
+
+    /// Close an epoch whose delta was accumulated externally (the
+    /// pipelined engine's sharded intake drains into the same sorted
+    /// [`EpochDelta`] shape). This is the entire serial close: steps 1–2
+    /// ([`advance_epoch_state`]), step 3 ([`enumerate_candidates`]) and
+    /// step 4 ([`recheck_candidates`]) — the step comments live on those
+    /// functions, which the staged pipeline reuses verbatim.
+    pub(crate) fn close_epoch_delta(&mut self, delta: EpochDelta) -> DetectionReport {
+        self.stats.epochs += 1;
         self.stats.ratings += delta.ratings;
         if delta.is_empty() {
             return self.report();
         }
 
-        // 1. advance the snapshot; carry high flags across any re-interning
-        if let Some(remap) = self.snap.apply_epoch(&delta) {
-            let mut carried = vec![false; self.snap.n()];
-            for (old, &new) in remap.iter().enumerate() {
-                carried[new as usize] = self.high[old];
-            }
-            self.high = carried;
-        }
-
-        // 2. recompute high flags, collecting flips
-        let mut flips: Vec<u32> = Vec::new();
-        for i in 0..self.snap.n() as u32 {
-            let now = self.thresholds.is_high_reputed(self.snap.signed(i) as f64);
-            if now != self.high[i as usize] {
-                self.high[i as usize] = now;
-                flips.push(i);
-            }
-        }
+        // 1–2. advance the snapshot and high flags, collecting flips
+        let flips = advance_epoch_state(&mut self.snap, &mut self.high, &self.thresholds, &delta);
 
         // 3. enumerate candidate pairs. A pair's verdict can only change
         //    when an endpoint is *active* (dirty ratee or high-flip), so:
@@ -249,133 +538,41 @@ impl EpochEngine {
         //       pairs are exactly those the kernel provably would not
         //       flag, and any stale verdict they might carry is already
         //       covered by (a).
-        let prune_on = self.prune_active();
-        let mut active = vec![false; self.snap.n()];
-        for id in delta.dirty_ratees() {
-            let d = self.snap.index(id).expect("dirty ratee interned by apply_epoch");
-            active[d as usize] = true;
-        }
-        for &f in &flips {
-            active[f as usize] = true;
-        }
-        let mut seen = PairSet::with_capacity(delta.entries.len() * 2);
-        let mut cands: Vec<(u32, u32)> = Vec::new();
-        for (&(a, b), _) in self.verdicts.iter() {
-            let (i, j) = (
-                self.snap.index(a).expect("verdict node interned"),
-                self.snap.index(b).expect("verdict node interned"),
-            );
-            if (active[i as usize] || active[j as usize]) && seen.insert(i, j) {
-                cands.push((i, j));
-            }
-        }
-        // prunability memo: 0 unknown, 1 prunable, 2 not
-        let mut memo = vec![0u8; self.snap.n()];
-        {
-            let snap = &self.snap;
-            let optimized = &self.optimized;
-            let high = &self.high;
-            let prunable = |x: u32, memo: &mut Vec<u8>| -> bool {
-                if !prune_on {
-                    return false;
-                }
-                let m = memo[x as usize];
-                if m != 0 {
-                    return m == 1;
-                }
-                let p = optimized.row_prunable(snap.totals_of(x));
-                memo[x as usize] = if p { 1 } else { 2 };
-                p
-            };
-            for c in 0..self.snap.n() as u32 {
-                if !active[c as usize] || !high[c as usize] {
-                    continue;
-                }
-                let c_banned = prunable(c, &mut memo);
-                if c_banned && self.policy.require_mutual {
-                    continue; // no pair with this endpoint can be flagged
-                }
-                let admit = |x: u32, memo: &mut Vec<u8>| -> bool {
-                    if x == c || !high[x as usize] {
-                        return false;
-                    }
-                    let x_banned = prunable(x, memo);
-                    let banned = if self.policy.require_mutual {
-                        x_banned // c already known not banned here
-                    } else {
-                        c_banned && x_banned
-                    };
-                    !banned
-                };
-                let (cols, _) = snap.row(c);
-                for &x in cols {
-                    if admit(x, &mut memo) && seen.insert(x, c) {
-                        cands.push((x, c));
-                    }
-                }
-                for &y in snap.ratees_of(c) {
-                    if admit(y, &mut memo) && seen.insert(c, y) {
-                        cands.push((c, y));
-                    }
-                }
-            }
-        }
+        let params = CandidateParams {
+            optimized: &self.optimized,
+            require_mutual: self.policy.require_mutual,
+            prune_on: self.prune_active(),
+        };
+        let cands = enumerate_candidates(
+            &self.snap,
+            &self.high,
+            &params,
+            &delta,
+            &flips,
+            self.verdicts.keys().copied(),
+            &mut self.scratch,
+        );
         self.stats.candidates += cands.len() as u64;
 
         // 4. re-check candidates, updating the verdict map both ways
-        let meter = CostMeter::new();
-        let mut cache: Vec<Option<(u64, i64)>> = vec![None; self.snap.n()];
-        for (i, j) in cands {
-            let (id_i, id_j) = (self.snap.node_id(i), self.snap.node_id(j));
-            let key = if id_i < id_j { (id_i, id_j) } else { (id_j, id_i) };
-            if !(self.high[i as usize] && self.high[j as usize]) {
-                self.verdicts.remove(&key);
-                continue;
-            }
-            if self.prune_active() {
-                let pi = self.optimized.row_prunable(self.snap.totals_of(i));
-                let pj = self.optimized.row_prunable(self.snap.totals_of(j));
-                let skip = if self.policy.require_mutual { pi || pj } else { pi && pj };
-                if skip {
-                    // sound: a prunable row's direction check cannot pass,
-                    // so the full kernel would produce no flag here
-                    self.stats.pruned += 1;
-                    self.verdicts.remove(&key);
-                    continue;
-                }
-            }
-            self.stats.checked += 1;
-            let verdict = match self.method {
-                EpochMethod::Basic => self.basic.check_pair_snap(&self.snap, i, j, &meter),
-                EpochMethod::Optimized => {
-                    let ev_fwd =
-                        self.optimized.direction_cached(&self.snap, i, Some(j), &meter, &mut cache);
-                    let ev_rev =
-                        self.optimized.direction_cached(&self.snap, j, Some(i), &meter, &mut cache);
-                    if self.policy.require_mutual {
-                        match (ev_fwd, ev_rev) {
-                            (Some(f), Some(r)) => {
-                                Some(SuspectPair::new(id_j, id_i, Some(f), Some(r)))
-                            }
-                            _ => None,
-                        }
-                    } else if ev_fwd.is_none() && ev_rev.is_none() {
-                        None
-                    } else {
-                        Some(SuspectPair::new(id_j, id_i, ev_fwd, ev_rev))
-                    }
-                }
-            };
-            match verdict {
-                Some(pair) => {
-                    self.verdicts.insert(key, pair);
-                }
-                None => {
-                    self.verdicts.remove(&key);
-                }
-            }
-        }
-        DetectionReport::new(self.verdicts.values().copied().collect(), meter.snapshot())
+        let kernels = RecheckKernels {
+            method: self.method,
+            require_mutual: self.policy.require_mutual,
+            prune_active: self.prune_active(),
+            basic: &self.basic,
+            optimized: &self.optimized,
+        };
+        let out = recheck_candidates(
+            &kernels,
+            &self.snap,
+            &self.high,
+            &cands,
+            &mut self.verdicts,
+            &mut self.scratch.cache,
+        );
+        self.stats.checked += out.checked;
+        self.stats.pruned += out.pruned;
+        out.report
     }
 
     /// Close the epoch, accounting it as watermark-forced. WAL replay calls
@@ -523,20 +720,61 @@ impl EpochEngine {
         let high = (0..snap.n() as u32)
             .map(|i| thresholds.is_high_reputed(snap.signed(i) as f64))
             .collect();
-        let engine = EpochEngine {
+        let engine = EpochEngine::from_parts(EngineParts {
             thresholds,
             policy,
             method,
             prune,
-            basic: BasicDetector::with_policy(thresholds, policy),
-            optimized: OptimizedDetector::with_policy(thresholds, policy),
             snap,
-            buffer: EpochBuffer::new(),
             high,
             verdicts,
             stats,
-        };
+        });
         Ok((engine, wal_seq))
+    }
+
+    // ----- State comparison --------------------------------------------
+
+    /// Whether two engines hold bit-identical detection state. See
+    /// [`EpochEngine::state_diff`].
+    pub fn state_eq(&self, other: &EpochEngine) -> bool {
+        self.state_diff(other).is_none()
+    }
+
+    /// Compare every piece of detection state — interned nodes, snapshot
+    /// rows and totals, high-reputed flags, standing verdicts, cumulative
+    /// stats — returning a description of the first mismatch, or `None`
+    /// when the engines are bit-identical. The pipelined engine's tests
+    /// and benches use this to assert equivalence with the serial path.
+    pub fn state_diff(&self, other: &EpochEngine) -> Option<String> {
+        if self.snap.n() != other.snap.n() {
+            return Some(format!("node count {} != {}", self.snap.n(), other.snap.n()));
+        }
+        for i in 0..self.snap.n() as u32 {
+            if self.snap.node_id(i) != other.snap.node_id(i) {
+                return Some(format!("node id at index {i} differs"));
+            }
+            if self.snap.totals_of(i) != other.snap.totals_of(i) {
+                return Some(format!("totals of index {i} differ"));
+            }
+            if self.snap.row(i) != other.snap.row(i) {
+                return Some(format!("row {i} differs"));
+            }
+        }
+        if self.high != other.high {
+            return Some("high-reputed flags differ".to_owned());
+        }
+        if self.verdicts != other.verdicts {
+            return Some(format!(
+                "verdicts differ: {} vs {} entries",
+                self.verdicts.len(),
+                other.verdicts.len()
+            ));
+        }
+        if self.stats != other.stats {
+            return Some(format!("stats differ: {:?} vs {:?}", self.stats, other.stats));
+        }
+        None
     }
 }
 

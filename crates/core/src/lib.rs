@@ -65,6 +65,7 @@ pub mod mitigation;
 pub mod model;
 pub mod optimized;
 mod pairset;
+pub mod pipeline;
 pub mod policy;
 pub mod report;
 pub mod sweep;
@@ -87,6 +88,10 @@ pub mod prelude {
     pub use crate::mitigation::{apply_conservative_mitigation, apply_mitigation};
     pub use crate::model::{Characteristic, SuspectPair};
     pub use crate::optimized::{OptimizedDetector, PruneStats};
+    pub use crate::pipeline::{
+        IngestHandle, PipelineConfig, PipelineStats, PipelinedEngine, PublishedView, ViewCell,
+        ViewReader,
+    };
     pub use crate::policy::DetectionPolicy;
     pub use crate::report::{ConfusionMatrix, DetectionReport};
     pub use crate::sweep::{sweep_thresholds, SweepPoint};

@@ -265,7 +265,7 @@ impl OptimizedDetector {
         let meter_ref = &meter;
         let is_high_ref = &is_high;
         let agg_ref = &agg;
-        let pairs: Vec<SuspectPair> = high
+        let mut pairs: Vec<SuspectPair> = high
             .par_iter()
             .flat_map_iter(|&i| {
                 let (cols, _) = snap.row(i);
@@ -294,6 +294,9 @@ impl OptimizedDetector {
                 })
             })
             .collect();
+        // sort + dedup here, not just in the report constructor, so the
+        // parallel collection order can never leak into the output
+        crate::report::normalize_pairs(&mut pairs);
         DetectionReport::new(pairs, meter.snapshot())
     }
 

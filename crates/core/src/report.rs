@@ -15,11 +15,23 @@ pub struct DetectionReport {
     pub cost: CostSnapshot,
 }
 
+/// Normalize a kernel's suspect-pair output in place: order by the
+/// unordered `(low, high)` id pair and drop duplicates. Duplicates arise
+/// when both endpoints of a pair discover it independently (each from its
+/// own row); [`crate::model::SuspectPair::new`] already canonicalizes the
+/// endpoint/evidence orientation, so duplicates are byte-identical and
+/// keeping the first is deterministic. Parallel kernels call this before
+/// returning so their output ordering never depends on thread scheduling.
+pub fn normalize_pairs(pairs: &mut Vec<SuspectPair>) {
+    pairs.sort_by_key(|p| p.ids());
+    pairs.dedup_by_key(|p| p.ids());
+}
+
 impl DetectionReport {
-    /// Build a report, deduplicating and ordering pairs.
+    /// Build a report, deduplicating and ordering pairs via
+    /// [`normalize_pairs`].
     pub fn new(mut pairs: Vec<SuspectPair>, cost: CostSnapshot) -> Self {
-        pairs.sort_by_key(|p| p.ids());
-        pairs.dedup_by_key(|p| p.ids());
+        normalize_pairs(&mut pairs);
         DetectionReport { pairs, cost }
     }
 

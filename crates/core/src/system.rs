@@ -41,7 +41,7 @@ use collusion_reputation::id::NodeId;
 use collusion_reputation::rating::Rating;
 use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
-use collusion_reputation::wal::{replay_bytes, Wal, WalRecord};
+use collusion_reputation::wal::{replay_bytes, SyncPolicy, Wal, WalRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -72,13 +72,13 @@ pub struct SystemStats {
 }
 
 /// The system-wide write-ahead log: every accepted submit is appended
-/// *before* it is applied, group-fsync'd every `flush_interval` appends.
+/// *before* it is applied, fsync'd per the attached [`SyncPolicy`].
 /// Shared behind a mutex so a cloned system keeps appending to the same
 /// durable stream (clones model restarted processes over one disk).
 #[derive(Clone, Debug)]
 struct SystemWal {
     wal: Arc<Mutex<Wal>>,
-    flush_interval: u64,
+    sync_policy: SyncPolicy,
     appends_since_sync: u64,
 }
 
@@ -173,11 +173,13 @@ impl DecentralizedSystem {
 
     /// Attach a write-ahead log at `path`: from now on every accepted
     /// [`DecentralizedSystem::submit`] is appended to it before it is
-    /// applied, group-fsync'd every `flush_interval` appends (0 is treated
-    /// as 1 — sync on every append). A crashed manager is then recovered by
-    /// replaying the log ([`DecentralizedSystem::manager_crash`] prefers
-    /// the disk copy over replicas whenever it is at least as complete),
-    /// and a cold restart can rebuild everything via
+    /// applied, fsync'd per `sync_policy` (under [`SyncPolicy::Group`] the
+    /// caller owns the commit points via
+    /// [`DecentralizedSystem::wal_sync`]). A crashed manager is then
+    /// recovered by replaying the log
+    /// ([`DecentralizedSystem::manager_crash`] prefers the disk copy over
+    /// replicas whenever it is at least as complete), and a cold restart
+    /// can rebuild everything via
     /// [`DecentralizedSystem::recover_from_wal`].
     ///
     /// An existing file at `path` is opened and appended to (its torn tail,
@@ -185,15 +187,12 @@ impl DecentralizedSystem {
     pub fn enable_durability(
         &mut self,
         path: impl AsRef<Path>,
-        flush_interval: u64,
+        sync_policy: SyncPolicy,
     ) -> Result<(), DurabilityError> {
         let path = path.as_ref();
         let wal = if path.exists() { Wal::open_existing(path)?.0 } else { Wal::create(path, 0)? };
-        self.wal = Some(SystemWal {
-            wal: Arc::new(Mutex::new(wal)),
-            flush_interval: flush_interval.max(1),
-            appends_since_sync: 0,
-        });
+        self.wal =
+            Some(SystemWal { wal: Arc::new(Mutex::new(wal)), sync_policy, appends_since_sync: 0 });
         Ok(())
     }
 
@@ -223,7 +222,7 @@ impl DecentralizedSystem {
     pub fn recover_from_wal(
         &mut self,
         path: impl AsRef<Path>,
-        flush_interval: u64,
+        sync_policy: SyncPolicy,
     ) -> Result<u64, DurabilityError> {
         let (wal, replay) = Wal::open_existing(path.as_ref())?;
         let mut applied = 0u64;
@@ -240,11 +239,8 @@ impl DecentralizedSystem {
             applied += 1;
         }
         self.rebuild_replicas();
-        self.wal = Some(SystemWal {
-            wal: Arc::new(Mutex::new(wal)),
-            flush_interval: flush_interval.max(1),
-            appends_since_sync: 0,
-        });
+        self.wal =
+            Some(SystemWal { wal: Arc::new(Mutex::new(wal)), sync_policy, appends_since_sync: 0 });
         Ok(applied)
     }
 
@@ -350,7 +346,7 @@ impl DecentralizedSystem {
             let mut wal = d.wal.lock().expect("system WAL lock poisoned");
             wal.append(&WalRecord::Rating(rating)).expect("system WAL append failed");
             d.appends_since_sync += 1;
-            if d.appends_since_sync >= d.flush_interval {
+            if d.sync_policy.due(d.appends_since_sync) {
                 wal.sync().expect("system WAL fsync failed");
                 d.appends_since_sync = 0;
             }
@@ -992,7 +988,7 @@ mod tests {
             Method::Optimized,
             DetectionPolicy::STRICT,
         );
-        logged.enable_durability(dir.join("logged.wal"), 16).unwrap();
+        logged.enable_durability(dir.join("logged.wal"), SyncPolicy::EveryK(16)).unwrap();
         for id in (1..=2).chain(20..=21).chain(40..45) {
             logged.register(NodeId(id));
         }
@@ -1027,7 +1023,7 @@ mod tests {
             DetectionPolicy::STRICT,
             3,
         );
-        sys.enable_durability(dir.join("system.wal"), 16).unwrap();
+        sys.enable_durability(dir.join("system.wal"), SyncPolicy::EveryK(16)).unwrap();
         for id in (1..=2).chain(20..=21).chain(40..45) {
             sys.register(NodeId(id));
         }
@@ -1063,7 +1059,7 @@ mod tests {
         let wal_path = dir.join("system.wal");
         let baseline = {
             let mut sys = build_replicated_system(8, 1);
-            sys.enable_durability(&wal_path, 16).unwrap();
+            sys.enable_durability(&wal_path, SyncPolicy::EveryK(16)).unwrap();
             for r in ratings() {
                 sys.submit(r);
             }
@@ -1080,7 +1076,7 @@ mod tests {
         for id in (1..=2).chain(20..=21).chain(40..45) {
             restarted.register(NodeId(id));
         }
-        let replayed = restarted.recover_from_wal(&wal_path, 16).unwrap();
+        let replayed = restarted.recover_from_wal(&wal_path, SyncPolicy::EveryK(16)).unwrap();
         assert_eq!(replayed, ratings().len() as u64);
         assert!(restarted.durability_enabled(), "log stays attached after recovery");
         assert_eq!(restarted.lookup_reputation(NodeId(1)), 25);

@@ -78,6 +78,17 @@ impl EpochBuffer {
         true
     }
 
+    /// Fold an already-aggregated counter cell in — the re-buffering path
+    /// for an intake delta that was drained but never closed. Self-pairs
+    /// and empty cells are ignored, matching [`EpochBuffer::record`].
+    pub fn record_counters(&mut self, ratee: NodeId, rater: NodeId, counters: PairCounters) {
+        if ratee == rater || counters.total == 0 {
+            return;
+        }
+        self.delta.entry((ratee, rater)).or_default().merge(&counters);
+        self.ratings += counters.total;
+    }
+
     /// Number of ratings folded in since the last [`EpochBuffer::drain`].
     #[inline]
     pub fn ratings(&self) -> u64 {

@@ -42,6 +42,7 @@ pub mod eigentrust;
 pub mod epoch;
 pub mod history;
 pub mod id;
+pub mod ingest;
 pub mod local;
 pub mod manager;
 pub mod rating;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::epoch::{EpochBuffer, EpochDelta};
     pub use crate::history::{InteractionHistory, PairCounters};
     pub use crate::id::{NodeId, SimTime};
+    pub use crate::ingest::ShardedIntake;
     pub use crate::local::{EBaySum, LocalAggregator, PositiveFraction};
     pub use crate::manager::CentralizedManager;
     pub use crate::rating::{Rating, RatingLog, RatingValue};
@@ -72,5 +74,5 @@ pub mod prelude {
     pub use crate::thresholds::Thresholds;
     pub use crate::trust_matrix::TrustMatrix;
     pub use crate::view::SnapshotView;
-    pub use crate::wal::{Wal, WalRecord, WalReplay};
+    pub use crate::wal::{SyncPolicy, Wal, WalRecord, WalReplay};
 }

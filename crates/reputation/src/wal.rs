@@ -56,6 +56,46 @@ const KIND_EPOCH_CLOSE: u8 = 0x02;
 /// 34 bytes, so this is generous headroom for future record kinds.
 const MAX_PAYLOAD_LEN: u32 = 4096;
 
+/// When WAL appends are forced to stable storage.
+///
+/// The WAL itself only buffers ([`Wal::append`] reaches the OS page cache,
+/// [`Wal::sync`] makes it durable); callers consult a `SyncPolicy` to decide
+/// *when* to sync. Epoch-close markers always sync regardless of policy —
+/// epoch boundaries are the recovery anchors and must never be lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Sync after every record: zero loss window, one fsync per append.
+    PerRecord,
+    /// Sync once at least `k` records are pending (`k ≥ 1`; 0 behaves as
+    /// 1). Batched appends count whole batches, so a batch larger than `k`
+    /// still costs a single fsync — the group-commit case.
+    EveryK(u64),
+    /// Never sync mid-epoch; only group-commit points (epoch closes,
+    /// explicit [`Wal::sync`] calls) make records durable.
+    Group,
+}
+
+impl SyncPolicy {
+    /// The historical default: group-fsync every 64 appends.
+    pub const DEFAULT: SyncPolicy = SyncPolicy::EveryK(64);
+
+    /// Whether `pending` un-synced appends require a sync now.
+    #[inline]
+    pub fn due(self, pending: u64) -> bool {
+        match self {
+            SyncPolicy::PerRecord => pending > 0,
+            SyncPolicy::EveryK(k) => pending >= k.max(1),
+            SyncPolicy::Group => false,
+        }
+    }
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy::DEFAULT
+    }
+}
+
 /// One logical WAL entry, decoded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WalRecord {
@@ -245,8 +285,8 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, WalError> {
 /// An append-only write-ahead log file.
 ///
 /// Appends buffer in the OS page cache; [`Wal::sync`] makes them durable.
-/// Callers group-sync every `flush_interval` appends (the engine's simulated
-/// flush interval) and before every checkpoint.
+/// Callers schedule syncs via [`SyncPolicy`] (per record, every k records,
+/// or group commit at epoch closes) and always sync before a checkpoint.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
@@ -312,6 +352,29 @@ impl Wal {
         self.len += bytes.len() as u64;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Append a batch of rating records as one buffered write, returning
+    /// the sequence-number range `[start, end)` they occupy. Encoding is
+    /// record-for-record identical to looping [`Wal::append`] — replay
+    /// cannot tell the difference — but the whole batch costs a single
+    /// `write(2)`, which is what makes the group-commit handoff of the
+    /// pipelined ingest path cheap.
+    pub fn append_ratings(&mut self, ratings: &[Rating]) -> Result<(u64, u64), WalError> {
+        let start = self.next_seq;
+        let mut buf = Vec::with_capacity(ratings.len() * 48);
+        let mut last_start = self.len;
+        for (k, &r) in ratings.iter().enumerate() {
+            last_start = self.len + buf.len() as u64;
+            buf.extend_from_slice(&encode_record(start + k as u64, &WalRecord::Rating(r)));
+        }
+        self.file.write_all(&buf)?;
+        if !ratings.is_empty() {
+            self.last_record_span = (last_start, self.len + buf.len() as u64);
+        }
+        self.len += buf.len() as u64;
+        self.next_seq += ratings.len() as u64;
+        Ok((start, self.next_seq))
     }
 
     /// Force appended records to stable storage (group fsync point).
@@ -445,6 +508,45 @@ mod tests {
         assert_eq!(replay.corruption, Some(CodecError::ChecksumMismatch));
         assert!(replay.is_truncated());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_appends_replay_identically_to_looped_appends() {
+        let dir = scratch("batch");
+        let looped_path = dir.join("looped.wal");
+        let batched_path = dir.join("batched.wal");
+        let ratings: Vec<Rating> = (0..37).map(|k| rating(k % 5 + 1, k % 7 + 10, k)).collect();
+        let mut looped = Wal::create(&looped_path, 3).unwrap();
+        for &r in &ratings {
+            looped.append(&WalRecord::Rating(r)).unwrap();
+        }
+        looped.sync().unwrap();
+        let mut batched = Wal::create(&batched_path, 3).unwrap();
+        let (start, end) = batched.append_ratings(&ratings).unwrap();
+        assert_eq!((start, end), (3, 3 + ratings.len() as u64));
+        assert_eq!(batched.last_record_span(), looped.last_record_span());
+        batched.sync().unwrap();
+        assert_eq!(
+            std::fs::read(&looped_path).unwrap(),
+            std::fs::read(&batched_path).unwrap(),
+            "batched encoding must be byte-identical"
+        );
+        // empty batch: no-op, sequence unchanged
+        assert_eq!(batched.append_ratings(&[]).unwrap(), (end, end));
+        assert_eq!(batched.next_seq(), end);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_policy_due_semantics() {
+        assert!(SyncPolicy::PerRecord.due(1));
+        assert!(!SyncPolicy::PerRecord.due(0));
+        assert!(!SyncPolicy::EveryK(64).due(63));
+        assert!(SyncPolicy::EveryK(64).due(64));
+        assert!(SyncPolicy::EveryK(64).due(200));
+        assert!(SyncPolicy::EveryK(0).due(1), "k=0 behaves as k=1");
+        assert!(!SyncPolicy::Group.due(u64::MAX));
+        assert_eq!(SyncPolicy::default(), SyncPolicy::EveryK(64));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod ingest;
 pub mod metrics;
 pub mod network;
 pub mod peer;
@@ -39,6 +40,7 @@ pub mod scenario;
 pub mod prelude {
     pub use crate::config::{DetectorKind, ReputationEngine, SimConfig};
     pub use crate::engine::Simulation;
+    pub use crate::ingest::{run_ingest_driver, IngestDriverConfig, IngestDriverOutcome};
     pub use crate::metrics::{AveragedMetrics, SimMetrics};
     pub use crate::network::InterestNetwork;
     pub use crate::peer::{NodeKind, Peer};

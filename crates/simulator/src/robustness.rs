@@ -33,6 +33,7 @@ use collusion_reputation::history::PairCounters;
 use collusion_reputation::id::{NodeId, SimTime};
 use collusion_reputation::rating::Rating;
 use collusion_reputation::thresholds::Thresholds;
+use collusion_reputation::wal::SyncPolicy;
 
 /// Configuration of one robustness experiment.
 #[derive(Clone, Debug)]
@@ -159,7 +160,7 @@ fn build_system(
         replication,
     );
     if let Some(path) = wal_path {
-        sys.enable_durability(path, 64).expect("enable system WAL");
+        sys.enable_durability(path, SyncPolicy::EveryK(64)).expect("enable system WAL");
     }
     for id in 1..=cfg.sim.n_nodes {
         sys.register(NodeId(id));
@@ -280,7 +281,7 @@ impl CrashRecoveryConfig {
             epoch_len: 500,
             crash_after: 0, // 0 = auto: 60% of the stream
             durability: DurabilityConfig {
-                flush_interval: 32,
+                sync_policy: SyncPolicy::EveryK(32),
                 checkpoint_interval: 2,
                 keep_checkpoints: 2,
                 pair_watermark: None,

@@ -31,7 +31,8 @@ echo "== scale smoke (n=2k sharded/pruned/epoch kernels, fixed shape) =="
 # variants internally; the diff pins the deterministic counters
 smoke_out="$(mktemp)"
 recovery_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$recovery_out"' EXIT
+ingest_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$recovery_out" "$ingest_out"' EXIT
 timeout 120 cargo run --release -q -p collusion-bench --bin scale_json -- \
   --smoke --out "$smoke_out"
 diff scripts/BENCH_scale_smoke_expected.json "$smoke_out"
@@ -42,5 +43,13 @@ echo "== recovery smoke (n=2k WAL/checkpoint cadences, fixed replay volumes) =="
 timeout 120 cargo run --release -q -p collusion-bench --bin recovery_json -- \
   --smoke --out "$recovery_out"
 diff scripts/BENCH_recovery_smoke_expected.json "$recovery_out"
+
+echo "== ingest smoke (n=2k pipelined vs serial, fixed suspect/record counts) =="
+# the smoke run asserts per-epoch suspect sets and final engine state are
+# bit-identical between the pipelined and serial engines internally; the
+# diff pins suspect counts, WAL record counts, and the identity flags
+timeout 120 cargo run --release -q -p collusion-bench --bin ingest_json -- \
+  --smoke --out "$ingest_out"
+diff scripts/BENCH_ingest_smoke_expected.json "$ingest_out"
 
 echo "All checks passed."

@@ -204,7 +204,7 @@ proptest! {
             prune: true,
         };
         let cfg = DurabilityConfig {
-            flush_interval: 8,
+            sync_policy: SyncPolicy::EveryK(8),
             checkpoint_interval,
             keep_checkpoints: 2,
             pair_watermark: watermark,
