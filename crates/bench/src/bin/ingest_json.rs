@@ -27,10 +27,13 @@
 //! and the finished pipelined engine's full state (snapshot cells, high
 //! flags, verdict map, stats) must equal the serial engine's.
 //!
-//! `--smoke` runs only `n = 2 000` with producer counts {1, 4} and writes
-//! the *deterministic* fields (record counts, suspect sets, identity
-//! flags — no timings, no allocation counts) so CI can diff the output
-//! against `scripts/BENCH_ingest_smoke_expected.json`.
+//! `--smoke` runs only `n = 2 000` with producer counts {1, 4}. The
+//! deterministic fields (record counts, suspect sets, identity flags) are
+//! byte-diffed against `scripts/BENCH_ingest_smoke_expected.json` by CI;
+//! the serial `ratings_per_sec` and `allocs_steady_close` fields are
+//! machine-dependent, so `scripts/check.sh` filters them from the diff
+//! and gates them separately (a generous perf ratio against the recorded
+//! reference, and a hard allocation budget for a steady-state close).
 
 use collusion_core::durability::{scratch_dir, DurabilityConfig, DurableEngine, EngineSetup};
 use collusion_core::epoch::EpochMethod;
@@ -105,10 +108,11 @@ struct SerialRun {
 }
 
 /// The baseline: a serial durable engine folding the stream on one thread
-/// (per-record WAL appends, fsync every 64, detection inline at closes).
+/// (buffered WAL encode, asynchronous group-commit fsync on a background
+/// committer thread, detection inline at closes).
 fn run_serial(nodes: &[NodeId], setup: EngineSetup, chunks: &[&[Rating]]) -> SerialRun {
     let dcfg = DurabilityConfig {
-        sync_policy: SyncPolicy::EveryK(64),
+        sync_policy: SyncPolicy::ASYNC_DEFAULT,
         checkpoint_interval: 0, // WAL-only: measure ingest, not snapshots
         keep_checkpoints: 2,
         pair_watermark: None,
@@ -274,12 +278,15 @@ fn json_point(p: &GridPoint, smoke: bool) -> String {
     j.push_str("      \"serial\": {");
     j.push_str(&format!("\"wal_records\": {}, ", p.serial.wal_records));
     j.push_str(&format!("\"suspects\": {}", p.serial.engine.report().pairs.len()));
+    // ratings_per_sec and allocs_steady_close are emitted in smoke mode
+    // too: check.sh filters them out of the byte diff and gates them
+    // separately (perf ratio with generous tolerance, alloc budget)
+    j.push_str(&format!(", \"ratings_per_sec\": {:.1}", rps(p.serial.elapsed_ns)));
     if !smoke {
-        j.push_str(&format!(", \"ratings_per_sec\": {:.1}", rps(p.serial.elapsed_ns)));
         j.push_str(&format!(", \"close_median_ns\": {}", p.serial.close_median_ns));
         j.push_str(&format!(", \"allocs_first_close\": {}", p.serial.allocs_first_close));
-        j.push_str(&format!(", \"allocs_steady_close\": {}", p.serial.allocs_steady_close));
     }
+    j.push_str(&format!(", \"allocs_steady_close\": {}", p.serial.allocs_steady_close));
     j.push_str("},\n");
     j.push_str("      \"producers\": [\n");
     for (i, r) in p.runs.iter().enumerate() {
@@ -321,8 +328,14 @@ fn main() {
                 "BENCH_ingest.json".into()
             }
         });
-    let (grid, producer_counts): (&[u64], &[usize]) =
-        if smoke { (&[2_000], &[1, 4]) } else { (&[20_000, 100_000], &[1, 2, 3, 4, 5, 6, 7, 8]) };
+    let serial_only = std::env::var_os("INGEST_SERIAL_ONLY").is_some();
+    let (grid, producer_counts): (&[u64], &[usize]) = if smoke {
+        (&[2_000], &[1, 4])
+    } else if serial_only {
+        (&[20_000], &[])
+    } else {
+        (&[20_000, 100_000], &[1, 2, 3, 4, 5, 6, 7, 8])
+    };
 
     let points: Vec<GridPoint> = grid.iter().map(|&n| run_point(n, producer_counts)).collect();
 

@@ -7,8 +7,11 @@
 //! * Every accepted rating is appended to the WAL
 //!   ([`collusion_reputation::wal`]) before it is folded into the engine;
 //!   fsync scheduling follows [`DurabilityConfig::sync_policy`] — per
-//!   record, every k records (the default, k = 64), or group-commit only
-//!   at epoch closes.
+//!   record, every k records (the default, k = 64), group-commit only
+//!   at epoch closes, or asynchronous group commit on a background
+//!   committer thread ([`SyncPolicy::Async`]: the record path never
+//!   blocks on fsync; closes and checkpoints barrier on the committer's
+//!   durable watermark).
 //! * Every epoch close — scheduled or forced by the epoch-buffer memory
 //!   watermark — appends an epoch-close marker and fsyncs, so epoch
 //!   boundaries are always durable.
@@ -236,7 +239,10 @@ impl DurableEngine {
     ) -> Result<Self, DurabilityError> {
         std::fs::create_dir_all(dir)?;
         let store = CheckpointStore::new(dir, cfg.keep_checkpoints)?;
-        let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
+        let mut wal = Wal::create(&dir.join(WAL_FILE), 0)?;
+        if let SyncPolicy::Async { max_bytes, max_delay_micros } = cfg.sync_policy {
+            wal.enable_group_commit(max_bytes, max_delay_micros)?;
+        }
         let mut engine = EpochEngine::new(
             nodes,
             setup.target_shards,
@@ -343,6 +349,10 @@ impl DurableEngine {
         } else {
             Wal::create(&wal_path, replay_from)?
         };
+        let mut wal = wal;
+        if let SyncPolicy::Async { max_bytes, max_delay_micros } = cfg.sync_policy {
+            wal.enable_group_commit(max_bytes, max_delay_micros)?;
+        }
         report.next_seq = wal.next_seq();
         // replay followed the durable close markers; arm the watermark only
         // now that the log has been consumed

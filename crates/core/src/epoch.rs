@@ -40,7 +40,7 @@ use std::collections::BTreeMap;
 
 use collusion_reputation::codec::{ByteReader, ByteWriter, CodecError};
 use collusion_reputation::epoch::{EpochBuffer, EpochDelta};
-use collusion_reputation::history::{InteractionHistory, PairCounters};
+use collusion_reputation::history::{InteractionHistory, NodeTotals, PairCounters};
 use collusion_reputation::id::NodeId;
 use collusion_reputation::rating::Rating;
 use collusion_reputation::sharded::ShardedSnapshot;
@@ -94,8 +94,14 @@ pub struct EpochStats {
 pub(crate) struct CloseScratch {
     /// Dirty-or-flipped node flags (step 3).
     pub(crate) active: Vec<bool>,
-    /// Prunability memo: 0 unknown, 1 prunable, 2 not (step 3).
+    /// Per-row prunability flags, batch-filled by
+    /// [`OptimizedDetector::rows_prunable_batch`] when pruning is armed:
+    /// nonzero = prunable (step 3, reused verbatim by step 4).
     pub(crate) memo: Vec<u8>,
+    /// Candidate-pair dedup set (step 3, cleared per close, table reused).
+    pub(crate) seen: PairSet,
+    /// Candidate pairs of the current close (step 3's output).
+    pub(crate) cands: Vec<(u32, u32)>,
     /// Per-ratee frequent-aggregate cache (step 4).
     pub(crate) cache: Vec<Option<(u64, i64)>>,
 }
@@ -162,12 +168,24 @@ pub(crate) fn advance_epoch_state(
         }
         *high = carried;
     }
+    // High-flag recompute over the SoA totals columns: contiguous loads
+    // instead of a shard-resolving `totals_of` probe per row. Each lane is
+    // `thresholds.is_high_reputed(totals.signed() as f64)` verbatim.
     let mut flips: Vec<u32> = Vec::new();
-    for i in 0..snap.n() as u32 {
-        let now = thresholds.is_high_reputed(snap.signed(i) as f64);
-        if now != high[i as usize] {
-            high[i as usize] = now;
-            flips.push(i);
+    for tc in snap.totals_columns() {
+        let base = tc.base as usize;
+        let flags = &mut high[base..base + tc.total.len()];
+        for (k, was) in flags.iter_mut().enumerate() {
+            let totals = NodeTotals {
+                total: tc.total[k],
+                positive: tc.positive[k],
+                negative: tc.negative[k],
+            };
+            let now = thresholds.is_high_reputed(totals.signed() as f64);
+            if now != *was {
+                *was = now;
+                flips.push((base + k) as u32);
+            }
         }
     }
     flips
@@ -184,9 +202,10 @@ pub(crate) struct CandidateParams<'a> {
 }
 
 /// Step 3 of an epoch close: enumerate the candidate pairs whose verdict
-/// could have changed. `verdict_keys` must iterate the standing verdict
-/// keys in ascending order (the [`BTreeMap`] key order) so the candidate
-/// list is reproduced exactly regardless of who owns the verdict map.
+/// could have changed, into `scratch.cands`. `verdict_keys` must iterate
+/// the standing verdict keys in ascending order (the [`BTreeMap`] key
+/// order) so the candidate list is reproduced exactly regardless of who
+/// owns the verdict map.
 pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
     snap: &ShardedSnapshot,
     high: &[bool],
@@ -195,19 +214,38 @@ pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
     flips: &[u32],
     verdict_keys: I,
     scratch: &mut CloseScratch,
-) -> Vec<(u32, u32)> {
+) {
     let prune_on = params.prune_on;
     scratch.reset_merge(snap.n());
-    let active = &mut scratch.active;
-    for id in delta.dirty_ratees() {
-        let d = snap.index(id).expect("dirty ratee interned by apply_epoch");
-        active[d as usize] = true;
+    // Batch-fill the prunability flags for every row up front. The memo is
+    // a pure function of row totals, so computing lanes the old lazy scan
+    // would never have consulted cannot change which pairs are admitted —
+    // and the SoA kernel fills all n lanes for less than the scalar oracle
+    // charged for its misses. Step 4 reuses these flags verbatim.
+    if prune_on {
+        for tc in snap.totals_columns() {
+            let base = tc.base as usize;
+            let out = &mut scratch.memo[base..base + tc.total.len()];
+            params.optimized.rows_prunable_batch(&tc, out);
+        }
     }
-    for &f in flips {
-        active[f as usize] = true;
+    {
+        let active = &mut scratch.active;
+        for id in delta.dirty_ratees() {
+            let d = snap.index(id).expect("dirty ratee interned by apply_epoch");
+            active[d as usize] = true;
+        }
+        for &f in flips {
+            active[f as usize] = true;
+        }
     }
-    let mut seen = PairSet::with_capacity(delta.entries.len() * 2);
-    let mut cands: Vec<(u32, u32)> = Vec::new();
+    scratch.seen.clear();
+    scratch.cands.clear();
+    let active = &scratch.active;
+    let memo = &scratch.memo;
+    let seen = &mut scratch.seen;
+    let cands = &mut scratch.cands;
+    let prunable = |x: u32| -> bool { prune_on && memo[x as usize] != 0 };
     for (a, b) in verdict_keys {
         let (i, j) = (
             snap.index(a).expect("verdict node interned"),
@@ -217,33 +255,19 @@ pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
             cands.push((i, j));
         }
     }
-    let memo = &mut scratch.memo;
-    let optimized = params.optimized;
-    let prunable = |x: u32, memo: &mut Vec<u8>| -> bool {
-        if !prune_on {
-            return false;
-        }
-        let m = memo[x as usize];
-        if m != 0 {
-            return m == 1;
-        }
-        let p = optimized.row_prunable(snap.totals_of(x));
-        memo[x as usize] = if p { 1 } else { 2 };
-        p
-    };
     for c in 0..snap.n() as u32 {
         if !active[c as usize] || !high[c as usize] {
             continue;
         }
-        let c_banned = prunable(c, memo);
+        let c_banned = prunable(c);
         if c_banned && params.require_mutual {
             continue; // no pair with this endpoint can be flagged
         }
-        let admit = |x: u32, memo: &mut Vec<u8>| -> bool {
+        let admit = |x: u32| -> bool {
             if x == c || !high[x as usize] {
                 return false;
             }
-            let x_banned = prunable(x, memo);
+            let x_banned = prunable(x);
             let banned = if params.require_mutual {
                 x_banned // c already known not banned here
             } else {
@@ -253,17 +277,16 @@ pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
         };
         let (cols, _) = snap.row(c);
         for &x in cols {
-            if admit(x, memo) && seen.insert(x, c) {
+            if admit(x) && seen.insert(x, c) {
                 cands.push((x, c));
             }
         }
         for &y in snap.ratees_of(c) {
-            if admit(y, memo) && seen.insert(c, y) {
+            if admit(y) && seen.insert(c, y) {
                 cands.push((c, y));
             }
         }
     }
-    cands
 }
 
 /// Kernel configuration of the re-check pass (step 4).
@@ -295,11 +318,17 @@ pub(crate) struct RecheckOutcome {
 /// Generic over [`SnapshotView`] so the pipelined engine can run it
 /// against a partial slice of the snapshot covering only the candidate
 /// endpoints; the kernels read nothing else.
+///
+/// `prunable` optionally supplies per-row prunability flags (nonzero =
+/// prunable) batch-computed by [`enumerate_candidates`] from the same
+/// snapshot state, saving the two scalar [`OptimizedDetector::row_prunable`]
+/// evaluations per candidate; `None` falls back to the scalar oracle.
 pub(crate) fn recheck_candidates<V: SnapshotView>(
     kernels: &RecheckKernels<'_>,
     snap: &V,
     high: &[bool],
     cands: &[(u32, u32)],
+    prunable: Option<&[u8]>,
     verdicts: &mut BTreeMap<(NodeId, NodeId), SuspectPair>,
     cache: &mut Vec<Option<(u64, i64)>>,
 ) -> RecheckOutcome {
@@ -316,8 +345,13 @@ pub(crate) fn recheck_candidates<V: SnapshotView>(
             continue;
         }
         if kernels.prune_active {
-            let pi = kernels.optimized.row_prunable(snap.totals_of(i));
-            let pj = kernels.optimized.row_prunable(snap.totals_of(j));
+            let (pi, pj) = match prunable {
+                Some(flags) => (flags[i as usize] != 0, flags[j as usize] != 0),
+                None => (
+                    kernels.optimized.row_prunable(snap.totals_of(i)),
+                    kernels.optimized.row_prunable(snap.totals_of(j)),
+                ),
+            };
             let skip = if kernels.require_mutual { pi || pj } else { pi && pj };
             if skip {
                 // sound: a prunable row's direction check cannot pass,
@@ -520,7 +554,6 @@ impl EpochEngine {
         if delta.is_empty() {
             return self.report();
         }
-
         // 1–2. advance the snapshot and high flags, collecting flips
         let flips = advance_epoch_state(&mut self.snap, &mut self.high, &self.thresholds, &delta);
 
@@ -543,7 +576,7 @@ impl EpochEngine {
             require_mutual: self.policy.require_mutual,
             prune_on: self.prune_active(),
         };
-        let cands = enumerate_candidates(
+        enumerate_candidates(
             &self.snap,
             &self.high,
             &params,
@@ -552,9 +585,10 @@ impl EpochEngine {
             self.verdicts.keys().copied(),
             &mut self.scratch,
         );
-        self.stats.candidates += cands.len() as u64;
+        self.stats.candidates += self.scratch.cands.len() as u64;
 
-        // 4. re-check candidates, updating the verdict map both ways
+        // 4. re-check candidates, updating the verdict map both ways,
+        //    reusing the batch prunability flags step 3 computed
         let kernels = RecheckKernels {
             method: self.method,
             require_mutual: self.policy.require_mutual,
@@ -562,13 +596,16 @@ impl EpochEngine {
             basic: &self.basic,
             optimized: &self.optimized,
         };
+        let scratch = &mut self.scratch;
+        let prunable = kernels.prune_active.then_some(scratch.memo.as_slice());
         let out = recheck_candidates(
             &kernels,
             &self.snap,
             &self.high,
-            &cands,
+            &scratch.cands,
+            prunable,
             &mut self.verdicts,
-            &mut self.scratch.cache,
+            &mut scratch.cache,
         );
         self.stats.checked += out.checked;
         self.stats.pruned += out.pruned;

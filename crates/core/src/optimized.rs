@@ -29,6 +29,7 @@ use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
 use collusion_reputation::history::NodeTotals;
 use collusion_reputation::id::NodeId;
+use collusion_reputation::sharded::TotalsColumns;
 use collusion_reputation::thresholds::Thresholds;
 use collusion_reputation::view::SnapshotView;
 use rayon::prelude::*;
@@ -477,7 +478,11 @@ impl OptimizedDetector {
     /// its Formula (2) band (see [`OptimizedDetector::detect_pruned`] for
     /// the three rules and their soundness arguments). Only valid under the
     /// strict community definition.
-    pub(crate) fn row_prunable(&self, totals: NodeTotals) -> bool {
+    ///
+    /// This scalar form is the bit-identity oracle for
+    /// [`OptimizedDetector::rows_prunable_batch`]; the property tests
+    /// compare the two lane by lane.
+    pub fn row_prunable(&self, totals: NodeTotals) -> bool {
         let t = &self.thresholds;
         let n_i = totals.total;
         if n_i < t.t_n {
@@ -489,6 +494,38 @@ impl OptimizedDetector {
         }
         // below the smallest feasible lower bound (monotone in N(j,i))
         (r as f64) < formula_reputation(t.t_a, 0.0, n_i, t.t_n)
+    }
+
+    /// Batch form of [`OptimizedDetector::row_prunable`] over one shard's
+    /// structure-of-arrays totals columns: sets `out[k]` to `1` iff global
+    /// row `cols.base + k` is prunable, `0` otherwise.
+    ///
+    /// Every lane evaluates the same three rules as the scalar oracle with
+    /// identical arithmetic, branch-free (`|`/`&` on the rule booleans
+    /// instead of short-circuits) so LLVM autovectorizes the loop over the
+    /// contiguous columns. The one rewrite is rule 3's lower bound: the
+    /// scalar path calls `formula_reputation(t_a, 0.0, n_i, t_n)`, whose
+    /// `b = 0` term is `+0.0 · x` with `x` a finite non-negative `f64` —
+    /// always exactly `+0.0`, and `+0.0 + y` either equals `y` or flips a
+    /// negative zero, which every `< r` comparison treats identically. The
+    /// batch lane therefore hoists `2·T_a·T_N` out of the loop and compares
+    /// against `lo_base − N_i` directly; `tests/pipeline_props.rs` asserts
+    /// lane-for-lane equality with the oracle over adversarial totals.
+    ///
+    /// With the `explicit-simd` cargo feature the loop runs over fixed
+    /// `[_; 4]` lane arrays instead (same per-lane arithmetic, still safe
+    /// code), pinning the vector shape rather than trusting the
+    /// autovectorizer.
+    pub fn rows_prunable_batch(&self, cols: &TotalsColumns<'_>, out: &mut [u8]) {
+        let rows = cols.total.len();
+        assert!(
+            out.len() >= rows && cols.positive.len() == rows && cols.negative.len() == rows,
+            "totals columns and output flags disagree on row count"
+        );
+        let t = &self.thresholds;
+        let upper_armed = t.t_b <= 1.0 - 1e-9;
+        let lo_base = 2.0 * t.t_a * t.t_n as f64;
+        prunable_batch_impl(t.t_n, upper_armed, lo_base, cols, &mut out[..rows]);
     }
 
     /// Parallel snapshot direction test backed by shared [`OnceLock`] cells.
@@ -508,6 +545,89 @@ impl OptimizedDetector {
                 snap.frequent_agg(t_n, ratee).unwrap_or_else(|| snap.row_freq(ratee, t_n))
             })
         })
+    }
+}
+
+/// One lane of [`OptimizedDetector::rows_prunable_batch`]: the three
+/// prunability rules evaluated branch-free. The signed reputation clamps
+/// exactly like [`NodeTotals::signed`] (`i64::try_from(v).unwrap_or(MAX)`
+/// is `min` against `i64::MAX`, then a saturating subtract).
+#[inline(always)]
+fn prunable_lane(
+    t_n: u64,
+    upper_armed: bool,
+    lo_base: f64,
+    total: u64,
+    positive: u64,
+    negative: u64,
+) -> u8 {
+    let p = positive.min(i64::MAX as u64) as i64;
+    let n = negative.min(i64::MAX as u64) as i64;
+    let r = p.saturating_sub(n);
+    let prunable = (total < t_n)
+        | (upper_armed & (total <= 1_000_000) & (r >= total as i64))
+        | ((r as f64) < lo_base - total as f64);
+    prunable as u8
+}
+
+/// Autovectorized batch-kernel body: one branch-free pass over the SoA
+/// columns, letting LLVM pick the vector width.
+#[cfg(not(feature = "explicit-simd"))]
+fn prunable_batch_impl(
+    t_n: u64,
+    upper_armed: bool,
+    lo_base: f64,
+    cols: &TotalsColumns<'_>,
+    out: &mut [u8],
+) {
+    for (k, flag) in out.iter_mut().enumerate() {
+        *flag = prunable_lane(
+            t_n,
+            upper_armed,
+            lo_base,
+            cols.total[k],
+            cols.positive[k],
+            cols.negative[k],
+        );
+    }
+}
+
+/// Explicit-SIMD batch-kernel body: fixed four-wide `[_; 4]` lane arrays
+/// (safe code — the crate forbids `unsafe`, so no `std::arch`), scalar
+/// tail. Per-lane arithmetic is [`prunable_lane`] verbatim, so the flags
+/// are bit-identical to the autovectorized and scalar paths.
+#[cfg(feature = "explicit-simd")]
+fn prunable_batch_impl(
+    t_n: u64,
+    upper_armed: bool,
+    lo_base: f64,
+    cols: &TotalsColumns<'_>,
+    out: &mut [u8],
+) {
+    const LANES: usize = 4;
+    let rows = out.len();
+    let chunks = rows / LANES * LANES;
+    let mut k = 0;
+    while k < chunks {
+        let tt: [u64; LANES] = cols.total[k..k + LANES].try_into().expect("lane chunk");
+        let pp: [u64; LANES] = cols.positive[k..k + LANES].try_into().expect("lane chunk");
+        let nn: [u64; LANES] = cols.negative[k..k + LANES].try_into().expect("lane chunk");
+        let mut flags = [0u8; LANES];
+        for l in 0..LANES {
+            flags[l] = prunable_lane(t_n, upper_armed, lo_base, tt[l], pp[l], nn[l]);
+        }
+        out[k..k + LANES].copy_from_slice(&flags);
+        k += LANES;
+    }
+    for (j, flag) in out.iter_mut().enumerate().skip(chunks) {
+        *flag = prunable_lane(
+            t_n,
+            upper_armed,
+            lo_base,
+            cols.total[j],
+            cols.positive[j],
+            cols.negative[j],
+        );
     }
 }
 
@@ -699,6 +819,50 @@ mod tests {
         let input = DetectionInput::from_signed_history(&h, &nodes);
         let report = OptimizedDetector::new(thresholds()).detect(&input);
         assert!(report.pairs.is_empty());
+    }
+
+    #[test]
+    fn batch_prunable_matches_scalar_oracle() {
+        // adversarial lane values: clamp edges, zero rows, the 1e6 upper
+        // gate, and values straddling the lower-bound comparison
+        let totals: Vec<(u64, u64, u64)> = vec![
+            (0, 0, 0),
+            (19, 19, 0),
+            (20, 20, 0),
+            (21, 0, 21),
+            (1_000_000, 1_000_000, 0),
+            (1_000_001, 1_000_001, 0),
+            (40, 39, 1),
+            (40, 8, 32),
+            (u64::MAX, u64::MAX, 0),
+            (u64::MAX, u64::MAX / 2, u64::MAX / 2),
+            (100, i64::MAX as u64 + 7, 3),
+            (50, 3, i64::MAX as u64 + 7),
+        ];
+        let (tot, pos, neg): (Vec<u64>, Vec<u64>, Vec<u64>) = totals.iter().fold(
+            (Vec::new(), Vec::new(), Vec::new()),
+            |(mut t, mut p, mut n), &(a, b, c)| {
+                t.push(a);
+                p.push(b);
+                n.push(c);
+                (t, p, n)
+            },
+        );
+        for t_b in [0.2, 1.0] {
+            let det = OptimizedDetector::new(Thresholds::new(1.0, 20, 0.8, t_b));
+            let cols = collusion_reputation::sharded::TotalsColumns {
+                base: 0,
+                total: &tot,
+                positive: &pos,
+                negative: &neg,
+            };
+            let mut flags = vec![0u8; tot.len()];
+            det.rows_prunable_batch(&cols, &mut flags);
+            for (k, &(total, positive, negative)) in totals.iter().enumerate() {
+                let expect = det.row_prunable(NodeTotals { total, positive, negative });
+                assert_eq!(flags[k] != 0, expect, "lane {k} diverged (t_b={t_b})");
+            }
+        }
     }
 
     #[test]

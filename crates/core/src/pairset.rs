@@ -42,7 +42,7 @@ impl Hasher for SplitMixHasher {
 type PairHasher = BuildHasherDefault<SplitMixHasher>;
 
 /// Set of *unordered* `{a, b}` pairs of dense `u32` indices.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct PairSet {
     set: HashSet<u64, PairHasher>,
 }
@@ -69,6 +69,12 @@ impl PairSet {
     #[inline]
     pub fn insert(&mut self, a: u32, b: u32) -> bool {
         self.set.insert(Self::key(a, b))
+    }
+
+    /// Remove every pair, keeping the allocated table for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.set.clear();
     }
 
     /// Number of pairs stored.

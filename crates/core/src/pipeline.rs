@@ -82,6 +82,7 @@ use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
 use collusion_reputation::epoch::EpochDelta;
+use collusion_reputation::fxhash::FxHashMap;
 use collusion_reputation::history::{NodeTotals, PairCounters};
 use collusion_reputation::id::NodeId;
 use collusion_reputation::ingest::ShardedIntake;
@@ -352,6 +353,10 @@ struct ClosePlan {
     cands: Vec<(u32, u32)>,
     slice: DetectSlice,
     high: Vec<bool>,
+    /// Per-row prunability flags batch-computed by the merge stage from
+    /// the same snapshot state the slice was frozen from; empty when
+    /// pruning is off (or the close was empty).
+    prunable: Vec<u8>,
     nodes: Vec<NodeId>,
     signed: Vec<i64>,
 }
@@ -382,9 +387,16 @@ struct DetectStageOut {
 
 // ----- Producer handle ---------------------------------------------------
 
-/// A producer-thread handle: folds ratings into the shared intake and
-/// ships them to the WAL stage in batches. Cheap to create, one per
-/// producer thread. Dropping the handle flushes its open batch.
+/// A producer-thread handle: aggregates ratings into a private delta map
+/// and ships them to the shared intake and the WAL stage in batches.
+/// Cheap to create, one per producer thread. Dropping the handle flushes
+/// its open batch.
+///
+/// The private map is what makes producer scaling monotone: a submit
+/// touches no shared state at all (no lock, no atomic), so N producers
+/// only meet at flush boundaries — once per `batch` ratings — where
+/// [`ShardedIntake::merge_cells`] locks each stripe once per flush
+/// instead of once per rating.
 ///
 /// Quiesce contract: every handle must be flushed (or dropped) before
 /// [`PipelinedEngine::close_epoch`] — producer sends then happen-before
@@ -395,17 +407,27 @@ pub struct IngestHandle {
     intake: Arc<ShardedIntake>,
     tx: Sender<WalMsg>,
     buf: Vec<Rating>,
+    /// Producer-local (ratee, rater) → counter aggregation since the last
+    /// flush; folded into the shared intake via `merge_cells`.
+    local: FxHashMap<(NodeId, NodeId), PairCounters>,
+    /// Reused drain buffer for the local map's cells.
+    cells: Vec<(NodeId, NodeId, PairCounters)>,
+    /// Raw ratings aggregated in `local`.
+    local_ratings: u64,
     batch: usize,
     batches: Arc<AtomicU64>,
 }
 
 impl IngestHandle {
     /// Fold one rating into the open epoch (self-ratings rejected, like
-    /// [`EpochEngine::record`]). Lock contention is one intake stripe.
+    /// [`EpochEngine::record`]). Touches only producer-local state; the
+    /// shared intake sees the aggregate at the next flush.
     pub fn submit(&mut self, rating: Rating) -> bool {
-        if !self.intake.record(rating) {
+        if rating.is_self_rating() {
             return false;
         }
+        self.local.entry((rating.ratee, rating.rater)).or_default().accumulate(rating.value);
+        self.local_ratings += 1;
         self.buf.push(rating);
         if self.buf.len() >= self.batch {
             self.flush();
@@ -413,11 +435,15 @@ impl IngestHandle {
         true
     }
 
-    /// Ship the open batch to the WAL stage (no-op when empty).
+    /// Fold the local aggregate into the shared intake and ship the open
+    /// rating batch to the WAL stage (no-op when empty).
     pub fn flush(&mut self) {
         if self.buf.is_empty() {
             return;
         }
+        self.cells.extend(self.local.drain().map(|((ratee, rater), c)| (ratee, rater, c)));
+        self.intake.merge_cells(&mut self.cells, self.local_ratings);
+        self.local_ratings = 0;
         let batch = std::mem::take(&mut self.buf);
         self.batches.fetch_add(1, Ordering::Relaxed);
         // the engine may already be finishing; ratings are then folded but
@@ -518,6 +544,9 @@ impl PipelinedEngine {
             intake: Arc::clone(&self.intake),
             tx: self.wal_tx.clone(),
             buf: Vec::with_capacity(self.batch),
+            local: FxHashMap::default(),
+            cells: Vec::new(),
+            local_ratings: 0,
             batch: self.batch,
             batches: Arc::clone(&self.batches),
         }
@@ -636,6 +665,12 @@ fn wal_stage(
     rx: Receiver<WalMsg>,
     merge_tx: Sender<MergeMsg>,
 ) -> WalStageOut {
+    if let (Some(w), SyncPolicy::Async { max_bytes, max_delay_micros }) =
+        (wal.as_mut(), sync_policy)
+    {
+        w.enable_group_commit(max_bytes, max_delay_micros)
+            .expect("pipeline WAL group commit setup failed");
+    }
     let mut out = WalStageOut { appends: 0, syncs: 0 };
     let mut pending = 0u64;
     let mut epoch = 0u64;
@@ -706,10 +741,10 @@ fn merge_stage(
             MergeMsg::Close { epoch, delta } => {
                 epochs += 1;
                 ratings += delta.ratings;
-                let (cands, slice) = if delta.is_empty() {
+                let (cands, slice, prunable) = if delta.is_empty() {
                     // serial close short-circuits here too: no snapshot
                     // advance, verdicts untouched
-                    (Vec::new(), DetectSlice::default())
+                    (Vec::new(), DetectSlice::default(), Vec::new())
                 } else {
                     // overlap point: the snapshot merge below runs while
                     // the detect stage still re-checks the previous epoch
@@ -726,7 +761,7 @@ fn merge_stage(
                         require_mutual: setup.policy.require_mutual,
                         prune_on,
                     };
-                    let cands = enumerate_candidates(
+                    enumerate_candidates(
                         &snap,
                         &high,
                         &params,
@@ -735,8 +770,13 @@ fn merge_stage(
                         verdict_keys.iter().copied(),
                         &mut scratch,
                     );
+                    let cands = scratch.cands.clone();
                     let slice = DetectSlice::build(&snap, &cands, setup.thresholds.t_n);
-                    (cands, slice)
+                    // ship the batch prunability flags with the plan: they
+                    // were computed from exactly the state the slice froze,
+                    // so the detect stage skips its scalar re-evaluation
+                    let prunable = if prune_on { scratch.memo.clone() } else { Vec::new() };
+                    (cands, slice, prunable)
                 };
                 candidates += cands.len() as u64;
                 let plan = ClosePlan {
@@ -745,6 +785,7 @@ fn merge_stage(
                     cands,
                     slice,
                     high: high.clone(),
+                    prunable,
                     nodes: snap.nodes().to_vec(),
                     signed: (0..snap.n() as u32).map(|i| snap.signed(i)).collect(),
                 };
@@ -788,11 +829,13 @@ fn detect_stage(
             DetectMsg::Plan(plan) => plan,
             DetectMsg::Finish => break,
         };
+        let prunable = (!plan.prunable.is_empty()).then_some(plan.prunable.as_slice());
         let out = recheck_candidates(
             &kernels,
             &plan.slice,
             &plan.high,
             &plan.cands,
+            prunable,
             &mut verdicts,
             &mut cache,
         );

@@ -250,7 +250,10 @@ impl DecentralizedSystem {
     fn replay_wal_history(&self) -> Option<InteractionHistory> {
         let d = self.wal.as_ref()?;
         let bytes = {
-            let guard = d.wal.lock().expect("system WAL lock poisoned");
+            let mut guard = d.wal.lock().expect("system WAL lock poisoned");
+            // surface appends still in the writer's encode buffer to the
+            // file before reading it back
+            guard.flush().ok()?;
             std::fs::read(guard.path()).ok()?
         };
         let replay = replay_bytes(&bytes).ok()?;

@@ -17,16 +17,18 @@
 //! advanced by epoch deltas stays bit-identical to one built from a history
 //! that recorded the same ratings (asserted by the sharded-snapshot tests).
 
+use crate::fxhash::FxHashMap;
 use crate::history::PairCounters;
 use crate::id::NodeId;
 use crate::rating::Rating;
-use std::collections::HashMap;
 
 /// Accumulates one epoch's ratings as a delta of pair counters.
 #[derive(Clone, Debug, Default)]
 pub struct EpochBuffer {
-    /// (ratee, rater) → counter delta for this epoch.
-    delta: HashMap<(NodeId, NodeId), PairCounters>,
+    /// (ratee, rater) → counter delta for this epoch. Fx-hashed: one probe
+    /// per rating is the ingest hot path, and drain sorts the entries, so
+    /// the hasher cannot affect results.
+    delta: FxHashMap<(NodeId, NodeId), PairCounters>,
     ratings: u64,
     /// Memory watermark: when the delta map reaches this many pairs the
     /// buffer reports itself over the watermark and the engine closes the

@@ -18,18 +18,20 @@
 //! (asserted by this module's tests and `tests/pipeline_props.rs`).
 
 use crate::epoch::EpochDelta;
+use crate::fxhash::FxHashMap;
 use crate::history::PairCounters;
 use crate::id::NodeId;
 use crate::rating::Rating;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One intake shard: a slice of the epoch delta map plus its rating count.
 #[derive(Debug, Default)]
 struct IntakeShard {
-    /// (ratee, rater) → counter delta for this epoch.
-    delta: HashMap<(NodeId, NodeId), PairCounters>,
+    /// (ratee, rater) → counter delta for this epoch. Fx-hashed like
+    /// [`crate::epoch::EpochBuffer`]; the drain sort erases any hasher
+    /// dependence.
+    delta: FxHashMap<(NodeId, NodeId), PairCounters>,
     ratings: u64,
 }
 
@@ -80,6 +82,46 @@ impl ShardedIntake {
         drop(shard);
         self.ratings.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// Merge a producer's locally-aggregated counter cells in, locking
+    /// each shard at most once.
+    ///
+    /// This is the batched twin of [`ShardedIntake::record`]: a producer
+    /// aggregates its ratings into a private map (no lock, no contention)
+    /// and periodically folds the cells here. `entries` is consumed and
+    /// left empty (capacity retained for reuse); `ratings` is the number
+    /// of raw ratings the cells aggregate. Counter merging is the same
+    /// commutative bookkeeping as per-rating folding, so the drained delta
+    /// is bit-identical either way.
+    pub fn merge_cells(&self, entries: &mut Vec<(NodeId, NodeId, PairCounters)>, ratings: u64) {
+        if entries.is_empty() {
+            return;
+        }
+        let nshards = self.shards.len() as u64;
+        // group cells by shard so each stripe is locked once per flush,
+        // not once per rating
+        entries.sort_unstable_by_key(|&(ratee, _, _)| ratee.raw() % nshards);
+        let mut at = 0;
+        while at < entries.len() {
+            let shard_idx = self.shard_of(entries[at].0);
+            let run_end = entries[at..]
+                .iter()
+                .position(|&(ratee, _, _)| self.shard_of(ratee) != shard_idx)
+                .map_or(entries.len(), |k| at + k);
+            let mut shard = self.shards[shard_idx].lock().expect("intake shard poisoned");
+            for &(ratee, rater, c) in &entries[at..run_end] {
+                shard.delta.entry((ratee, rater)).or_default().merge(&c);
+            }
+            drop(shard);
+            at = run_end;
+        }
+        entries.clear();
+        if let Some(shard) = self.shards.first() {
+            // rating count is global, not per-cell; account it on stripe 0
+            shard.lock().expect("intake shard poisoned").ratings += ratings;
+        }
+        self.ratings.fetch_add(ratings, Ordering::Relaxed);
     }
 
     /// Ratings folded in since the last [`ShardedIntake::drain`]. Exact
@@ -208,5 +250,40 @@ mod tests {
         assert!(!intake.record(Rating::positive(NodeId(3), NodeId(3), SimTime(0))));
         assert!(intake.is_empty());
         assert_eq!(intake.drain().ratings, 0);
+    }
+
+    #[test]
+    fn merged_cells_drain_identically_to_per_rating_folds() {
+        for shards in [1usize, 3, 8] {
+            let ratings = random_ratings(800, 0xBEEF ^ shards as u64);
+            let per_rating = ShardedIntake::new(shards);
+            for &r in &ratings {
+                per_rating.record(r);
+            }
+            // producer-local aggregation: fold into a private map, then
+            // merge the cells in batches of uneven size
+            let batched = ShardedIntake::new(shards);
+            let mut cells: Vec<(NodeId, NodeId, PairCounters)> = Vec::new();
+            for chunk in ratings.chunks(171) {
+                let mut local: std::collections::HashMap<(NodeId, NodeId), PairCounters> =
+                    Default::default();
+                let mut count = 0u64;
+                for &r in chunk {
+                    if r.is_self_rating() {
+                        continue;
+                    }
+                    local.entry((r.ratee, r.rater)).or_default().accumulate(r.value);
+                    count += 1;
+                }
+                cells.extend(local.into_iter().map(|((ratee, rater), c)| (ratee, rater, c)));
+                batched.merge_cells(&mut cells, count);
+                assert!(cells.is_empty(), "merge_cells must consume the batch");
+            }
+            assert_eq!(per_rating.ratings(), batched.ratings());
+            let a = per_rating.drain();
+            let b = batched.drain();
+            assert_eq!(a.entries, b.entries, "shards={shards}");
+            assert_eq!(a.ratings, b.ratings);
+        }
     }
 }

@@ -33,18 +33,37 @@
 //! harnesses assert this.
 
 use crate::epoch::EpochDelta;
+use crate::fxhash::FxHashMap;
 use crate::history::{InteractionHistory, NodeTotals, PairCounters};
 use crate::id::NodeId;
 use crate::snapshot::RefreshOutcome;
 use crate::view::SnapshotView;
 use rayon::prelude::*;
-use std::collections::HashMap;
 
 /// Per-row refresh diff: `(global row, old rater indices, new rater indices)`.
 type RowDiff = (u32, Vec<u32>, Vec<u32>);
 
-/// One touched row of a grouped epoch delta: `(global row, sorted (rater, counters))`.
-type RowDelta = (u32, Vec<(u32, PairCounters)>);
+/// One epoch-delta entry with ids resolved to dense indices:
+/// `(global ratee row, rater index, counter delta)`, sorted by row then
+/// rater (id order and index order agree — interning is ascending by id).
+type IdxEntry = (u32, u32, PairCounters);
+
+/// Borrowed structure-of-arrays totals of one contiguous row range.
+///
+/// `total[k]`, `positive[k]`, `negative[k]` are the
+/// [`NodeTotals`] of global row `base + k`. Produced by
+/// [`ShardedSnapshot::totals_columns`] for the batch detection kernels.
+#[derive(Clone, Copy, Debug)]
+pub struct TotalsColumns<'a> {
+    /// Global row index of element 0.
+    pub base: u32,
+    /// Per-ratee rating counts `N_i`.
+    pub total: &'a [u64],
+    /// Per-ratee positive counts.
+    pub positive: &'a [u64],
+    /// Per-ratee negative counts.
+    pub negative: &'a [u64],
+}
 
 /// Rows-per-shard so that `n` rows split into at most `target` shards.
 fn rows_per_shard_for(n: usize, target: usize) -> usize {
@@ -56,6 +75,12 @@ fn rows_per_shard_for(n: usize, target: usize) -> usize {
 }
 
 /// One contiguous range of ratee rows with its own CSR arena and overlay.
+///
+/// Per-ratee totals are stored structure-of-arrays — three contiguous
+/// `u64` columns instead of an array of structs — so the batch band/high
+/// kernels in `collusion-core` can stream them with vector loads. The
+/// spare arena double-buffers [`Shard::rebuild_with`]: epoch merges write
+/// into it and swap, so steady-state closes never allocate.
 #[derive(Clone, Debug)]
 struct Shard {
     /// First global row index of the range.
@@ -68,8 +93,12 @@ struct Shard {
     row_cols: Vec<u32>,
     /// Counters parallel to `row_cols`.
     row_cells: Vec<PairCounters>,
-    /// Per-ratee totals for the range.
-    totals: Vec<NodeTotals>,
+    /// Per-ratee rating counts `N_i` (SoA column).
+    tot_total: Vec<u64>,
+    /// Per-ratee positive counts (SoA column).
+    tot_pos: Vec<u64>,
+    /// Per-ratee negative counts (SoA column).
+    tot_neg: Vec<u64>,
     /// Dirty-row overlays; resolved by [`Shard::row`].
     row_patch: Vec<Option<(Vec<u32>, Vec<PairCounters>)>>,
     /// Number of rows currently overlaid.
@@ -78,6 +107,15 @@ struct Shard {
     freq: Option<Vec<(u64, i64)>>,
     /// Cell count with overlays resolved.
     nnz: usize,
+    /// Spare CSR offsets for the double-buffered epoch merge.
+    spare_offsets: Vec<u32>,
+    /// Spare rater-index arena.
+    spare_cols: Vec<u32>,
+    /// Spare counter arena.
+    spare_cells: Vec<PairCounters>,
+    /// Brand-new `(rater, ratee row)` edges of the last merge, for the
+    /// reverse-adjacency fix-up (reused, cleared per merge).
+    new_edges: Vec<(u32, u32)>,
 }
 
 impl Shard {
@@ -88,12 +126,34 @@ impl Shard {
             row_offsets: vec![0u32; rows + 1],
             row_cols: Vec::new(),
             row_cells: Vec::new(),
-            totals: vec![NodeTotals::default(); rows],
+            tot_total: vec![0; rows],
+            tot_pos: vec![0; rows],
+            tot_neg: vec![0; rows],
             row_patch: (0..rows).map(|_| None).collect(),
             patched_rows: 0,
             freq: with_freq.then(|| vec![(0, 0); rows]),
             nnz: 0,
+            spare_offsets: Vec::new(),
+            spare_cols: Vec::new(),
+            spare_cells: Vec::new(),
+            new_edges: Vec::new(),
         }
+    }
+
+    #[inline]
+    fn totals(&self, local: usize) -> NodeTotals {
+        NodeTotals {
+            total: self.tot_total[local],
+            positive: self.tot_pos[local],
+            negative: self.tot_neg[local],
+        }
+    }
+
+    #[inline]
+    fn set_totals(&mut self, local: usize, t: NodeTotals) {
+        self.tot_total[local] = t.total;
+        self.tot_pos[local] = t.positive;
+        self.tot_neg[local] = t.negative;
     }
 
     #[inline]
@@ -158,6 +218,137 @@ impl Shard {
             self.compact();
         }
     }
+
+    /// Merge one epoch's resolved delta entries (all rows owned by this
+    /// shard, sorted by row then rater index) by rebuilding the packed
+    /// arena into the spare buffers and swapping.
+    ///
+    /// Untouched row *ranges* are bulk-copied (`extend_from_slice`, no
+    /// per-cell work); touched rows two-pointer-merge against their entry
+    /// group. Totals and frequent aggregates update in place, brand-new
+    /// `(rater, row)` edges are recorded in [`Shard::new_edges`] for the
+    /// caller's reverse-adjacency fix-up. After the first few epochs the
+    /// spare arenas have grown to capacity and the merge allocates
+    /// nothing. Requires an empty overlay (`compact` first).
+    fn rebuild_with(&mut self, entries: &[IdxEntry], freq_t_n: Option<u64>) {
+        debug_assert_eq!(self.patched_rows, 0, "rebuild_with requires a compacted shard");
+        // `u64::MAX` sentinel keeps the merge loop branch-simple when the
+        // snapshot tracks no frequent aggregates (no cell ever qualifies).
+        let freq_min = freq_t_n.unwrap_or(u64::MAX);
+        self.new_edges.clear();
+        let mut offs = std::mem::take(&mut self.spare_offsets);
+        let mut cols = std::mem::take(&mut self.spare_cols);
+        let mut cells = std::mem::take(&mut self.spare_cells);
+        offs.clear();
+        cols.clear();
+        cells.clear();
+        offs.reserve(self.rows + 1);
+        cols.reserve(self.row_cols.len() + entries.len());
+        cells.reserve(self.row_cells.len() + entries.len());
+        offs.push(0u32);
+
+        let src_offs: &[u32] = &self.row_offsets;
+        let src_cols: &[u32] = &self.row_cols;
+        let src_cells: &[PairCounters] = &self.row_cells;
+        // Bulk-copy rows [from, to) unchanged; offsets shift uniformly by
+        // however much earlier merged rows have grown.
+        let copy_gap = |from: usize,
+                        to: usize,
+                        offs: &mut Vec<u32>,
+                        cols: &mut Vec<u32>,
+                        cells: &mut Vec<PairCounters>| {
+            if from >= to {
+                return;
+            }
+            let s = src_offs[from];
+            let e = src_offs[to];
+            let shift = (cols.len() as u32).wrapping_sub(s);
+            cols.extend_from_slice(&src_cols[s as usize..e as usize]);
+            cells.extend_from_slice(&src_cells[s as usize..e as usize]);
+            offs.extend(src_offs[from + 1..=to].iter().map(|&o| o.wrapping_add(shift)));
+        };
+
+        let mut k = 0usize;
+        let mut done = 0usize; // rows [0, done) emitted
+        while k < entries.len() {
+            let g = entries[k].0;
+            let local = (g - self.base) as usize;
+            copy_gap(done, local, &mut offs, &mut cols, &mut cells);
+
+            let mut k_end = k + 1;
+            while k_end < entries.len() && entries[k_end].0 == g {
+                k_end += 1;
+            }
+            let group = &entries[k..k_end];
+            let (s, e) = (src_offs[local] as usize, src_offs[local + 1] as usize);
+            // Frequent-aggregate delta: only cells the group touches can
+            // change their contribution, so track the exact integer diff
+            // instead of rescanning the merged row (bit-identical — the
+            // aggregate is a sum of integer contributions).
+            let (mut dfreq_count, mut dfreq_signed) = (0i64, 0i64);
+            // Merge by segment: groups are tiny relative to rows, so copy
+            // the untouched run before each insertion point with one
+            // `extend_from_slice` instead of per-cell pushes.
+            let mut a = s;
+            for &(_, r, d) in group {
+                let pos = a + src_cols[a..e].partition_point(|&c| c < r);
+                cols.extend_from_slice(&src_cols[a..pos]);
+                cells.extend_from_slice(&src_cells[a..pos]);
+                a = pos;
+                cols.push(r);
+                if a < e && src_cols[a] == r {
+                    let old = src_cells[a];
+                    let mut c = old;
+                    c.merge(&d);
+                    if old.total >= freq_min {
+                        dfreq_count -= old.total as i64;
+                        dfreq_signed -= old.signed();
+                    }
+                    if c.total >= freq_min {
+                        dfreq_count += c.total as i64;
+                        dfreq_signed += c.signed();
+                    }
+                    cells.push(c);
+                    a += 1;
+                } else {
+                    if d.total >= freq_min {
+                        dfreq_count += d.total as i64;
+                        dfreq_signed += d.signed();
+                    }
+                    cells.push(d);
+                    self.new_edges.push((r, g));
+                }
+            }
+            cols.extend_from_slice(&src_cols[a..e]);
+            cells.extend_from_slice(&src_cells[a..e]);
+            offs.push(cols.len() as u32);
+
+            for &(_, _, c) in group {
+                self.tot_total[local] += c.total;
+                self.tot_pos[local] += c.positive;
+                self.tot_neg[local] += c.negative;
+            }
+            if dfreq_count != 0 || dfreq_signed != 0 {
+                if let Some(f) = self.freq.as_mut() {
+                    let (count, signed) = f[local];
+                    f[local] = ((count as i64 + dfreq_count) as u64, signed + dfreq_signed);
+                }
+            }
+
+            done = local + 1;
+            k = k_end;
+        }
+        copy_gap(done, self.rows, &mut offs, &mut cols, &mut cells);
+
+        assert!(cols.len() <= u32::MAX as usize, "too many cells for u32 shard offsets");
+        std::mem::swap(&mut self.row_offsets, &mut offs);
+        std::mem::swap(&mut self.row_cols, &mut cols);
+        std::mem::swap(&mut self.row_cells, &mut cells);
+        self.spare_offsets = offs;
+        self.spare_cols = cols;
+        self.spare_cells = cells;
+        self.nnz = self.row_cols.len();
+    }
 }
 
 /// Frozen CSR view of the rating matrix, sharded by ratee-index range.
@@ -171,8 +362,9 @@ impl Shard {
 pub struct ShardedSnapshot {
     /// Interned node ids, ascending; `nodes[idx]` is the id of dense `idx`.
     nodes: Vec<NodeId>,
-    /// id → dense index.
-    index: HashMap<NodeId, u32>,
+    /// id → dense index. Fx-hashed: ids are interned by this process, not
+    /// attacker-chosen, and probe cost is on the per-rating hot path.
+    index: FxHashMap<NodeId, u32>,
     /// Rows per shard (last shard may be short).
     rows_per_shard: usize,
     /// Requested shard count; actual count is `n.div_ceil(rows_per_shard)`.
@@ -184,6 +376,8 @@ pub struct ShardedSnapshot {
     rev_adj: Vec<Vec<u32>>,
     /// `T_N` the per-shard frequent aggregates were computed for, if any.
     freq_t_n: Option<u64>,
+    /// Reusable id→index resolution scratch for [`ShardedSnapshot::apply_epoch`].
+    apply_idx: Vec<IdxEntry>,
 }
 
 impl ShardedSnapshot {
@@ -220,7 +414,7 @@ impl ShardedSnapshot {
         nodes.dedup();
         assert!(nodes.len() <= u32::MAX as usize, "too many nodes for u32 interning");
         let n = nodes.len();
-        let index: HashMap<NodeId, u32> =
+        let index: FxHashMap<NodeId, u32> =
             nodes.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
         let rows_per_shard = rows_per_shard_for(n, target_shards);
         let n_shards = n.div_ceil(rows_per_shard);
@@ -250,7 +444,7 @@ impl ShardedSnapshot {
                         row_cells.push(cell);
                     }
                     row_offsets.push(row_cols.len() as u32);
-                    shard.totals[local] = history.totals(id);
+                    shard.set_totals(local, history.totals(id));
                 }
                 assert!(
                     row_cols.len() <= u32::MAX as usize,
@@ -282,7 +476,16 @@ impl ShardedSnapshot {
             }
         }
 
-        ShardedSnapshot { nodes, index, rows_per_shard, target_shards, shards, rev_adj, freq_t_n }
+        ShardedSnapshot {
+            nodes,
+            index,
+            rows_per_shard,
+            target_shards,
+            shards,
+            rev_adj,
+            freq_t_n,
+            apply_idx: Vec::new(),
+        }
     }
 
     // ----- Shape ------------------------------------------------------------
@@ -309,6 +512,18 @@ impl ShardedSnapshot {
     #[inline]
     pub fn ratees_of(&self, rater: u32) -> &[u32] {
         &self.rev_adj[rater as usize]
+    }
+
+    /// Iterate the per-shard structure-of-arrays totals columns, ascending
+    /// by row range. Batch band/high kernels stream these with contiguous
+    /// loads instead of one [`SnapshotView::totals_of`] probe per row.
+    pub fn totals_columns(&self) -> impl Iterator<Item = TotalsColumns<'_>> {
+        self.shards.iter().map(|s| TotalsColumns {
+            base: s.base,
+            total: &s.tot_total,
+            positive: &s.tot_pos,
+            negative: &s.tot_neg,
+        })
     }
 
     #[inline]
@@ -376,7 +591,7 @@ impl ShardedSnapshot {
                     let new_cols: Vec<u32> = new_row.iter().map(|e| e.0).collect();
                     let new_cells: Vec<PairCounters> = new_row.iter().map(|e| e.1).collect();
                     shard.set_row(local, new_cols.clone(), new_cells);
-                    shard.totals[local] = history.totals(id);
+                    shard.set_totals(local, history.totals(id));
                     if let Some(t_n) = freq_t_n {
                         let agg = shard.row_freq(local, t_n);
                         if let Some(f) = shard.freq.as_mut() {
@@ -416,8 +631,14 @@ impl ShardedSnapshot {
     /// Merge one closed epoch's counter delta into the shards, without any
     /// backing history. Counters add cell-wise (LSM-style), totals and
     /// frequent aggregates update per touched row, new (rater, ratee) edges
-    /// enter the reverse adjacency, and shards compact locally past the
-    /// overlay threshold.
+    /// enter the reverse adjacency.
+    ///
+    /// The merge is a shard-parallel **arena rebuild**: ids resolve to
+    /// dense indices once (reusable scratch), each touched shard rewrites
+    /// its packed CSR into a retained spare arena — untouched row ranges
+    /// bulk-copy, touched rows two-pointer-merge — and the arenas swap.
+    /// Steady state (no fresh nodes, no overlays) allocates nothing and
+    /// never pays the old per-row `Vec` + overlay + compaction costs.
     ///
     /// Previously unseen node ids are re-interned. Because interning is
     /// ascending by id, that *shifts dense indices*: the return value is
@@ -428,103 +649,87 @@ impl ShardedSnapshot {
         if delta.is_empty() {
             return None;
         }
-        let mut fresh: Vec<NodeId> = delta
-            .entries
-            .iter()
-            .flat_map(|&(ratee, rater, _)| [ratee, rater])
-            .filter(|id| !self.index.contains_key(id))
-            .collect();
-        let remap = if fresh.is_empty() {
-            None
-        } else {
+        // Resolve optimistically: the steady state has no fresh ids, so
+        // pay one resolution pass and only fall back to the
+        // collect-fresh → reintern → re-resolve path on an actual miss.
+        let mut idx = std::mem::take(&mut self.apply_idx);
+        let mut remap = None;
+        if !self.try_resolve(delta, &mut idx) {
+            let mut fresh: Vec<NodeId> = delta
+                .entries
+                .iter()
+                .flat_map(|&(ratee, rater, _)| [ratee, rater])
+                .filter(|id| !self.index.contains_key(id))
+                .collect();
             fresh.sort_unstable();
             fresh.dedup();
-            Some(self.reintern(&fresh))
-        };
-
-        // Group the sorted delta by ratee row, then by owning shard. Raters
-        // within one group arrive ascending by id, hence by index.
-        let mut by_shard: Vec<Vec<RowDelta>> = vec![Vec::new(); self.shards.len()];
-        let mut k = 0usize;
-        while k < delta.entries.len() {
-            let ratee = delta.entries[k].0;
-            let g = self.index[&ratee];
-            let mut group: Vec<(u32, PairCounters)> = Vec::new();
-            while k < delta.entries.len() && delta.entries[k].0 == ratee {
-                group.push((self.index[&delta.entries[k].1], delta.entries[k].2));
-                k += 1;
-            }
-            by_shard[g as usize / self.rows_per_shard].push((g, group));
+            remap = Some(self.reintern(&fresh));
+            let resolved = self.try_resolve(delta, &mut idx);
+            assert!(resolved, "all delta ids must be interned after reintern");
         }
 
         let freq_t_n = self.freq_t_n;
-        // Per shard: merge-upsert each touched row, collecting brand-new
-        // edges for the adjacency fix-up.
-        let added: Vec<Vec<(u32, u32)>> = self
-            .shards
-            .par_iter_mut()
-            .zip(by_shard)
-            .map(|(shard, rows)| {
-                let mut new_edges = Vec::new();
-                for (g, group) in rows {
-                    let local = (g - shard.base) as usize;
-                    let (cols, cells, delta_totals) = {
-                        let (old_cols, old_cells) = shard.row(local);
-                        let mut cols = Vec::with_capacity(old_cols.len() + group.len());
-                        let mut cells = Vec::with_capacity(old_cols.len() + group.len());
-                        let mut dt = NodeTotals::default();
-                        let (mut a, mut b) = (0usize, 0usize);
-                        while a < old_cols.len() || b < group.len() {
-                            if b >= group.len() || (a < old_cols.len() && old_cols[a] < group[b].0)
-                            {
-                                cols.push(old_cols[a]);
-                                cells.push(old_cells[a]);
-                                a += 1;
-                            } else if a < old_cols.len() && old_cols[a] == group[b].0 {
-                                let mut c = old_cells[a];
-                                c.merge(&group[b].1);
-                                cols.push(old_cols[a]);
-                                cells.push(c);
-                                a += 1;
-                                b += 1;
-                            } else {
-                                cols.push(group[b].0);
-                                cells.push(group[b].1);
-                                new_edges.push((group[b].0, g));
-                                b += 1;
-                            }
-                        }
-                        for (_, c) in &group {
-                            dt.total += c.total;
-                            dt.positive += c.positive;
-                            dt.negative += c.negative;
-                        }
-                        (cols, cells, dt)
-                    };
-                    shard.set_row(local, cols, cells);
-                    let t = &mut shard.totals[local];
-                    t.total += delta_totals.total;
-                    t.positive += delta_totals.positive;
-                    t.negative += delta_totals.negative;
-                    if let Some(t_n) = freq_t_n {
-                        let agg = shard.row_freq(local, t_n);
-                        if let Some(f) = shard.freq.as_mut() {
-                            f[local] = agg;
-                        }
-                    }
-                }
-                shard.maybe_compact();
-                new_edges
-            })
-            .collect();
+        let idx_ref: &[IdxEntry] = &idx;
+        self.shards.par_iter_mut().for_each(|shard| {
+            let base = shard.base as usize;
+            let lo = idx_ref.partition_point(|e| (e.0 as usize) < base);
+            let hi = idx_ref.partition_point(|e| (e.0 as usize) < base + shard.rows);
+            if lo == hi {
+                return;
+            }
+            // Overlays only exist after a `refresh`; the epoch engine path
+            // never patches, so this is a steady-state no-op.
+            shard.compact();
+            shard.rebuild_with(&idx_ref[lo..hi], freq_t_n);
+        });
 
-        for (j, g) in added.into_iter().flatten() {
-            let list = &mut self.rev_adj[j as usize];
-            if let Err(pos) = list.binary_search(&g) {
-                list.insert(pos, g);
+        // Serial reverse-adjacency fix-up from the per-shard new edges
+        // (insertion order is irrelevant — each list stays sorted).
+        for s in 0..self.shards.len() {
+            if self.shards[s].new_edges.is_empty() {
+                continue;
+            }
+            let edges = std::mem::take(&mut self.shards[s].new_edges);
+            for &(j, g) in &edges {
+                let list = &mut self.rev_adj[j as usize];
+                if let Err(pos) = list.binary_search(&g) {
+                    list.insert(pos, g);
+                }
+            }
+            self.shards[s].new_edges = edges;
+        }
+
+        self.apply_idx = idx;
+        remap
+    }
+
+    /// Resolve `delta`'s ids to dense `(row, rater index, counters)`
+    /// entries in `out`. Entries arrive sorted by (ratee id, rater id) and
+    /// interning is ascending by id, so the output is sorted by
+    /// (row, rater index): ratees resolve by a monotone binary-search walk
+    /// over `nodes`, raters by one Fx probe each. Returns `false` (with
+    /// `out` unspecified) on the first id not interned yet.
+    fn try_resolve(&self, delta: &EpochDelta, out: &mut Vec<IdxEntry>) -> bool {
+        out.clear();
+        out.reserve(delta.entries.len());
+        let mut cursor = 0usize;
+        let mut cur_ratee: Option<NodeId> = None;
+        let mut cur_row = 0u32;
+        for &(ratee, rater, c) in &delta.entries {
+            if cur_ratee != Some(ratee) {
+                cursor += self.nodes[cursor..].partition_point(|&x| x < ratee);
+                if cursor >= self.nodes.len() || self.nodes[cursor] != ratee {
+                    return false;
+                }
+                cur_ratee = Some(ratee);
+                cur_row = cursor as u32;
+            }
+            match self.index.get(&rater) {
+                Some(&r) => out.push((cur_row, r, c)),
+                None => return false,
             }
         }
-        remap
+        true
     }
 
     /// Intern `fresh` ids (sorted, deduped, all previously unknown) and
@@ -581,7 +786,7 @@ impl ShardedSnapshot {
                         let (cols, cells) = osh.row(olocal);
                         row_cols.extend(cols.iter().map(|&c| remap_ref[c as usize]));
                         row_cells.extend_from_slice(cells);
-                        shard.totals[local] = osh.totals[olocal];
+                        shard.set_totals(local, osh.totals(olocal));
                         if let (Some(f), Some(of)) = (shard.freq.as_mut(), osh.freq.as_ref()) {
                             f[local] = of[olocal];
                         }
@@ -655,7 +860,7 @@ impl SnapshotView for ShardedSnapshot {
     #[inline]
     fn totals_of(&self, idx: u32) -> NodeTotals {
         let shard = self.shard_of(idx);
-        shard.totals[(idx - shard.base) as usize]
+        shard.totals((idx - shard.base) as usize)
     }
 
     #[inline]

@@ -40,6 +40,10 @@ use crate::rating::{Rating, RatingValue};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// File magic: "CWAL".
 const WAL_MAGIC: [u8; 4] = *b"CWAL";
@@ -55,6 +59,13 @@ const KIND_EPOCH_CLOSE: u8 = 0x02;
 /// torn/corrupt length prefix. The largest legal payload (a rating) is
 /// 34 bytes, so this is generous headroom for future record kinds.
 const MAX_PAYLOAD_LEN: u32 = 4096;
+/// Largest encoded payload the live writer produces (a rating record:
+/// seq 8 + kind 1 + rater 8 + ratee 8 + value 1 + time 8).
+const MAX_LIVE_PAYLOAD: usize = 34;
+/// Appends encode into an in-memory buffer; once it holds this many bytes
+/// it is written to the OS in one `write(2)`. Bounds writer memory while
+/// amortizing the syscall over thousands of records.
+const WRITE_BUF_FLUSH: usize = 256 * 1024;
 
 /// When WAL appends are forced to stable storage.
 ///
@@ -73,19 +84,42 @@ pub enum SyncPolicy {
     /// Never sync mid-epoch; only group-commit points (epoch closes,
     /// explicit [`Wal::sync`] calls) make records durable.
     Group,
+    /// Asynchronous group commit: a dedicated committer thread fsyncs in
+    /// the background whenever `max_bytes` of encoded records accumulate
+    /// or `max_delay_micros` pass since the oldest uncommitted append,
+    /// whichever comes first — so the append path never blocks on fsync.
+    /// [`Wal::sync`] (epoch closes, checkpoints, shutdown) becomes a
+    /// barrier that waits for the committer to confirm durability.
+    /// Enable with [`Wal::enable_group_commit`].
+    Async {
+        /// Commit once this many encoded bytes are pending (0 behaves as
+        /// 1: every flush requests a commit).
+        max_bytes: u32,
+        /// Commit once the oldest pending append is this old.
+        max_delay_micros: u32,
+    },
 }
 
 impl SyncPolicy {
     /// The historical default: group-fsync every 64 appends.
     pub const DEFAULT: SyncPolicy = SyncPolicy::EveryK(64);
 
+    /// Default asynchronous group commit: flush at 256 KiB of encoded
+    /// records or 2 ms of latency, whichever first.
+    pub const ASYNC_DEFAULT: SyncPolicy =
+        SyncPolicy::Async { max_bytes: WRITE_BUF_FLUSH as u32, max_delay_micros: 2_000 };
+
     /// Whether `pending` un-synced appends require a sync now.
+    ///
+    /// `Async` never comes due: the committer thread owns the fsync
+    /// schedule, callers only issue barriers via [`Wal::sync`].
     #[inline]
     pub fn due(self, pending: u64) -> bool {
         match self {
             SyncPolicy::PerRecord => pending > 0,
             SyncPolicy::EveryK(k) => pending >= k.max(1),
             SyncPolicy::Group => false,
+            SyncPolicy::Async { .. } => false,
         }
     }
 }
@@ -159,32 +193,45 @@ impl WalReplay {
     }
 }
 
-fn encode_record(seq: u64, record: &WalRecord) -> Vec<u8> {
-    let mut payload = ByteWriter::with_capacity(40);
-    payload.put_u64(seq);
+/// Encode one record (frame + checksum + payload) by appending to `out`.
+/// Allocation-free in steady state: the payload stages through a stack
+/// array and `out` is a reusable buffer that only grows until its
+/// high-water mark. The byte layout is pinned by
+/// `batched_appends_replay_identically_to_looped_appends`.
+fn encode_record_into(seq: u64, record: &WalRecord, out: &mut Vec<u8>) {
+    let mut payload = [0u8; MAX_LIVE_PAYLOAD];
+    payload[..8].copy_from_slice(&seq.to_le_bytes());
+    let mut n = 8;
     match record {
         WalRecord::Rating(r) => {
-            payload.put_u8(KIND_RATING);
-            payload.put_u64(r.rater.raw());
-            payload.put_u64(r.ratee.raw());
-            payload.put_u8(match r.value {
+            payload[n] = KIND_RATING;
+            payload[n + 1..n + 9].copy_from_slice(&r.rater.raw().to_le_bytes());
+            payload[n + 9..n + 17].copy_from_slice(&r.ratee.raw().to_le_bytes());
+            payload[n + 17] = match r.value {
                 RatingValue::Negative => 0,
                 RatingValue::Neutral => 1,
                 RatingValue::Positive => 2,
-            });
-            payload.put_u64(r.time.raw());
+            };
+            payload[n + 18..n + 26].copy_from_slice(&r.time.raw().to_le_bytes());
+            n += 26;
         }
         WalRecord::EpochClose { forced } => {
-            payload.put_u8(KIND_EPOCH_CLOSE);
-            payload.put_u8(u8::from(*forced));
+            payload[n] = KIND_EPOCH_CLOSE;
+            payload[n + 1] = u8::from(*forced);
+            n += 2;
         }
     }
-    let payload = payload.into_bytes();
-    let mut out = ByteWriter::with_capacity(payload.len() + 12);
-    out.put_u32(payload.len() as u32);
-    out.put_u64(fnv64(&payload));
-    out.put_bytes(&payload);
-    out.into_bytes()
+    let payload = &payload[..n];
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+#[cfg(test)]
+fn encode_record(seq: u64, record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAX_LIVE_PAYLOAD + 12);
+    encode_record_into(seq, record, &mut out);
+    out
 }
 
 fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), CodecError> {
@@ -282,20 +329,110 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, WalError> {
     Ok(replay)
 }
 
+/// Message to the asynchronous committer thread.
+enum CommitMsg {
+    /// Make the file durable up to this logical byte length.
+    Commit(u64),
+    /// Final commit, then exit.
+    Shutdown,
+}
+
+/// State shared between the writer and its committer thread.
+#[derive(Debug, Default)]
+struct CommitProgress {
+    /// Logical byte length confirmed durable by `sync_data`.
+    durable_len: u64,
+    /// Fsyncs the committer has issued.
+    fsyncs: u64,
+    /// First I/O failure, latched; surfaced at the next barrier.
+    failed: Option<String>,
+}
+
+#[derive(Debug)]
+struct CommitShared {
+    progress: Mutex<CommitProgress>,
+    cv: Condvar,
+}
+
+/// Handle to the committer thread (see [`Wal::enable_group_commit`]).
+#[derive(Debug)]
+struct Committer {
+    tx: Sender<CommitMsg>,
+    shared: Arc<CommitShared>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The committer loop: drain commit requests (coalescing bursts into the
+/// highest requested length — one fsync covers them all), `sync_data`,
+/// publish the new durable watermark. Never panics on I/O failure; the
+/// error is latched and re-raised at the writer's next barrier.
+fn committer_loop(file: File, rx: Receiver<CommitMsg>, shared: Arc<CommitShared>) {
+    let mut target = 0u64;
+    loop {
+        let mut shutdown = false;
+        match rx.recv() {
+            Ok(CommitMsg::Commit(len)) => target = target.max(len),
+            Ok(CommitMsg::Shutdown) | Err(_) => shutdown = true,
+        }
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                CommitMsg::Commit(len) => target = target.max(len),
+                CommitMsg::Shutdown => shutdown = true,
+            }
+        }
+        let durable = shared.progress.lock().map(|p| p.durable_len).unwrap_or(u64::MAX);
+        if target > durable {
+            let res = file.sync_data();
+            if let Ok(mut p) = shared.progress.lock() {
+                p.fsyncs += 1;
+                match res {
+                    Ok(()) => p.durable_len = p.durable_len.max(target),
+                    Err(e) => {
+                        if p.failed.is_none() {
+                            p.failed = Some(e.to_string());
+                        }
+                        // fail the barrier rather than hang it
+                        p.durable_len = p.durable_len.max(target);
+                    }
+                }
+            }
+            shared.cv.notify_all();
+        }
+        if shutdown {
+            break;
+        }
+    }
+}
+
 /// An append-only write-ahead log file.
 ///
-/// Appends buffer in the OS page cache; [`Wal::sync`] makes them durable.
-/// Callers schedule syncs via [`SyncPolicy`] (per record, every k records,
-/// or group commit at epoch closes) and always sync before a checkpoint.
+/// Appends encode into an internal buffer that is written to the OS in
+/// [`WRITE_BUF_FLUSH`]-sized chunks; [`Wal::sync`] flushes and makes
+/// everything durable. Callers schedule syncs via [`SyncPolicy`] (per
+/// record, every k records, or group commit at epoch closes) and always
+/// sync before a checkpoint. [`Wal::enable_group_commit`] additionally
+/// moves fsyncs to a background committer thread with bounded-latency
+/// batching — the [`SyncPolicy::Async`] mode.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
     next_seq: u64,
+    /// Logical length: header + every encoded record, including bytes
+    /// still in `buf`.
     len: u64,
     /// Byte span `[start, end)` of the most recent append, for crash-injection
     /// harnesses that tear the final record.
     last_record_span: (u64, u64),
+    /// Encoded-but-unwritten records (reused; never shrinks).
+    buf: Vec<u8>,
+    /// Group-commit trigger thresholds, when async mode is on.
+    group: Option<(usize, Duration)>,
+    /// Committer thread, when async mode is on.
+    committer: Option<Committer>,
+    /// When the oldest byte not yet handed to the committer was appended
+    /// (drives the max-delay flush trigger).
+    pending_since: Option<Instant>,
 }
 
 impl Wal {
@@ -316,6 +453,10 @@ impl Wal {
             next_seq: start_seq,
             len: WAL_HEADER_LEN as u64,
             last_record_span: (WAL_HEADER_LEN as u64, WAL_HEADER_LEN as u64),
+            buf: Vec::new(),
+            group: None,
+            committer: None,
+            pending_since: None,
         })
     }
 
@@ -338,49 +479,170 @@ impl Wal {
             next_seq: replay.next_seq,
             len: replay.valid_len,
             last_record_span: (replay.valid_len, replay.valid_len),
+            buf: Vec::new(),
+            group: None,
+            committer: None,
+            pending_since: None,
         };
         Ok((wal, replay))
     }
 
-    /// Append one record, returning its sequence number. The bytes reach the
-    /// OS immediately but are only crash-durable after [`Wal::sync`].
-    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+    /// Switch to asynchronous group commit ([`SyncPolicy::Async`]): spawn
+    /// a committer thread over a clone of the file handle. From here on,
+    /// appends hand encoded bytes to the committer whenever `max_bytes`
+    /// accumulate or the oldest pending append is `max_delay_micros` old,
+    /// and the committer fsyncs in the background; [`Wal::sync`] becomes a
+    /// barrier that waits for the durable watermark to catch up. The byte
+    /// stream written is identical to synchronous mode — replay cannot
+    /// tell which mode produced a log.
+    pub fn enable_group_commit(
+        &mut self,
+        max_bytes: u32,
+        max_delay_micros: u32,
+    ) -> Result<(), WalError> {
+        if self.committer.is_some() {
+            return Ok(());
+        }
+        let file = self.file.try_clone()?;
+        let shared = Arc::new(CommitShared {
+            progress: Mutex::new(CommitProgress {
+                durable_len: self.os_len(),
+                ..Default::default()
+            }),
+            cv: Condvar::new(),
+        });
+        let (tx, rx) = channel();
+        let loop_shared = Arc::clone(&shared);
+        let join = std::thread::spawn(move || committer_loop(file, rx, loop_shared));
+        self.committer = Some(Committer { tx, shared, join: Some(join) });
+        self.group =
+            Some(((max_bytes as usize).max(1), Duration::from_micros(max_delay_micros as u64)));
+        Ok(())
+    }
+
+    /// Bytes written to the OS so far (logical length minus the encode
+    /// buffer's backlog).
+    #[inline]
+    fn os_len(&self) -> u64 {
+        self.len - self.buf.len() as u64
+    }
+
+    /// Write the encode buffer to the OS (no fsync) and clear it.
+    fn flush_os(&mut self) -> Result<(), WalError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Ask the committer to make everything written so far durable
+    /// (non-blocking).
+    fn request_commit(&mut self) -> Result<(), WalError> {
+        self.flush_os()?;
+        if let Some(c) = &self.committer {
+            let _ = c.tx.send(CommitMsg::Commit(self.len));
+        }
+        self.pending_since = None;
+        Ok(())
+    }
+
+    /// Post-append bookkeeping: flush the encode buffer when it is full,
+    /// and in group-commit mode also when the max-bytes or max-delay
+    /// trigger fires.
+    fn after_append(&mut self) -> Result<(), WalError> {
+        match self.group {
+            None => {
+                if self.buf.len() >= WRITE_BUF_FLUSH {
+                    self.flush_os()?;
+                }
+            }
+            Some((max_bytes, max_delay)) => {
+                let since = *self.pending_since.get_or_insert_with(Instant::now);
+                if self.buf.len() >= max_bytes || since.elapsed() >= max_delay {
+                    self.request_commit()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode one record into the buffer and advance the bookkeeping.
+    #[inline]
+    fn encode_append(&mut self, record: &WalRecord) -> u64 {
         let seq = self.next_seq;
-        let bytes = encode_record(seq, record);
-        self.file.write_all(&bytes)?;
-        self.last_record_span = (self.len, self.len + bytes.len() as u64);
-        self.len += bytes.len() as u64;
+        let before = self.buf.len();
+        encode_record_into(seq, record, &mut self.buf);
+        let encoded = (self.buf.len() - before) as u64;
+        self.last_record_span = (self.len, self.len + encoded);
+        self.len += encoded;
         self.next_seq += 1;
+        seq
+    }
+
+    /// Append one record, returning its sequence number. The bytes are
+    /// buffered (reaching the OS at the next flush boundary) and only
+    /// crash-durable after [`Wal::sync`].
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        let seq = self.encode_append(record);
+        self.after_append()?;
         Ok(seq)
     }
 
-    /// Append a batch of rating records as one buffered write, returning
-    /// the sequence-number range `[start, end)` they occupy. Encoding is
-    /// record-for-record identical to looping [`Wal::append`] — replay
-    /// cannot tell the difference — but the whole batch costs a single
-    /// `write(2)`, which is what makes the group-commit handoff of the
-    /// pipelined ingest path cheap.
+    /// Append a batch of rating records, returning the sequence-number
+    /// range `[start, end)` they occupy. Encoding is record-for-record
+    /// identical to looping [`Wal::append`] — replay cannot tell the
+    /// difference — but the whole batch shares the encode buffer's flush
+    /// cadence, so a batch costs at most one `write(2)` per
+    /// [`WRITE_BUF_FLUSH`] bytes.
     pub fn append_ratings(&mut self, ratings: &[Rating]) -> Result<(u64, u64), WalError> {
         let start = self.next_seq;
-        let mut buf = Vec::with_capacity(ratings.len() * 48);
-        let mut last_start = self.len;
-        for (k, &r) in ratings.iter().enumerate() {
-            last_start = self.len + buf.len() as u64;
-            buf.extend_from_slice(&encode_record(start + k as u64, &WalRecord::Rating(r)));
+        for &r in ratings {
+            self.encode_append(&WalRecord::Rating(r));
+            self.after_append()?;
         }
-        self.file.write_all(&buf)?;
-        if !ratings.is_empty() {
-            self.last_record_span = (last_start, self.len + buf.len() as u64);
-        }
-        self.len += buf.len() as u64;
-        self.next_seq += ratings.len() as u64;
         Ok((start, self.next_seq))
     }
 
-    /// Force appended records to stable storage (group fsync point).
+    /// Force appended records to stable storage (group fsync point). In
+    /// group-commit mode this is the barrier: it hands the backlog to the
+    /// committer and blocks until the durable watermark covers every
+    /// append so far (re-raising any latched committer I/O error).
     pub fn sync(&mut self) -> Result<(), WalError> {
-        self.file.sync_data()?;
+        self.flush_os()?;
+        match &self.committer {
+            None => {
+                self.file.sync_data()?;
+            }
+            Some(c) => {
+                let target = self.len;
+                let _ = c.tx.send(CommitMsg::Commit(target));
+                self.pending_since = None;
+                let mut progress = c.shared.progress.lock().expect("WAL committer mutex poisoned");
+                while progress.durable_len < target && progress.failed.is_none() {
+                    progress = c.shared.cv.wait(progress).expect("WAL committer mutex poisoned");
+                }
+                if let Some(msg) = progress.failed.take() {
+                    return Err(WalError::Io(io::Error::other(msg)));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Write buffered encodes to the OS without forcing durability, so
+    /// readers of [`Wal::path`] observe every append so far. Crash
+    /// durability still requires [`Wal::sync`].
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.flush_os()
+    }
+
+    /// Fsyncs issued by the background committer (0 without group commit).
+    pub fn committer_fsyncs(&self) -> u64 {
+        self.committer
+            .as_ref()
+            .and_then(|c| c.shared.progress.lock().ok().map(|p| p.fsyncs))
+            .unwrap_or(0)
     }
 
     /// Sequence number the next append will use.
@@ -404,6 +666,21 @@ impl Wal {
     #[inline]
     pub fn last_record_span(&self) -> (u64, u64) {
         self.last_record_span
+    }
+}
+
+impl Drop for Wal {
+    /// Flush buffered encodes to the OS and retire the committer thread.
+    /// Dropping does *not* fsync (matching the synchronous writer's drop
+    /// semantics) — durability barriers are explicit [`Wal::sync`] calls.
+    fn drop(&mut self) {
+        let _ = self.flush_os();
+        if let Some(c) = &mut self.committer {
+            let _ = c.tx.send(CommitMsg::Shutdown);
+            if let Some(join) = c.join.take() {
+                let _ = join.join();
+            }
+        }
     }
 }
 
@@ -546,7 +823,69 @@ mod tests {
         assert!(SyncPolicy::EveryK(64).due(200));
         assert!(SyncPolicy::EveryK(0).due(1), "k=0 behaves as k=1");
         assert!(!SyncPolicy::Group.due(u64::MAX));
+        assert!(!SyncPolicy::ASYNC_DEFAULT.due(u64::MAX), "async never comes due inline");
         assert_eq!(SyncPolicy::default(), SyncPolicy::EveryK(64));
+    }
+
+    #[test]
+    fn group_commit_stream_is_byte_identical_to_sync_mode() {
+        let dir = scratch("group-commit");
+        let sync_path = dir.join("sync.wal");
+        let async_path = dir.join("async.wal");
+        let ratings: Vec<Rating> = (0..500).map(|k| rating(k % 9 + 1, k % 11 + 20, k)).collect();
+
+        let mut plain = Wal::create(&sync_path, 0).unwrap();
+        let mut grouped = Wal::create(&async_path, 0).unwrap();
+        // tiny max_bytes so the committer is exercised mid-stream, not
+        // only at the closing barrier
+        grouped.enable_group_commit(512, 1_000_000).unwrap();
+        for (k, &r) in ratings.iter().enumerate() {
+            plain.append(&WalRecord::Rating(r)).unwrap();
+            grouped.append(&WalRecord::Rating(r)).unwrap();
+            if k % 100 == 99 {
+                plain.append(&WalRecord::EpochClose { forced: false }).unwrap();
+                plain.sync().unwrap();
+                grouped.append(&WalRecord::EpochClose { forced: false }).unwrap();
+                grouped.sync().unwrap();
+            }
+        }
+        assert_eq!(plain.next_seq(), grouped.next_seq());
+        assert_eq!(plain.len_bytes(), grouped.len_bytes());
+        assert_eq!(plain.last_record_span(), grouped.last_record_span());
+        assert!(grouped.committer_fsyncs() > 0, "committer never fsynced");
+        drop(plain);
+        drop(grouped);
+        assert_eq!(
+            std::fs::read(&sync_path).unwrap(),
+            std::fs::read(&async_path).unwrap(),
+            "group-commit byte stream must be identical to synchronous mode"
+        );
+        let (_, replay) = Wal::open_existing(&async_path).unwrap();
+        assert!(!replay.is_truncated());
+        assert_eq!(replay.records.len(), 505);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_barrier_makes_tail_durable() {
+        let dir = scratch("group-barrier");
+        let path = dir.join("barrier.wal");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        // huge thresholds: nothing commits until the explicit barrier
+        wal.enable_group_commit(u32::MAX, u32::MAX).unwrap();
+        for k in 0..300 {
+            wal.append(&WalRecord::Rating(rating(k + 1, 2, k))).unwrap();
+        }
+        let buffered = wal.len_bytes();
+        wal.sync().unwrap();
+        assert!(wal.committer_fsyncs() >= 1);
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, buffered, "barrier flushed every buffered byte");
+        let replay = replay_bytes(&bytes).unwrap();
+        assert_eq!(replay.records.len(), 300);
+        assert!(!replay.is_truncated());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,7 +8,10 @@
 
 use collusion::core::durability::scratch_dir;
 use collusion::core::epoch::{EpochEngine, EpochMethod};
+use collusion::core::optimized::OptimizedDetector;
 use collusion::prelude::*;
+use collusion::reputation::history::NodeTotals;
+use collusion::reputation::sharded::TotalsColumns;
 use collusion::reputation::wal::replay_bytes;
 use proptest::prelude::*;
 
@@ -77,6 +80,63 @@ fn serial_fold(nodes: &[NodeId], s: EngineSetup, epochs: &[&[Rating]]) -> EpochE
         serial.close_epoch();
     }
     serial
+}
+
+/// Strategy: one row's raw totals, weighted toward the kernel's edge
+/// cases — empty rows, counts at the `T_N` boundary, the `1_000_000`
+/// upper-rule cutoff, and saturating values around `i64::MAX` where
+/// [`NodeTotals::signed`] clamps.
+fn totals_component() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0..200u64,
+        1 => Just(0u64),
+        1 => Just(1_000_000u64),
+        1 => Just(1_000_001u64),
+        1 => Just(i64::MAX as u64),
+        1 => Just(i64::MAX as u64 + 1),
+        1 => Just(u64::MAX),
+        2 => any::<u64>(),
+    ]
+}
+
+fn totals_strategy() -> impl Strategy<Value = (u64, u64, u64)> {
+    (totals_component(), totals_component(), totals_component())
+}
+
+proptest! {
+    /// The batch band kernel ([`OptimizedDetector::rows_prunable_batch`],
+    /// SoA columns, branch-free lanes, `2·T_a·T_N` hoisted — and fixed
+    /// `[_; 4]` lane arrays under the `explicit-simd` feature) must agree
+    /// with the scalar oracle [`OptimizedDetector::row_prunable`] lane for
+    /// lane on *arbitrary* totals, including saturating counts the clamp
+    /// rules exist for. Both forms read the same raw fields, so
+    /// independent per-component generation is valid and strictly more
+    /// adversarial than realistic rows.
+    #[test]
+    fn batch_prunability_matches_scalar_oracle_lane_for_lane(
+        rows in prop::collection::vec(totals_strategy(), 0..67),
+        t_n in prop_oneof![Just(0u64), 1..64u64, Just(1_000_000u64), Just(u64::MAX)],
+        t_a in 0.0f64..=1.0,
+        t_b in prop_oneof![2 => 0.0f64..=1.0, 1 => 0.99f64..=1.0],
+        base in 0u32..1000,
+    ) {
+        let det = OptimizedDetector::new(Thresholds::new(0.05, t_n, t_a, t_b));
+        let total: Vec<u64> = rows.iter().map(|r| r.0).collect();
+        let positive: Vec<u64> = rows.iter().map(|r| r.1).collect();
+        let negative: Vec<u64> = rows.iter().map(|r| r.2).collect();
+        let cols = TotalsColumns { base, total: &total, positive: &positive, negative: &negative };
+        // poison the flags so a lane the kernel skipped would be caught
+        let mut flags = vec![2u8; rows.len()];
+        det.rows_prunable_batch(&cols, &mut flags);
+        for (k, &(t, p, n)) in rows.iter().enumerate() {
+            let want = det.row_prunable(NodeTotals { total: t, positive: p, negative: n });
+            prop_assert_eq!(
+                flags[k],
+                u8::from(want),
+                "lane {} diverged from the scalar oracle: totals=({},{},{})", k, t, p, n
+            );
+        }
+    }
 }
 
 proptest! {

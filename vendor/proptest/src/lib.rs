@@ -1,9 +1,10 @@
 //! Vendored stand-in for `proptest` (see `vendor/README.md`).
 //!
 //! Implements the strategy/runner subset this workspace's property tests
-//! use: integer and float range strategies, tuples, `prop_map`,
-//! `prop::collection::{vec, btree_set}`, `prop::bool::ANY`, `any::<T>()`,
-//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//! use: integer and float range strategies, tuples, `prop_map`, `Just`,
+//! `prop_oneof!` (plain and weighted), `prop::collection::{vec,
+//! btree_set}`, `prop::bool::ANY`, `any::<T>()`, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from upstream, chosen deliberately for an offline CI:
 //! - **Deterministic**: cases are generated from a seed derived from the
@@ -123,6 +124,76 @@ where
     fn sample(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.sample(rng))
     }
+}
+
+/// `Just(value)` — the strategy that always yields clones of `value`,
+/// mirroring `proptest::strategy::Just`.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One [`prop_oneof!`] option: a weight paired with a boxed sampler.
+pub type UnionOption<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
+/// Weighted choice over heterogeneous strategies sharing one value type —
+/// the shim behind [`prop_oneof!`], mirroring upstream's `TupleUnion`.
+/// Built from boxed samplers because the options usually have different
+/// concrete strategy types.
+pub struct Union<T> {
+    options: Vec<UnionOption<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `(weight, sampler)` options; weights must not all be 0.
+    pub fn new(options: Vec<UnionOption<T>>) -> Self {
+        let total: u64 = options.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { options }
+    }
+}
+
+/// Box one [`prop_oneof!`] option. A generic fn (not an `as Box<dyn …>`
+/// cast in the macro body) so the option value types unify through the
+/// returned tuple instead of leaving an inference hole that would fall
+/// back to `i32`.
+pub fn union_option<S: Strategy + 'static>(weight: u32, strat: S) -> UnionOption<S::Value> {
+    (weight, Box::new(move |rng: &mut TestRng| strat.sample(rng)))
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|&(w, _)| u64::from(w)).sum();
+        let mut pick = rng.below(total);
+        for (w, sampler) in &self.options {
+            if pick < u64::from(*w) {
+                return sampler(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weighted pick below the total weight")
+    }
+}
+
+/// Choose among strategies, mirroring `proptest::prop_oneof!`:
+/// `prop_oneof![a, b, c]` picks uniformly, `prop_oneof![3 => a, 1 => b]`
+/// picks by weight. All options must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::union_option($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 macro_rules! impl_range_strategy_uint {
@@ -429,8 +500,8 @@ macro_rules! prop_assert_ne {
 /// Everything call sites need, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -471,6 +542,27 @@ mod tests {
         fn config_is_honoured(_x in 0u64..2) {
             // Body runs; the case count itself is exercised below.
         }
+    }
+
+    proptest! {
+        #[test]
+        fn just_and_oneof_stay_in_domain(
+            x in Just(41u64),
+            y in prop_oneof![Just(1u64), 10..20u64, Just(u64::MAX)],
+            z in prop_oneof![5 => 0..10u64, 1 => 100..110u64],
+        ) {
+            prop_assert_eq!(x, 41);
+            prop_assert!(y == 1 || (10..20).contains(&y) || y == u64::MAX);
+            prop_assert!((0..10).contains(&z) || (100..110).contains(&z));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_bias_the_draw() {
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::TestRng::new(7);
+        let hits = (0..1000).filter(|_| strat.sample(&mut rng)).count();
+        assert!(hits > 800, "9:1 weighting drew true only {hits}/1000 times");
     }
 
     #[test]
