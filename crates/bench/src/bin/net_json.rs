@@ -1,0 +1,118 @@
+//! Networked robustness curves over real TCP (`BENCH_net.json`).
+//!
+//! Re-runs the drop×churn sweep of `robustness_json` through the TCP
+//! detection cluster ([`collusion_sim::cluster`]): one `ManagerNode`
+//! process per manager on localhost, ingest and detection over the wire,
+//! message faults injected by real socket proxies, churn applied as
+//! process kills with rejoin-from-WAL. A final query-throughput pass
+//! measures queries/sec against the lock-free read path under live
+//! ingest:
+//!
+//! ```text
+//! cargo run --release -p collusion-bench --bin net_json -- [nodes] [out]
+//! cargo run --release -p collusion-bench --bin net_json -- --smoke [out]
+//! ```
+//!
+//! Defaults: `nodes = 200`, `out = BENCH_net.json`. `--smoke` shrinks the
+//! workload and grid for CI gates. The report shares its schema with
+//! `BENCH_robustness.json` via [`collusion_bench::grid`]; suspect sets at
+//! fault-free grid points are asserted (here, not just in tests) to equal
+//! the in-process baseline. Verdict counts and seeds are deterministic;
+//! wall-clock fields (`round_ms`, `queries_per_sec`) are not.
+
+use collusion_bench::grid::{render_grid, standard_sweep, sweep_plan, GridHeader, GridRow};
+use collusion_sim::cluster::{run_cluster_queries, run_cluster_robustness, ClusterConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let smoke = args.peek().map(|a| a == "--smoke").unwrap_or(false);
+    if smoke {
+        args.next();
+    }
+    let nodes: u64 =
+        if smoke { 80 } else { args.next().and_then(|a| a.parse().ok()).unwrap_or(200) };
+    let out_path = args.next().unwrap_or_else(|| "BENCH_net.json".to_string());
+
+    let base = if smoke {
+        let mut cfg = ClusterConfig::quick(42);
+        cfg.managers = 3;
+        cfg
+    } else {
+        let mut cfg = ClusterConfig::standard(42);
+        cfg.sim.n_nodes = nodes;
+        cfg
+    };
+    let sweep = if smoke { vec![(0.0, 0usize), (0.1, 1)] } else { standard_sweep() };
+
+    let mut rows: Vec<GridRow> = Vec::new();
+    for (drop, crashes) in sweep {
+        let cfg = base.clone().with_plan(sweep_plan(drop, crashes));
+        eprintln!("net: drop={drop} crashes/period={crashes} …");
+        let o = run_cluster_robustness(&cfg);
+        eprintln!(
+            "  recall={:.3} reported={:.3} overhead={:.3} unconfirmed={} killed={} round_ms={}",
+            o.recall,
+            o.reported_fraction,
+            o.message_overhead,
+            o.unconfirmed_pairs.len(),
+            o.killed,
+            o.round_ms
+        );
+        if drop == 0.0 && crashes == 0 {
+            assert_eq!(
+                o.confirmed_pairs, o.baseline_pairs,
+                "fault-free TCP round must equal the in-process baseline"
+            );
+        }
+        assert_eq!(
+            o.reported_fraction, 1.0,
+            "graceful degradation: every baseline pair must stay reported"
+        );
+        rows.push(GridRow {
+            drop,
+            crashes_per_period: crashes,
+            joins_per_period: crashes,
+            recall: o.recall,
+            reported_fraction: o.reported_fraction,
+            message_overhead: o.message_overhead,
+            baseline_pairs: o.baseline_pairs.len(),
+            confirmed_pairs: o.confirmed_pairs.len(),
+            unconfirmed_pairs: o.unconfirmed_pairs.len(),
+            detection_messages: o.detection_messages,
+            baseline_messages: o.baseline_messages,
+            retries: o.fault.retries,
+            messages_dropped: o.net.dropped,
+            completeness: o.fault.completeness(),
+            crashed: o.killed,
+            joined: o.rejoined,
+            extra: vec![
+                ("deadline_exceeded", o.fault.deadline_exceeded.to_string()),
+                ("frames_sent", o.net.sent.to_string()),
+                ("ingested", o.ingested.to_string()),
+                ("round_ms", o.round_ms.to_string()),
+            ],
+        });
+    }
+
+    eprintln!("net: query throughput under live ingest …");
+    let window_ms = if smoke { 300 } else { 2000 };
+    let q = run_cluster_queries(&base, window_ms);
+    eprintln!("  {} queries in {} ms ({:.0} q/s)", q.queries, q.elapsed_ms, q.qps);
+
+    let header = GridHeader {
+        transport: "tcp",
+        nodes,
+        managers: base.managers,
+        replication: base.replication,
+        churn_periods: base.churn_periods,
+        extra: vec![
+            ("queries_per_sec", format!("{:.1}", q.qps)),
+            ("query_window_ms", q.elapsed_ms.to_string()),
+            ("concurrent_inserts", q.inserts.to_string()),
+        ],
+    };
+    let json = render_grid(&header, &rows);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

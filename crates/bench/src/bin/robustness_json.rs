@@ -13,86 +13,66 @@
 //!
 //! Defaults: `nodes = 200` (the paper's evaluation size),
 //! `out = BENCH_robustness.json`. Every grid point is deterministic in its
-//! seeds; re-running the binary reproduces the file bit for bit.
+//! seeds; re-running the binary reproduces the file bit for bit. The report
+//! shares its schema with the networked grid (`net_json` →
+//! `BENCH_net.json`) via [`collusion_bench::grid`], so the two transports
+//! diff field by field.
 
-use collusion_core::prelude::FaultPlan;
-use collusion_sim::robustness::{run_robustness, RobustnessConfig, RobustnessOutcome};
-
-struct GridPoint {
-    drop: f64,
-    crashes_per_period: usize,
-    out: RobustnessOutcome,
-}
+use collusion_bench::grid::{render_grid, standard_sweep, sweep_plan, GridHeader, GridRow};
+use collusion_sim::robustness::{run_robustness, RobustnessConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let nodes: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
     let out_path = args.next().unwrap_or_else(|| "BENCH_robustness.json".to_string());
 
-    let drops = [0.0, 0.1, 0.3];
-    let churn_rates = [0usize, 1, 2];
-    let mut grid: Vec<GridPoint> = Vec::new();
-    for &drop in &drops {
-        for &crashes in &churn_rates {
-            let plan = if drop > 0.0 {
-                FaultPlan::with_drop(drop, 0xD0_u64 + (drop * 10.0) as u64)
-            } else {
-                FaultPlan::none()
-            }
-            .with_churn(crashes, crashes, 0xC0FF_EE00 + crashes as u64);
-            let mut cfg = RobustnessConfig::standard(42).with_plan(plan);
-            cfg.sim.n_nodes = nodes;
-            eprintln!("robustness: drop={drop} crashes/period={crashes} …");
-            let out = run_robustness(&cfg);
-            eprintln!(
-                "  recall={:.3} reported={:.3} overhead={:.3} unconfirmed={} lost={}",
-                out.recall,
-                out.reported_fraction,
-                out.message_overhead,
-                out.unconfirmed_pairs.len(),
-                out.lost_nodes
-            );
-            grid.push(GridPoint { drop, crashes_per_period: crashes, out });
-        }
-    }
-
-    // Hand-rolled JSON: the workspace deliberately carries no JSON dep.
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"nodes\": {nodes},\n  \"managers\": 16,\n  \"replication\": 3,\n  \"churn_periods\": 4,\n"
-    ));
-    json.push_str("  \"grid\": [\n");
-    for (i, p) in grid.iter().enumerate() {
-        let sep = if i + 1 == grid.len() { "" } else { "," };
-        let o = &p.out;
-        json.push_str(&format!(
-            "    {{\"drop\": {:.2}, \"crashes_per_period\": {}, \"joins_per_period\": {}, \
-             \"recall\": {:.4}, \"reported_fraction\": {:.4}, \"message_overhead\": {:.4}, \
-             \"baseline_pairs\": {}, \"confirmed_pairs\": {}, \"unconfirmed_pairs\": {}, \
-             \"detection_messages\": {}, \"baseline_messages\": {}, \"retries\": {}, \
-             \"messages_dropped\": {}, \"completeness\": {:.4}, \"crashed\": {}, \"joined\": {}, \
-             \"recovered_nodes\": {}, \"lost_nodes\": {}}}{sep}\n",
-            p.drop,
-            p.crashes_per_period,
-            p.crashes_per_period,
+    let mut rows: Vec<GridRow> = Vec::new();
+    for (drop, crashes) in standard_sweep() {
+        let mut cfg = RobustnessConfig::standard(42).with_plan(sweep_plan(drop, crashes));
+        cfg.sim.n_nodes = nodes;
+        eprintln!("robustness: drop={drop} crashes/period={crashes} …");
+        let o = run_robustness(&cfg);
+        eprintln!(
+            "  recall={:.3} reported={:.3} overhead={:.3} unconfirmed={} lost={}",
             o.recall,
             o.reported_fraction,
             o.message_overhead,
-            o.baseline_pairs.len(),
-            o.confirmed_pairs.len(),
             o.unconfirmed_pairs.len(),
-            o.detection_messages,
-            o.baseline_messages,
-            o.fault.retries,
-            o.fault.messages_dropped,
-            o.fault.completeness(),
-            o.crashed,
-            o.joined,
-            o.recovered_nodes,
-            o.lost_nodes,
-        ));
+            o.lost_nodes
+        );
+        rows.push(GridRow {
+            drop,
+            crashes_per_period: crashes,
+            joins_per_period: crashes,
+            recall: o.recall,
+            reported_fraction: o.reported_fraction,
+            message_overhead: o.message_overhead,
+            baseline_pairs: o.baseline_pairs.len(),
+            confirmed_pairs: o.confirmed_pairs.len(),
+            unconfirmed_pairs: o.unconfirmed_pairs.len(),
+            detection_messages: o.detection_messages,
+            baseline_messages: o.baseline_messages,
+            retries: o.fault.retries,
+            messages_dropped: o.fault.messages_dropped,
+            completeness: o.fault.completeness(),
+            crashed: o.crashed,
+            joined: o.joined,
+            extra: vec![
+                ("recovered_nodes", o.recovered_nodes.to_string()),
+                ("lost_nodes", o.lost_nodes.to_string()),
+            ],
+        });
     }
-    json.push_str("  ]\n}\n");
+
+    let header = GridHeader {
+        transport: "in-process",
+        nodes,
+        managers: 16,
+        replication: 3,
+        churn_periods: 4,
+        extra: Vec::new(),
+    };
+    let json = render_grid(&header, &rows);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("{json}");
     eprintln!("wrote {out_path}");

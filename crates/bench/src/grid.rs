@@ -1,0 +1,189 @@
+//! Shared emitter for robustness-grid JSON reports.
+//!
+//! The in-process grid (`robustness_json` → `BENCH_robustness.json`) and
+//! the networked grid (`net_json` → `BENCH_net.json`) measure the same
+//! drop×churn sweep through different transports. This module pins one
+//! schema for both: a header naming the transport and topology, and one
+//! row per grid point with identical core field names — so downstream
+//! tooling can diff the two files field by field. Transport-specific
+//! counters ride along as extra key/value pairs appended to the header or
+//! row.
+//!
+//! All JSON is hand-rolled: the workspace deliberately carries no JSON
+//! dependency.
+
+/// Grid-report header: topology plus transport tag.
+#[derive(Clone, Debug)]
+pub struct GridHeader {
+    /// `"in-process"` or `"tcp"`.
+    pub transport: &'static str,
+    /// Simulated network size.
+    pub nodes: u64,
+    /// Reputation managers on the ring.
+    pub managers: u64,
+    /// Replication factor of the faulty run.
+    pub replication: usize,
+    /// Churn periods applied before the round.
+    pub churn_periods: u64,
+    /// Transport-specific header fields, appended verbatim (values must
+    /// already be valid JSON fragments).
+    pub extra: Vec<(&'static str, String)>,
+}
+
+/// One grid point in the shared schema. Core fields carry the same names
+/// in both reports; `extra` carries transport-specific counters.
+#[derive(Clone, Debug, Default)]
+pub struct GridRow {
+    /// Message-drop probability of the point.
+    pub drop: f64,
+    /// Managers crashed per churn period.
+    pub crashes_per_period: usize,
+    /// Managers joined (in-process) or rejoined from disk (tcp) per period.
+    pub joins_per_period: usize,
+    /// `|confirmed ∩ baseline| / |baseline|`.
+    pub recall: f64,
+    /// Baseline pairs confirmed or unconfirmed, over `|baseline|`.
+    pub reported_fraction: f64,
+    /// Faulty-round messages over baseline messages.
+    pub message_overhead: f64,
+    /// Baseline suspect-pair count.
+    pub baseline_pairs: usize,
+    /// Confirmed suspect-pair count.
+    pub confirmed_pairs: usize,
+    /// Degraded (unconfirmed) pair count.
+    pub unconfirmed_pairs: usize,
+    /// Confirmation messages offered to the network in the faulty round.
+    pub detection_messages: u64,
+    /// Confirmation messages of the fault-free baseline round.
+    pub baseline_messages: u64,
+    /// Retransmissions across all exchanges.
+    pub retries: u64,
+    /// Messages the (simulated or proxied) network dropped.
+    pub messages_dropped: u64,
+    /// Fraction of exchanges that completed.
+    pub completeness: f64,
+    /// Managers crashed before the round.
+    pub crashed: usize,
+    /// Managers joined/rejoined before the round.
+    pub joined: usize,
+    /// Transport-specific row fields, appended verbatim (values must
+    /// already be valid JSON fragments).
+    pub extra: Vec<(&'static str, String)>,
+}
+
+/// Render the full report: header fields, then `"grid": [rows…]`.
+pub fn render_grid(header: &GridHeader, rows: &[GridRow]) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"transport\": \"{}\",\n  \"nodes\": {},\n  \"managers\": {},\n  \
+         \"replication\": {},\n  \"churn_periods\": {},\n",
+        header.transport, header.nodes, header.managers, header.replication, header.churn_periods
+    ));
+    for (k, v) in &header.extra {
+        json.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    json.push_str("  \"grid\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"drop\": {:.2}, \"crashes_per_period\": {}, \"joins_per_period\": {}, \
+             \"recall\": {:.4}, \"reported_fraction\": {:.4}, \"message_overhead\": {:.4}, \
+             \"baseline_pairs\": {}, \"confirmed_pairs\": {}, \"unconfirmed_pairs\": {}, \
+             \"detection_messages\": {}, \"baseline_messages\": {}, \"retries\": {}, \
+             \"messages_dropped\": {}, \"completeness\": {:.4}, \"crashed\": {}, \"joined\": {}",
+            r.drop,
+            r.crashes_per_period,
+            r.joins_per_period,
+            r.recall,
+            r.reported_fraction,
+            r.message_overhead,
+            r.baseline_pairs,
+            r.confirmed_pairs,
+            r.unconfirmed_pairs,
+            r.detection_messages,
+            r.baseline_messages,
+            r.retries,
+            r.messages_dropped,
+            r.completeness,
+            r.crashed,
+            r.joined,
+        ));
+        for (k, v) in &r.extra {
+            json.push_str(&format!(", \"{k}\": {v}"));
+        }
+        json.push_str(&format!("}}{sep}\n"));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// The standard drop×churn sweep both grids walk, with the seeds pinned by
+/// the original robustness bench: drop seeds `0xD0 + drop*10`, churn seeds
+/// `0xC0FF_EE00 + crashes`.
+pub fn standard_sweep() -> Vec<(f64, usize)> {
+    let mut out = Vec::new();
+    for &drop in &[0.0, 0.1, 0.3] {
+        for &crashes in &[0usize, 1, 2] {
+            out.push((drop, crashes));
+        }
+    }
+    out
+}
+
+/// The fault plan of one sweep point (shared seed convention).
+pub fn sweep_plan(drop: f64, crashes: usize) -> collusion_core::prelude::FaultPlan {
+    use collusion_core::prelude::FaultPlan;
+    let plan = if drop > 0.0 {
+        FaultPlan::with_drop(drop, 0xD0_u64 + (drop * 10.0) as u64)
+    } else {
+        FaultPlan::none()
+    };
+    plan.with_churn(crashes, crashes, 0xC0FF_EE00 + crashes as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_grid_is_valid_shapewise() {
+        let header = GridHeader {
+            transport: "tcp",
+            nodes: 80,
+            managers: 3,
+            replication: 2,
+            churn_periods: 2,
+            extra: vec![("queries_per_sec", "123.4".to_string())],
+        };
+        let row = GridRow {
+            drop: 0.1,
+            recall: 1.0,
+            reported_fraction: 1.0,
+            message_overhead: 1.25,
+            extra: vec![("round_ms", "17".to_string())],
+            ..GridRow::default()
+        };
+        let json = render_grid(&header, &[row.clone(), row]);
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"queries_per_sec\": 123.4"));
+        assert!(json.contains("\"round_ms\": 17"));
+        // both rows present, comma-separated, no trailing comma
+        assert_eq!(json.matches("\"drop\": 0.10").count(), 2);
+        assert!(!json.contains(",\n  ]"));
+        // braces balance
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid_with_pinned_seeds() {
+        let sweep = standard_sweep();
+        assert_eq!(sweep.len(), 9);
+        let plan = sweep_plan(0.3, 2);
+        assert_eq!(plan.message.drop_probability, 0.3);
+        assert_eq!(plan.message.seed, 0xD3);
+        assert_eq!(plan.churn.crashes_per_period, 2);
+        assert_eq!(plan.churn.seed, 0xC0FF_EE02);
+    }
+}

@@ -63,6 +63,7 @@ pub mod group;
 pub mod input;
 pub mod mitigation;
 pub mod model;
+pub mod net;
 pub mod optimized;
 mod pairset;
 pub mod pipeline;

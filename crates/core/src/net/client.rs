@@ -1,0 +1,384 @@
+//! RPC client: per-call deadlines, bounded exponential-backoff retries with
+//! deterministic jitter, and failover across successor replicas.
+//!
+//! Every call runs under two clocks:
+//!
+//! * an **attempt budget** — connect + write + read of one try, after which
+//!   the connection is abandoned (a dropped request or response frame shows
+//!   up as a read timeout here);
+//! * a **total deadline** — the hard ceiling across all retries and
+//!   failover targets. When it expires the call returns
+//!   [`RpcError::DeadlineExceeded`] and the caller degrades (an unconfirmed
+//!   verdict, a skipped replica push) instead of hanging.
+//!
+//! Between attempts the client backs off exponentially with jitter drawn
+//! from the workspace's seeded [`FaultRng`] stream, and rotates through the
+//! provided replica addresses (owner first, then successors), so a dead
+//! owner fails over to a backup within the same total deadline.
+//!
+//! Healthy connections are pooled per address and reused across calls; any
+//! error or timeout discards the connection (after a timeout the stream is
+//! ambiguous — a late response would desynchronize the next call).
+//!
+//! Accounting reuses [`FaultStats`] — the same schema the in-process
+//! [`crate::fault::FaultSession`] emits — so the networked robustness grid
+//! and the in-process one report through identical fields. Tick unit here:
+//! milliseconds.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use collusion_reputation::codec::CodecError;
+use collusion_reputation::frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
+
+use crate::fault::{FaultRng, FaultStats};
+use crate::net::wire::{Request, Response};
+
+/// Domain salt of the retry-jitter stream.
+const JITTER_SALT: u64 = 0x6a69_7474_6572_2121;
+
+/// Client timing and retry policy. All durations in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RpcConfig {
+    /// TCP connect budget per attempt.
+    pub connect_timeout_ms: u64,
+    /// Write + read budget per attempt.
+    pub attempt_timeout_ms: u64,
+    /// Hard ceiling across all retries and failover targets.
+    pub total_deadline_ms: u64,
+    /// Retries after the first attempt (attempts = `max_retries + 1`,
+    /// deadline permitting).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry, jittered.
+    pub backoff_base_ms: u64,
+    /// Seed of the jitter stream (deterministic per client).
+    pub jitter_seed: u64,
+    /// Frame payload ceiling accepted from peers.
+    pub max_frame: u32,
+}
+
+impl RpcConfig {
+    /// Localhost-cluster defaults: tight per-attempt budgets, a few
+    /// hundred milliseconds of total patience, three retries.
+    pub fn lan() -> Self {
+        RpcConfig {
+            connect_timeout_ms: 250,
+            attempt_timeout_ms: 400,
+            total_deadline_ms: 2_000,
+            max_retries: 3,
+            backoff_base_ms: 10,
+            jitter_seed: 0,
+            max_frame: MAX_FRAME_PAYLOAD,
+        }
+    }
+
+    /// Replace the total deadline.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.total_deadline_ms = ms;
+        self
+    }
+
+    /// Replace the retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Replace the jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig::lan()
+    }
+}
+
+/// Why an RPC failed (after all retries and failover targets).
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport failure on the last attempt.
+    Io(io::Error),
+    /// Framing failure on the last attempt (corrupt/oversized frame).
+    Frame(FrameError),
+    /// The response payload did not decode.
+    Codec(CodecError),
+    /// The total deadline expired before any attempt succeeded.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "rpc transport error: {e}"),
+            RpcError::Frame(e) => write!(f, "rpc framing error: {e}"),
+            RpcError::Codec(e) => write!(f, "rpc decode error: {e}"),
+            RpcError::DeadlineExceeded => write!(f, "rpc total deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<io::Error> for RpcError {
+    fn from(e: io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+impl From<FrameError> for RpcError {
+    fn from(e: FrameError) -> Self {
+        RpcError::Frame(e)
+    }
+}
+
+/// A pooled, deadline-aware RPC client.
+#[derive(Debug)]
+pub struct RpcClient {
+    cfg: RpcConfig,
+    jitter: FaultRng,
+    conns: HashMap<SocketAddr, TcpStream>,
+    stats: FaultStats,
+}
+
+impl RpcClient {
+    /// Client with the given policy.
+    pub fn new(cfg: RpcConfig) -> Self {
+        RpcClient {
+            cfg,
+            jitter: FaultRng::for_stream(cfg.jitter_seed, 0, JITTER_SALT),
+            conns: HashMap::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> RpcConfig {
+        self.cfg
+    }
+
+    /// Accounting so far (exchanges, retries, failures, deadline hits).
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Call one address (no failover).
+    pub fn call(&mut self, addr: SocketAddr, req: &Request) -> Result<Response, RpcError> {
+        self.call_failover(&[addr], req)
+    }
+
+    /// Call with failover: `addrs` holds the owner first, then its
+    /// successor replicas. Attempts rotate through the list — attempt `k`
+    /// goes to `addrs[k % addrs.len()]` — under one shared total deadline.
+    pub fn call_failover(
+        &mut self,
+        addrs: &[SocketAddr],
+        req: &Request,
+    ) -> Result<Response, RpcError> {
+        assert!(!addrs.is_empty(), "call_failover needs at least one address");
+        self.stats.exchanges += 1;
+        let start = Instant::now();
+        let total = Duration::from_millis(self.cfg.total_deadline_ms);
+        let payload = req.encode();
+        let mut attempt = 0u32;
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= total {
+                self.stats.failed_exchanges += 1;
+                self.stats.deadline_exceeded += 1;
+                return Err(RpcError::DeadlineExceeded);
+            }
+            let budget = Duration::from_millis(self.cfg.attempt_timeout_ms).min(total - elapsed);
+            let addr = addrs[attempt as usize % addrs.len()];
+            match self.attempt(addr, &payload, budget) {
+                Ok(resp) => return Ok(resp),
+                Err(err) => {
+                    if attempt >= self.cfg.max_retries {
+                        self.stats.failed_exchanges += 1;
+                        if matches!(err, RpcError::DeadlineExceeded) {
+                            self.stats.deadline_exceeded += 1;
+                        }
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    // exponential backoff with jitter in [0, base), capped
+                    // by what remains of the total deadline
+                    let base = self.cfg.backoff_base_ms << (attempt - 1).min(16);
+                    let jitter = if base == 0 { 0 } else { self.jitter.below(base) };
+                    let remaining = total.saturating_sub(start.elapsed());
+                    let wait = Duration::from_millis(base + jitter).min(remaining);
+                    self.stats.backoff_ticks += wait.as_millis() as u64;
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+    }
+
+    /// One try against one address under one budget. Pools the connection
+    /// on success, discards it on any failure.
+    fn attempt(
+        &mut self,
+        addr: SocketAddr,
+        payload: &[u8],
+        budget: Duration,
+    ) -> Result<Response, RpcError> {
+        let deadline = Instant::now() + budget;
+        let mut stream = match self.conns.remove(&addr) {
+            Some(s) => s,
+            None => {
+                let connect =
+                    Duration::from_millis(self.cfg.connect_timeout_ms).min(budget).max(MIN_BUDGET);
+                let s = TcpStream::connect_timeout(&addr, connect)?;
+                s.set_nodelay(true).ok();
+                s
+            }
+        };
+        let remaining = remaining_budget(deadline)?;
+        stream.set_write_timeout(Some(remaining))?;
+        self.stats.messages_sent += 1; // request offered to the network
+        write_frame(&mut stream, payload)?;
+        let remaining = remaining_budget(deadline)?;
+        stream.set_read_timeout(Some(remaining))?;
+        let reply = match read_frame(&mut stream, self.cfg.max_frame) {
+            Ok(p) => p,
+            Err(e) if e.is_timeout() => {
+                // request or response frame lost/late: the attempt's budget
+                // is the per-attempt deadline firing
+                return Err(RpcError::Frame(e));
+            }
+            Err(e) => return Err(RpcError::Frame(e)),
+        };
+        let resp = Response::decode(&reply).map_err(RpcError::Codec)?;
+        self.conns.insert(addr, stream); // healthy — keep for reuse
+        Ok(resp)
+    }
+
+    /// Drop the pooled connection to `addr` (used by harnesses after a
+    /// server restarts on the same address).
+    pub fn forget(&mut self, addr: SocketAddr) {
+        self.conns.remove(&addr);
+    }
+}
+
+/// Floor on socket timeouts: `set_read_timeout(Some(0))` is an error, and a
+/// sub-millisecond budget would truncate to it.
+const MIN_BUDGET: Duration = Duration::from_millis(1);
+
+fn remaining_budget(deadline: Instant) -> Result<Duration, RpcError> {
+    let now = Instant::now();
+    if now >= deadline {
+        return Err(RpcError::DeadlineExceeded);
+    }
+    Ok((deadline - now).max(MIN_BUDGET))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn deadline_bounds_a_dead_address() {
+        // a bound-then-dropped listener leaves a refusing port; connect
+        // fails fast, retries burn backoff, the call resolves well within
+        // the wall-clock bound and reports its accounting
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let cfg = RpcConfig {
+            connect_timeout_ms: 50,
+            attempt_timeout_ms: 50,
+            total_deadline_ms: 300,
+            max_retries: 2,
+            backoff_base_ms: 5,
+            jitter_seed: 1,
+            max_frame: MAX_FRAME_PAYLOAD,
+        };
+        let mut client = RpcClient::new(cfg);
+        let start = Instant::now();
+        let err = client.call(addr, &Request::Ping);
+        assert!(err.is_err(), "a dead port must not answer");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "refused connections must resolve fast, took {:?}",
+            start.elapsed()
+        );
+        let stats = client.stats();
+        assert_eq!(stats.exchanges, 1);
+        assert_eq!(stats.failed_exchanges, 1);
+        assert_eq!(stats.retries, 2);
+    }
+
+    #[test]
+    fn unresponsive_server_hits_the_total_deadline() {
+        // a listener that accepts but never replies: every attempt times
+        // out reading, and the total deadline caps the whole call
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let sink = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            listener.set_nonblocking(true).ok();
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_secs(3) {
+                if let Ok((s, _)) = listener.accept() {
+                    held.push(s); // accept and go silent
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let cfg = RpcConfig {
+            connect_timeout_ms: 100,
+            attempt_timeout_ms: 80,
+            total_deadline_ms: 250,
+            max_retries: 10,
+            backoff_base_ms: 1,
+            jitter_seed: 2,
+            max_frame: MAX_FRAME_PAYLOAD,
+        };
+        let mut client = RpcClient::new(cfg);
+        let start = Instant::now();
+        let err = client.call(addr, &Request::Ping);
+        let elapsed = start.elapsed();
+        assert!(err.is_err());
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "total deadline 250ms must cap the call, took {elapsed:?}"
+        );
+        let stats = client.stats();
+        assert_eq!(stats.failed_exchanges, 1);
+        assert!(stats.retries > 0, "attempt timeouts must trigger retries");
+        sink.join().expect("sink thread");
+    }
+
+    #[test]
+    fn failover_reaches_the_second_address() {
+        // first address dead, second alive: the call must succeed via
+        // rotation within its retry budget
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let alive = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            let payload = read_frame(&mut s, MAX_FRAME_PAYLOAD).expect("read");
+            assert!(Request::decode(&payload).is_ok());
+            let resp = Response::Pong { manager: collusion_reputation::id::NodeId(7) };
+            write_frame(&mut s, &resp.encode()).expect("write");
+        });
+        let mut client = RpcClient::new(RpcConfig::lan().with_jitter_seed(3));
+        let resp = client.call_failover(&[dead, alive], &Request::Ping).expect("failover");
+        assert!(matches!(resp, Response::Pong { .. }));
+        assert!(client.stats().retries >= 1, "the dead owner must cost a retry");
+        server.join().expect("server thread");
+    }
+}

@@ -1,0 +1,32 @@
+//! Real networked detection cluster: wire protocol, RPC client, manager
+//! server, and fault-injecting proxy.
+//!
+//! The in-process simulator models managers as vector indices and message
+//! faults as RNG draws. This module re-expresses the same detection
+//! pipeline over localhost TCP:
+//!
+//! * [`wire`] — length-prefixed, checksummed RPC codec built on
+//!   [`collusion_reputation::frame`] (same fnv1a64 integrity primitive as
+//!   the WAL);
+//! * [`client`] — deadline-aware client with bounded exponential-backoff
+//!   retries and failover to successor replicas;
+//! * [`server`] — [`server::ManagerNode`], a thread-per-connection TCP
+//!   server owning a durable engine and a published read view;
+//! * [`proxy`] — [`proxy::FaultProxy`], which turns a
+//!   [`crate::fault::FaultPlan`] into real dropped/delayed/partitioned
+//!   frames between managers.
+//!
+//! The design goal is *degraded-mode correctness*: every RPC resolves
+//! within its deadline, an unreachable partner yields an unconfirmed
+//! verdict rather than a hang, and a killed manager rejoins from its WAL
+//! with its full history intact.
+
+pub mod client;
+pub mod proxy;
+pub mod server;
+pub mod wire;
+
+pub use client::{RpcClient, RpcConfig, RpcError};
+pub use proxy::{FaultProxy, NetFaultPlan, Partition};
+pub use server::{ManagerConfig, ManagerNode};
+pub use wire::{Request, Response};

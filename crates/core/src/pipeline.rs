@@ -179,7 +179,10 @@ pub struct ViewCell {
 }
 
 impl ViewCell {
-    fn new(initial: PublishedView) -> Self {
+    /// Cell starting at `initial` (version 0). Public so other single-writer
+    /// owners — the TCP [`crate::net::server::ManagerNode`] — can reuse the
+    /// same publication protocol the pipelined engine uses.
+    pub fn new(initial: PublishedView) -> Self {
         ViewCell { slot: RwLock::new(Arc::new(initial)), version: AtomicU64::new(0) }
     }
 
@@ -194,11 +197,18 @@ impl ViewCell {
         self.slot.read().expect("view cell poisoned").clone()
     }
 
-    fn publish(&self, view: Arc<PublishedView>) {
+    /// Replace the published view and bump the version. Single-writer by
+    /// convention: only the cell's owning stage/server calls this.
+    pub fn publish(&self, view: Arc<PublishedView>) {
         *self.slot.write().expect("view cell poisoned") = view;
         // Release: the slot store above happens-before any Acquire load
         // that observes the bumped version
         self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// A lock-free reader handle over this cell.
+    pub fn reader(self: &Arc<Self>) -> ViewReader {
+        ViewReader { cached: self.load(), seen: self.version(), cell: Arc::clone(self) }
     }
 }
 

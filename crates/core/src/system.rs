@@ -31,7 +31,6 @@ use crate::model::{DirectionEvidence, SuspectPair};
 use crate::optimized::OptimizedDetector;
 use crate::policy::DetectionPolicy;
 use crate::report::DetectionReport;
-use collusion_dht::fault::FaultRng;
 use collusion_dht::hash::consistent_hash;
 use collusion_dht::id::Key;
 use collusion_dht::ring::ChordRing;
@@ -504,10 +503,7 @@ impl DecentralizedSystem {
     /// fresh ones. Victim selection is deterministic in `(schedule.seed,
     /// period)`. Returns `(crashed, joined)` counts.
     pub fn apply_churn(&mut self, schedule: &ChurnSchedule, period: u64) -> (usize, usize) {
-        let mut rng = FaultRng::new(
-            schedule.seed.wrapping_add(period.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                ^ 0x6368_7572_6e21_7631,
-        );
+        let mut rng = schedule.victim_rng(period);
         let mut crashed = 0;
         for _ in 0..schedule.crashes_per_period {
             if self.ring.len() <= 1 {

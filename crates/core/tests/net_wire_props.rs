@@ -1,0 +1,242 @@
+//! Property-based tests of the network wire codec and frame layer:
+//! arbitrary `Request`/`Response` values roundtrip bit-exactly, truncated
+//! or corrupted frames are rejected (never mis-decoded, never a panic),
+//! and oversized frames are refused up front.
+
+use collusion_core::fault::FaultStats;
+use collusion_core::model::DirectionEvidence;
+use collusion_core::net::wire::{
+    ConfirmVerdict, ErrorCode, PeerAddr, Request, Response, RoundReport, StatusInfo, WirePair,
+};
+use collusion_reputation::frame::{
+    decode_frame, encode_frame, read_frame, FrameError, MAX_FRAME_PAYLOAD,
+};
+use collusion_reputation::id::{NodeId, SimTime};
+use collusion_reputation::rating::{Rating, RatingValue};
+use proptest::prelude::*;
+
+// ----- strategies ---------------------------------------------------------
+
+fn rating() -> impl Strategy<Value = Rating> {
+    (any::<u64>(), any::<u64>(), any::<bool>(), any::<u64>()).prop_map(|(a, b, pos, t)| {
+        let v = if pos { RatingValue::Positive } else { RatingValue::Negative };
+        Rating::new(NodeId(a), NodeId(b), v, SimTime(t))
+    })
+}
+
+fn evidence() -> impl Strategy<Value = DirectionEvidence> {
+    (any::<u64>(), prop::option::of(0.0..=1.0f64), prop::option::of(0.0..=1.0f64), any::<i64>())
+        .prop_map(|(n, a, b, r)| DirectionEvidence {
+            pair_ratings: n,
+            fraction_a: a,
+            fraction_b: b,
+            signed_reputation: r,
+        })
+}
+
+fn wire_pair() -> impl Strategy<Value = WirePair> {
+    (any::<u64>(), any::<u64>(), prop::option::of(evidence()), prop::option::of(evidence()))
+        .prop_map(|(low, high, fwd, rev)| WirePair {
+            low: NodeId(low),
+            high: NodeId(high),
+            low_boosts_high: fwd,
+            high_boosts_low: rev,
+        })
+}
+
+fn fault_stats() -> impl Strategy<Value = FaultStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(e, f, r, s, d, b, dl, de)| FaultStats {
+            exchanges: e,
+            failed_exchanges: f,
+            retries: r,
+            messages_sent: s,
+            messages_dropped: d,
+            backoff_ticks: b,
+            delay_ticks: dl,
+            deadline_exceeded: de,
+        })
+}
+
+fn verdict() -> impl Strategy<Value = ConfirmVerdict> {
+    (any::<bool>(), any::<bool>(), prop::option::of(evidence()))
+        .prop_map(|(known, high_reputed, reverse)| ConfirmVerdict { known, high_reputed, reverse })
+}
+
+fn peer_addr() -> impl Strategy<Value = PeerAddr> {
+    (any::<u64>(), any::<[u8; 4]>(), any::<u16>()).prop_map(|(m, ip, port)| PeerAddr {
+        manager: NodeId(m),
+        ip,
+        port,
+    })
+}
+
+fn error_code() -> impl Strategy<Value = ErrorCode> {
+    prop::sample::select(vec![
+        ErrorCode::Malformed,
+        ErrorCode::NotResponsible,
+        ErrorCode::NotFrozen,
+        ErrorCode::BadRound,
+        ErrorCode::Unavailable,
+        ErrorCode::Internal,
+    ])
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        rating().prop_map(Request::Insert),
+        prop::collection::vec(rating(), 0..20).prop_map(Request::InsertBatch),
+        prop::collection::vec(rating(), 0..20).prop_map(Request::Replicate),
+        any::<u64>().prop_map(|n| Request::Query(NodeId(n))),
+        Just(Request::CloseEpoch),
+        any::<u64>().prop_map(|round| Request::Freeze { round }),
+        any::<u64>().prop_map(|round| Request::DetectRound { round }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(round, ratee, rater)| {
+            Request::Confirm { round, ratee: NodeId(ratee), rater: NodeId(rater) }
+        }),
+        Just(Request::FetchVerdicts),
+        prop::collection::vec(peer_addr(), 0..8).prop_map(Request::SetPeers),
+        Just(Request::Status),
+    ]
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<u64>().prop_map(|m| Response::Pong { manager: NodeId(m) }),
+        (any::<u64>(), any::<u64>()).prop_map(|(seq, accepted)| Response::Ack { seq, accepted }),
+        (any::<bool>(), any::<i64>(), any::<u64>()).prop_map(|(known, signed, view_version)| {
+            Response::Reputation { known, signed, view_version }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(round, nodes)| Response::Frozen { round, nodes }),
+        (
+            any::<u64>(),
+            prop::collection::vec(wire_pair(), 0..6),
+            prop::collection::vec(wire_pair(), 0..6),
+            fault_stats(),
+        )
+            .prop_map(|(round, confirmed, unconfirmed, fault)| {
+                Response::Round(RoundReport { round, confirmed, unconfirmed, fault })
+            }),
+        verdict().prop_map(Response::Verdict),
+        (
+            any::<u64>(),
+            prop::collection::vec(wire_pair(), 0..6),
+            prop::collection::vec(wire_pair(), 0..6),
+        )
+            .prop_map(|(round, confirmed, unconfirmed)| Response::Verdicts {
+                round,
+                confirmed,
+                unconfirmed,
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(m, recorded, replicated, wal_next_seq, round, view_version)| {
+                Response::Status(StatusInfo {
+                    manager: NodeId(m),
+                    recorded,
+                    replicated,
+                    wal_next_seq,
+                    round,
+                    view_version,
+                })
+            }),
+        error_code().prop_map(|code| Response::Error { code }),
+    ]
+}
+
+// ----- properties ---------------------------------------------------------
+
+proptest! {
+    /// Every request decodes back to itself.
+    #[test]
+    fn request_roundtrips(req in request()) {
+        let bytes = req.encode();
+        prop_assert_eq!(Request::decode(&bytes).expect("decode"), req);
+    }
+
+    /// Every response decodes back to itself.
+    #[test]
+    fn response_roundtrips(resp in response()) {
+        let bytes = resp.encode();
+        prop_assert_eq!(Response::decode(&bytes).expect("decode"), resp);
+    }
+
+    /// A framed payload survives the wire byte-exactly.
+    #[test]
+    fn frame_roundtrips(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let framed = encode_frame(&payload);
+        let (decoded, used) = decode_frame(&framed, MAX_FRAME_PAYLOAD).expect("decode");
+        prop_assert_eq!(decoded, &payload[..]);
+        prop_assert_eq!(used, framed.len());
+        let mut cursor = &framed[..];
+        prop_assert_eq!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD).expect("read"), payload);
+    }
+
+    /// Any strict prefix of a frame is rejected, never mis-read.
+    #[test]
+    fn truncated_frames_are_rejected(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let framed = encode_frame(&payload);
+        let cut = cut.index(framed.len()); // 0 ≤ cut < framed.len()
+        let mut cursor = &framed[..cut];
+        prop_assert!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD).is_err());
+    }
+
+    /// Flipping any single byte of a frame makes it undecodable: the
+    /// checksum (or the length sanity checks) must catch the corruption
+    /// rather than hand back altered bytes.
+    #[test]
+    fn corrupted_frames_are_rejected(
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        pos in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut framed = encode_frame(&payload);
+        let pos = pos.index(framed.len());
+        framed[pos] ^= flip;
+        // a shortened length prefix still fails: the checksum no longer
+        // matches the shifted payload window
+        if let Ok((decoded, _)) = decode_frame(&framed, MAX_FRAME_PAYLOAD) {
+            prop_assert_eq!(decoded, &payload[..], "corruption slipped through decode_frame");
+        }
+        let mut cursor = &framed[..];
+        if let Ok(got) = read_frame(&mut cursor, MAX_FRAME_PAYLOAD) {
+            prop_assert_eq!(got, payload, "corruption slipped through read_frame");
+        }
+    }
+
+    /// Arbitrary bytes never panic the payload codecs (they error instead).
+    #[test]
+    fn random_bytes_never_panic_the_codec(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let _ = decode_frame(&bytes, MAX_FRAME_PAYLOAD);
+    }
+
+    /// A frame whose declared payload exceeds the reader's ceiling is
+    /// refused before any payload is read.
+    #[test]
+    fn oversized_frames_are_refused(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        max in 0u32..128,
+    ) {
+        prop_assume!(payload.len() as u32 > max);
+        let framed = encode_frame(&payload);
+        let mut cursor = &framed[..];
+        prop_assert!(matches!(
+            read_frame(&mut cursor, max),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+}

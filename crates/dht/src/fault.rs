@@ -26,6 +26,15 @@ impl FaultRng {
         FaultRng { state: seed }
     }
 
+    /// Derived stream keyed by `(seed, stream, salt)` — **the** way every
+    /// layer of the workspace splits one plan seed into independent
+    /// sub-streams (per churn period, per proxy link, per retry jitter
+    /// source), so the in-process fault machinery and the TCP layer draw
+    /// from the same seeded family instead of each hand-rolling a mix.
+    pub fn for_stream(seed: u64, stream: u64, salt: u64) -> Self {
+        FaultRng::new(seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ salt)
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod codec;
 pub mod eigentrust;
 pub mod epoch;
+pub mod frame;
 pub mod fxhash;
 pub mod history;
 pub mod id;

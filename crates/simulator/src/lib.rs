@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod ingest;
@@ -38,6 +39,10 @@ pub mod scenario;
 
 /// Re-exports of the commonly used types.
 pub mod prelude {
+    pub use crate::cluster::{
+        run_cluster_queries, run_cluster_robustness, ClusterConfig, ClusterOutcome,
+        QueryLoadOutcome,
+    };
     pub use crate::config::{DetectorKind, ReputationEngine, SimConfig};
     pub use crate::engine::Simulation;
     pub use crate::ingest::{run_ingest_driver, IngestDriverConfig, IngestDriverOutcome};

@@ -135,7 +135,7 @@ pub struct RobustnessOutcome {
 
 /// Deterministic replay order of a history's pair counters: ascending
 /// `(ratee, rater)` — `iter_pairs` itself is hash-map ordered.
-fn sorted_pairs(
+pub(crate) fn sorted_pairs(
     history: &collusion_reputation::history::InteractionHistory,
 ) -> Vec<(NodeId, NodeId, PairCounters)> {
     let mut entries: Vec<(NodeId, NodeId, PairCounters)> = history.iter_pairs().collect();
@@ -145,7 +145,7 @@ fn sorted_pairs(
 
 /// Build a partitioned system and replay the workload into it. Neutral
 /// ratings are not replayed (the simulator never produces them).
-fn build_system(
+pub(crate) fn build_system(
     cfg: &RobustnessConfig,
     replication: usize,
     entries: &[(NodeId, NodeId, PairCounters)],

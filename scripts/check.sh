@@ -83,4 +83,10 @@ awk -v ref="$ref" -v got="$got" 'BEGIN {
   }
 }'
 
+echo "== cluster smoke (3 managers over TCP: drop point + kill/rejoin, baseline equality) =="
+# spawns real localhost manager processes behind fault proxies; the gate
+# test asserts the merged suspect sets equal the in-process baseline and
+# that a killed manager rejoins from its WAL with the same verdicts
+timeout 180 cargo test --release -q -p collusion-sim --test net_cluster cluster_smoke_gate
+
 echo "All checks passed."

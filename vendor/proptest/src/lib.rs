@@ -1,10 +1,11 @@
 //! Vendored stand-in for `proptest` (see `vendor/README.md`).
 //!
 //! Implements the strategy/runner subset this workspace's property tests
-//! use: integer and float range strategies, tuples, `prop_map`, `Just`,
-//! `prop_oneof!` (plain and weighted), `prop::collection::{vec,
-//! btree_set}`, `prop::bool::ANY`, `any::<T>()`, and the `proptest!` /
-//! `prop_assert*` / `prop_assume!` macros.
+//! use: integer and float range strategies, tuples (arity 2–8), `prop_map`,
+//! `Just`, `prop_oneof!` (plain and weighted), `prop::collection::{vec,
+//! btree_set}`, `prop::option::of`, `prop::sample::{select, Index}`,
+//! `prop::bool::ANY`, `any::<T>()` (integers, floats, bool, byte arrays),
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from upstream, chosen deliberately for an offline CI:
 //! - **Deterministic**: cases are generated from a seed derived from the
@@ -286,6 +287,8 @@ impl_tuple_strategy! {
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
 }
 
 /// Types with a canonical "any value" strategy, mirroring
@@ -316,6 +319,16 @@ impl Arbitrary for bool {
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         rng.unit_f64()
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
     }
 }
 
@@ -396,6 +409,81 @@ pub mod prop {
                     attempts += 1;
                 }
                 set
+            }
+        }
+    }
+
+    /// Optional-value strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy type of [`of`].
+        #[derive(Clone, Debug)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `prop::option::of(strategy)` — `None` and `Some` drawn with
+        /// equal probability (upstream's default weighting).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 1 {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Strategies sampling from existing collections, mirroring
+    /// `proptest::sample`.
+    pub mod sample {
+        use crate::{Arbitrary, Strategy, TestRng};
+
+        /// Strategy type of [`select`].
+        #[derive(Clone, Debug)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// `prop::sample::select(options)` — uniform choice of one element.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+
+        /// A length-agnostic index, mirroring `proptest::sample::Index`:
+        /// draw one with `any::<Index>()`, then project it onto any
+        /// collection with [`Index::index`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// The index this value denotes in a collection of `len`
+            /// elements (uniform over `0..len`; `len` must be nonzero).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
             }
         }
     }
@@ -520,6 +608,21 @@ mod tests {
         #[test]
         fn tuples_and_map(v in (0u64..4, 0u64..4).prop_map(|(a, b)| a + b)) {
             prop_assert!(v <= 6);
+        }
+
+        #[test]
+        fn options_selects_and_indexes_stay_in_domain(
+            opt in prop::option::of(3u64..6),
+            pick in prop::sample::select(vec!['a', 'b', 'c']),
+            idx in any::<prop::sample::Index>(),
+            bytes in any::<[u8; 4]>(),
+        ) {
+            if let Some(v) = opt {
+                prop_assert!((3..6).contains(&v));
+            }
+            prop_assert!(['a', 'b', 'c'].contains(&pick));
+            prop_assert!(idx.index(7) < 7);
+            let _ = bytes;
         }
 
         #[test]
