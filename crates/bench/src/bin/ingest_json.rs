@@ -18,9 +18,11 @@
 //!
 //! Reported per point: sustained ratings/sec over the whole stream, the
 //! median epoch-close latency (close → report), WAL record/sync counts,
-//! and — via a counting global allocator — heap allocations of the first
-//! vs a steady-state serial close, confirming the reused
-//! detection-scratch buffers stop allocating once warm.
+//! per-stage busy fractions (how occupied the WAL, merge, and detect
+//! stage threads were — where the pipeline's headroom is), and — via a
+//! counting global allocator — heap allocations of the first vs a
+//! steady-state serial close, confirming the reused detection-scratch
+//! buffers stop allocating once warm.
 //!
 //! Every measured point asserts bit-identity, not sampled: each pipelined
 //! close's suspect set must equal the serial engine's for the same epoch,
@@ -164,6 +166,11 @@ struct PipelinedRun {
     suspects: usize,
     reports_identical: bool,
     state_identical: bool,
+    /// Busy fractions of the three stage threads over the run (message
+    /// processing time / stage lifetime): where the pipeline's headroom is.
+    wal_occupancy: f64,
+    merge_occupancy: f64,
+    detect_occupancy: f64,
 }
 
 /// One pipelined run: `producers` threads submit each epoch's ratings
@@ -222,6 +229,9 @@ fn run_pipelined(
         suspects,
         reports_identical,
         state_identical,
+        wal_occupancy: pstats.wal_occupancy(),
+        merge_occupancy: pstats.merge_occupancy(),
+        detect_occupancy: pstats.detect_occupancy(),
     }
 }
 
@@ -305,6 +315,11 @@ fn json_point(p: &GridPoint, smoke: bool) -> String {
             j.push_str(&format!(", \"close_median_ns\": {}", r.close_median_ns));
             j.push_str(&format!(", \"wal_syncs\": {}", r.wal_syncs));
             j.push_str(&format!(", \"batches\": {}", r.batches));
+            // stage-thread busy fractions: which stage a faster stream
+            // would saturate first (wall-clock-dependent, like the rates)
+            j.push_str(&format!(", \"wal_occupancy\": {:.3}", r.wal_occupancy));
+            j.push_str(&format!(", \"merge_occupancy\": {:.3}", r.merge_occupancy));
+            j.push_str(&format!(", \"detect_occupancy\": {:.3}", r.detect_occupancy));
         }
         j.push('}');
         j.push_str(if i + 1 == p.runs.len() { "\n" } else { ",\n" });

@@ -401,6 +401,36 @@ impl DurableEngine {
         Ok(seq)
     }
 
+    /// Log and fold a batch of ratings — the streaming data plane's entry
+    /// point. Semantically a loop over [`DurableEngine::record`] (and
+    /// implemented as one, so forced-close markers interleave with the
+    /// rating records exactly as they did when each rating was folded —
+    /// replay reproduces the same state); the WAL's internal write
+    /// buffering already amortizes the syscalls across the batch. Returns
+    /// the WAL byte length after the batch: once
+    /// [`DurableEngine::durable_len`] reaches that target, every rating of
+    /// the batch is crash-durable — the ack-at-durable watermark.
+    pub fn record_batch(&mut self, ratings: &[Rating]) -> Result<u64, DurabilityError> {
+        for &r in ratings {
+            self.record(r)?;
+        }
+        Ok(self.wal.len_bytes())
+    }
+
+    /// The WAL durable watermark in bytes (see [`Wal::durable_len`]).
+    #[inline]
+    pub fn durable_len(&self) -> u64 {
+        self.wal.durable_len()
+    }
+
+    /// Non-blocking durability nudge (see [`Wal::request_durable`]): under
+    /// [`SyncPolicy::Async`] the background committer picks up everything
+    /// appended so far, letting stream acks advance without a barrier.
+    pub fn request_durable(&mut self) -> Result<(), DurabilityError> {
+        self.wal.request_durable()?;
+        Ok(())
+    }
+
     /// Close the open epoch durably: fold, append the close marker, fsync,
     /// and checkpoint if the interval came due.
     pub fn close_epoch(&mut self) -> Result<DetectionReport, DurabilityError> {

@@ -28,11 +28,15 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use collusion_reputation::codec::CodecError;
-use collusion_reputation::frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
+use collusion_reputation::frame::{
+    encode_frame_into, read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD,
+};
+use collusion_reputation::rating::Rating;
 
 use crate::fault::{FaultRng, FaultStats};
 use crate::net::wire::{Request, Response};
@@ -265,6 +269,223 @@ impl RpcClient {
     pub fn forget(&mut self, addr: SocketAddr) {
         self.conns.remove(&addr);
     }
+
+    /// Open a windowed `InsertStream` session to `addr`, reusing a pooled
+    /// connection when one exists. The session owns the connection until
+    /// [`RpcClient::close_insert_stream`] hands it back; a session that
+    /// errors (or is dropped mid-flight) takes the connection with it —
+    /// a half-written stream is never re-pooled.
+    pub fn open_insert_stream(
+        &mut self,
+        addr: SocketAddr,
+        window: usize,
+    ) -> Result<InsertStream, RpcError> {
+        let stream = match self.conns.remove(&addr) {
+            Some(s) => s,
+            None => {
+                let connect = Duration::from_millis(self.cfg.connect_timeout_ms).max(MIN_BUDGET);
+                let s = TcpStream::connect_timeout(&addr, connect)?;
+                s.set_nodelay(true).ok();
+                s
+            }
+        };
+        Ok(InsertStream::new(addr, stream, window.max(1), self.cfg))
+    }
+
+    /// Drain a session's outstanding acks and, on clean success, return the
+    /// connection to the pool for plain RPC reuse. On any error the
+    /// connection is discarded (the stream position is ambiguous).
+    pub fn close_insert_stream(&mut self, session: InsertStream) -> Result<StreamStats, RpcError> {
+        let (addr, stream, stats) = session.finish()?;
+        self.conns.insert(addr, stream);
+        Ok(stats)
+    }
+}
+
+/// Telemetry of one `InsertStream` session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamStats {
+    /// Frames handed to the transport.
+    pub frames_sent: u64,
+    /// Encoded bytes handed to the transport (frame headers included).
+    pub bytes_sent: u64,
+    /// Frames covered by the highest cumulative ack.
+    pub frames_acked: u64,
+    /// Ratings the server reported accepted **and durable**.
+    pub ratings_acked: u64,
+    /// The server's WAL durable watermark as of the last ack.
+    pub durable_len: u64,
+}
+
+/// A windowed streaming-insert session: up to `window` un-acked frames in
+/// flight over one pooled connection, frame encodes coalesced into a
+/// staging buffer so a whole window leaves in few `write` syscalls.
+///
+/// Acks are cumulative and the server only sends them once the WAL durable
+/// watermark covers a frame's bytes, so [`StreamStats::ratings_acked`]
+/// counts ratings that survive a crash. Any transport or protocol error
+/// poisons the session; a poisoned session's connection is never re-pooled.
+#[derive(Debug)]
+pub struct InsertStream {
+    addr: SocketAddr,
+    stream: TcpStream,
+    window: u64,
+    /// Frame number of the next `send` (1-based, per connection).
+    next_seq: u64,
+    /// Highest frame number covered by a cumulative ack.
+    acked_seq: u64,
+    /// Coalesced encoded frames not yet written to the socket.
+    staged: Vec<u8>,
+    stats: StreamStats,
+    cfg: RpcConfig,
+    poisoned: bool,
+}
+
+/// Flush the staging buffer once it holds this many bytes even if the
+/// window still has room: bounds client memory and keeps the server fed.
+const STAGE_FLUSH_BYTES: usize = 64 * 1024;
+
+impl InsertStream {
+    fn new(addr: SocketAddr, stream: TcpStream, window: usize, cfg: RpcConfig) -> Self {
+        InsertStream {
+            addr,
+            stream,
+            window: window as u64,
+            next_seq: 1,
+            acked_seq: 0,
+            staged: Vec::with_capacity(STAGE_FLUSH_BYTES + 1024),
+            stats: StreamStats::default(),
+            cfg,
+            poisoned: false,
+        }
+    }
+
+    /// Stats so far (sent counters are current; acked counters trail until
+    /// [`RpcClient::close_insert_stream`] drains the window).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Frames sent but not yet covered by an ack (staged frames included).
+    pub fn in_flight(&self) -> u64 {
+        (self.next_seq - 1) - self.acked_seq
+    }
+
+    /// Queue one `InsertStream` frame, blocking for acks only when the
+    /// window is full.
+    pub fn send(&mut self, ratings: &[Rating]) -> Result<(), RpcError> {
+        self.guard()?;
+        let req = Request::InsertStream { stream_seq: self.next_seq, ratings: ratings.to_vec() };
+        let before = self.staged.len();
+        encode_frame_into(&req.encode(), &mut self.staged);
+        self.next_seq += 1;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += (self.staged.len() - before) as u64;
+        if self.in_flight() >= self.window {
+            // window full: ask the server for a durability barrier, push
+            // the staged frames out, and block for one ack
+            self.run(|s| {
+                s.stage_barrier();
+                s.flush_staged()?;
+                s.read_ack()
+            })
+        } else if self.staged.len() >= STAGE_FLUSH_BYTES {
+            self.run(Self::flush_staged)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Push staged frames to the transport, trailed by a `StreamFlush`
+    /// barrier, without blocking for acks. Lets a caller multiplexing
+    /// several sessions get every server fsyncing before it starts
+    /// draining windows — the barriers overlap instead of serializing.
+    pub fn flush(&mut self) -> Result<(), RpcError> {
+        self.guard()?;
+        self.run(|s| {
+            s.stage_barrier();
+            s.flush_staged()
+        })
+    }
+
+    /// Flush staged frames and block until every sent frame is acked, then
+    /// yield the (healthy) connection back for pooling.
+    fn finish(mut self) -> Result<(SocketAddr, TcpStream, StreamStats), RpcError> {
+        self.guard()?;
+        self.run(|s| {
+            s.stage_barrier();
+            s.flush_staged()
+        })?;
+        while self.acked_seq < self.next_seq - 1 {
+            self.run(Self::read_ack)?;
+        }
+        Ok((self.addr, self.stream, self.stats))
+    }
+
+    /// Stage a `StreamFlush` barrier frame behind the data frames. The
+    /// server fsyncs only where these land — at window stalls and session
+    /// close — so a burst costs one targeted fsync instead of one per gap
+    /// in socket traffic.
+    fn stage_barrier(&mut self) {
+        let before = self.staged.len();
+        encode_frame_into(&Request::StreamFlush.encode(), &mut self.staged);
+        self.stats.bytes_sent += (self.staged.len() - before) as u64;
+    }
+
+    fn guard(&self) -> Result<(), RpcError> {
+        if self.poisoned {
+            return Err(RpcError::Io(io::Error::other("insert stream already failed")));
+        }
+        Ok(())
+    }
+
+    /// Run one transport step, poisoning the session on any error.
+    fn run(
+        &mut self,
+        step: impl FnOnce(&mut Self) -> Result<(), RpcError>,
+    ) -> Result<(), RpcError> {
+        let out = step(self);
+        if out.is_err() {
+            self.poisoned = true;
+        }
+        out
+    }
+
+    fn flush_staged(&mut self) -> Result<(), RpcError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let budget = Duration::from_millis(self.cfg.attempt_timeout_ms).max(MIN_BUDGET);
+        self.stream.set_write_timeout(Some(budget))?;
+        self.stream.write_all(&self.staged)?;
+        self.staged.clear();
+        Ok(())
+    }
+
+    /// Block for one cumulative ack and fold it into the stats.
+    fn read_ack(&mut self) -> Result<(), RpcError> {
+        let budget = Duration::from_millis(self.cfg.attempt_timeout_ms).max(MIN_BUDGET);
+        self.stream.set_read_timeout(Some(budget))?;
+        let payload = read_frame(&mut self.stream, self.cfg.max_frame)?;
+        match Response::decode(&payload).map_err(RpcError::Codec)? {
+            Response::InsertAck { stream_seq, accepted, durable_len } => {
+                if stream_seq <= self.acked_seq || stream_seq >= self.next_seq {
+                    return Err(RpcError::Io(io::Error::other("ack out of sequence")));
+                }
+                self.acked_seq = stream_seq;
+                self.stats.frames_acked = stream_seq;
+                self.stats.ratings_acked = accepted;
+                self.stats.durable_len = durable_len;
+                Ok(())
+            }
+            Response::Error { code } => {
+                Err(RpcError::Io(io::Error::other(format!("server rejected stream: {code:?}"))))
+            }
+            other => Err(RpcError::Io(io::Error::other(format!(
+                "unexpected stream response: {other:?}"
+            )))),
+        }
+    }
 }
 
 /// Floor on socket timeouts: `set_read_timeout(Some(0))` is an error, and a
@@ -356,6 +577,74 @@ mod tests {
         assert_eq!(stats.failed_exchanges, 1);
         assert!(stats.retries > 0, "attempt timeouts must trigger retries");
         sink.join().expect("sink thread");
+    }
+
+    #[test]
+    fn deadline_mid_call_discards_the_pooled_connection() {
+        use std::sync::mpsc;
+
+        // regression: a pooled connection whose call dies mid-write (or
+        // waiting for a response) must be discarded. Reusing it would leave
+        // a half-written frame on the wire and desynchronize every later
+        // call on that connection.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (stall_tx, stall_rx) = mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0u32;
+            // conn 1: answer one Ping, then stall (stop reading) until the
+            // client's big request has timed out mid-transfer
+            let (mut s1, _) = listener.accept().expect("accept 1");
+            accepted += 1;
+            let payload = read_frame(&mut s1, MAX_FRAME_PAYLOAD).expect("read ping");
+            assert!(matches!(Request::decode(&payload), Ok(Request::Ping)));
+            let pong = Response::Pong { manager: collusion_reputation::id::NodeId(1) };
+            write_frame(&mut s1, &pong.encode()).expect("write pong");
+            stall_rx.recv().expect("client failed its stalled call");
+            drop(s1); // never read the half-sent frame
+                      // conn 2: a healthy client reconnects and gets served
+            let (mut s2, _) = listener.accept().expect("accept 2");
+            accepted += 1;
+            let payload = read_frame(&mut s2, MAX_FRAME_PAYLOAD).expect("read retry");
+            assert!(matches!(Request::decode(&payload), Ok(Request::Ping)));
+            write_frame(&mut s2, &pong.encode()).expect("write pong 2");
+            accepted
+        });
+
+        let cfg = RpcConfig {
+            connect_timeout_ms: 200,
+            attempt_timeout_ms: 100,
+            total_deadline_ms: 150,
+            max_retries: 0, // one attempt: the failure must not be papered over
+            backoff_base_ms: 1,
+            jitter_seed: 4,
+            max_frame: MAX_FRAME_PAYLOAD,
+        };
+        let mut client = RpcClient::new(cfg);
+        assert!(client.call(addr, &Request::Ping).is_ok(), "first call pools the connection");
+
+        // a batch large enough to overrun the socket buffers of a stalled
+        // server: the write (or the response read) hits the deadline
+        let big: Vec<Rating> = (0..40_000)
+            .map(|k| {
+                Rating::positive(
+                    collusion_reputation::id::NodeId(k % 97),
+                    collusion_reputation::id::NodeId(1 + k % 89),
+                    collusion_reputation::id::SimTime(k),
+                )
+            })
+            .collect();
+        assert!(
+            client.call(addr, &Request::InsertBatch(big)).is_err(),
+            "the stalled call must fail, not hang"
+        );
+        stall_tx.send(()).expect("server thread alive");
+
+        // the poisoned connection must be gone: this call reconnects
+        let resp = client.call(addr, &Request::Ping).expect("post-failure call");
+        assert!(matches!(resp, Response::Pong { .. }));
+        let accepted = server.join().expect("server thread");
+        assert_eq!(accepted, 2, "the failed call's connection must not be reused");
     }
 
     #[test]

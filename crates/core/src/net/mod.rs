@@ -26,7 +26,7 @@ pub mod proxy;
 pub mod server;
 pub mod wire;
 
-pub use client::{RpcClient, RpcConfig, RpcError};
+pub use client::{InsertStream, RpcClient, RpcConfig, RpcError, StreamStats};
 pub use proxy::{FaultProxy, NetFaultPlan, Partition};
 pub use server::{ManagerConfig, ManagerNode};
 pub use wire::{Request, Response};

@@ -28,11 +28,11 @@
 //! `Arc`. Two managers confirming against each other concurrently
 //! therefore cannot deadlock — only time out.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -40,8 +40,11 @@ use std::time::Duration;
 use collusion_dht::hash::consistent_hash;
 use collusion_dht::ring::ChordRing;
 use collusion_reputation::frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
-use collusion_reputation::history::InteractionHistory;
+use collusion_reputation::fxhash::FxHashMap;
+use collusion_reputation::history::{InteractionHistory, PairCounters};
 use collusion_reputation::id::NodeId;
+use collusion_reputation::ingest::ShardedIntake;
+use collusion_reputation::rating::Rating;
 use collusion_reputation::snapshot::DetectionSnapshot;
 use collusion_reputation::thresholds::Thresholds;
 use collusion_reputation::wal::{replay_bytes, WalRecord};
@@ -180,9 +183,10 @@ struct Frozen {
     rep_snap: Option<(DetectionSnapshot, Vec<NodeId>)>,
 }
 
-/// Mutable server state behind the single mutex.
+/// Mutable control-plane state behind the single mutex: detection
+/// histories, frozen rounds, counters. The durable engine lives on the
+/// [`DataPlane`] so streaming inserts never serialize behind control RPCs.
 struct State {
-    durable: DurableEngine,
     /// Primary-slice detection history (mirrors the WAL's rating stream).
     history: InteractionHistory,
     /// Replica slices held for other managers' nodes.
@@ -195,6 +199,27 @@ struct State {
     since_publish: u64,
 }
 
+/// The streaming data plane, split off the control-plane state mutex.
+///
+/// `InsertStream` frames take only `durable` (WAL append + engine fold)
+/// plus per-stripe intake locks; control RPCs (`Freeze`, `CloseEpoch`,
+/// `Status`, detection) take the state mutex and *absorb* the intake into
+/// the detection history at well-defined points. Lock order is always
+/// state → durable — a connection thread holding `durable` never waits on
+/// the state mutex, so concurrent streams stop serializing on control
+/// traffic.
+struct DataPlane {
+    /// WAL + checkpointed engine for the primary slice.
+    durable: Mutex<DurableEngine>,
+    /// Pending detection-history counter deltas from stream frames, lock-
+    /// striped by ratee. Drained into `State::history` by `absorb_intake`.
+    intake: ShardedIntake,
+    /// Stream frames accepted since spawn (observability).
+    stream_frames: AtomicU64,
+    /// Owned ratings accepted over streams since spawn (observability).
+    stream_ratings: AtomicU64,
+}
+
 struct Shared {
     cfg: ManagerConfig,
     ring: RingView,
@@ -203,6 +228,7 @@ struct Shared {
     /// Nodes this manager backs up for other owners, ascending.
     backed_up: Vec<NodeId>,
     state: Mutex<State>,
+    data: DataPlane,
     view: Arc<ViewCell>,
     peers: Mutex<HashMap<NodeId, SocketAddr>>,
     stop: AtomicBool,
@@ -269,7 +295,6 @@ impl ManagerNode {
         };
         let view = Arc::new(ViewCell::new(initial));
         let state = State {
-            durable,
             history,
             replica: InteractionHistory::new(),
             frozen: None,
@@ -279,12 +304,19 @@ impl ManagerNode {
             epoch: 0,
             since_publish: 0,
         };
+        let data = DataPlane {
+            durable: Mutex::new(durable),
+            intake: ShardedIntake::new(cfg.shards.max(1)),
+            stream_frames: AtomicU64::new(0),
+            stream_ratings: AtomicU64::new(0),
+        };
         let shared = Arc::new(Shared {
             cfg,
             ring,
             responsible,
             backed_up,
             state: Mutex::new(state),
+            data,
             view,
             peers: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
@@ -297,19 +329,24 @@ impl ManagerNode {
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
         let accept_conns = Arc::clone(&conns);
+        // Blocking accept: a fresh connection's first frames are served the
+        // moment they arrive (a polling accept loop would park them in the
+        // backlog for up to its sleep). `shutdown` wakes the thread with a
+        // self-connect after raising the stop flag.
         let accept = std::thread::spawn(move || {
             while !accept_shared.stop.load(Ordering::Acquire) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if accept_shared.stop.load(Ordering::Acquire) {
+                            break; // the shutdown wake-up connection
+                        }
                         let conn_shared = Arc::clone(&accept_shared);
                         let handle = std::thread::spawn(move || serve_conn(stream, conn_shared));
                         accept_conns.lock().expect("conn registry lock").push(handle);
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
                     Err(_) => break,
                 }
             }
@@ -359,6 +396,8 @@ impl ManagerNode {
             return Ok(()); // already down
         }
         if let Some(t) = self.accept.take() {
+            // wake the blocking accept; it observes the stop flag and exits
+            TcpStream::connect_timeout(&self.addr, POLL).ok();
             t.join().ok();
         }
         let handles: Vec<JoinHandle<()>> =
@@ -366,8 +405,7 @@ impl ManagerNode {
         for h in handles {
             h.join().ok();
         }
-        let mut st = self.shared.state.lock().expect("manager state lock");
-        st.durable.sync().map_err(other_io)
+        self.shared.data.durable.lock().expect("durable engine lock").sync().map_err(other_io)
     }
 }
 
@@ -381,28 +419,76 @@ fn other_io<E: std::fmt::Display>(e: E) -> io::Error {
     io::Error::other(e.to_string())
 }
 
-/// Rebuild and publish the read view from the primary slice.
+/// Rebuild and publish the read view from the primary slice. Call with
+/// the state lock held; takes the durable lock briefly for the engine
+/// report (lock order state → durable).
 fn publish_view(shared: &Shared, st: &mut State) {
     let snap = DetectionSnapshot::build(&st.history, &shared.responsible);
     st.epoch += 1;
+    let report = shared.data.durable.lock().expect("durable engine lock").report();
     let view = PublishedView {
         epoch: st.epoch,
         nodes: (0..snap.n() as u32).map(|i| snap.node_id(i)).collect(),
         signed: (0..snap.n() as u32).map(|i| snap.signed(i)).collect(),
-        report: st.durable.report(),
+        report,
     };
     shared.view.publish(Arc::new(view));
     st.since_publish = 0;
 }
 
+/// Drain the stream intake into the detection history. Call with the
+/// state lock held; this is where stream-ingested ratings become visible
+/// to `Freeze`/`publish_view`. Counter merging is commutative, and the
+/// snapshot builder sorts and re-interns everything, so absorption order
+/// cannot change detection output (same argument as the pipelined engine).
+fn absorb_intake(shared: &Shared, st: &mut State) {
+    if shared.data.intake.is_empty() {
+        return;
+    }
+    let delta = shared.data.intake.drain();
+    for (ratee, rater, c) in delta.entries {
+        st.history.insert_pair_counters(rater, ratee, c);
+    }
+    st.recorded += delta.ratings;
+    st.since_publish += delta.ratings;
+}
+
+/// Per-connection streaming-insert state: the server side of one
+/// `InsertStream` session (a plain-RPC connection simply never touches it).
+#[derive(Default)]
+struct StreamConn {
+    /// Next expected frame number (frames are numbered from 1).
+    next_seq: u64,
+    /// Ratings accepted on this stream so far (cumulative, for acks).
+    accepted: u64,
+    /// Frames recorded but not yet acked: `(frame seq, WAL byte target,
+    /// cumulative accepted at that frame)`. An ack for a frame may only be
+    /// sent once the WAL's durable watermark covers its byte target.
+    pending: VecDeque<(u64, u64, u64)>,
+    /// Per-frame counter aggregation scratch (reused across frames).
+    local: FxHashMap<(NodeId, NodeId), PairCounters>,
+    /// Cell buffer handed to `ShardedIntake::merge_cells` (reused).
+    cells: Vec<(NodeId, NodeId, PairCounters)>,
+}
+
 /// One connection's request loop: framed request in, framed response out.
 /// Never panics; malformed input gets `Error{Malformed}`, transport errors
-/// end the connection.
+/// and mid-frame desyncs ([`FrameError::Stalled`], corrupt checksums,
+/// oversized frames) end the connection deterministically.
+///
+/// `InsertStream` frames are handled here rather than in [`handle`] so the
+/// loop can keep per-connection ack state: acks are cumulative and are
+/// only emitted once the WAL durable watermark covers the frame's bytes.
+/// Durability barriers are client-driven (`StreamFlush` frames mark the
+/// points where the client blocks on acks); an idle poll tick with acks
+/// outstanding is the safety net that keeps a quiescent client's window
+/// from sticking.
 fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) {
     stream.set_nodelay(true).ok();
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
+    let mut sc = StreamConn { next_seq: 1, ..StreamConn::default() };
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return;
@@ -410,17 +496,161 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) {
         let payload = match read_frame(&mut stream, MAX_FRAME_PAYLOAD) {
             Ok(p) => p,
             Err(FrameError::Closed) => return,
-            Err(e) if e.is_timeout() => continue,
-            Err(_) => return, // corrupt frame: drop the connection
+            Err(e) if e.is_timeout() => {
+                // idle tick: flush outstanding stream acks at a barrier so
+                // a client that never sent `StreamFlush` (or whose flush
+                // frame was lost to a fault) still drains its window
+                if !sc.pending.is_empty() && flush_acks(&shared, &mut sc, &mut stream).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // corrupt/oversized/stalled frame: drop the connection
         };
         let response = match Request::decode(&payload) {
-            Ok(req) => handle(&shared, req),
-            Err(_) => Response::Error { code: ErrorCode::Malformed },
+            Ok(Request::InsertStream { stream_seq, ratings }) => {
+                handle_stream_frame(&shared, &mut sc, stream_seq, ratings)
+            }
+            Ok(Request::StreamFlush) => {
+                // explicit barrier: the client is about to block on acks,
+                // so drive durability over every pending frame right now
+                if flush_acks(&shared, &mut sc, &mut stream).is_err() {
+                    return;
+                }
+                None
+            }
+            Ok(req) => Some(handle(&shared, req)),
+            Err(_) => Some(Response::Error { code: ErrorCode::Malformed }),
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
-            return;
+        if let Some(resp) = response {
+            if write_frame(&mut stream, &resp.encode()).is_err() {
+                return;
+            }
         }
     }
+}
+
+/// One `InsertStream` frame on the data plane: WAL-append the owned
+/// ratings (durable lock only — the state mutex is not touched on this
+/// path), fold their counters into the sharded intake, and return a
+/// cumulative ack if the durable watermark already covers pending frames.
+/// Misrouted ratings fall back to the replica store under the state lock,
+/// mirroring the degraded acceptance of plain `Insert`.
+fn handle_stream_frame(
+    shared: &Shared,
+    sc: &mut StreamConn,
+    stream_seq: u64,
+    ratings: Vec<Rating>,
+) -> Option<Response> {
+    if stream_seq != sc.next_seq {
+        return Some(Response::Error { code: ErrorCode::Malformed });
+    }
+    sc.next_seq += 1;
+    let mut owned: Vec<Rating> = Vec::with_capacity(ratings.len());
+    let mut misrouted: Vec<Rating> = Vec::new();
+    for r in ratings {
+        if shared.ring.owner_of(r.ratee) == shared.cfg.id {
+            owned.push(r);
+        } else {
+            misrouted.push(r);
+        }
+    }
+    // aggregate counters before taking any lock (producer-local fold)
+    let mut frame_ratings = 0u64;
+    for r in &owned {
+        if r.is_self_rating() {
+            continue;
+        }
+        sc.local.entry((r.ratee, r.rater)).or_default().accumulate(r.value);
+        frame_ratings += 1;
+    }
+    let (wal_target, durable_now) = {
+        let mut eng = shared.data.durable.lock().expect("durable engine lock");
+        let Ok(target) = eng.record_batch(&owned) else {
+            return Some(Response::Error { code: ErrorCode::Internal });
+        };
+        // No committer nudge here: a per-frame commit request keeps the
+        // committer fsyncing back to back, so the target the *final* ack
+        // needs queues behind an in-flight fsync and every barrier pays
+        // double. [`flush_acks`] requests one targeted commit at burst end.
+        (target, eng.durable_len())
+    };
+    sc.accepted += owned.len() as u64;
+    sc.cells.extend(sc.local.drain().map(|((ratee, rater), c)| (ratee, rater, c)));
+    shared.data.intake.merge_cells(&mut sc.cells, frame_ratings);
+    shared.data.stream_frames.fetch_add(1, Ordering::Relaxed);
+    shared.data.stream_ratings.fetch_add(owned.len() as u64, Ordering::Relaxed);
+    if !misrouted.is_empty() {
+        let mut st = shared.state.lock().expect("manager state lock");
+        for r in misrouted {
+            if st.replica.record(r) {
+                st.replicated += 1;
+                sc.accepted += 1;
+            }
+        }
+    }
+    sc.pending.push_back((stream_seq, wal_target, sc.accepted));
+    // keep the read view fresh under sustained streaming, same cadence as
+    // the plain insert path (state lock once per PUBLISH_EVERY ratings)
+    if shared.data.intake.ratings() >= PUBLISH_EVERY {
+        let mut st = shared.state.lock().expect("manager state lock");
+        absorb_intake(shared, &mut st);
+        publish_view(shared, &mut st);
+    }
+    ack_ready(sc, durable_now)
+}
+
+/// The highest pending frame whose WAL byte target the durable watermark
+/// covers, popped together with everything before it (acks are
+/// cumulative: one `InsertAck` acknowledges every earlier frame).
+fn ack_ready(sc: &mut StreamConn, durable: u64) -> Option<Response> {
+    let mut ready = None;
+    while let Some(&(seq, target, accepted)) = sc.pending.front() {
+        if target > durable {
+            break;
+        }
+        ready = Some((seq, accepted));
+        sc.pending.pop_front();
+    }
+    ready.map(|(stream_seq, accepted)| Response::InsertAck {
+        stream_seq,
+        accepted,
+        durable_len: durable,
+    })
+}
+
+/// How long a stream-ack barrier waits on the group committer's watermark
+/// before falling back to a blocking [`DurableEngine::sync`] (sync-policy
+/// engines have no committer to wait on and fall back immediately).
+const ACK_BARRIER_CAP: Duration = Duration::from_millis(10);
+
+/// Durability barrier for a stream: nudge the group committer, then park
+/// on its watermark condvar until every pending frame is covered — with
+/// the durable lock *released* while waiting, so a barrier on one
+/// connection never blocks another connection's appends behind an fsync.
+/// Guarantees the ack ⇒ durable invariant without leaving a quiescent
+/// client's window stuck.
+fn flush_acks(shared: &Shared, sc: &mut StreamConn, stream: &mut TcpStream) -> Result<(), ()> {
+    let Some(&(_, back_target, _)) = sc.pending.back() else { return Ok(()) };
+    let (mut durable, waiter) = {
+        let mut eng = shared.data.durable.lock().expect("durable engine lock");
+        eng.request_durable().map_err(|_| ())?;
+        (eng.durable_len(), eng.wal().waiter())
+    };
+    if durable < back_target {
+        let covered = waiter.map(|w| w.wait_covered(back_target, ACK_BARRIER_CAP)).unwrap_or(false);
+        let mut eng = shared.data.durable.lock().expect("durable engine lock");
+        if !covered {
+            // no committer (sync-policy engine), a stalled committer, or a
+            // latched I/O error: pay the blocking barrier ourselves
+            eng.sync().map_err(|_| ())?;
+        }
+        durable = eng.durable_len();
+    }
+    if let Some(ack) = ack_ready(sc, durable) {
+        write_frame(stream, &ack.encode()).map_err(|_| ())?;
+    }
+    Ok(())
 }
 
 /// Dispatch one request. Outbound RPCs (inside `DetectRound`) run with the
@@ -450,18 +680,29 @@ fn handle(shared: &Shared, req: Request) -> Response {
                 None => Response::Reputation { known: false, signed: 0, view_version: view.epoch },
             }
         }
+        Request::InsertStream { .. } | Request::StreamFlush => {
+            // stream frames are handled inside `serve_conn` (they need the
+            // per-connection ack queue); reaching here is a protocol error
+            Response::Error { code: ErrorCode::Malformed }
+        }
         Request::CloseEpoch => {
             let mut st = shared.state.lock().expect("manager state lock");
-            match st.durable.close_epoch() {
-                Ok(_) => {
+            absorb_intake(shared, &mut st);
+            let closed = {
+                let mut eng = shared.data.durable.lock().expect("durable engine lock");
+                eng.close_epoch().map(|_| eng.wal().next_seq())
+            };
+            match closed {
+                Ok(seq) => {
                     publish_view(shared, &mut st);
-                    Response::Ack { seq: st.durable.wal().next_seq(), accepted: 0 }
+                    Response::Ack { seq, accepted: 0 }
                 }
                 Err(_) => Response::Error { code: ErrorCode::Internal },
             }
         }
         Request::Freeze { round } => {
             let mut st = shared.state.lock().expect("manager state lock");
+            absorb_intake(shared, &mut st);
             let snap = DetectionSnapshot::build(&st.history, &shared.responsible);
             let rep_snap = if shared.backed_up.is_empty() {
                 None
@@ -500,13 +741,22 @@ fn handle(shared: &Shared, req: Request) -> Response {
         }
         Request::Status => {
             let st = shared.state.lock().expect("manager state lock");
+            let (wal_next_seq, durable_len, wal_len) = {
+                let eng = shared.data.durable.lock().expect("durable engine lock");
+                (eng.wal().next_seq(), eng.durable_len(), eng.wal().len_bytes())
+            };
             Response::Status(StatusInfo {
                 manager: shared.cfg.id,
                 recorded: st.recorded,
                 replicated: st.replicated,
-                wal_next_seq: st.durable.wal().next_seq(),
+                wal_next_seq,
                 round: st.frozen.as_ref().map_or(0, |f| f.round),
                 view_version: shared.view.version(),
+                durable_len,
+                wal_len,
+                intake_pending: shared.data.intake.ratings(),
+                stream_frames: shared.data.stream_frames.load(Ordering::Relaxed),
+                stream_ratings: shared.data.stream_ratings.load(Ordering::Relaxed),
             })
         }
     }
@@ -516,27 +766,31 @@ fn handle(shared: &Shared, req: Request) -> Response {
 /// detection history; ratings for nodes this manager does not own are
 /// accepted into the replica store (degraded acceptance — the harness's
 /// failover path when the owner is down).
-fn insert(shared: &Shared, ratings: Vec<collusion_reputation::rating::Rating>) -> Response {
+fn insert(shared: &Shared, ratings: Vec<Rating>) -> Response {
     let mut st = shared.state.lock().expect("manager state lock");
     let mut accepted = 0u64;
-    for r in ratings {
-        if shared.ring.owner_of(r.ratee) == shared.cfg.id {
-            if st.durable.record(r).is_err() {
-                return Response::Error { code: ErrorCode::Internal };
+    let next_seq = {
+        let mut eng = shared.data.durable.lock().expect("durable engine lock");
+        for r in ratings {
+            if shared.ring.owner_of(r.ratee) == shared.cfg.id {
+                if eng.record(r).is_err() {
+                    return Response::Error { code: ErrorCode::Internal };
+                }
+                st.history.record(r);
+                st.recorded += 1;
+                st.since_publish += 1;
+                accepted += 1;
+            } else if st.replica.record(r) {
+                st.replicated += 1;
+                accepted += 1;
             }
-            st.history.record(r);
-            st.recorded += 1;
-            st.since_publish += 1;
-            accepted += 1;
-        } else if st.replica.record(r) {
-            st.replicated += 1;
-            accepted += 1;
         }
-    }
+        eng.wal().next_seq()
+    };
     if st.since_publish >= PUBLISH_EVERY {
         publish_view(shared, &mut st);
     }
-    Response::Ack { seq: st.durable.wal().next_seq(), accepted }
+    Response::Ack { seq: next_seq, accepted }
 }
 
 /// Direction probe on a frozen snapshot — the networked twin of
@@ -873,6 +1127,85 @@ mod tests {
         };
         assert!(known);
         assert_eq!(signed, 25, "n1: +30 partner, -5 community");
+
+        drop(nodes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_ingest_matches_plain_ingest_and_acks_durably() {
+        let dir = scratch_dir("net-stream");
+        let managers = manager_ids(3);
+        let nodes = spawn_cluster(&dir, &managers);
+        let ring = RingView::new(&managers);
+        let mut client = RpcClient::new(RpcConfig::lan());
+
+        // route every rating to its owner over windowed insert streams
+        let addr_of: HashMap<NodeId, SocketAddr> =
+            nodes.iter().map(|n| (n.id(), n.addr())).collect();
+        let mut by_owner: HashMap<NodeId, Vec<Rating>> = HashMap::new();
+        for r in ratings() {
+            by_owner.entry(ring.owner_of(r.ratee)).or_default().push(r);
+        }
+        for (owner, rs) in &by_owner {
+            let mut session = client.open_insert_stream(addr_of[owner], 4).expect("open stream");
+            for chunk in rs.chunks(7) {
+                session.send(chunk).expect("stream frame");
+            }
+            let stats = client.close_insert_stream(session).expect("close stream");
+            assert_eq!(stats.frames_acked, stats.frames_sent, "close must drain the window");
+            assert_eq!(
+                stats.ratings_acked,
+                rs.len() as u64,
+                "every routed rating must be acked durable"
+            );
+            assert!(stats.durable_len > 0, "acks must carry the durable watermark");
+        }
+
+        // acked ⇒ on disk: the WAL already holds every acked rating even
+        // though no explicit sync/close was requested
+        for (owner, rs) in &by_owner {
+            let wal_path = dir.join(format!("m{}", owner.raw())).join(WAL_FILE);
+            let bytes = std::fs::read(&wal_path).expect("wal readable");
+            let replay = replay_bytes(&bytes).expect("wal replays");
+            let on_disk =
+                replay.records.iter().filter(|(_, r)| matches!(r, WalRecord::Rating(_))).count();
+            assert_eq!(on_disk, rs.len(), "acked ratings must already be in the WAL");
+        }
+
+        // the stream path must feed detection identically to plain inserts
+        let mut sys = DecentralizedSystem::new(
+            &managers,
+            thresholds(),
+            Method::Optimized,
+            DetectionPolicy::STRICT,
+        );
+        for id in node_ids() {
+            sys.register(id);
+        }
+        for r in ratings() {
+            sys.submit(r);
+        }
+        let baseline: BTreeSet<(u64, u64)> =
+            sys.detect().pair_ids().into_iter().map(|(a, b)| (a.raw(), b.raw())).collect();
+        assert!(!baseline.is_empty());
+        let confirmed = run_round(&mut client, &nodes, 1);
+        assert_eq!(confirmed, baseline, "streamed ingest diverged from in-process detection");
+
+        // the extended Status surfaces the stream's data-plane counters
+        for (owner, rs) in &by_owner {
+            let resp = client.call(addr_of[owner], &Request::Status).expect("status");
+            let Response::Status(info) = resp else { panic!("Status must answer Status") };
+            assert_eq!(info.stream_ratings, rs.len() as u64);
+            assert!(info.stream_frames > 0);
+            assert!(info.durable_len <= info.wal_len);
+            assert_eq!(
+                info.recorded + info.intake_pending,
+                rs.len() as u64,
+                "absorbed + pending must cover every streamed rating"
+            );
+            assert_eq!(info.intake_pending, 0, "Freeze must have absorbed the intake");
+        }
 
         drop(nodes);
         std::fs::remove_dir_all(&dir).ok();

@@ -20,7 +20,9 @@ use collusion_reputation::id::{NodeId, SimTime};
 use collusion_reputation::rating::{Rating, RatingValue};
 
 /// Wire protocol version; bumped on any incompatible layout change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2: streaming inserts (`InsertStream`/`InsertAck`) and the
+/// extended [`StatusInfo`] backpressure fields.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// A manager's advertised address (the cluster runs over IPv4 loopback; the
 /// codec carries the four octets and the port explicitly rather than a
@@ -170,6 +172,19 @@ pub struct StatusInfo {
     pub round: u64,
     /// Published read-view version.
     pub view_version: u64,
+    /// WAL durable watermark in bytes (everything at or below this offset
+    /// survives a crash; stream acks are only sent at-or-behind it).
+    pub durable_len: u64,
+    /// WAL logical length in bytes (`durable_len ≤ wal_len`; the gap is
+    /// the un-fsynced backlog).
+    pub wal_len: u64,
+    /// Ratings folded into the sharded intake but not yet absorbed into
+    /// the detection history (the data-plane queue depth).
+    pub intake_pending: u64,
+    /// Stream frames accepted over all connections so far.
+    pub stream_frames: u64,
+    /// Ratings accepted via stream frames so far.
+    pub stream_ratings: u64,
 }
 
 /// Client → server RPCs. `Insert` is the paper's `Insert(j, msg)` primitive
@@ -220,6 +235,24 @@ pub enum Request {
     SetPeers(Vec<PeerAddr>),
     /// Introspection.
     Status,
+    /// One frame of a windowed insert stream: the client keeps several of
+    /// these in flight and the server acknowledges cumulatively with
+    /// [`Response::InsertAck`] once the covering WAL bytes are durable.
+    /// `stream_seq` numbers the frames of one connection's stream,
+    /// starting at 1.
+    InsertStream {
+        /// 1-based frame number within this connection's stream.
+        stream_seq: u64,
+        /// The frame's rating batch.
+        ratings: Vec<Rating>,
+    },
+    /// Explicit stream-ack barrier: the client wants every
+    /// [`Request::InsertStream`] frame sent so far acknowledged, so the
+    /// server must drive its WAL durable watermark over them now. Sent
+    /// when a stream drains its window (blocked on acks) and at session
+    /// close — never mid-burst, so the server fsyncs exactly when an ack
+    /// is needed instead of on every gap in socket traffic.
+    StreamFlush,
 }
 
 /// Server → client replies.
@@ -273,6 +306,19 @@ pub enum Response {
     Error {
         /// Machine-readable reason.
         code: ErrorCode,
+    },
+    /// Cumulative stream acknowledgement: every [`Request::InsertStream`]
+    /// frame with `stream_seq ≤ this.stream_seq` is fully appended to the
+    /// WAL **and** covered by the durable watermark — acked means it
+    /// survives a kill and WAL replay, not merely that it was received.
+    InsertAck {
+        /// Highest durably-covered frame number (cumulative).
+        stream_seq: u64,
+        /// Total ratings accepted across all acked frames (cumulative;
+        /// self-ratings and misrouted ratings are counted out).
+        accepted: u64,
+        /// The WAL durable watermark (bytes) backing this ack.
+        durable_len: u64,
     },
 }
 
@@ -498,6 +544,12 @@ impl Request {
                 }
             }
             Request::Status => header(&mut w, 11),
+            Request::InsertStream { stream_seq, ratings } => {
+                header(&mut w, 12);
+                w.put_u64(*stream_seq);
+                put_ratings(&mut w, ratings);
+            }
+            Request::StreamFlush => header(&mut w, 13),
         }
         w.into_bytes()
     }
@@ -538,6 +590,8 @@ impl Request {
                 Request::SetPeers(peers)
             }
             11 => Request::Status,
+            12 => Request::InsertStream { stream_seq: r.get_u64()?, ratings: get_ratings(&mut r)? },
+            13 => Request::StreamFlush,
             other => return Err(CodecError::InvalidTag(other)),
         };
         if !r.is_exhausted() {
@@ -601,10 +655,21 @@ impl Response {
                 w.put_u64(s.wal_next_seq);
                 w.put_u64(s.round);
                 w.put_u64(s.view_version);
+                w.put_u64(s.durable_len);
+                w.put_u64(s.wal_len);
+                w.put_u64(s.intake_pending);
+                w.put_u64(s.stream_frames);
+                w.put_u64(s.stream_ratings);
             }
             Response::Error { code } => {
                 header(&mut w, 8);
                 w.put_u8(code.tag());
+            }
+            Response::InsertAck { stream_seq, accepted, durable_len } => {
+                header(&mut w, 9);
+                w.put_u64(*stream_seq);
+                w.put_u64(*accepted);
+                w.put_u64(*durable_len);
             }
         }
         w.into_bytes()
@@ -657,8 +722,18 @@ impl Response {
                 wal_next_seq: r.get_u64()?,
                 round: r.get_u64()?,
                 view_version: r.get_u64()?,
+                durable_len: r.get_u64()?,
+                wal_len: r.get_u64()?,
+                intake_pending: r.get_u64()?,
+                stream_frames: r.get_u64()?,
+                stream_ratings: r.get_u64()?,
             }),
             8 => Response::Error { code: ErrorCode::from_tag(r.get_u8()?)? },
+            9 => Response::InsertAck {
+                stream_seq: r.get_u64()?,
+                accepted: r.get_u64()?,
+                durable_len: r.get_u64()?,
+            },
             other => return Err(CodecError::InvalidTag(other)),
         };
         if !r.is_exhausted() {
@@ -694,6 +769,15 @@ mod tests {
                 port: 45123,
             }]),
             Request::Status,
+            Request::InsertStream {
+                stream_seq: 17,
+                ratings: vec![
+                    Rating::positive(NodeId(1), NodeId(2), SimTime(4)),
+                    Rating::neutral(NodeId(3), NodeId(2), SimTime(5)),
+                ],
+            },
+            Request::InsertStream { stream_seq: 1, ratings: vec![] },
+            Request::StreamFlush,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -739,8 +823,14 @@ mod tests {
                 wal_next_seq: 101,
                 round: 2,
                 view_version: 3,
+                durable_len: 2048,
+                wal_len: 4096,
+                intake_pending: 12,
+                stream_frames: 9,
+                stream_ratings: 900,
             }),
             Response::Error { code: ErrorCode::NotFrozen },
+            Response::InsertAck { stream_seq: 42, accepted: 10_500, durable_len: 1 << 30 },
         ];
         for resp in resps {
             let bytes = resp.encode();
@@ -770,6 +860,13 @@ mod tests {
         w.put_u8(2);
         w.put_u64(u64::MAX);
         w.put_bytes(&[1, 2, 3]);
+        assert_eq!(Request::decode(w.as_bytes()), Err(CodecError::BadLength));
+        // same for a stream frame (tag 12): stream_seq + hostile count
+        let mut w = ByteWriter::new();
+        w.put_u8(PROTOCOL_VERSION);
+        w.put_u8(12);
+        w.put_u64(1);
+        w.put_u64(u64::MAX / 2);
         assert_eq!(Request::decode(w.as_bytes()), Err(CodecError::BadLength));
     }
 }

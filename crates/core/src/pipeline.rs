@@ -139,6 +139,45 @@ pub struct PipelineStats {
     pub wal_syncs: u64,
     /// Rating batches shipped by producers.
     pub batches: u64,
+    /// Microseconds the WAL stage spent appending and fsyncing.
+    pub wal_busy_us: u64,
+    /// WAL stage lifetime, microseconds (spawn → finish).
+    pub wal_elapsed_us: u64,
+    /// Microseconds the merge stage spent folding deltas and enumerating
+    /// candidates (the verdict-key echo wait is excluded — that is time
+    /// blocked on the detect stage, not merge work).
+    pub merge_busy_us: u64,
+    /// Merge stage lifetime, microseconds.
+    pub merge_elapsed_us: u64,
+    /// Microseconds the detect stage spent re-checking and publishing.
+    pub detect_busy_us: u64,
+    /// Detect stage lifetime, microseconds.
+    pub detect_elapsed_us: u64,
+}
+
+impl PipelineStats {
+    /// Busy fraction of the WAL stage over its lifetime, in `[0, 1]`.
+    pub fn wal_occupancy(&self) -> f64 {
+        occupancy(self.wal_busy_us, self.wal_elapsed_us)
+    }
+
+    /// Busy fraction of the merge stage over its lifetime, in `[0, 1]`.
+    pub fn merge_occupancy(&self) -> f64 {
+        occupancy(self.merge_busy_us, self.merge_elapsed_us)
+    }
+
+    /// Busy fraction of the detect (re-check) stage over its lifetime, in
+    /// `[0, 1]`.
+    pub fn detect_occupancy(&self) -> f64 {
+        occupancy(self.detect_busy_us, self.detect_elapsed_us)
+    }
+}
+
+fn occupancy(busy_us: u64, elapsed_us: u64) -> f64 {
+    if elapsed_us == 0 {
+        return 0.0;
+    }
+    (busy_us as f64 / elapsed_us as f64).min(1.0)
 }
 
 // ----- Lock-free read publication ---------------------------------------
@@ -379,6 +418,8 @@ enum DetectMsg {
 struct WalStageOut {
     appends: u64,
     syncs: u64,
+    busy_us: u64,
+    elapsed_us: u64,
 }
 
 struct MergeStageOut {
@@ -387,12 +428,16 @@ struct MergeStageOut {
     epochs: u64,
     ratings: u64,
     candidates: u64,
+    busy_us: u64,
+    elapsed_us: u64,
 }
 
 struct DetectStageOut {
     verdicts: BTreeMap<(NodeId, NodeId), SuspectPair>,
     checked: u64,
     pruned: u64,
+    busy_us: u64,
+    elapsed_us: u64,
 }
 
 // ----- Producer handle ---------------------------------------------------
@@ -662,6 +707,12 @@ impl PipelinedEngine {
                 wal_appends: wal_out.appends,
                 wal_syncs: wal_out.syncs,
                 batches: self.batches.load(Ordering::Relaxed),
+                wal_busy_us: wal_out.busy_us,
+                wal_elapsed_us: wal_out.elapsed_us,
+                merge_busy_us: merge_out.busy_us,
+                merge_elapsed_us: merge_out.elapsed_us,
+                detect_busy_us: detect_out.busy_us,
+                detect_elapsed_us: detect_out.elapsed_us,
             },
         )
     }
@@ -681,10 +732,13 @@ fn wal_stage(
         w.enable_group_commit(max_bytes, max_delay_micros)
             .expect("pipeline WAL group commit setup failed");
     }
-    let mut out = WalStageOut { appends: 0, syncs: 0 };
+    let stage_start = std::time::Instant::now();
+    let mut busy = std::time::Duration::ZERO;
+    let mut out = WalStageOut { appends: 0, syncs: 0, busy_us: 0, elapsed_us: 0 };
     let mut pending = 0u64;
     let mut epoch = 0u64;
     while let Ok(msg) = rx.recv() {
+        let work_start = std::time::Instant::now();
         match msg {
             WalMsg::Ratings(batch) => {
                 if let Some(w) = wal.as_mut() {
@@ -712,6 +766,7 @@ fn wal_stage(
                 }
                 epoch += 1;
                 if merge_tx.send(MergeMsg::Close { epoch, delta }).is_err() {
+                    busy += work_start.elapsed();
                     break; // downstream gone; nothing left to forward to
                 }
             }
@@ -723,10 +778,14 @@ fn wal_stage(
                     }
                 }
                 let _ = merge_tx.send(MergeMsg::Finish);
+                busy += work_start.elapsed();
                 break;
             }
         }
+        busy += work_start.elapsed();
     }
+    out.busy_us = busy.as_micros() as u64;
+    out.elapsed_us = stage_start.elapsed().as_micros().max(1) as u64;
     out
 }
 
@@ -746,7 +805,11 @@ fn merge_stage(
     let mut epochs = 0u64;
     let mut ratings = 0u64;
     let mut candidates = 0u64;
+    let stage_start = std::time::Instant::now();
+    let mut busy = std::time::Duration::ZERO;
     while let Ok(msg) = rx.recv() {
+        let work_start = std::time::Instant::now();
+        let mut echo_wait = std::time::Duration::ZERO;
         match msg {
             MergeMsg::Close { epoch, delta } => {
                 epochs += 1;
@@ -761,11 +824,15 @@ fn merge_stage(
                     let flips =
                         advance_epoch_state(&mut snap, &mut high, &setup.thresholds, &delta);
                     // the one true data dependency: candidate enumeration
-                    // needs the verdict keys as of the previous close
+                    // needs the verdict keys as of the previous close —
+                    // time blocked here is waiting on the detect stage,
+                    // not merge work, so it is carved out of `busy`
+                    let echo_start = std::time::Instant::now();
                     while outstanding > 0 {
                         verdict_keys = keys_rx.recv().expect("pipeline detect stage hung up");
                         outstanding -= 1;
                     }
+                    echo_wait = echo_start.elapsed();
                     let params = CandidateParams {
                         optimized: &optimized,
                         require_mutual: setup.policy.require_mutual,
@@ -801,6 +868,7 @@ fn merge_stage(
                 };
                 outstanding += 1;
                 if detect_tx.send(DetectMsg::Plan(Box::new(plan))).is_err() {
+                    busy += work_start.elapsed().saturating_sub(echo_wait);
                     break;
                 }
             }
@@ -809,8 +877,17 @@ fn merge_stage(
                 break;
             }
         }
+        busy += work_start.elapsed().saturating_sub(echo_wait);
     }
-    MergeStageOut { snap, high, epochs, ratings, candidates }
+    MergeStageOut {
+        snap,
+        high,
+        epochs,
+        ratings,
+        candidates,
+        busy_us: busy.as_micros() as u64,
+        elapsed_us: stage_start.elapsed().as_micros().max(1) as u64,
+    }
 }
 
 fn detect_stage(
@@ -834,11 +911,14 @@ fn detect_stage(
     let mut cache: Vec<Option<(u64, i64)>> = Vec::new();
     let mut checked = 0u64;
     let mut pruned = 0u64;
+    let stage_start = std::time::Instant::now();
+    let mut busy = std::time::Duration::ZERO;
     while let Ok(msg) = rx.recv() {
         let plan = match msg {
             DetectMsg::Plan(plan) => plan,
             DetectMsg::Finish => break,
         };
+        let work_start = std::time::Instant::now();
         let prunable = (!plan.prunable.is_empty()).then_some(plan.prunable.as_slice());
         let out = recheck_candidates(
             &kernels,
@@ -862,8 +942,15 @@ fn detect_stage(
             report: out.report.clone(),
         }));
         let _ = reports_tx.send((plan.epoch, out.report));
+        busy += work_start.elapsed();
     }
-    DetectStageOut { verdicts, checked, pruned }
+    DetectStageOut {
+        verdicts,
+        checked,
+        pruned,
+        busy_us: busy.as_micros() as u64,
+        elapsed_us: stage_start.elapsed().as_micros().max(1) as u64,
+    }
 }
 
 #[cfg(test)]

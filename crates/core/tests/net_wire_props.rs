@@ -1,7 +1,8 @@
 //! Property-based tests of the network wire codec and frame layer:
 //! arbitrary `Request`/`Response` values roundtrip bit-exactly, truncated
 //! or corrupted frames are rejected (never mis-decoded, never a panic),
-//! and oversized frames are refused up front.
+//! and oversized frames are refused up front — plus a live-server check
+//! that a connection turning hostile mid-stream ends deterministically.
 
 use collusion_core::fault::FaultStats;
 use collusion_core::model::DirectionEvidence;
@@ -107,6 +108,8 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::FetchVerdicts),
         prop::collection::vec(peer_addr(), 0..8).prop_map(Request::SetPeers),
         Just(Request::Status),
+        (any::<u64>(), prop::collection::vec(rating(), 0..20))
+            .prop_map(|(stream_seq, ratings)| Request::InsertStream { stream_seq, ratings }),
     ]
 }
 
@@ -138,18 +141,29 @@ fn response() -> impl Strategy<Value = Response> {
                 confirmed,
                 unconfirmed,
             }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
-            .prop_map(|(m, recorded, replicated, wal_next_seq, round, view_version)| {
-                Response::Status(StatusInfo {
-                    manager: NodeId(m),
-                    recorded,
-                    replicated,
-                    wal_next_seq,
-                    round,
-                    view_version,
-                })
-            }),
+        prop::collection::vec(any::<u64>(), 11..12).prop_map(|f| {
+            Response::Status(StatusInfo {
+                manager: NodeId(f[0]),
+                recorded: f[1],
+                replicated: f[2],
+                wal_next_seq: f[3],
+                round: f[4],
+                view_version: f[5],
+                durable_len: f[6],
+                wal_len: f[7],
+                intake_pending: f[8],
+                stream_frames: f[9],
+                stream_ratings: f[10],
+            })
+        }),
         error_code().prop_map(|code| Response::Error { code }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(stream_seq, accepted, durable_len)| Response::InsertAck {
+                stream_seq,
+                accepted,
+                durable_len,
+            }
+        ),
     ]
 }
 
@@ -239,4 +253,104 @@ proptest! {
             Err(FrameError::Oversized { .. })
         ));
     }
+}
+
+// ----- live-server robustness ---------------------------------------------
+
+/// A connection that goes hostile mid-stream — corrupt checksum, oversized
+/// length prefix, or raw garbage after valid traffic — must end
+/// deterministically: the server closes that connection (never panics,
+/// never wedges the thread) and keeps serving fresh connections.
+#[test]
+fn malformed_mid_stream_closes_the_connection_and_spares_the_server() {
+    use collusion_core::decentralized::Method;
+    use collusion_core::durability::{scratch_dir, DurabilityConfig};
+    use collusion_core::net::client::RpcConfig;
+    use collusion_core::net::server::{ManagerConfig, ManagerNode};
+    use collusion_core::policy::DetectionPolicy;
+    use collusion_reputation::frame::write_frame;
+    use collusion_reputation::thresholds::Thresholds;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let dir = scratch_dir("net-hostile");
+    let node = ManagerNode::spawn(ManagerConfig {
+        id: NodeId(1000),
+        dir: dir.join("m1000"),
+        nodes: (1..10).map(NodeId).collect(),
+        managers: vec![NodeId(1000)],
+        replication: 1,
+        thresholds: Thresholds::new(1.0, 20, 0.8, 0.2),
+        method: Method::Optimized,
+        policy: DetectionPolicy::STRICT,
+        shards: 2,
+        durability: DurabilityConfig::default(),
+        rpc: RpcConfig::lan(),
+    })
+    .expect("spawn manager");
+    let addr = node.addr();
+
+    let ping_pong = |s: &mut TcpStream| {
+        write_frame(s, &Request::Ping.encode()).expect("write ping");
+        let payload = read_frame(s, MAX_FRAME_PAYLOAD).expect("read pong");
+        assert!(matches!(Response::decode(&payload), Ok(Response::Pong { .. })));
+    };
+
+    // three ways a stream can desynchronize after perfectly valid traffic
+    let corrupt = {
+        let mut f = encode_frame(&Request::Ping.encode());
+        let last = f.len() - 1;
+        f[last] ^= 0xFF; // checksum mismatch on a full frame
+        f
+    };
+    let oversized = (MAX_FRAME_PAYLOAD + 1).to_le_bytes()[..4]
+        .iter()
+        .copied()
+        .chain([0u8; 8])
+        .collect::<Vec<u8>>();
+    let garbage = vec![0xA5u8; 64]; // mid-frame noise after a stream frame
+    for (tag, hostile) in [("corrupt", corrupt), ("oversized", oversized), ("garbage", garbage)] {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_nodelay(true).ok();
+        ping_pong(&mut s);
+        // a valid stream frame first: the hostile bytes arrive mid-session
+        let frame = Request::InsertStream {
+            stream_seq: 1,
+            ratings: vec![Rating::new(NodeId(2), NodeId(3), RatingValue::Positive, SimTime(1))],
+        };
+        write_frame(&mut s, &frame.encode()).expect("write stream frame");
+        s.write_all(&hostile).expect("write hostile bytes");
+        // deterministic outcome: the connection reaches EOF (the ack for
+        // frame 1 may arrive first; nothing else may)
+        s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut rest = Vec::new();
+        match s.read_to_end(&mut rest) {
+            Ok(_) => {
+                // any bytes before the close must be well-formed responses
+                let mut cursor = &rest[..];
+                while !cursor.is_empty() {
+                    let payload = read_frame(&mut cursor, MAX_FRAME_PAYLOAD)
+                        .unwrap_or_else(|e| panic!("{tag}: partial response before close: {e}"));
+                    let resp = Response::decode(&payload)
+                        .unwrap_or_else(|e| panic!("{tag}: undecodable response: {e:?}"));
+                    assert!(
+                        matches!(resp, Response::InsertAck { .. } | Response::Error { .. }),
+                        "{tag}: unexpected response before close: {resp:?}"
+                    );
+                }
+            }
+            // closing with undrained hostile bytes in the receive buffer
+            // surfaces as RST rather than FIN — still a deterministic end
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+            Err(e) => panic!("{tag}: connection must end deterministically, got {e}"),
+        }
+        // the server must keep serving fresh connections afterwards
+        let mut fresh = TcpStream::connect(addr).expect("reconnect");
+        fresh.set_nodelay(true).ok();
+        ping_pong(&mut fresh);
+    }
+
+    drop(node);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -55,6 +55,13 @@ pub enum FrameError {
         /// Ceiling it exceeded.
         max: u32,
     },
+    /// A read timeout fired *after* part of a frame was already consumed.
+    /// The stream is now desynchronized mid-frame: retrying the read would
+    /// misparse the remaining bytes as a fresh header. The only safe
+    /// recovery is dropping the connection. (A timeout before any byte of
+    /// a frame stays [`FrameError::Io`] with a timeout kind — that one is
+    /// a benign idle poll, see [`FrameError::is_timeout`].)
+    Stalled,
 }
 
 impl fmt::Display for FrameError {
@@ -66,6 +73,7 @@ impl fmt::Display for FrameError {
             FrameError::Oversized { len, max } => {
                 write!(f, "frame payload {len} exceeds ceiling {max}")
             }
+            FrameError::Stalled => write!(f, "read timed out mid-frame (stream desynchronized)"),
         }
     }
 }
@@ -87,21 +95,40 @@ impl From<io::Error> for FrameError {
 }
 
 impl FrameError {
-    /// Whether this error is a transport timeout (the deadline machinery
-    /// maps these to retry/failover decisions).
+    /// Whether this error is an *idle* transport timeout — no frame byte
+    /// was consumed, so the stream is still aligned and the read can simply
+    /// be retried (the server's poll loop does exactly that). A timeout
+    /// that interrupts a partially-read frame is [`FrameError::Stalled`]
+    /// instead and is **not** a timeout in this sense: that connection must
+    /// be dropped.
     pub fn is_timeout(&self) -> bool {
         matches!(self, FrameError::Io(e)
             if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut)
     }
 }
 
+#[inline]
+fn is_timeout_kind(kind: io::ErrorKind) -> bool {
+    kind == io::ErrorKind::WouldBlock || kind == io::ErrorKind::TimedOut
+}
+
 /// Encode `payload` into a standalone frame (header + payload).
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    encode_frame_into(payload, &mut out);
+    out
+}
+
+/// Append one frame (header + payload) onto `out` without allocating a
+/// fresh buffer. The streaming client coalesces many small frames into one
+/// staging buffer this way, so a whole window of batches leaves in a
+/// single `write_all` — one syscall and one TCP push instead of one per
+/// frame.
+pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&fnv64(payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// Decode one frame from the front of `bytes`, returning the payload and
@@ -144,6 +171,11 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError
 /// (the peer hung up between frames); an EOF anywhere inside a frame is a
 /// transport error. A header announcing more than `max_payload` bytes is
 /// refused **before** any payload allocation.
+///
+/// A read timeout **before** any frame byte surfaces as [`FrameError::Io`]
+/// with a timeout kind (idle poll — safe to retry); a timeout **after** a
+/// partial header or payload surfaces as [`FrameError::Stalled`], because
+/// the stream position is now inside a frame and retrying would desync.
 pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Vec<u8>, FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     // Distinguish clean close (0 bytes) from mid-header truncation.
@@ -154,6 +186,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Vec<u8>, Frame
             Ok(0) => return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into())),
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout_kind(e.kind()) && got > 0 => return Err(FrameError::Stalled),
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
@@ -165,7 +198,18 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Vec<u8>, Frame
         header[4], header[5], header[6], header[7], header[8], header[9], header[10], header[11],
     ]);
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // the header was already consumed, so any timeout here is
+            // mid-frame by definition
+            Err(e) if is_timeout_kind(e.kind()) => return Err(FrameError::Stalled),
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
     if fnv64(&payload) != checksum {
         return Err(FrameError::Corrupt(CodecError::ChecksumMismatch));
     }
@@ -234,6 +278,76 @@ mod tests {
             decode_frame(&frame, MAX_FRAME_PAYLOAD),
             Err(FrameError::Oversized { .. })
         ));
+    }
+
+    /// Reader yielding scripted results: bytes, a timeout, more bytes.
+    struct ScriptedReader {
+        script: Vec<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop() {
+                Some(Ok(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    Ok(n)
+                }
+                Some(Err(kind)) => Err(kind.into()),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn idle_timeout_stays_a_retryable_io_error() {
+        // a timeout before any frame byte: the poll loop's idle tick
+        let mut r = ScriptedReader { script: vec![Err(io::ErrorKind::WouldBlock)] };
+        let err = read_frame(&mut r, MAX_FRAME_PAYLOAD).unwrap_err();
+        assert!(err.is_timeout(), "idle timeout must stay retryable, got {err}");
+    }
+
+    #[test]
+    fn mid_header_timeout_is_stalled_not_retryable() {
+        let frame = encode_frame(b"partial header then stall");
+        let mut r = ScriptedReader {
+            // script pops from the back: 5 header bytes, then a timeout
+            script: vec![Err(io::ErrorKind::WouldBlock), Ok(frame[..5].to_vec())],
+        };
+        let err = read_frame(&mut r, MAX_FRAME_PAYLOAD).unwrap_err();
+        assert!(matches!(err, FrameError::Stalled), "got {err}");
+        assert!(!err.is_timeout(), "a stalled stream must not look retryable");
+    }
+
+    #[test]
+    fn mid_payload_timeout_is_stalled_not_retryable() {
+        let frame = encode_frame(b"payload stalls halfway");
+        let mut r = ScriptedReader {
+            script: vec![
+                Err(io::ErrorKind::TimedOut),
+                Ok(frame[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 4].to_vec()),
+                Ok(frame[..FRAME_HEADER_LEN].to_vec()),
+            ],
+        };
+        let err = read_frame(&mut r, MAX_FRAME_PAYLOAD).unwrap_err();
+        assert!(matches!(err, FrameError::Stalled), "got {err}");
+        assert!(!err.is_timeout());
+    }
+
+    #[test]
+    fn encode_frame_into_coalesces_identically() {
+        let payloads: [&[u8]; 3] = [b"one", b"", b"three frames one buffer"];
+        let mut coalesced = Vec::new();
+        let mut reference = Vec::new();
+        for p in payloads {
+            encode_frame_into(p, &mut coalesced);
+            reference.extend_from_slice(&encode_frame(p));
+        }
+        assert_eq!(coalesced, reference);
+        let mut cursor = &coalesced[..];
+        for p in payloads {
+            assert_eq!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD).expect("read"), p);
+        }
     }
 
     #[test]

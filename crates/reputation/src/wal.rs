@@ -404,6 +404,36 @@ fn committer_loop(file: File, rx: Receiver<CommitMsg>, shared: Arc<CommitShared>
     }
 }
 
+/// Detached wait handle on a group-commit committer's durable watermark
+/// (see [`Wal::waiter`]). Holds only the committer's progress state, so
+/// waiting does not block appends or other readers of the `Wal`.
+#[derive(Debug)]
+pub struct DurableWaiter {
+    shared: Arc<CommitShared>,
+}
+
+impl DurableWaiter {
+    /// Block until the durable watermark covers `target`, the committer
+    /// latches an I/O failure, or `timeout` elapses. Returns whether the
+    /// watermark covers `target` (a latched failure reads as `false`; the
+    /// caller's next blocking [`Wal::sync`] re-raises it).
+    pub fn wait_covered(&self, target: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let Ok(mut p) = self.shared.progress.lock() else { return false };
+        while p.durable_len < target && p.failed.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let Ok((next, _)) = self.shared.cv.wait_timeout(p, deadline - now) else {
+                return false;
+            };
+            p = next;
+        }
+        p.durable_len >= target
+    }
+}
+
 /// An append-only write-ahead log file.
 ///
 /// Appends encode into an internal buffer that is written to the OS in
@@ -426,6 +456,10 @@ pub struct Wal {
     last_record_span: (u64, u64),
     /// Encoded-but-unwritten records (reused; never shrinks).
     buf: Vec<u8>,
+    /// Logical byte length confirmed durable by a synchronous fsync
+    /// ([`Wal::sync`] without a committer). With group commit on, the
+    /// committer's progress supersedes this — see [`Wal::durable_len`].
+    synced_len: u64,
     /// Group-commit trigger thresholds, when async mode is on.
     group: Option<(usize, Duration)>,
     /// Committer thread, when async mode is on.
@@ -454,6 +488,7 @@ impl Wal {
             len: WAL_HEADER_LEN as u64,
             last_record_span: (WAL_HEADER_LEN as u64, WAL_HEADER_LEN as u64),
             buf: Vec::new(),
+            synced_len: WAL_HEADER_LEN as u64,
             group: None,
             committer: None,
             pending_since: None,
@@ -480,6 +515,7 @@ impl Wal {
             len: replay.valid_len,
             last_record_span: (replay.valid_len, replay.valid_len),
             buf: Vec::new(),
+            synced_len: replay.valid_len,
             group: None,
             committer: None,
             pending_since: None,
@@ -613,6 +649,7 @@ impl Wal {
         match &self.committer {
             None => {
                 self.file.sync_data()?;
+                self.synced_len = self.len;
             }
             Some(c) => {
                 let target = self.len;
@@ -635,6 +672,42 @@ impl Wal {
     /// durability still requires [`Wal::sync`].
     pub fn flush(&mut self) -> Result<(), WalError> {
         self.flush_os()
+    }
+
+    /// Logical byte length confirmed durable — the **durable watermark**
+    /// the streaming data plane acks against. With group commit on, this
+    /// is the committer thread's confirmed progress; in synchronous modes
+    /// it is the length as of the last [`Wal::sync`]. Monotone, and always
+    /// ≤ [`Wal::len_bytes`].
+    pub fn durable_len(&self) -> u64 {
+        match &self.committer {
+            Some(c) => c
+                .shared
+                .progress
+                .lock()
+                .map(|p| p.durable_len.max(self.synced_len))
+                .unwrap_or(self.synced_len),
+            None => self.synced_len,
+        }
+    }
+
+    /// Non-blocking durability nudge: hand everything appended so far to
+    /// the background committer so the durable watermark catches up soon
+    /// without stalling the append path. A no-op without group commit —
+    /// synchronous policies advance the watermark in [`Wal::sync`].
+    pub fn request_durable(&mut self) -> Result<(), WalError> {
+        if self.committer.is_some() {
+            self.request_commit()?;
+        }
+        Ok(())
+    }
+
+    /// A handle for blocking on the committer's durable watermark without
+    /// holding any lock on the `Wal` itself (`None` without group commit).
+    /// Lets an ack path park on the committer's condvar — woken the
+    /// instant an fsync completes — while other threads keep appending.
+    pub fn waiter(&self) -> Option<DurableWaiter> {
+        self.committer.as_ref().map(|c| DurableWaiter { shared: Arc::clone(&c.shared) })
     }
 
     /// Fsyncs issued by the background committer (0 without group commit).
@@ -885,6 +958,56 @@ mod tests {
         let replay = replay_bytes(&bytes).unwrap();
         assert_eq!(replay.records.len(), 300);
         assert!(!replay.is_truncated());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_watermark_tracks_sync_in_synchronous_mode() {
+        let dir = scratch("watermark-sync");
+        let path = dir.join("wm.wal");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        assert_eq!(wal.durable_len(), WAL_HEADER_LEN as u64);
+        for k in 0..10 {
+            wal.append(&WalRecord::Rating(rating(k + 1, 2, k))).unwrap();
+        }
+        // appended but not synced: the watermark must not move
+        assert_eq!(wal.durable_len(), WAL_HEADER_LEN as u64);
+        assert!(wal.durable_len() < wal.len_bytes());
+        wal.request_durable().unwrap(); // no-op without a committer
+        assert_eq!(wal.durable_len(), WAL_HEADER_LEN as u64);
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_len(), wal.len_bytes());
+        drop(wal);
+        // reopening an intact file resumes the watermark at its length
+        let (wal, replay) = Wal::open_existing(&path).unwrap();
+        assert!(!replay.is_truncated());
+        assert_eq!(wal.durable_len(), wal.len_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_watermark_catches_up_under_group_commit() {
+        let dir = scratch("watermark-async");
+        let path = dir.join("wm.wal");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        // huge thresholds: only explicit nudges/barriers commit
+        wal.enable_group_commit(u32::MAX, u32::MAX).unwrap();
+        for k in 0..50 {
+            wal.append(&WalRecord::Rating(rating(k + 1, 2, k))).unwrap();
+        }
+        let target = wal.len_bytes();
+        wal.request_durable().unwrap();
+        // the nudge is async; poll until the committer confirms
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while wal.durable_len() < target {
+            assert!(Instant::now() < deadline, "committer never caught up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(wal.durable_len(), target);
+        // the barrier agrees with the watermark
+        wal.append(&WalRecord::EpochClose { forced: false }).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_len(), wal.len_bytes());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -76,8 +76,10 @@ pub struct ClusterConfig {
     pub thresholds: Thresholds,
     /// Client policy for every harness and inter-manager RPC.
     pub rpc: RpcConfig,
-    /// Ratings per `InsertBatch` frame.
+    /// Ratings per insert frame (stream frames and legacy batches alike).
     pub batch: usize,
+    /// Un-acked `InsertStream` frames kept in flight per connection.
+    pub window: usize,
 }
 
 impl ClusterConfig {
@@ -97,6 +99,7 @@ impl ClusterConfig {
             thresholds: Thresholds::new(1.0, 100, 0.95, 0.7),
             rpc: RpcConfig::lan(),
             batch: 256,
+            window: 32,
         }
     }
 
@@ -318,6 +321,17 @@ impl Cluster {
     }
 }
 
+/// WAL commit policy for cluster managers (and the serial in-process
+/// reference, so the wire-vs-serial comparison is policy-matched): async
+/// group commit with a *wide* background window. Stream-ack barriers
+/// (`StreamFlush`) request targeted commits exactly where acks are
+/// needed; a tight background cadence like `ASYNC_DEFAULT`'s 2 ms only
+/// queues the target the final ack needs behind in-flight fsyncs — and
+/// with several managers' WALs on one filesystem journal, concurrent
+/// fsync streams serialize each other.
+const MANAGER_SYNC_POLICY: SyncPolicy =
+    SyncPolicy::Async { max_bytes: 1 << 20, max_delay_micros: 20_000 };
+
 fn manager_config(
     cfg: &ClusterConfig,
     id: NodeId,
@@ -336,7 +350,7 @@ fn manager_config(
         policy: DetectionPolicy::STRICT,
         shards: 4,
         durability: DurabilityConfig {
-            sync_policy: SyncPolicy::EveryK(64),
+            sync_policy: MANAGER_SYNC_POLICY,
             ..DurabilityConfig::default()
         },
         rpc: cfg.rpc,
@@ -383,47 +397,184 @@ fn rating_stream(cfg: &ClusterConfig) -> Vec<Rating> {
     out
 }
 
-/// Route the rating stream over the wire: owner-batched `InsertBatch`
-/// (with failover to the owner's successors) plus `Replicate` pushes.
-/// Returns primary ratings accepted.
+/// Route the rating stream over the wire: one windowed `InsertStream`
+/// session per owner (acks gated on the owner's WAL durable watermark)
+/// plus legacy batched `Replicate` pushes to the ring successors. Returns
+/// primary ratings acked durable.
 fn ingest(cluster: &Cluster, client: &mut RpcClient, ratings: &[Rating]) -> u64 {
-    let mut batches: HashMap<NodeId, Vec<Rating>> = HashMap::new();
-    let mut accepted = 0u64;
-    let flush = |client: &mut RpcClient, owner: NodeId, batch: Vec<Rating>| -> u64 {
-        if batch.is_empty() {
-            return 0;
-        }
-        let backups = cluster.ring.backups_of(owner, cluster.cfg.replication);
-        let mut got = 0;
-        if let Some(addr) = cluster.addr_of(owner) {
-            if let Ok(Response::Ack { accepted, .. }) =
-                client.call(addr, &Request::InsertBatch(batch.clone()))
-            {
-                got = accepted;
-            }
-        }
-        for b in backups {
-            if let Some(addr) = cluster.addr_of(b) {
-                client.call(addr, &Request::Replicate(batch.clone())).ok();
-            }
-        }
-        got
-    };
+    let mut by_owner: HashMap<NodeId, Vec<Rating>> = HashMap::new();
     for &r in ratings {
-        let owner = cluster.ring.owner_of(r.ratee);
-        let batch = batches.entry(owner).or_default();
-        batch.push(r);
-        if batch.len() >= cluster.cfg.batch {
-            let full = std::mem::take(batch);
-            accepted += flush(client, owner, full);
-        }
+        by_owner.entry(cluster.ring.owner_of(r.ratee)).or_default().push(r);
     }
-    let mut rest: Vec<(NodeId, Vec<Rating>)> = batches.into_iter().collect();
-    rest.sort_unstable_by_key(|(m, _)| *m);
-    for (owner, batch) in rest {
-        accepted += flush(client, owner, batch);
+    let mut owners: Vec<(NodeId, Vec<Rating>)> = by_owner.into_iter().collect();
+    owners.sort_unstable_by_key(|(m, _)| *m);
+    let mut accepted = 0u64;
+    for (owner, rs) in owners {
+        accepted += stream_to_owner(cluster, client, owner, &rs).0;
+        // replica pushes stay on the one-ack-per-batch path: they are not
+        // durability-critical and keep the legacy wire path exercised
+        for b in cluster.ring.backups_of(owner, cluster.cfg.replication) {
+            if let Some(addr) = cluster.addr_of(b) {
+                for chunk in rs.chunks(cluster.cfg.batch.max(1)) {
+                    client.call(addr, &Request::Replicate(chunk.to_vec())).ok();
+                }
+            }
+        }
     }
     accepted
+}
+
+/// Stream one owner's ratings through a windowed insert session; returns
+/// `(ratings acked, frames sent, bytes sent)`. On a stream failure the
+/// acked prefix is durable by contract; the un-acked tail is replayed
+/// through legacy `InsertBatch` calls (best-effort, like the old harness —
+/// a frame that was applied but died before its ack can double-fold on
+/// this abnormal path, which fault-free runs never hit).
+fn stream_to_owner(
+    cluster: &Cluster,
+    client: &mut RpcClient,
+    owner: NodeId,
+    rs: &[Rating],
+) -> (u64, u64, u64) {
+    let Some(addr) = cluster.addr_of(owner) else { return (0, 0, 0) };
+    let batch = cluster.cfg.batch.max(1);
+    let mut session = match client.open_insert_stream(addr, cluster.cfg.window) {
+        Ok(s) => s,
+        Err(_) => return (legacy_ingest(client, addr, rs, batch), 0, 0),
+    };
+    for chunk in rs.chunks(batch) {
+        if session.send(chunk).is_err() {
+            let stats = session.stats();
+            let acked = stats.ratings_acked;
+            drop(session);
+            client.forget(addr);
+            let replayed = legacy_ingest(client, addr, &rs[acked as usize..], batch);
+            return (acked + replayed, stats.frames_sent, stats.bytes_sent);
+        }
+    }
+    let before = session.stats();
+    match client.close_insert_stream(session) {
+        Ok(stats) => (stats.ratings_acked, stats.frames_sent, stats.bytes_sent),
+        Err(_) => {
+            client.forget(addr);
+            let acked = before.ratings_acked;
+            let replayed = legacy_ingest(client, addr, &rs[acked as usize..], batch);
+            (acked + replayed, before.frames_sent, before.bytes_sent)
+        }
+    }
+}
+
+/// Stream one lane's per-owner slices with the sessions interleaved: open
+/// every owner session, send chunks round-robin, push every window out,
+/// then drain them — so the managers' durability barriers overlap instead
+/// of serializing one session close at a time. Any session error falls
+/// back to the legacy path for that owner's unacked tail (same caveat as
+/// [`stream_to_owner`]). Returns `(acked, frames_sent, bytes_sent)`.
+fn stream_lane(
+    cluster: &Cluster,
+    client: &mut RpcClient,
+    owners: &[(NodeId, Vec<Rating>)],
+) -> (u64, u64, u64) {
+    use collusion_core::net::InsertStream;
+
+    struct OwnerStream<'a> {
+        addr: SocketAddr,
+        rs: &'a [Rating],
+        session: Option<InsertStream>,
+        next: usize,
+    }
+
+    /// Tear a failed session down: discard its connection and replay the
+    /// unacked tail over the legacy path. Returns the session's totals.
+    fn abort(
+        client: &mut RpcClient,
+        os: &mut OwnerStream<'_>,
+        stats: collusion_core::net::StreamStats,
+        batch: usize,
+    ) -> (u64, u64, u64) {
+        os.session = None;
+        client.forget(os.addr);
+        let replayed =
+            legacy_ingest(client, os.addr, &os.rs[stats.ratings_acked as usize..], batch);
+        (stats.ratings_acked + replayed, stats.frames_sent, stats.bytes_sent)
+    }
+
+    let batch = cluster.cfg.batch.max(1);
+    let (mut acked, mut frames, mut bytes) = (0u64, 0u64, 0u64);
+    let mut streams: Vec<OwnerStream> = Vec::with_capacity(owners.len());
+    for (owner, rs) in owners {
+        let Some(addr) = cluster.addr_of(*owner) else { continue };
+        match client.open_insert_stream(addr, cluster.cfg.window) {
+            Ok(s) => streams.push(OwnerStream { addr, rs, session: Some(s), next: 0 }),
+            Err(_) => acked += legacy_ingest(client, addr, rs, batch),
+        }
+    }
+    loop {
+        let mut progressed = false;
+        for os in &mut streams {
+            let Some(session) = os.session.as_mut() else { continue };
+            if os.next >= os.rs.len() {
+                continue;
+            }
+            progressed = true;
+            let end = (os.next + batch).min(os.rs.len());
+            if session.send(&os.rs[os.next..end]).is_ok() {
+                os.next = end;
+                // this session's data is done: push its barrier now so the
+                // manager's fsync overlaps the other sessions' sends
+                if os.next >= os.rs.len() && session.flush().is_err() {
+                    let stats = session.stats();
+                    let (a, f, b) = abort(client, os, stats, batch);
+                    acked += a;
+                    frames += f;
+                    bytes += b;
+                }
+            } else {
+                let stats = session.stats();
+                let (a, f, b) = abort(client, os, stats, batch);
+                acked += a;
+                frames += f;
+                bytes += b;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for os in &mut streams {
+        let Some(session) = os.session.take() else { continue };
+        let before = session.stats();
+        match client.close_insert_stream(session) {
+            Ok(stats) => {
+                acked += stats.ratings_acked;
+                frames += stats.frames_sent;
+                bytes += stats.bytes_sent;
+            }
+            Err(_) => {
+                client.forget(os.addr);
+                let (a, f, b) = abort(client, os, before, batch);
+                acked += a;
+                frames += f;
+                bytes += b;
+            }
+        }
+    }
+    (acked, frames, bytes)
+}
+
+/// The pre-streaming wire path: one `InsertBatch` RPC (and one ack) per
+/// batch. Kept as the fallback tail replay and the bench's comparison
+/// baseline.
+fn legacy_ingest(client: &mut RpcClient, addr: SocketAddr, rs: &[Rating], batch: usize) -> u64 {
+    let mut got = 0u64;
+    for chunk in rs.chunks(batch.max(1)) {
+        if let Ok(Response::Ack { accepted, .. }) =
+            client.call(addr, &Request::InsertBatch(chunk.to_vec()))
+        {
+            got += accepted;
+        }
+    }
+    got
 }
 
 /// Run one TCP-cluster robustness experiment (see the module docs for the
@@ -609,5 +760,294 @@ pub fn run_cluster_queries(cfg: &ClusterConfig, window_ms: u64) -> QueryLoadOutc
         elapsed_ms,
         qps: if elapsed_ms == 0 { 0.0 } else { queries as f64 * 1000.0 / elapsed_ms as f64 },
         inserts,
+    }
+}
+
+/// Configuration of one wire-ingest throughput measurement.
+#[derive(Clone, Debug)]
+pub struct WireIngestConfig {
+    /// Cluster, workload, per-frame batch size, and stream window.
+    pub cluster: ClusterConfig,
+    /// Concurrent producer threads, each streaming its slice of the
+    /// workload over its own connections.
+    pub connections: usize,
+    /// Use the pre-streaming one-ack-per-batch `InsertBatch` path instead
+    /// of `InsertStream` (the comparison baseline).
+    pub legacy: bool,
+}
+
+/// One manager's data-plane counters after a wire-ingest run (from the
+/// extended `Status` RPC).
+#[derive(Clone, Copy, Debug)]
+pub struct ManagerWireStatus {
+    /// Manager id.
+    pub manager: NodeId,
+    /// Ratings absorbed into the detection history.
+    pub recorded: u64,
+    /// WAL durable watermark, bytes.
+    pub durable_len: u64,
+    /// WAL logical length, bytes.
+    pub wal_len: u64,
+    /// Stream ratings still buffered in the sharded intake.
+    pub intake_pending: u64,
+    /// Stream frames accepted since spawn.
+    pub stream_frames: u64,
+    /// Stream ratings accepted since spawn.
+    pub stream_ratings: u64,
+}
+
+/// Result of one wire-ingest throughput measurement.
+#[derive(Clone, Debug)]
+pub struct WireIngestOutcome {
+    /// Ratings offered to the cluster.
+    pub ratings: u64,
+    /// Primary ratings acked (streaming: acked durable).
+    pub acked: u64,
+    /// Ingest wall-clock, milliseconds.
+    pub elapsed_ms: u64,
+    /// Acked ratings per second of ingest wall-clock.
+    pub ratings_per_sec: f64,
+    /// Stream frames handed to the transport (0 on the legacy path).
+    pub frames_sent: u64,
+    /// Stream bytes handed to the transport (0 on the legacy path).
+    pub bytes_sent: u64,
+    /// Suspect pairs the cluster confirmed after the ingest.
+    pub confirmed_pairs: Vec<(NodeId, NodeId)>,
+    /// Suspect pairs of the in-process fault-free baseline.
+    pub baseline_pairs: Vec<(NodeId, NodeId)>,
+    /// Per-manager data-plane counters after the round.
+    pub managers: Vec<ManagerWireStatus>,
+}
+
+/// Measure wire-ingest throughput: `connections` producer threads split
+/// the workload round-robin and push it into a faultless cluster —
+/// windowed `InsertStream` sessions per owner, or legacy `InsertBatch`
+/// RPCs when `legacy` is set — then a detection round verifies the
+/// streamed state against the in-process baseline.
+pub fn run_wire_ingest(cfg: &WireIngestConfig) -> WireIngestOutcome {
+    let faultless = ClusterConfig { plan: FaultPlan::none(), ..cfg.cluster.clone() };
+    let ratings = rating_stream(&faultless);
+
+    // in-process fault-free baseline over the same workload and managers
+    let (_, history) = Simulation::new(faultless.sim.clone()).run_with_history();
+    let entries = sorted_pairs(&history);
+    let rob = faultless.as_robustness();
+    let mut baseline = build_system(&rob, 1, &entries, None);
+    let baseline_pairs = baseline.detect().pair_ids();
+    drop(baseline);
+
+    let cluster = Cluster::spawn(&faultless);
+    let lanes = cfg.connections.max(1);
+    let mut slices: Vec<Vec<Rating>> = vec![Vec::new(); lanes];
+    for (i, &r) in ratings.iter().enumerate() {
+        slices[i % lanes].push(r);
+    }
+    let start = Instant::now();
+    let lane_results: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let cluster = &cluster;
+        let handles: Vec<_> = slices
+            .iter()
+            .enumerate()
+            .map(|(k, slice)| {
+                scope.spawn(move || {
+                    let seed = cluster.cfg.sim.seed ^ 0xC0CC ^ k as u64;
+                    let mut client = RpcClient::new(cluster.cfg.rpc.with_jitter_seed(seed));
+                    let mut by_owner: HashMap<NodeId, Vec<Rating>> = HashMap::new();
+                    for &r in slice {
+                        by_owner.entry(cluster.ring.owner_of(r.ratee)).or_default().push(r);
+                    }
+                    let mut owners: Vec<(NodeId, Vec<Rating>)> = by_owner.into_iter().collect();
+                    owners.sort_unstable_by_key(|(m, _)| *m);
+                    if cfg.legacy {
+                        let mut acked = 0u64;
+                        for (owner, rs) in owners {
+                            if let Some(addr) = cluster.addr_of(owner) {
+                                acked += legacy_ingest(&mut client, addr, &rs, cluster.cfg.batch);
+                            }
+                        }
+                        (acked, 0, 0)
+                    } else {
+                        stream_lane(cluster, &mut client, &owners)
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("ingest thread")).collect()
+    });
+    let elapsed_ms = start.elapsed().as_millis().max(1) as u64;
+    let acked: u64 = lane_results.iter().map(|r| r.0).sum();
+    let frames_sent: u64 = lane_results.iter().map(|r| r.1).sum();
+    let bytes_sent: u64 = lane_results.iter().map(|r| r.2).sum();
+
+    // one detection round over the wire, merged like the robustness run
+    let control_cfg = RpcConfig {
+        attempt_timeout_ms: 120_000,
+        total_deadline_ms: 120_000,
+        max_retries: 0,
+        ..faultless.rpc
+    };
+    let mut control = RpcClient::new(control_cfg.with_jitter_seed(faultless.sim.seed ^ 3));
+    let round = 1u64;
+    for &m in &cluster.manager_ids {
+        let addr = cluster.addr_of(m).expect("all managers alive");
+        let resp = control.call(addr, &Request::Freeze { round }).expect("freeze RPC");
+        assert!(matches!(resp, Response::Frozen { .. }), "freeze refused: {resp:?}");
+    }
+    let mut confirmed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    for &m in &cluster.manager_ids {
+        let addr = cluster.addr_of(m).expect("all managers alive");
+        let resp = control.call(addr, &Request::DetectRound { round }).expect("detect RPC");
+        let Response::Round(report) = resp else { panic!("DetectRound refused: {resp:?}") };
+        for p in &report.confirmed {
+            confirmed.insert(p.ids());
+        }
+    }
+
+    // per-manager data-plane counters via the extended Status RPC
+    let mut managers = Vec::new();
+    for &m in &cluster.manager_ids {
+        let addr = cluster.addr_of(m).expect("all managers alive");
+        let resp = control.call(addr, &Request::Status).expect("status RPC");
+        let Response::Status(info) = resp else { panic!("Status refused: {resp:?}") };
+        managers.push(ManagerWireStatus {
+            manager: info.manager,
+            recorded: info.recorded,
+            durable_len: info.durable_len,
+            wal_len: info.wal_len,
+            intake_pending: info.intake_pending,
+            stream_frames: info.stream_frames,
+            stream_ratings: info.stream_ratings,
+        });
+    }
+    cluster.teardown();
+    WireIngestOutcome {
+        ratings: ratings.len() as u64,
+        acked,
+        elapsed_ms,
+        ratings_per_sec: acked as f64 * 1000.0 / elapsed_ms as f64,
+        frames_sent,
+        bytes_sent,
+        confirmed_pairs: confirmed.into_iter().collect(),
+        baseline_pairs,
+        managers,
+    }
+}
+
+/// Serial in-process reference for the wire-ingest grid: the same rating
+/// stream recorded through one [`DurableEngine`] (same async WAL policy as
+/// the cluster managers) plus a detection history — the work one manager
+/// does per rating, minus every socket. Returns `(ratings, ratings/sec)`.
+pub fn inprocess_serial_rate(cfg: &ClusterConfig) -> (u64, f64) {
+    use collusion_core::durability::{DurableEngine, EngineSetup};
+    use collusion_core::epoch::EpochMethod;
+    use collusion_reputation::history::InteractionHistory;
+
+    let ratings = rating_stream(cfg);
+    let dir = scratch_dir("wire-serial");
+    let node_ids: Vec<NodeId> = (1..=cfg.sim.n_nodes).map(NodeId).collect();
+    let setup = EngineSetup {
+        target_shards: 4,
+        method: EpochMethod::Optimized,
+        thresholds: cfg.thresholds,
+        policy: DetectionPolicy::STRICT,
+        prune: false,
+    };
+    let durability =
+        DurabilityConfig { sync_policy: MANAGER_SYNC_POLICY, ..DurabilityConfig::default() };
+    let mut eng =
+        DurableEngine::create(&dir, &node_ids, setup, durability).expect("create serial engine");
+    let mut history = InteractionHistory::new();
+    let start = Instant::now();
+    for &r in &ratings {
+        eng.record(r).expect("serial record");
+        history.record(r);
+    }
+    eng.sync().expect("final sync");
+    let elapsed_ms = start.elapsed().as_millis().max(1) as u64;
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+    (ratings.len() as u64, ratings.len() as f64 * 1000.0 / elapsed_ms as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collusion_core::net::server::ManagerNode;
+    use collusion_reputation::wal::{replay_bytes, WalRecord};
+
+    /// The ack-at-durable contract under a mid-stream kill: every rating
+    /// the client saw acked must already be in the victim's WAL, and a
+    /// rejoin from that WAL must recover at least the acked prefix.
+    #[test]
+    fn acked_stream_ratings_survive_a_mid_stream_kill() {
+        let cfg = ClusterConfig::quick(99);
+        let ratings = rating_stream(&cfg);
+        let mut cluster = Cluster::spawn(&cfg);
+        let owner = cluster.ring.owner_of(ratings[0].ratee);
+        let rs: Vec<Rating> =
+            ratings.iter().copied().filter(|r| cluster.ring.owner_of(r.ratee) == owner).collect();
+        assert!(rs.len() > 64, "workload must give the victim a real slice");
+        let addr = cluster.addr_of(owner).expect("owner alive");
+        let mut client = RpcClient::new(cfg.rpc);
+        let mut session = client.open_insert_stream(addr, 4).expect("open stream");
+        for chunk in rs.chunks(16) {
+            session.send(chunk).expect("stream frame");
+        }
+        // kill with the window still open: the tail is sent but un-acked
+        let acked = session.stats().ratings_acked;
+        assert!(acked > 0, "windowed streaming must have acked a prefix");
+        drop(session);
+        let k = cluster.manager_ids.iter().position(|&m| m == owner).expect("owner known");
+        if let Some(node) = cluster.nodes[k].take() {
+            node.kill().expect("clean kill");
+        }
+
+        // acked ⇒ on disk, even before any rejoin
+        let wal = cluster.dir.join(format!("m{:x}", owner.raw())).join("engine.wal");
+        let bytes = std::fs::read(&wal).expect("wal readable");
+        let replay = replay_bytes(&bytes).expect("wal replays");
+        let on_disk =
+            replay.records.iter().filter(|(_, r)| matches!(r, WalRecord::Rating(_))).count() as u64;
+        assert!(on_disk >= acked, "acked ratings missing from the WAL: {on_disk} < {acked}");
+
+        // rejoin from the WAL: the recovered slice covers the acked prefix
+        let node_ids: Vec<NodeId> = (1..=cfg.sim.n_nodes).map(NodeId).collect();
+        let reborn = ManagerNode::spawn(manager_config(
+            &cfg,
+            owner,
+            &cluster.dir,
+            &cluster.manager_ids,
+            &node_ids,
+        ))
+        .expect("rejoin from WAL");
+        let status = client.call(reborn.addr(), &Request::Status).expect("status");
+        let Response::Status(info) = status else { panic!("Status must answer Status") };
+        assert!(info.recorded >= acked, "rejoin lost acked ratings: {} < {acked}", info.recorded);
+        drop(reborn);
+        cluster.teardown();
+    }
+
+    /// Streamed and legacy wire ingest land in the same detection state:
+    /// the wire-grid equality check in miniature.
+    #[test]
+    fn wire_ingest_modes_agree_with_the_baseline() {
+        let mut cluster = ClusterConfig::quick(7);
+        cluster.sim.n_nodes = 60;
+        cluster.replication = 1;
+        let streamed = run_wire_ingest(&WireIngestConfig {
+            cluster: cluster.clone(),
+            connections: 2,
+            legacy: false,
+        });
+        assert_eq!(
+            streamed.confirmed_pairs, streamed.baseline_pairs,
+            "streamed ingest diverged from the in-process baseline"
+        );
+        assert_eq!(streamed.acked, streamed.ratings, "every rating must be acked durable");
+        let legacy = run_wire_ingest(&WireIngestConfig { cluster, connections: 2, legacy: true });
+        assert_eq!(
+            legacy.confirmed_pairs, streamed.confirmed_pairs,
+            "legacy and streamed wire paths diverged"
+        );
     }
 }

@@ -38,7 +38,8 @@ echo "== scale smoke (n=2k sharded/pruned/epoch kernels, fixed shape) =="
 smoke_out="$(mktemp)"
 recovery_out="$(mktemp)"
 ingest_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$recovery_out" "$ingest_out"' EXIT
+net_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$recovery_out" "$ingest_out" "$net_out"' EXIT
 timeout 120 cargo run --release -q -p collusion-bench --bin scale_json -- \
   --smoke --out "$smoke_out"
 diff scripts/BENCH_scale_smoke_expected.json "$smoke_out"
@@ -79,6 +80,29 @@ got="$(grep -o '"ratings_per_sec": [0-9.]*' "$ingest_out" | head -1 | grep -o '[
 awk -v ref="$ref" -v got="$got" 'BEGIN {
   if (got * 10 < ref) {
     printf "ingest smoke throughput %s/s is >10x below the recorded reference %s/s\n", got, ref
+    exit 1
+  }
+}'
+
+echo "== wire-ingest smoke (streamed inserts over TCP, durable acks, fixed frame counts) =="
+# real localhost cluster, streamed ingest at three (connections, batch,
+# window) points; the binary itself asserts suspect-set equality with the
+# in-process baseline and full durable acking at every point. The diff
+# pins the deterministic projection of the grid (rating/ack/frame counts);
+# bytes and rates are wall-clock- or timing-dependent and stay unpinned.
+timeout 180 cargo run --release -q -p collusion-bench --bin net_json -- \
+  --smoke "$net_out"
+diff scripts/BENCH_net_wire_smoke_expected.txt \
+     <(grep -o '"connections": [0-9]*, "batch": [0-9]*, "window": [0-9]*, "ratings": [0-9]*, "acked": [0-9]*, "frames_sent": [0-9]*' "$net_out")
+
+echo "== wire-ingest perf smoke (streamed path vs paired in-process serial, loose floor) =="
+# wire_over_inprocess is the best paired wire/serial ratio of the smoke
+# grid. Full runs gate it at 0.5; the smoke floor is looser (0.1) because
+# the smoke workload is ~3x smaller and one slow fsync dominates it.
+ratio="$(grep -o '"wire_over_inprocess": [0-9.]*' "$net_out" | grep -o '[0-9.]*$')"
+awk -v ratio="$ratio" 'BEGIN {
+  if (ratio < 0.1) {
+    printf "smoke wire ingest fell to %sx of paired in-process serial (floor 0.1)\n", ratio
     exit 1
   }
 }'
