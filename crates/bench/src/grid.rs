@@ -117,6 +117,89 @@ pub fn render_grid(header: &GridHeader, rows: &[GridRow]) -> String {
     json
 }
 
+/// One nemesis experiment in the robustness report's `"nemesis"` section:
+/// a composed fault schedule (crash / partition / reconnect / overload)
+/// against a live TCP cluster ingesting through resumable stream sessions.
+/// `lost`, `duplicated`, and `suspects_match` are the exactly-once and
+/// detection invariants (must be 0 / 0 / true); the rates and latencies
+/// are wall-clock measurements and vary by machine.
+#[derive(Clone, Debug)]
+pub struct NemesisRow {
+    /// Nemesis label (`none` is the fault-free reference).
+    pub kind: String,
+    /// Ratings offered to the cluster.
+    pub ratings: u64,
+    /// Ratings acked durable by the streaming clients.
+    pub acked: u64,
+    /// Offered ratings missing from the WALs after healing.
+    pub lost: u64,
+    /// WAL ratings exceeding their offered multiplicity.
+    pub duplicated: u64,
+    /// `StreamResume` handshakes across all lanes (first connects included).
+    pub resumes: u64,
+    /// Frames retransmitted after a resume.
+    pub retransmitted: u64,
+    /// Recovery attempts that failed before one stuck.
+    pub failed_recoveries: u64,
+    /// Slowest single-lane cumulative recovery time, milliseconds.
+    pub recovery_ms: u64,
+    /// Slowest heartbeat confirmation of a kill, milliseconds.
+    pub detect_ms: u64,
+    /// Managers killed and rejoined.
+    pub kills: u64,
+    /// Sever/heal cycles applied.
+    pub partitions: u64,
+    /// Frames acked with a throttle hint.
+    pub throttled_frames: u64,
+    /// Frames refused past the intake hard limit.
+    pub refused_frames: u64,
+    /// `StreamResume` requests the servers answered.
+    pub sessions_resumed: u64,
+    /// Acked ratings per second of ingest wall-clock.
+    pub ratings_per_sec: f64,
+    /// This nemesis' rate over the fault-free (`none`) rate.
+    pub rate_vs_fault_free: f64,
+    /// Whether the healed cluster's suspect set equals the baseline.
+    pub suspects_match: bool,
+}
+
+/// Render the `"nemesis"` section as a JSON array fragment suitable for a
+/// [`GridHeader`] extra value (multi-line, indented to match the header).
+pub fn render_nemesis_rows(rows: &[NemesisRow]) -> String {
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"ratings\": {}, \"acked\": {}, \"lost\": {}, \
+             \"duplicated\": {}, \"resumes\": {}, \"retransmitted\": {}, \
+             \"failed_recoveries\": {}, \"recovery_ms\": {}, \"detect_ms\": {}, \
+             \"kills\": {}, \"partitions\": {}, \"throttled_frames\": {}, \
+             \"refused_frames\": {}, \"sessions_resumed\": {}, \"ratings_per_sec\": {:.1}, \
+             \"rate_vs_fault_free\": {:.3}, \"suspects_match\": {}}}{sep}\n",
+            r.kind,
+            r.ratings,
+            r.acked,
+            r.lost,
+            r.duplicated,
+            r.resumes,
+            r.retransmitted,
+            r.failed_recoveries,
+            r.recovery_ms,
+            r.detect_ms,
+            r.kills,
+            r.partitions,
+            r.throttled_frames,
+            r.refused_frames,
+            r.sessions_resumed,
+            r.ratings_per_sec,
+            r.rate_vs_fault_free,
+            r.suspects_match,
+        ));
+    }
+    json.push_str("  ]");
+    json
+}
+
 /// The standard drop×churn sweep both grids walk, with the seeds pinned by
 /// the original robustness bench: drop seeds `0xD0 + drop*10`, churn seeds
 /// `0xC0FF_EE00 + crashes`.
@@ -174,6 +257,44 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn nemesis_rows_render_as_a_header_fragment() {
+        let row = NemesisRow {
+            kind: "crash".to_string(),
+            ratings: 100,
+            acked: 100,
+            lost: 0,
+            duplicated: 0,
+            resumes: 4,
+            retransmitted: 2,
+            failed_recoveries: 1,
+            recovery_ms: 120,
+            detect_ms: 80,
+            kills: 2,
+            partitions: 0,
+            throttled_frames: 0,
+            refused_frames: 0,
+            sessions_resumed: 2,
+            ratings_per_sec: 1234.5,
+            rate_vs_fault_free: 0.9,
+            suspects_match: true,
+        };
+        let header = GridHeader {
+            transport: "tcp",
+            nodes: 80,
+            managers: 3,
+            replication: 1,
+            churn_periods: 0,
+            extra: vec![("nemesis", render_nemesis_rows(&[row.clone(), row]))],
+        };
+        let json = render_grid(&header, &[]);
+        assert!(json.contains("\"nemesis\": [\n"));
+        assert_eq!(json.matches("\"kind\": \"crash\"").count(), 2);
+        assert!(json.contains("\"suspects_match\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -332,6 +332,10 @@ impl DurableEngine {
                             engine.close_epoch();
                         }
                     }
+                    // Session watermarks are data-plane bookkeeping, not
+                    // detection state: the server rebuilds its session
+                    // table from them separately (`replay_stream_sessions`).
+                    WalRecord::StreamSession { .. } => {}
                 }
             }
             if wal.next_seq() < replay_from {
@@ -413,6 +417,34 @@ impl DurableEngine {
     pub fn record_batch(&mut self, ratings: &[Rating]) -> Result<u64, DurabilityError> {
         for &r in ratings {
             self.record(r)?;
+        }
+        Ok(self.wal.len_bytes())
+    }
+
+    /// Log one resumable-stream frame: the ratings, then the session
+    /// watermark marker sealing them — a WAL replay that sees the marker
+    /// is guaranteed to have seen every rating of the frame, so the
+    /// rebuilt session table never claims durability the rating stream
+    /// lacks. Returns the WAL byte length after the marker; once
+    /// [`DurableEngine::durable_len`] covers it, the frame is
+    /// crash-durable and may be acked.
+    pub fn record_stream_frame(
+        &mut self,
+        ratings: &[Rating],
+        session: u64,
+        frame_seq: u64,
+        accepted: u64,
+    ) -> Result<u64, DurabilityError> {
+        for &r in ratings {
+            self.record(r)?;
+        }
+        self.wal.append(&WalRecord::StreamSession { session, frame_seq, accepted })?;
+        self.stats.wal_appends += 1;
+        self.appends_since_sync += 1;
+        if self.cfg.sync_policy.due(self.appends_since_sync) {
+            self.wal.sync()?;
+            self.stats.wal_syncs += 1;
+            self.appends_since_sync = 0;
         }
         Ok(self.wal.len_bytes())
     }

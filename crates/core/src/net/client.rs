@@ -25,7 +25,7 @@
 //! and the in-process one report through identical fields. Tick unit here:
 //! milliseconds.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::io::Write;
@@ -39,7 +39,7 @@ use collusion_reputation::frame::{
 use collusion_reputation::rating::Rating;
 
 use crate::fault::{FaultRng, FaultStats};
-use crate::net::wire::{Request, Response};
+use crate::net::wire::{ErrorCode, Request, Response};
 
 /// Domain salt of the retry-jitter stream.
 const JITTER_SALT: u64 = 0x6a69_7474_6572_2121;
@@ -280,6 +280,19 @@ impl RpcClient {
         addr: SocketAddr,
         window: usize,
     ) -> Result<InsertStream, RpcError> {
+        self.open_insert_stream_session(addr, window, 0)
+    }
+
+    /// Like [`RpcClient::open_insert_stream`], but bound to a client-chosen
+    /// non-zero `session` id: the server persists the session's durable
+    /// watermark, so a later [`ResumableStream`] (or a reconnecting
+    /// `InsertStream` driven by a harness) can resume it exactly.
+    pub fn open_insert_stream_session(
+        &mut self,
+        addr: SocketAddr,
+        window: usize,
+        session: u64,
+    ) -> Result<InsertStream, RpcError> {
         let stream = match self.conns.remove(&addr) {
             Some(s) => s,
             None => {
@@ -289,7 +302,7 @@ impl RpcClient {
                 s
             }
         };
-        Ok(InsertStream::new(addr, stream, window.max(1), self.cfg))
+        Ok(InsertStream::new(addr, stream, window.max(1), session, self.cfg))
     }
 
     /// Drain a session's outstanding acks and, on clean success, return the
@@ -330,12 +343,17 @@ pub struct InsertStream {
     addr: SocketAddr,
     stream: TcpStream,
     window: u64,
+    /// Resumable session id carried on every frame (0 = anonymous).
+    session: u64,
     /// Frame number of the next `send` (1-based, per connection).
     next_seq: u64,
     /// Highest frame number covered by a cumulative ack.
     acked_seq: u64,
     /// Coalesced encoded frames not yet written to the socket.
     staged: Vec<u8>,
+    /// Whether the last ack asked the sender to stall (window drops to 1
+    /// until a non-throttled ack arrives).
+    throttled: bool,
     stats: StreamStats,
     cfg: RpcConfig,
     poisoned: bool,
@@ -346,14 +364,22 @@ pub struct InsertStream {
 const STAGE_FLUSH_BYTES: usize = 64 * 1024;
 
 impl InsertStream {
-    fn new(addr: SocketAddr, stream: TcpStream, window: usize, cfg: RpcConfig) -> Self {
+    fn new(
+        addr: SocketAddr,
+        stream: TcpStream,
+        window: usize,
+        session: u64,
+        cfg: RpcConfig,
+    ) -> Self {
         InsertStream {
             addr,
             stream,
             window: window as u64,
+            session,
             next_seq: 1,
             acked_seq: 0,
             staged: Vec::with_capacity(STAGE_FLUSH_BYTES + 1024),
+            throttled: false,
             stats: StreamStats::default(),
             cfg,
             poisoned: false,
@@ -375,13 +401,15 @@ impl InsertStream {
     /// window is full.
     pub fn send(&mut self, ratings: &[Rating]) -> Result<(), RpcError> {
         self.guard()?;
-        let req = Request::InsertStream { stream_seq: self.next_seq, ratings: ratings.to_vec() };
+        // encode straight from the slice — no per-batch Vec clone
+        let payload = Request::encode_insert_stream(self.session, self.next_seq, ratings);
         let before = self.staged.len();
-        encode_frame_into(&req.encode(), &mut self.staged);
+        encode_frame_into(&payload, &mut self.staged);
         self.next_seq += 1;
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += (self.staged.len() - before) as u64;
-        if self.in_flight() >= self.window {
+        let window = if self.throttled { 1 } else { self.window };
+        if self.in_flight() >= window {
             // window full: ask the server for a durability barrier, push
             // the staged frames out, and block for one ack
             self.run(|s| {
@@ -468,16 +496,20 @@ impl InsertStream {
         self.stream.set_read_timeout(Some(budget))?;
         let payload = read_frame(&mut self.stream, self.cfg.max_frame)?;
         match Response::decode(&payload).map_err(RpcError::Codec)? {
-            Response::InsertAck { stream_seq, accepted, durable_len } => {
+            Response::InsertAck { stream_seq, accepted, durable_len, throttle } => {
                 if stream_seq <= self.acked_seq || stream_seq >= self.next_seq {
                     return Err(RpcError::Io(io::Error::other("ack out of sequence")));
                 }
                 self.acked_seq = stream_seq;
+                self.throttled = throttle;
                 self.stats.frames_acked = stream_seq;
                 self.stats.ratings_acked = accepted;
                 self.stats.durable_len = durable_len;
                 Ok(())
             }
+            Response::StreamNack { expected_seq } => Err(RpcError::Io(io::Error::other(format!(
+                "stream out of sequence: server expects frame {expected_seq}"
+            )))),
             Response::Error { code } => {
                 Err(RpcError::Io(io::Error::other(format!("server rejected stream: {code:?}"))))
             }
@@ -485,6 +517,463 @@ impl InsertStream {
                 "unexpected stream response: {other:?}"
             )))),
         }
+    }
+}
+
+/// Telemetry of one [`ResumableStream`] session, cumulative across every
+/// reconnect and failover.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResumeStats {
+    /// Distinct frames handed to a transport at least once.
+    pub frames_sent: u64,
+    /// Frames re-sent after a resume (retransmissions, not new frames).
+    pub frames_retransmitted: u64,
+    /// Successful `StreamResume` handshakes (the first connect included).
+    pub resumes: u64,
+    /// Recovery attempts that failed (dead address, refused resume).
+    pub failed_recoveries: u64,
+    /// `Overloaded` refusals absorbed (frame retried after backoff).
+    pub overload_refusals: u64,
+    /// Highest frame number the server has acked durable.
+    pub acked_seq: u64,
+    /// Ratings the server reported accepted **and durable**.
+    pub ratings_acked: u64,
+    /// Wall-clock milliseconds spent in recovery (fault detected →
+    /// streaming again), summed across recoveries.
+    pub recovery_ms: u64,
+}
+
+/// A self-healing windowed insert stream: the client side of the
+/// exactly-once session protocol.
+///
+/// Every frame carries the session id and a 1-based sequence number; sent
+/// frames stay buffered (encoded) until a cumulative durable ack covers
+/// them. On *any* fault — connection loss, a [`Response::StreamNack`]
+/// desync, an [`ErrorCode::Overloaded`] refusal — the stream reconnects
+/// via its address resolver (re-resolved every attempt, so a manager
+/// reborn on a new port or a promoted replica is picked up), performs a
+/// `StreamResume` handshake to learn the server's durable watermark, drops
+/// the buffered frames the watermark covers, and retransmits the rest.
+/// Server-side dedup by `(session, seq)` makes the retransmissions
+/// exactly-once: no acked rating is lost, no frame is applied twice.
+///
+/// Backpressure: an ack carrying `throttle` shrinks the effective window
+/// to one frame (send → ack lockstep) until a non-throttled ack arrives;
+/// an `Overloaded` refusal backs off exponentially before resuming.
+pub struct ResumableStream {
+    session: u64,
+    window: u64,
+    cfg: RpcConfig,
+    /// Milliseconds a single fault may take to heal before the stream
+    /// gives up (covers kill → respawn → WAL replay of a whole manager).
+    recover_deadline_ms: u64,
+    resolver: Box<dyn FnMut() -> Vec<SocketAddr> + Send>,
+    conn: Option<TcpStream>,
+    next_seq: u64,
+    acked_seq: u64,
+    /// Encoded-but-unacked frames, oldest first: `(seq, request payload)`.
+    unacked: VecDeque<(u64, Vec<u8>)>,
+    staged: Vec<u8>,
+    throttled: bool,
+    /// Consecutive `Overloaded` refusals (drives the overload backoff).
+    overloads: u32,
+    jitter: FaultRng,
+    stats: ResumeStats,
+}
+
+impl fmt::Debug for ResumableStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResumableStream")
+            .field("session", &self.session)
+            .field("next_seq", &self.next_seq)
+            .field("acked_seq", &self.acked_seq)
+            .field("unacked", &self.unacked.len())
+            .finish()
+    }
+}
+
+impl ResumableStream {
+    /// Open a resumable stream. `session` must be non-zero and unique per
+    /// logical stream; `resolver` returns the current failover order
+    /// (primary first) and is re-invoked on every recovery attempt.
+    /// No I/O happens here — the first `send` connects and resumes.
+    pub fn open(
+        session: u64,
+        window: usize,
+        cfg: RpcConfig,
+        resolver: impl FnMut() -> Vec<SocketAddr> + Send + 'static,
+    ) -> Self {
+        assert!(session != 0, "session 0 is the anonymous (non-resumable) stream id");
+        ResumableStream {
+            session,
+            window: window.max(1) as u64,
+            cfg,
+            recover_deadline_ms: 30_000,
+            resolver: Box::new(resolver),
+            conn: None,
+            next_seq: 1,
+            acked_seq: 0,
+            unacked: VecDeque::new(),
+            staged: Vec::with_capacity(STAGE_FLUSH_BYTES + 1024),
+            throttled: false,
+            overloads: 0,
+            jitter: FaultRng::for_stream(cfg.jitter_seed, session, JITTER_SALT),
+            stats: ResumeStats::default(),
+        }
+    }
+
+    /// Replace the per-fault recovery deadline (milliseconds).
+    pub fn with_recover_deadline_ms(mut self, ms: u64) -> Self {
+        self.recover_deadline_ms = ms.max(1);
+        self
+    }
+
+    /// Stats so far (acked counters trail until [`ResumableStream::finish`]).
+    pub fn stats(&self) -> ResumeStats {
+        self.stats
+    }
+
+    /// Queue one frame, driving the transport (and healing faults) as
+    /// needed to keep at most `window` frames un-acked.
+    pub fn send(&mut self, ratings: &[Rating]) -> Result<(), RpcError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = Request::encode_insert_stream(self.session, seq, ratings);
+        encode_frame_into(&payload, &mut self.staged);
+        self.unacked.push_back((seq, payload));
+        self.stats.frames_sent += 1;
+        self.drive(false)
+    }
+
+    /// Flush and block until every sent frame is acked durable.
+    pub fn finish(&mut self) -> Result<ResumeStats, RpcError> {
+        self.drive(true)?;
+        Ok(self.stats)
+    }
+
+    /// Drive the transport until the window has room (`drain = false`) or
+    /// everything is acked (`drain = true`), recovering from faults under
+    /// the per-fault deadline.
+    fn drive(&mut self, drain: bool) -> Result<(), RpcError> {
+        loop {
+            match self.step(drain) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    self.conn = None;
+                    self.staged.clear();
+                    let fault_at = Instant::now();
+                    let deadline = fault_at + Duration::from_millis(self.recover_deadline_ms);
+                    if self.overloads > 0 {
+                        // a shedding server is alive — reconnecting would
+                        // succeed instantly, so the relief has to come from
+                        // an explicit pause that doubles per refusal
+                        let base = self.cfg.backoff_base_ms.max(1) << self.overloads.min(10);
+                        std::thread::sleep(Duration::from_millis(base + self.jitter.below(base)));
+                    }
+                    let mut attempt = 0u32;
+                    loop {
+                        if Instant::now() >= deadline {
+                            return Err(e);
+                        }
+                        if self.recover().is_ok() {
+                            self.stats.recovery_ms += fault_at.elapsed().as_millis() as u64;
+                            break;
+                        }
+                        self.stats.failed_recoveries += 1;
+                        // exponential backoff with seeded jitter, capped at
+                        // the deadline
+                        let base = self.cfg.backoff_base_ms.max(1) << attempt.min(10);
+                        let wait = Duration::from_millis(base + self.jitter.below(base))
+                            .min(deadline.saturating_duration_since(Instant::now()));
+                        std::thread::sleep(wait);
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One fault-free transport step. Any `Err` means the connection is
+    /// ambiguous and must be recovered by a resume handshake.
+    fn step(&mut self, drain: bool) -> Result<(), RpcError> {
+        if self.conn.is_none() {
+            // first connect or post-fault reconnect: resume-or-start
+            return Err(RpcError::Io(io::Error::other("not connected")));
+        }
+        let window = if self.throttled { 1 } else { self.window };
+        let over = self.unacked.len() as u64 >= window;
+        if !over && !drain {
+            if self.staged.len() >= STAGE_FLUSH_BYTES {
+                self.flush_staged(false)?;
+            }
+            return Ok(());
+        }
+        self.flush_staged(true)?;
+        while if drain { !self.unacked.is_empty() } else { self.unacked.len() as u64 >= window } {
+            self.read_ack()?;
+        }
+        Ok(())
+    }
+
+    fn flush_staged(&mut self, barrier: bool) -> Result<(), RpcError> {
+        if barrier {
+            encode_frame_into(&Request::StreamFlush.encode(), &mut self.staged);
+        }
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let stream = self.conn.as_mut().expect("flush_staged requires a connection");
+        let budget = Duration::from_millis(self.cfg.attempt_timeout_ms).max(MIN_BUDGET);
+        stream.set_write_timeout(Some(budget))?;
+        stream.write_all(&self.staged)?;
+        self.staged.clear();
+        Ok(())
+    }
+
+    fn read_ack(&mut self) -> Result<(), RpcError> {
+        let stream = self.conn.as_mut().expect("read_ack requires a connection");
+        let budget = Duration::from_millis(self.cfg.attempt_timeout_ms).max(MIN_BUDGET);
+        stream.set_read_timeout(Some(budget))?;
+        let payload = read_frame(stream, self.cfg.max_frame)?;
+        match Response::decode(&payload).map_err(RpcError::Codec)? {
+            Response::InsertAck { stream_seq, accepted, throttle, .. } => {
+                if stream_seq <= self.acked_seq || stream_seq >= self.next_seq {
+                    return Err(RpcError::Io(io::Error::other("ack out of sequence")));
+                }
+                self.apply_watermark(stream_seq, accepted);
+                self.throttled = throttle;
+                self.overloads = 0;
+                Ok(())
+            }
+            // both paths heal through the same resume handshake; the
+            // distinction is only how hard the recovery backs off
+            Response::Error { code: ErrorCode::Overloaded } => {
+                self.stats.overload_refusals += 1;
+                self.overloads = (self.overloads + 1).min(8);
+                Err(RpcError::Io(io::Error::other("server shedding load")))
+            }
+            Response::StreamNack { expected_seq } => Err(RpcError::Io(io::Error::other(format!(
+                "stream desync: server expects frame {expected_seq}"
+            )))),
+            other => Err(RpcError::Io(io::Error::other(format!(
+                "unexpected stream response: {other:?}"
+            )))),
+        }
+    }
+
+    /// Drop buffered frames the server holds durable through `acked_seq`.
+    fn apply_watermark(&mut self, acked_seq: u64, accepted: u64) {
+        while self.unacked.front().is_some_and(|&(seq, _)| seq <= acked_seq) {
+            self.unacked.pop_front();
+        }
+        self.acked_seq = acked_seq;
+        self.stats.acked_seq = acked_seq;
+        self.stats.ratings_acked = accepted;
+    }
+
+    /// One recovery attempt: re-resolve the failover order, connect to the
+    /// first address that answers a `StreamResume`, adopt its durable
+    /// watermark, and restage every frame past it for retransmission.
+    fn recover(&mut self) -> Result<(), RpcError> {
+        let addrs = (self.resolver)();
+        let mut last: RpcError = RpcError::Io(io::Error::other("resolver returned no addresses"));
+        for addr in addrs {
+            match self.try_resume(addr) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn try_resume(&mut self, addr: SocketAddr) -> Result<(), RpcError> {
+        let connect = Duration::from_millis(self.cfg.connect_timeout_ms).max(MIN_BUDGET);
+        let mut stream = TcpStream::connect_timeout(&addr, connect)?;
+        stream.set_nodelay(true).ok();
+        let budget = Duration::from_millis(self.cfg.attempt_timeout_ms).max(MIN_BUDGET);
+        stream.set_write_timeout(Some(budget))?;
+        write_frame(&mut stream, &Request::StreamResume { session: self.session }.encode())?;
+        stream.set_read_timeout(Some(budget))?;
+        let payload = read_frame(&mut stream, self.cfg.max_frame)?;
+        match Response::decode(&payload).map_err(RpcError::Codec)? {
+            Response::StreamState { durable_seq, accepted } => {
+                if durable_seq >= self.next_seq {
+                    return Err(RpcError::Io(io::Error::other(
+                        "server watermark ahead of the client stream",
+                    )));
+                }
+                if durable_seq > self.acked_seq {
+                    self.apply_watermark(durable_seq, accepted);
+                }
+                // retransmit everything past the durable watermark (the
+                // first handshake restages frames never sent — not counted)
+                self.staged.clear();
+                for (_, payload) in &self.unacked {
+                    encode_frame_into(payload, &mut self.staged);
+                }
+                if self.stats.resumes > 0 {
+                    self.stats.frames_retransmitted += self.unacked.len() as u64;
+                }
+                self.throttled = false;
+                self.stats.resumes += 1;
+                self.conn = Some(stream);
+                Ok(())
+            }
+            other => Err(RpcError::Io(io::Error::other(format!(
+                "unexpected resume response: {other:?}"
+            )))),
+        }
+    }
+}
+
+/// Tuning of the heartbeat failure detector.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureDetectorConfig {
+    /// Base pause between probe sweeps (milliseconds).
+    pub probe_interval_ms: u64,
+    /// Seeded jitter added to each pause, in `[0, jitter_ms)` — staggers
+    /// detectors so a fleet never probes in lockstep.
+    pub jitter_ms: u64,
+    /// Consecutive missed probes before a peer is suspected. A peer that
+    /// is merely slow (answers within the probe timeout) or drops fewer
+    /// consecutive probes than this is **not** declared failed.
+    pub suspicion_threshold: u32,
+    /// Per-probe budget (connect + heartbeat round trip), milliseconds.
+    pub probe_timeout_ms: u64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for FailureDetectorConfig {
+    fn default() -> Self {
+        FailureDetectorConfig {
+            probe_interval_ms: 50,
+            jitter_ms: 20,
+            suspicion_threshold: 3,
+            probe_timeout_ms: 150,
+            seed: 0,
+        }
+    }
+}
+
+/// Health of one monitored peer.
+#[derive(Clone, Copy, Debug, Default)]
+struct PeerHealth {
+    /// Consecutive missed probes.
+    misses: u32,
+    /// Latched once misses reach the suspicion threshold; cleared by the
+    /// next successful probe.
+    suspected: bool,
+}
+
+/// Heartbeat-based failure detector: probes peers with the lock-free
+/// [`Request::Heartbeat`] RPC at seeded-jitter intervals and suspects a
+/// peer only after [`FailureDetectorConfig::suspicion_threshold`]
+/// consecutive misses — one dropped packet or a long fsync pause does not
+/// declare a live manager dead, while a killed manager is detected within
+/// roughly `threshold × (probe_timeout + interval)` milliseconds.
+pub struct FailureDetector {
+    cfg: FailureDetectorConfig,
+    client: RpcClient,
+    peers: HashMap<SocketAddr, PeerHealth>,
+    jitter: FaultRng,
+}
+
+impl fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailureDetector").field("peers", &self.peers).finish()
+    }
+}
+
+impl FailureDetector {
+    /// Detector with the given policy.
+    pub fn new(cfg: FailureDetectorConfig) -> Self {
+        let rpc = RpcConfig {
+            connect_timeout_ms: cfg.probe_timeout_ms,
+            attempt_timeout_ms: cfg.probe_timeout_ms,
+            total_deadline_ms: cfg.probe_timeout_ms,
+            max_retries: 0, // a miss is the signal, never papered over
+            backoff_base_ms: 0,
+            jitter_seed: cfg.seed,
+            max_frame: MAX_FRAME_PAYLOAD,
+        };
+        FailureDetector {
+            cfg,
+            client: RpcClient::new(rpc),
+            peers: HashMap::new(),
+            jitter: FaultRng::for_stream(cfg.seed, 0x4662_4421, JITTER_SALT),
+        }
+    }
+
+    /// Probe one peer now. Returns whether it answered; updates the miss
+    /// counter and the suspected latch.
+    pub fn probe(&mut self, addr: SocketAddr) -> bool {
+        let alive =
+            matches!(self.client.call(addr, &Request::Heartbeat), Ok(Response::Beat { .. }));
+        let h = self.peers.entry(addr).or_default();
+        if alive {
+            h.misses = 0;
+            h.suspected = false;
+        } else {
+            self.client.forget(addr);
+            h.misses += 1;
+            if h.misses >= self.cfg.suspicion_threshold.max(1) {
+                h.suspected = true;
+            }
+        }
+        alive
+    }
+
+    /// Probe every address once, in order.
+    pub fn sweep(&mut self, addrs: &[SocketAddr]) {
+        for &a in addrs {
+            self.probe(a);
+        }
+    }
+
+    /// The jittered pause before the next sweep.
+    pub fn next_pause(&mut self) -> Duration {
+        let jitter =
+            if self.cfg.jitter_ms == 0 { 0 } else { self.jitter.below(self.cfg.jitter_ms) };
+        Duration::from_millis(self.cfg.probe_interval_ms + jitter)
+    }
+
+    /// Sweep `addrs` repeatedly (jittered pauses between sweeps) until
+    /// `until` elapses or `addr_suspected` turns true for `watch`, and
+    /// report how long detection took. `None` = never suspected.
+    pub fn watch(
+        &mut self,
+        addrs: &[SocketAddr],
+        watch: SocketAddr,
+        until: Duration,
+    ) -> Option<Duration> {
+        let start = Instant::now();
+        while start.elapsed() < until {
+            self.sweep(addrs);
+            if self.is_suspect(watch) {
+                return Some(start.elapsed());
+            }
+            std::thread::sleep(self.next_pause());
+        }
+        None
+    }
+
+    /// Whether `addr` is currently suspected dead.
+    pub fn is_suspect(&self, addr: SocketAddr) -> bool {
+        self.peers.get(&addr).is_some_and(|h| h.suspected)
+    }
+
+    /// Consecutive misses recorded for `addr`.
+    pub fn misses(&self, addr: SocketAddr) -> u32 {
+        self.peers.get(&addr).map_or(0, |h| h.misses)
+    }
+
+    /// Every currently suspected peer.
+    pub fn suspects(&self) -> Vec<SocketAddr> {
+        let mut out: Vec<SocketAddr> =
+            self.peers.iter().filter(|(_, h)| h.suspected).map(|(&a, _)| a).collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -669,5 +1158,118 @@ mod tests {
         assert!(matches!(resp, Response::Pong { .. }));
         assert!(client.stats().retries >= 1, "the dead owner must cost a retry");
         server.join().expect("server thread");
+    }
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Minimal heartbeat responder: answers every request with `Beat`
+    /// after `delay_ms`, until the stop flag trips.
+    fn spawn_beat_server(
+        delay_ms: u64,
+    ) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let t = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            while !stop2.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((mut s, _)) => {
+                        let stop = Arc::clone(&stop2);
+                        conns.push(std::thread::spawn(move || {
+                            s.set_read_timeout(Some(Duration::from_millis(50))).ok();
+                            while !stop.load(Ordering::Acquire) {
+                                match read_frame(&mut s, MAX_FRAME_PAYLOAD) {
+                                    Ok(p) => {
+                                        if Request::decode(&p).is_err() {
+                                            break;
+                                        }
+                                        std::thread::sleep(Duration::from_millis(delay_ms));
+                                        let beat = Response::Beat {
+                                            manager: collusion_reputation::id::NodeId(9),
+                                            intake_pending: 0,
+                                            shedding: false,
+                                        };
+                                        if write_frame(&mut s, &beat.encode()).is_err() {
+                                            break;
+                                        }
+                                    }
+                                    Err(e) if e.is_timeout() => continue,
+                                    Err(_) => break,
+                                }
+                            }
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for c in conns {
+                c.join().ok();
+            }
+        });
+        (addr, stop, t)
+    }
+
+    fn detector_config() -> FailureDetectorConfig {
+        FailureDetectorConfig {
+            probe_interval_ms: 20,
+            jitter_ms: 10,
+            suspicion_threshold: 3,
+            probe_timeout_ms: 150,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn delayed_heartbeats_below_the_threshold_are_not_suspected() {
+        // a slow-but-alive peer: responses arrive well inside the probe
+        // budget, so it is never suspected no matter how many probes run
+        let (addr, stop, server) = spawn_beat_server(40);
+        let mut det = FailureDetector::new(detector_config());
+        for _ in 0..4 {
+            assert!(det.probe(addr), "a delayed beat inside the budget counts as alive");
+        }
+        assert_eq!(det.misses(addr), 0);
+        assert!(!det.is_suspect(addr));
+
+        // dead peer: misses accumulate but suspicion waits for the
+        // threshold — one or two dropped probes never declare a death
+        stop.store(true, Ordering::Release);
+        server.join().expect("beat server");
+        assert!(!det.probe(addr));
+        assert!(!det.is_suspect(addr), "one miss must not suspect");
+        assert!(!det.probe(addr));
+        assert!(!det.is_suspect(addr), "two misses are still below the threshold");
+        assert!(!det.probe(addr));
+        assert!(det.is_suspect(addr), "the third consecutive miss crosses the threshold");
+        assert_eq!(det.suspects(), vec![addr]);
+    }
+
+    #[test]
+    fn a_killed_peer_is_suspected_within_the_detection_interval() {
+        let (addr, stop, server) = spawn_beat_server(0);
+        let cfg = detector_config();
+        let mut det = FailureDetector::new(cfg);
+        assert!(det.probe(addr), "healthy before the kill");
+        stop.store(true, Ordering::Release);
+        server.join().expect("beat server");
+        let detected = det
+            .watch(&[addr], addr, Duration::from_secs(5))
+            .expect("a killed peer must be suspected");
+        // bound: threshold probes, each at most probe_timeout + the
+        // jittered pause, plus scheduling slack — a refused localhost
+        // connect fails far faster in practice
+        let bound = u128::from(
+            cfg.suspicion_threshold as u64
+                * (cfg.probe_timeout_ms + cfg.probe_interval_ms + cfg.jitter_ms),
+        ) + 500;
+        assert!(detected.as_millis() <= bound, "detection took {detected:?}, bound {bound}ms");
+        assert!(det.is_suspect(addr));
     }
 }

@@ -26,7 +26,10 @@ pub mod proxy;
 pub mod server;
 pub mod wire;
 
-pub use client::{InsertStream, RpcClient, RpcConfig, RpcError, StreamStats};
+pub use client::{
+    FailureDetector, FailureDetectorConfig, InsertStream, ResumableStream, ResumeStats, RpcClient,
+    RpcConfig, RpcError, StreamStats,
+};
 pub use proxy::{FaultProxy, NetFaultPlan, Partition};
-pub use server::{ManagerConfig, ManagerNode};
+pub use server::{Backpressure, ManagerConfig, ManagerNode};
 pub use wire::{Request, Response};

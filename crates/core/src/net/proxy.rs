@@ -113,6 +113,10 @@ enum Dir {
 
 struct ProxyShared {
     plan: NetFaultPlan,
+    /// Live partition state — starts as `plan.partition`, flipped at
+    /// runtime by [`FaultProxy::set_partition`] (the nemesis harness heals
+    /// and re-severs links mid-stream).
+    partition: Mutex<Partition>,
     rng: Mutex<FaultRng>,
     stats: Mutex<NetStats>,
     stop: AtomicBool,
@@ -122,7 +126,8 @@ impl ProxyShared {
     /// Decide a forwarded frame's fate: `None` = drop, `Some(delay)` =
     /// forward after `delay`.
     fn judge(&self, dir: Dir) -> Option<Duration> {
-        match (self.plan.partition, dir) {
+        let partition = *self.partition.lock().expect("proxy partition lock");
+        match (partition, dir) {
             (Partition::ToServer, Dir::ToServer) | (Partition::ToClient, Dir::ToClient) => {
                 let mut stats = self.stats.lock().expect("proxy stats lock");
                 stats.sent += 1;
@@ -178,6 +183,7 @@ impl FaultProxy {
         listener.set_nonblocking(true)?;
         let shared = Arc::new(ProxyShared {
             plan,
+            partition: Mutex::new(plan.partition),
             rng: Mutex::new(FaultRng::for_stream(plan.seed, stream, PROXY_SALT)),
             stats: Mutex::new(NetStats::default()),
             stop: AtomicBool::new(false),
@@ -210,6 +216,13 @@ impl FaultProxy {
     /// Fault counters accumulated across all proxied connections.
     pub fn stats(&self) -> NetStats {
         *self.shared.stats.lock().expect("proxy stats lock")
+    }
+
+    /// Flip the live partition state. Takes effect on the next frame every
+    /// pump thread judges — existing connections stay up, so healing a
+    /// partition does not force a reconnect.
+    pub fn set_partition(&self, p: Partition) {
+        *self.shared.partition.lock().expect("proxy partition lock") = p;
     }
 
     /// Stop accepting and wind down. Existing pump threads exit as their
@@ -414,6 +427,30 @@ mod tests {
         // requests traversed (sent, not dropped); responses were severed
         assert!(pstats.sent > pstats.dropped, "requests must flow toward the server");
         assert!(pstats.dropped > 0, "responses must be severed");
+        proxy.shutdown();
+        stop.store(true, Ordering::Release);
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn partition_flips_at_runtime_without_reconnecting() {
+        let (upstream, server, stop) = spawn_pong_server();
+        let mut proxy = FaultProxy::spawn(upstream, NetFaultPlan::none(), 0).expect("proxy");
+        let cfg = RpcConfig {
+            connect_timeout_ms: 100,
+            attempt_timeout_ms: 60,
+            total_deadline_ms: 200,
+            max_retries: 0,
+            backoff_base_ms: 2,
+            jitter_seed: 6,
+            max_frame: MAX_FRAME_PAYLOAD,
+        };
+        let mut client = RpcClient::new(cfg);
+        assert!(client.call(proxy.addr(), &Request::Ping).is_ok(), "healthy before the cut");
+        proxy.set_partition(Partition::ToClient);
+        assert!(client.call(proxy.addr(), &Request::Ping).is_err(), "severed responses");
+        proxy.set_partition(Partition::None);
+        assert!(client.call(proxy.addr(), &Request::Ping).is_ok(), "healed without respawn");
         proxy.shutdown();
         stop.store(true, Ordering::Release);
         server.join().expect("server");

@@ -75,6 +75,27 @@ const PUBLISH_EVERY: u64 = 1024;
 /// Idle poll interval of the accept loop and connection read loops.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Intake-depth watermarks bounding the server-side stream queue (the
+/// ratings folded into [`ShardedIntake`] but not yet absorbed into the
+/// detection history). Past `high_watermark`, stream acks carry a
+/// `throttle` hint that stalls the sender's window; past `hard_limit`,
+/// frames are refused with the retryable [`ErrorCode::Overloaded`] without
+/// advancing the stream sequence. Defaults are generous enough that only a
+/// genuinely stalled control plane (or a nemesis) ever crosses them.
+#[derive(Clone, Copy, Debug)]
+pub struct Backpressure {
+    /// Intake depth (ratings) past which acks ask the sender to stall.
+    pub high_watermark: u64,
+    /// Intake depth (ratings) past which frames are refused outright.
+    pub hard_limit: u64,
+}
+
+impl Default for Backpressure {
+    fn default() -> Self {
+        Backpressure { high_watermark: 256 * 1024, hard_limit: 1024 * 1024 }
+    }
+}
+
 /// Static configuration of one manager process.
 #[derive(Clone, Debug)]
 pub struct ManagerConfig {
@@ -102,6 +123,8 @@ pub struct ManagerConfig {
     pub durability: DurabilityConfig,
     /// Outbound RPC policy for cross-manager confirmations.
     pub rpc: RpcConfig,
+    /// Stream intake watermarks (throttle hint / load shedding).
+    pub backpressure: Backpressure,
 }
 
 impl ManagerConfig {
@@ -214,10 +237,39 @@ struct DataPlane {
     /// Pending detection-history counter deltas from stream frames, lock-
     /// striped by ratee. Drained into `State::history` by `absorb_intake`.
     intake: ShardedIntake,
+    /// Resumable-stream session table: session id → applied watermark.
+    /// Rebuilt from WAL `StreamSession` markers on rejoin; a `StreamResume`
+    /// barrier syncs the WAL first, which makes applied = durable at the
+    /// moment the table is read. Held across a session frame's whole
+    /// application so check-seq-then-apply is atomic per session (lock
+    /// order: sessions → state → durable, never the reverse).
+    sessions: Mutex<FxHashMap<u64, SessionEntry>>,
     /// Stream frames accepted since spawn (observability).
     stream_frames: AtomicU64,
     /// Owned ratings accepted over streams since spawn (observability).
     stream_ratings: AtomicU64,
+    /// Frames accepted past the intake high-watermark (ack carried
+    /// `throttle`).
+    throttled_frames: AtomicU64,
+    /// Frames refused past the intake hard limit (`Overloaded`).
+    refused_frames: AtomicU64,
+    /// `StreamResume` requests answered.
+    sessions_resumed: AtomicU64,
+}
+
+/// Applied watermark of one resumable stream session.
+#[derive(Clone, Copy, Debug)]
+struct SessionEntry {
+    /// Next frame number the server will accept (frames start at 1).
+    next_seq: u64,
+    /// Cumulative ratings accepted through `next_seq - 1`.
+    accepted: u64,
+}
+
+impl Default for SessionEntry {
+    fn default() -> Self {
+        SessionEntry { next_seq: 1, accepted: 0 }
+    }
 }
 
 struct Shared {
@@ -263,6 +315,7 @@ impl ManagerNode {
         backed_up.sort_unstable();
 
         let rejoining = cfg.dir.join(WAL_FILE).exists();
+        let mut sessions: FxHashMap<u64, SessionEntry> = FxHashMap::default();
         let (durable, history, recorded) = if rejoining {
             let (durable, _report) =
                 DurableEngine::recover(&cfg.dir, &responsible, cfg.setup(), cfg.durability)
@@ -274,9 +327,19 @@ impl ManagerNode {
             let mut history = InteractionHistory::new();
             let mut recorded = 0u64;
             for (_, record) in replay.records {
-                if let WalRecord::Rating(rating) = record {
-                    history.record(rating);
-                    recorded += 1;
+                match record {
+                    WalRecord::Rating(rating) => {
+                        history.record(rating);
+                        recorded += 1;
+                    }
+                    // the durable prefix ends mid-session exactly at the
+                    // last marker that hit disk; frames past it were never
+                    // acked and the resuming client retransmits them
+                    WalRecord::StreamSession { session, frame_seq, accepted } => {
+                        sessions
+                            .insert(session, SessionEntry { next_seq: frame_seq + 1, accepted });
+                    }
+                    WalRecord::EpochClose { .. } => {}
                 }
             }
             (durable, history, recorded)
@@ -307,8 +370,12 @@ impl ManagerNode {
         let data = DataPlane {
             durable: Mutex::new(durable),
             intake: ShardedIntake::new(cfg.shards.max(1)),
+            sessions: Mutex::new(sessions),
             stream_frames: AtomicU64::new(0),
             stream_ratings: AtomicU64::new(0),
+            throttled_frames: AtomicU64::new(0),
+            refused_frames: AtomicU64::new(0),
+            sessions_resumed: AtomicU64::new(0),
         };
         let shared = Arc::new(Shared {
             cfg,
@@ -457,10 +524,16 @@ fn absorb_intake(shared: &Shared, st: &mut State) {
 /// `InsertStream` session (a plain-RPC connection simply never touches it).
 #[derive(Default)]
 struct StreamConn {
-    /// Next expected frame number (frames are numbered from 1).
+    /// Resumable session this connection is bound to (0 = anonymous).
+    session: u64,
+    /// Next expected frame number (frames are numbered from 1). For a
+    /// bound session the session table is authoritative; this mirrors it.
     next_seq: u64,
     /// Ratings accepted on this stream so far (cumulative, for acks).
     accepted: u64,
+    /// Whether the intake was past the high-watermark at the last accepted
+    /// frame; attached to outgoing acks as the `throttle` hint.
+    throttle: bool,
     /// Frames recorded but not yet acked: `(frame seq, WAL byte target,
     /// cumulative accepted at that frame)`. An ack for a frame may only be
     /// sent once the WAL's durable watermark covers its byte target.
@@ -508,8 +581,11 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) {
             Err(_) => return, // corrupt/oversized/stalled frame: drop the connection
         };
         let response = match Request::decode(&payload) {
-            Ok(Request::InsertStream { stream_seq, ratings }) => {
-                handle_stream_frame(&shared, &mut sc, stream_seq, ratings)
+            Ok(Request::InsertStream { session, stream_seq, ratings }) => {
+                handle_stream_frame(&shared, &mut sc, session, stream_seq, ratings)
+            }
+            Ok(Request::StreamResume { session }) => {
+                Some(handle_stream_resume(&shared, &mut sc, session))
             }
             Ok(Request::StreamFlush) => {
                 // explicit barrier: the client is about to block on acks,
@@ -539,13 +615,57 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) {
 fn handle_stream_frame(
     shared: &Shared,
     sc: &mut StreamConn,
+    session: u64,
     stream_seq: u64,
     ratings: Vec<Rating>,
 ) -> Option<Response> {
-    if stream_seq != sc.next_seq {
-        return Some(Response::Error { code: ErrorCode::Malformed });
+    if session != 0 {
+        // Resumable session: the table entry is authoritative for the
+        // expected sequence, and it stays locked across the whole frame
+        // application so check-then-apply is atomic per session — a stale
+        // predecessor connection finishing its last frame and a resumed
+        // successor retransmitting the same frame cannot both pass the
+        // check (lock order: sessions → state → durable).
+        let mut sessions = shared.data.sessions.lock().expect("session table lock");
+        let entry = sessions.entry(session).or_default();
+        sc.session = session;
+        if stream_seq != entry.next_seq {
+            // behind = duplicate of an applied frame (dedup: skipped, never
+            // re-applied); ahead = transport loss or a protocol bug —
+            // either way the client learns exactly where to resume
+            return Some(Response::StreamNack { expected_seq: entry.next_seq });
+        }
+        apply_stream_frame(shared, sc, session, stream_seq, ratings, Some(entry))
+    } else {
+        if stream_seq != sc.next_seq {
+            return Some(Response::StreamNack { expected_seq: sc.next_seq });
+        }
+        apply_stream_frame(shared, sc, 0, stream_seq, ratings, None)
     }
-    sc.next_seq += 1;
+}
+
+/// Apply one in-sequence stream frame: shed load if the intake is past its
+/// hard limit, WAL-append the owned ratings (with the session watermark
+/// marker for resumable sessions), fold counters into the sharded intake,
+/// and return a cumulative ack if the durable watermark already covers
+/// pending frames.
+fn apply_stream_frame(
+    shared: &Shared,
+    sc: &mut StreamConn,
+    session: u64,
+    stream_seq: u64,
+    ratings: Vec<Rating>,
+    entry: Option<&mut SessionEntry>,
+) -> Option<Response> {
+    // load shedding first: a refused frame is not applied and does not
+    // advance the stream sequence, so the client retries it verbatim
+    let bp = shared.cfg.backpressure;
+    let intake_depth = shared.data.intake.ratings();
+    if intake_depth >= bp.hard_limit {
+        shared.data.refused_frames.fetch_add(1, Ordering::Relaxed);
+        return Some(Response::Error { code: ErrorCode::Overloaded });
+    }
+    sc.throttle = intake_depth >= bp.high_watermark;
     let mut owned: Vec<Rating> = Vec::with_capacity(ratings.len());
     let mut misrouted: Vec<Rating> = Vec::new();
     for r in ratings {
@@ -564,9 +684,30 @@ fn handle_stream_frame(
         sc.local.entry((r.ratee, r.rater)).or_default().accumulate(r.value);
         frame_ratings += 1;
     }
+    // misrouted ratings go to the replica store before the WAL append so
+    // the session marker's cumulative count is final when it hits the log
+    let mut frame_accepted = owned.len() as u64;
+    if !misrouted.is_empty() {
+        let mut st = shared.state.lock().expect("manager state lock");
+        for r in misrouted {
+            if st.replica.record(r) {
+                st.replicated += 1;
+                frame_accepted += 1;
+            }
+        }
+    }
+    let cum_accepted = match &entry {
+        Some(e) => e.accepted + frame_accepted,
+        None => sc.accepted + frame_accepted,
+    };
     let (wal_target, durable_now) = {
         let mut eng = shared.data.durable.lock().expect("durable engine lock");
-        let Ok(target) = eng.record_batch(&owned) else {
+        let appended = if session != 0 {
+            eng.record_stream_frame(&owned, session, stream_seq, cum_accepted)
+        } else {
+            eng.record_batch(&owned)
+        };
+        let Ok(target) = appended else {
             return Some(Response::Error { code: ErrorCode::Internal });
         };
         // No committer nudge here: a per-frame commit request keeps the
@@ -575,29 +716,57 @@ fn handle_stream_frame(
         // double. [`flush_acks`] requests one targeted commit at burst end.
         (target, eng.durable_len())
     };
-    sc.accepted += owned.len() as u64;
+    sc.accepted = cum_accepted;
+    sc.next_seq = stream_seq + 1;
+    if let Some(e) = entry {
+        e.next_seq = stream_seq + 1;
+        e.accepted = cum_accepted;
+    }
     sc.cells.extend(sc.local.drain().map(|((ratee, rater), c)| (ratee, rater, c)));
     shared.data.intake.merge_cells(&mut sc.cells, frame_ratings);
     shared.data.stream_frames.fetch_add(1, Ordering::Relaxed);
     shared.data.stream_ratings.fetch_add(owned.len() as u64, Ordering::Relaxed);
-    if !misrouted.is_empty() {
-        let mut st = shared.state.lock().expect("manager state lock");
-        for r in misrouted {
-            if st.replica.record(r) {
-                st.replicated += 1;
-                sc.accepted += 1;
-            }
+    if sc.throttle {
+        shared.data.throttled_frames.fetch_add(1, Ordering::Relaxed);
+    }
+    sc.pending.push_back((stream_seq, wal_target, cum_accepted));
+    // keep the read view fresh under sustained streaming — but never park
+    // a data-plane thread behind a long control operation: when the state
+    // lock is busy the absorb is skipped and the intake simply grows,
+    // which is exactly what the watermarks above bound
+    if shared.data.intake.ratings() >= PUBLISH_EVERY {
+        if let Ok(mut st) = shared.state.try_lock() {
+            absorb_intake(shared, &mut st);
+            publish_view(shared, &mut st);
         }
     }
-    sc.pending.push_back((stream_seq, wal_target, sc.accepted));
-    // keep the read view fresh under sustained streaming, same cadence as
-    // the plain insert path (state lock once per PUBLISH_EVERY ratings)
-    if shared.data.intake.ratings() >= PUBLISH_EVERY {
-        let mut st = shared.state.lock().expect("manager state lock");
-        absorb_intake(shared, &mut st);
-        publish_view(shared, &mut st);
-    }
     ack_ready(sc, durable_now)
+}
+
+/// `StreamResume`: bind the connection to `session` and answer its durable
+/// watermark. The WAL sync barrier makes applied = durable before the
+/// table is read, so the answer is exact — every frame at or below
+/// `durable_seq` survives a crash, everything above it must be
+/// retransmitted by the client.
+fn handle_stream_resume(shared: &Shared, sc: &mut StreamConn, session: u64) -> Response {
+    if session == 0 {
+        return Response::Error { code: ErrorCode::Malformed };
+    }
+    let sessions = shared.data.sessions.lock().expect("session table lock");
+    {
+        let mut eng = shared.data.durable.lock().expect("durable engine lock");
+        if eng.sync().is_err() {
+            return Response::Error { code: ErrorCode::Internal };
+        }
+    }
+    let entry = sessions.get(&session).copied().unwrap_or_default();
+    sc.session = session;
+    sc.next_seq = entry.next_seq;
+    sc.accepted = entry.accepted;
+    sc.pending.clear();
+    sc.throttle = false;
+    shared.data.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+    Response::StreamState { durable_seq: entry.next_seq - 1, accepted: entry.accepted }
 }
 
 /// The highest pending frame whose WAL byte target the durable watermark
@@ -616,6 +785,7 @@ fn ack_ready(sc: &mut StreamConn, durable: u64) -> Option<Response> {
         stream_seq,
         accepted,
         durable_len: durable,
+        throttle: sc.throttle,
     })
 }
 
@@ -680,10 +850,20 @@ fn handle(shared: &Shared, req: Request) -> Response {
                 None => Response::Reputation { known: false, signed: 0, view_version: view.epoch },
             }
         }
-        Request::InsertStream { .. } | Request::StreamFlush => {
+        Request::InsertStream { .. } | Request::StreamFlush | Request::StreamResume { .. } => {
             // stream frames are handled inside `serve_conn` (they need the
             // per-connection ack queue); reaching here is a protocol error
             Response::Error { code: ErrorCode::Malformed }
+        }
+        Request::Heartbeat => {
+            // answered without touching the state or durable locks so a
+            // busy control plane cannot make a live manager look dead
+            let intake_pending = shared.data.intake.ratings();
+            Response::Beat {
+                manager: shared.cfg.id,
+                intake_pending,
+                shedding: intake_pending >= shared.cfg.backpressure.hard_limit,
+            }
         }
         Request::CloseEpoch => {
             let mut st = shared.state.lock().expect("manager state lock");
@@ -757,6 +937,9 @@ fn handle(shared: &Shared, req: Request) -> Response {
                 intake_pending: shared.data.intake.ratings(),
                 stream_frames: shared.data.stream_frames.load(Ordering::Relaxed),
                 stream_ratings: shared.data.stream_ratings.load(Ordering::Relaxed),
+                throttled_frames: shared.data.throttled_frames.load(Ordering::Relaxed),
+                refused_frames: shared.data.refused_frames.load(Ordering::Relaxed),
+                sessions_resumed: shared.data.sessions_resumed.load(Ordering::Relaxed),
             })
         }
     }
@@ -1037,6 +1220,7 @@ mod tests {
             shards: 4,
             durability: DurabilityConfig::default(),
             rpc: RpcConfig::lan(),
+            backpressure: Backpressure::default(),
         }
     }
 
@@ -1299,6 +1483,149 @@ mod tests {
         let _ = total_unconfirmed;
 
         drop(nodes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// One request/response exchange on a raw stream connection.
+    fn call_raw(stream: &mut TcpStream, req: &Request) -> Response {
+        write_frame(stream, &req.encode()).expect("write request frame");
+        let payload = read_frame(stream, MAX_FRAME_PAYLOAD).expect("read response frame");
+        Response::decode(&payload).expect("decode response")
+    }
+
+    #[test]
+    fn resumable_sessions_nack_gaps_and_dedup_duplicates() {
+        let dir = scratch_dir("net-stream-dedup");
+        let managers = manager_ids(1);
+        let mut nodes = spawn_cluster(&dir, &managers);
+        let addr = nodes[0].addr();
+        let session = 0x5E55u64;
+        let f1 = vec![
+            Rating::positive(NodeId(1), NodeId(2), SimTime(1)),
+            Rating::positive(NodeId(2), NodeId(1), SimTime(2)),
+        ];
+        let f2 = vec![
+            Rating::positive(NodeId(20), NodeId(21), SimTime(3)),
+            Rating::positive(NodeId(21), NodeId(20), SimTime(4)),
+        ];
+
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        // a frame ahead of the expected sequence is refused with the exact
+        // resume point, not applied out of order
+        write_frame(&mut conn, &Request::encode_insert_stream(session, 2, &f2)).expect("send");
+        let resp = Response::decode(&read_frame(&mut conn, MAX_FRAME_PAYLOAD).expect("nack"))
+            .expect("decode");
+        assert_eq!(resp, Response::StreamNack { expected_seq: 1 });
+
+        write_frame(&mut conn, &Request::encode_insert_stream(session, 1, &f1)).expect("send");
+        let ack = call_raw(&mut conn, &Request::StreamFlush);
+        assert!(
+            matches!(ack, Response::InsertAck { stream_seq: 1, accepted: 2, .. }),
+            "in-sequence frame must ack durably, got {ack:?}"
+        );
+
+        // a duplicate of an applied frame is skipped, never re-applied
+        write_frame(&mut conn, &Request::encode_insert_stream(session, 1, &f1)).expect("send");
+        let resp = Response::decode(&read_frame(&mut conn, MAX_FRAME_PAYLOAD).expect("nack"))
+            .expect("decode");
+        assert_eq!(resp, Response::StreamNack { expected_seq: 2 });
+        drop(conn);
+
+        // a fresh connection resumes the session at the durable watermark
+        let mut conn = TcpStream::connect(addr).expect("reconnect");
+        let state = call_raw(&mut conn, &Request::StreamResume { session });
+        assert_eq!(state, Response::StreamState { durable_seq: 1, accepted: 2 });
+        write_frame(&mut conn, &Request::encode_insert_stream(session, 2, &f2)).expect("send");
+        let ack = call_raw(&mut conn, &Request::StreamFlush);
+        assert!(
+            matches!(ack, Response::InsertAck { stream_seq: 2, accepted: 4, .. }),
+            "resumed frame must ack cumulatively, got {ack:?}"
+        );
+
+        let status = call_raw(&mut conn, &Request::Status);
+        let Response::Status(info) = status else { panic!("Status must answer Status") };
+        assert_eq!(info.stream_ratings, 4, "the duplicate frame must not be re-applied");
+        assert_eq!(info.sessions_resumed, 1);
+        drop(conn);
+
+        // durability-level dedup: the WAL holds each rating exactly once
+        nodes.remove(0).kill().expect("clean kill");
+        let wal_path = dir.join(format!("m{}", managers[0].raw())).join(WAL_FILE);
+        let replay =
+            replay_bytes(&std::fs::read(&wal_path).expect("wal readable")).expect("replay");
+        let on_disk =
+            replay.records.iter().filter(|(_, r)| matches!(r, WalRecord::Rating(_))).count();
+        assert_eq!(on_disk, 4, "WAL must hold each rating exactly once");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backpressure_throttles_past_the_watermark_and_sheds_past_the_hard_limit() {
+        let dir = scratch_dir("net-backpressure");
+        let managers = manager_ids(1);
+        let mut cfg = config(managers[0], &dir, &managers);
+        cfg.backpressure = Backpressure { high_watermark: 1, hard_limit: 5 };
+        let node = ManagerNode::spawn(cfg).expect("spawn manager");
+        node.set_peers(&[(node.id(), node.addr())]);
+
+        let frame = |i: u64| {
+            vec![
+                Rating::positive(NodeId(40), NodeId(41), SimTime(2 * i)),
+                Rating::positive(NodeId(41), NodeId(40), SimTime(2 * i + 1)),
+            ]
+        };
+        let mut conn = TcpStream::connect(node.addr()).expect("connect");
+
+        // below the watermark: applied, no throttle hint
+        write_frame(&mut conn, &Request::encode_insert_stream(0, 1, &frame(1))).expect("send");
+        let ack = call_raw(&mut conn, &Request::StreamFlush);
+        assert!(
+            matches!(ack, Response::InsertAck { stream_seq: 1, throttle: false, .. }),
+            "an idle intake must not throttle, got {ack:?}"
+        );
+
+        // past the watermark: still applied, but the ack stalls the window
+        for seq in 2..=3u64 {
+            write_frame(&mut conn, &Request::encode_insert_stream(0, seq, &frame(seq)))
+                .expect("send");
+            let ack = call_raw(&mut conn, &Request::StreamFlush);
+            assert!(
+                matches!(ack, Response::InsertAck { stream_seq, throttle: true, .. } if stream_seq == seq),
+                "past the high-watermark acks must carry throttle, got {ack:?}"
+            );
+        }
+
+        // past the hard limit: refused outright, sequence not advanced
+        write_frame(&mut conn, &Request::encode_insert_stream(0, 4, &frame(4))).expect("send");
+        let resp = Response::decode(&read_frame(&mut conn, MAX_FRAME_PAYLOAD).expect("refusal"))
+            .expect("decode");
+        assert_eq!(resp, Response::Error { code: ErrorCode::Overloaded });
+        let beat = call_raw(&mut conn, &Request::Heartbeat);
+        assert!(
+            matches!(beat, Response::Beat { shedding: true, intake_pending: 6, .. }),
+            "a shedding manager must say so in its heartbeat, got {beat:?}"
+        );
+
+        // draining the intake (CloseEpoch absorbs it) lets the *same* frame
+        // through verbatim — refusal is retryable, not a protocol desync
+        let closed = call_raw(&mut conn, &Request::CloseEpoch);
+        assert!(matches!(closed, Response::Ack { .. }));
+        write_frame(&mut conn, &Request::encode_insert_stream(0, 4, &frame(4))).expect("resend");
+        let ack = call_raw(&mut conn, &Request::StreamFlush);
+        assert!(
+            matches!(ack, Response::InsertAck { stream_seq: 4, throttle: false, .. }),
+            "a refused frame must be retryable at the same sequence, got {ack:?}"
+        );
+
+        let status = call_raw(&mut conn, &Request::Status);
+        let Response::Status(info) = status else { panic!("Status must answer Status") };
+        assert_eq!(info.stream_frames, 4);
+        assert_eq!(info.stream_ratings, 8);
+        assert_eq!(info.throttled_frames, 2, "frames 2 and 3 crossed the watermark");
+        assert_eq!(info.refused_frames, 1, "frame 4's first attempt was shed");
+        drop(conn);
+
+        node.kill().expect("clean kill");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

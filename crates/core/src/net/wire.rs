@@ -20,9 +20,11 @@ use collusion_reputation::id::{NodeId, SimTime};
 use collusion_reputation::rating::{Rating, RatingValue};
 
 /// Wire protocol version; bumped on any incompatible layout change.
-/// Version 2: streaming inserts (`InsertStream`/`InsertAck`) and the
-/// extended [`StatusInfo`] backpressure fields.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Version 3: resumable stream sessions (`session` on `InsertStream`,
+/// `StreamResume`/`StreamState`), explicit `StreamNack`, heartbeat probes
+/// (`Heartbeat`/`Beat`), backpressure (`throttle` on `InsertAck`,
+/// `ErrorCode::Overloaded`), and the [`StatusInfo`] overload counters.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// A manager's advertised address (the cluster runs over IPv4 loopback; the
 /// codec carries the four octets and the port explicitly rather than a
@@ -70,6 +72,10 @@ pub enum ErrorCode {
     Unavailable,
     /// An internal invariant failed; the connection stays usable.
     Internal,
+    /// The manager's intake is past its hard limit; the frame was *not*
+    /// applied and the stream sequence was not advanced. Retryable: back
+    /// off and retransmit the same frame.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -81,6 +87,7 @@ impl ErrorCode {
             ErrorCode::BadRound => 3,
             ErrorCode::Unavailable => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::Overloaded => 6,
         }
     }
 
@@ -92,6 +99,7 @@ impl ErrorCode {
             3 => ErrorCode::BadRound,
             4 => ErrorCode::Unavailable,
             5 => ErrorCode::Internal,
+            6 => ErrorCode::Overloaded,
             other => return Err(CodecError::InvalidTag(other)),
         })
     }
@@ -185,6 +193,14 @@ pub struct StatusInfo {
     pub stream_frames: u64,
     /// Ratings accepted via stream frames so far.
     pub stream_ratings: u64,
+    /// Stream frames accepted past the intake high-watermark: applied, but
+    /// the ack carried a `throttle` hint stalling the sender's window.
+    pub throttled_frames: u64,
+    /// Stream frames refused outright past the intake hard limit
+    /// ([`ErrorCode::Overloaded`]; the sender retries the same frame).
+    pub refused_frames: u64,
+    /// `StreamResume` requests answered from the durable session table.
+    pub sessions_resumed: u64,
 }
 
 /// Client → server RPCs. `Insert` is the paper's `Insert(j, msg)` primitive
@@ -238,10 +254,15 @@ pub enum Request {
     /// One frame of a windowed insert stream: the client keeps several of
     /// these in flight and the server acknowledges cumulatively with
     /// [`Response::InsertAck`] once the covering WAL bytes are durable.
-    /// `stream_seq` numbers the frames of one connection's stream,
-    /// starting at 1.
+    /// `stream_seq` numbers the frames of one *session*, starting at 1; a
+    /// non-zero client-chosen `session` id makes the stream resumable
+    /// across connections (the server persists the per-session durable
+    /// watermark in its WAL), while `session == 0` keeps the old
+    /// per-connection semantics.
     InsertStream {
-        /// 1-based frame number within this connection's stream.
+        /// Client-chosen 64-bit session id (0 = anonymous, not resumable).
+        session: u64,
+        /// 1-based frame number within this session's stream.
         stream_seq: u64,
         /// The frame's rating batch.
         ratings: Vec<Rating>,
@@ -253,6 +274,18 @@ pub enum Request {
     /// close — never mid-burst, so the server fsyncs exactly when an ack
     /// is needed instead of on every gap in socket traffic.
     StreamFlush,
+    /// Reopen a resumable stream session after a reconnect (to the primary
+    /// or a failover incarnation). The server syncs its WAL, then answers
+    /// [`Response::StreamState`] with the durable watermark so the client
+    /// retransmits only unacked frames.
+    StreamResume {
+        /// The session id chosen at stream open.
+        session: u64,
+    },
+    /// Lightweight liveness/health probe answered lock-free with
+    /// [`Response::Beat`]; used by the failure detector between data
+    /// frames.
+    Heartbeat,
 }
 
 /// Server → client replies.
@@ -319,6 +352,39 @@ pub enum Response {
         accepted: u64,
         /// The WAL durable watermark (bytes) backing this ack.
         durable_len: u64,
+        /// Backpressure hint: the server's intake is past its
+        /// high-watermark; the client should stall its send window until
+        /// a non-throttled ack arrives.
+        throttle: bool,
+    },
+    /// The stream frame was *not* applied: its `stream_seq` does not match
+    /// the sequence the server expects next for the session. A seq behind
+    /// the expectation is a duplicate (already durable — safe to skip); a
+    /// seq ahead of it is a protocol bug or transport loss the client must
+    /// handle by resuming from `expected_seq`.
+    StreamNack {
+        /// The frame number the server will accept next.
+        expected_seq: u64,
+    },
+    /// Reply to [`Request::Heartbeat`]: liveness plus a coarse health
+    /// sample for the failure detector.
+    Beat {
+        /// Responding manager.
+        manager: NodeId,
+        /// Current intake queue depth (ratings folded but not absorbed).
+        intake_pending: u64,
+        /// Whether the manager is currently refusing frames (past its
+        /// hard intake limit).
+        shedding: bool,
+    },
+    /// Reply to [`Request::StreamResume`]: the durable watermark of the
+    /// session, taken after a WAL sync barrier so it is exact.
+    StreamState {
+        /// Highest frame number durably applied for the session (0 = the
+        /// session is unknown; start from frame 1).
+        durable_seq: u64,
+        /// Cumulative ratings accepted through `durable_seq`.
+        accepted: u64,
     },
 }
 
@@ -544,13 +610,33 @@ impl Request {
                 }
             }
             Request::Status => header(&mut w, 11),
-            Request::InsertStream { stream_seq, ratings } => {
+            Request::InsertStream { session, stream_seq, ratings } => {
                 header(&mut w, 12);
+                w.put_u64(*session);
                 w.put_u64(*stream_seq);
                 put_ratings(&mut w, ratings);
             }
             Request::StreamFlush => header(&mut w, 13),
+            Request::StreamResume { session } => {
+                header(&mut w, 14);
+                w.put_u64(*session);
+            }
+            Request::Heartbeat => header(&mut w, 15),
         }
+        w.into_bytes()
+    }
+
+    /// Encode an `InsertStream` frame payload straight from a rating slice,
+    /// without materialising the owned `Request` variant (the hot stream
+    /// path would otherwise clone every batch into a `Vec` just to encode
+    /// and drop it). Byte-identical to
+    /// `Request::InsertStream { session, stream_seq, ratings: ratings.to_vec() }.encode()`.
+    pub fn encode_insert_stream(session: u64, stream_seq: u64, ratings: &[Rating]) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        header(&mut w, 12);
+        w.put_u64(session);
+        w.put_u64(stream_seq);
+        put_ratings(&mut w, ratings);
         w.into_bytes()
     }
 
@@ -590,8 +676,14 @@ impl Request {
                 Request::SetPeers(peers)
             }
             11 => Request::Status,
-            12 => Request::InsertStream { stream_seq: r.get_u64()?, ratings: get_ratings(&mut r)? },
+            12 => Request::InsertStream {
+                session: r.get_u64()?,
+                stream_seq: r.get_u64()?,
+                ratings: get_ratings(&mut r)?,
+            },
             13 => Request::StreamFlush,
+            14 => Request::StreamResume { session: r.get_u64()? },
+            15 => Request::Heartbeat,
             other => return Err(CodecError::InvalidTag(other)),
         };
         if !r.is_exhausted() {
@@ -660,16 +752,35 @@ impl Response {
                 w.put_u64(s.intake_pending);
                 w.put_u64(s.stream_frames);
                 w.put_u64(s.stream_ratings);
+                w.put_u64(s.throttled_frames);
+                w.put_u64(s.refused_frames);
+                w.put_u64(s.sessions_resumed);
             }
             Response::Error { code } => {
                 header(&mut w, 8);
                 w.put_u8(code.tag());
             }
-            Response::InsertAck { stream_seq, accepted, durable_len } => {
+            Response::InsertAck { stream_seq, accepted, durable_len, throttle } => {
                 header(&mut w, 9);
                 w.put_u64(*stream_seq);
                 w.put_u64(*accepted);
                 w.put_u64(*durable_len);
+                w.put_u8(u8::from(*throttle));
+            }
+            Response::StreamNack { expected_seq } => {
+                header(&mut w, 10);
+                w.put_u64(*expected_seq);
+            }
+            Response::Beat { manager, intake_pending, shedding } => {
+                header(&mut w, 11);
+                w.put_u64(manager.0);
+                w.put_u64(*intake_pending);
+                w.put_u8(u8::from(*shedding));
+            }
+            Response::StreamState { durable_seq, accepted } => {
+                header(&mut w, 12);
+                w.put_u64(*durable_seq);
+                w.put_u64(*accepted);
             }
         }
         w.into_bytes()
@@ -727,13 +838,32 @@ impl Response {
                 intake_pending: r.get_u64()?,
                 stream_frames: r.get_u64()?,
                 stream_ratings: r.get_u64()?,
+                throttled_frames: r.get_u64()?,
+                refused_frames: r.get_u64()?,
+                sessions_resumed: r.get_u64()?,
             }),
             8 => Response::Error { code: ErrorCode::from_tag(r.get_u8()?)? },
             9 => Response::InsertAck {
                 stream_seq: r.get_u64()?,
                 accepted: r.get_u64()?,
                 durable_len: r.get_u64()?,
+                throttle: match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(CodecError::InvalidTag(other)),
+                },
             },
+            10 => Response::StreamNack { expected_seq: r.get_u64()? },
+            11 => Response::Beat {
+                manager: NodeId(r.get_u64()?),
+                intake_pending: r.get_u64()?,
+                shedding: match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(CodecError::InvalidTag(other)),
+                },
+            },
+            12 => Response::StreamState { durable_seq: r.get_u64()?, accepted: r.get_u64()? },
             other => return Err(CodecError::InvalidTag(other)),
         };
         if !r.is_exhausted() {
@@ -770,14 +900,17 @@ mod tests {
             }]),
             Request::Status,
             Request::InsertStream {
+                session: 0xFEED_F00D,
                 stream_seq: 17,
                 ratings: vec![
                     Rating::positive(NodeId(1), NodeId(2), SimTime(4)),
                     Rating::neutral(NodeId(3), NodeId(2), SimTime(5)),
                 ],
             },
-            Request::InsertStream { stream_seq: 1, ratings: vec![] },
+            Request::InsertStream { session: 0, stream_seq: 1, ratings: vec![] },
             Request::StreamFlush,
+            Request::StreamResume { session: u64::MAX },
+            Request::Heartbeat,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -828,9 +961,27 @@ mod tests {
                 intake_pending: 12,
                 stream_frames: 9,
                 stream_ratings: 900,
+                throttled_frames: 3,
+                refused_frames: 1,
+                sessions_resumed: 2,
             }),
             Response::Error { code: ErrorCode::NotFrozen },
-            Response::InsertAck { stream_seq: 42, accepted: 10_500, durable_len: 1 << 30 },
+            Response::Error { code: ErrorCode::Overloaded },
+            Response::InsertAck {
+                stream_seq: 42,
+                accepted: 10_500,
+                durable_len: 1 << 30,
+                throttle: false,
+            },
+            Response::InsertAck {
+                stream_seq: 43,
+                accepted: 10_750,
+                durable_len: 1 << 31,
+                throttle: true,
+            },
+            Response::StreamNack { expected_seq: 18 },
+            Response::Beat { manager: NodeId(0x4000_0002), intake_pending: 4096, shedding: true },
+            Response::StreamState { durable_seq: 41, accepted: 10_250 },
         ];
         for resp in resps {
             let bytes = resp.encode();
@@ -861,12 +1012,29 @@ mod tests {
         w.put_u64(u64::MAX);
         w.put_bytes(&[1, 2, 3]);
         assert_eq!(Request::decode(w.as_bytes()), Err(CodecError::BadLength));
-        // same for a stream frame (tag 12): stream_seq + hostile count
+        // same for a stream frame (tag 12): session + stream_seq + hostile count
         let mut w = ByteWriter::new();
         w.put_u8(PROTOCOL_VERSION);
         w.put_u8(12);
+        w.put_u64(7);
         w.put_u64(1);
         w.put_u64(u64::MAX / 2);
         assert_eq!(Request::decode(w.as_bytes()), Err(CodecError::BadLength));
+    }
+
+    #[test]
+    fn direct_stream_encode_matches_the_owned_variant() {
+        let ratings = vec![
+            Rating::positive(NodeId(1), NodeId(2), SimTime(4)),
+            Rating::negative(NodeId(9), NodeId(2), SimTime(5)),
+        ];
+        let owned =
+            Request::InsertStream { session: 0xAB, stream_seq: 6, ratings: ratings.clone() }
+                .encode();
+        assert_eq!(Request::encode_insert_stream(0xAB, 6, &ratings), owned);
+        assert_eq!(
+            Request::encode_insert_stream(0, 1, &[]),
+            Request::InsertStream { session: 0, stream_seq: 1, ratings: vec![] }.encode()
+        );
     }
 }

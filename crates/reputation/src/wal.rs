@@ -18,6 +18,7 @@
 //! payload  := seq:u64 kind:u8 body
 //! body     := kind 0x01 (rating)      rater:u64 ratee:u64 value:u8 time:u64
 //!           | kind 0x02 (epoch close) forced:u8
+//!           | kind 0x03 (stream session) session:u64 frame_seq:u64 accepted:u64
 //! ```
 //!
 //! All integers little-endian; `checksum` is [`crate::codec::fnv64`] over
@@ -55,6 +56,8 @@ const WAL_HEADER_LEN: usize = 16;
 const KIND_RATING: u8 = 0x01;
 /// Record tag: epoch close marker.
 const KIND_EPOCH_CLOSE: u8 = 0x02;
+/// Record tag: stream-session watermark marker.
+const KIND_STREAM_SESSION: u8 = 0x03;
 /// Upper bound on a sane record payload; anything larger is treated as a
 /// torn/corrupt length prefix. The largest legal payload (a rating) is
 /// 34 bytes, so this is generous headroom for future record kinds.
@@ -141,6 +144,17 @@ pub enum WalRecord {
         /// Whether the watermark forced this close.
         forced: bool,
     },
+    /// A resumable insert-stream frame committed here: every rating of
+    /// frame `frame_seq` of session `session` precedes this marker, so a
+    /// replayed WAL rebuilds the per-session durable watermark exactly.
+    StreamSession {
+        /// Client-chosen session id (never 0 on disk).
+        session: u64,
+        /// 1-based frame number the marker seals.
+        frame_seq: u64,
+        /// Cumulative ratings accepted for the session through this frame.
+        accepted: u64,
+    },
 }
 
 /// Errors from WAL file operations. Decode problems inside the record stream
@@ -220,6 +234,13 @@ fn encode_record_into(seq: u64, record: &WalRecord, out: &mut Vec<u8>) {
             payload[n + 1] = u8::from(*forced);
             n += 2;
         }
+        WalRecord::StreamSession { session, frame_seq, accepted } => {
+            payload[n] = KIND_STREAM_SESSION;
+            payload[n + 1..n + 9].copy_from_slice(&session.to_le_bytes());
+            payload[n + 9..n + 17].copy_from_slice(&frame_seq.to_le_bytes());
+            payload[n + 17..n + 25].copy_from_slice(&accepted.to_le_bytes());
+            n += 25;
+        }
     }
     let payload = &payload[..n];
     out.extend_from_slice(&(n as u32).to_le_bytes());
@@ -259,6 +280,11 @@ fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), CodecError> {
             };
             WalRecord::EpochClose { forced }
         }
+        KIND_STREAM_SESSION => WalRecord::StreamSession {
+            session: r.get_u64()?,
+            frame_seq: r.get_u64()?,
+            accepted: r.get_u64()?,
+        },
         t => return Err(CodecError::InvalidTag(t)),
     };
     if !r.is_exhausted() {
@@ -789,7 +815,9 @@ mod tests {
             WalRecord::Rating(Rating::negative(NodeId(3), NodeId(2), SimTime(1))),
             WalRecord::EpochClose { forced: false },
             WalRecord::Rating(Rating::neutral(NodeId(4), NodeId(5), SimTime(2))),
+            WalRecord::StreamSession { session: 0xDEAD_BEEF, frame_seq: 3, accepted: 768 },
             WalRecord::EpochClose { forced: true },
+            WalRecord::StreamSession { session: u64::MAX, frame_seq: u64::MAX, accepted: 0 },
         ];
         for (k, r) in records.iter().enumerate() {
             assert_eq!(wal.append(r).unwrap(), k as u64);

@@ -34,6 +34,8 @@
 //! mirroring the in-process simulator where the fault plan governs
 //! detection exchanges only.
 
+pub mod nemesis;
+
 use std::collections::{BTreeSet, HashMap};
 use std::net::SocketAddr;
 use std::time::Instant;
@@ -45,7 +47,7 @@ use collusion_core::decentralized::Method;
 use collusion_core::durability::{scratch_dir, DurabilityConfig};
 use collusion_core::fault::{FaultPlan, FaultStats, NetStats};
 use collusion_core::net::proxy::{FaultProxy, NetFaultPlan};
-use collusion_core::net::server::{ManagerConfig, ManagerNode};
+use collusion_core::net::server::{Backpressure, ManagerConfig, ManagerNode};
 use collusion_core::net::wire::{Request, Response};
 use collusion_core::net::{RpcClient, RpcConfig};
 use collusion_core::policy::DetectionPolicy;
@@ -80,6 +82,9 @@ pub struct ClusterConfig {
     pub batch: usize,
     /// Un-acked `InsertStream` frames kept in flight per connection.
     pub window: usize,
+    /// Server-side intake bounds (throttle hints, load shedding). The
+    /// defaults are generous; the overload nemesis shrinks them.
+    pub backpressure: Backpressure,
 }
 
 impl ClusterConfig {
@@ -100,6 +105,7 @@ impl ClusterConfig {
             rpc: RpcConfig::lan(),
             batch: 256,
             window: 32,
+            backpressure: Backpressure::default(),
         }
     }
 
@@ -354,6 +360,7 @@ fn manager_config(
             ..DurabilityConfig::default()
         },
         rpc: cfg.rpc,
+        backpressure: cfg.backpressure,
     }
 }
 

@@ -113,4 +113,17 @@ echo "== cluster smoke (3 managers over TCP: drop point + kill/rejoin, baseline 
 # that a killed manager rejoins from its WAL with the same verdicts
 timeout 180 cargo test --release -q -p collusion-sim --test net_cluster cluster_smoke_gate
 
+echo "== nemesis smoke (crash + partition + overload against live resumable streams) =="
+# composed fault schedules against a 3-manager cluster ingesting through
+# resumable exactly-once stream sessions: detector-gated kills, an
+# ack-direction partition, and a shrunk intake watermark. The test itself
+# asserts zero acked-rating loss, zero duplicates, and suspect-set
+# equality with the in-process baseline; the diff pins the deterministic
+# projection (counts and invariant flags — rates stay unpinned).
+nemesis_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$recovery_out" "$ingest_out" "$net_out" "$nemesis_out"' EXIT
+timeout 240 cargo test --release -q -p collusion-sim --test net_cluster nemesis_smoke_gate \
+  -- --nocapture > "$nemesis_out"
+diff scripts/BENCH_nemesis_smoke_expected.txt <(grep '^NEMESIS ' "$nemesis_out")
+
 echo "All checks passed."

@@ -235,6 +235,8 @@ proptest! {
                 collusion::reputation::wal::WalRecord::EpochClose { .. } => {
                     serial.close_epoch();
                 }
+                // stream-session watermarks carry no detection state
+                collusion::reputation::wal::WalRecord::StreamSession { .. } => {}
             }
         }
         prop_assert!(
