@@ -94,6 +94,7 @@ fn run_point(n: u64, iters: usize) -> GridPoint {
         thresholds,
         policy: DetectionPolicy::STRICT,
         prune: true,
+        close_threads: 0,
     };
     eprintln!("n={n}: {} ratings, {shards} shard(s)…", ratings.len());
 

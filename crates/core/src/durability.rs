@@ -77,6 +77,11 @@ pub struct EngineSetup {
     pub policy: DetectionPolicy,
     /// Whether the Formula (2) band pre-filter is armed.
     pub prune: bool,
+    /// Fork-join width for the epoch close (shard merge, candidate
+    /// enumeration, re-check). `0` = auto (`RAYON_NUM_THREADS` override,
+    /// else available parallelism); `1` = the serial oracle. Every width
+    /// produces bit-identical state, reports, and cost.
+    pub close_threads: usize,
 }
 
 /// Durability tuning knobs.
@@ -252,6 +257,7 @@ impl DurableEngine {
             setup.prune,
         );
         engine.set_pair_watermark(cfg.pair_watermark);
+        engine.set_close_threads(setup.close_threads);
         Ok(DurableEngine {
             engine,
             wal,
@@ -307,6 +313,7 @@ impl DurableEngine {
                 0,
             ),
         };
+        engine.set_close_threads(setup.close_threads);
 
         let wal_path = dir.join(WAL_FILE);
         let wal = if wal_path.exists() {

@@ -37,11 +37,14 @@
 //! entered, before any row data is touched.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use collusion_reputation::codec::{ByteReader, ByteWriter, CodecError};
 use collusion_reputation::epoch::{EpochBuffer, EpochDelta};
 use collusion_reputation::history::{InteractionHistory, NodeTotals, PairCounters};
 use collusion_reputation::id::NodeId;
+use collusion_reputation::par;
 use collusion_reputation::rating::Rating;
 use collusion_reputation::sharded::ShardedSnapshot;
 use collusion_reputation::thresholds::Thresholds;
@@ -87,6 +90,46 @@ pub struct EpochStats {
     pub forced_closes: u64,
 }
 
+/// Wall-clock breakdown of the most recent epoch close, in nanoseconds.
+/// `advance` covers steps 1–2 ([`advance_epoch_state`]: delta merge +
+/// high-flag recompute), `enumerate` step 3 ([`enumerate_candidates`]) and
+/// `recheck` step 4 ([`recheck_candidates`]). The ingest bench surfaces
+/// these so the next close-path bottleneck is visible per grid point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CloseTimings {
+    /// Steps 1–2: snapshot delta merge + high-flag recompute.
+    pub advance_ns: u64,
+    /// Step 3: candidate enumeration.
+    pub enumerate_ns: u64,
+    /// Step 4: candidate re-check.
+    pub recheck_ns: u64,
+}
+
+/// One fork-join worker's private slice of the candidate-enumeration
+/// state: a locally deduplicated candidate buffer in local discovery
+/// order. The ordered merge in [`enumerate_candidates`] concatenates
+/// these in row-range order, which reproduces the serial scan order.
+#[derive(Debug, Default)]
+pub(crate) struct EnumLocal {
+    /// Worker-local dedup set (cleared per close, table reused).
+    seen: PairSet,
+    /// Worker-local candidates in discovery order.
+    cands: Vec<(u32, u32)>,
+}
+
+/// Reusable scratch of the re-check pass (step 4). The dense `cache` backs
+/// the serial path's per-ratee frequent aggregates; `once` backs the
+/// forked path with shared [`OnceLock`] cells so the fill — and its
+/// metered row scan — happens exactly once per ratee regardless of which
+/// worker gets there first (identical cost to the serial first-use fill).
+#[derive(Debug, Default)]
+pub(crate) struct RecheckScratch {
+    /// Per-ratee frequent-aggregate cache (serial path).
+    pub(crate) cache: Vec<Option<(u64, i64)>>,
+    /// Per-ratee frequent-aggregate cells (forked path).
+    pub(crate) once: Vec<OnceLock<(u64, i64)>>,
+}
+
 /// Reusable per-close scratch buffers. Clearing and re-growing these is
 /// semantically identical to the fresh `vec![..; n]` allocations of the
 /// original close loop, but steady-state closes stop allocating.
@@ -102,8 +145,11 @@ pub(crate) struct CloseScratch {
     pub(crate) seen: PairSet,
     /// Candidate pairs of the current close (step 3's output).
     pub(crate) cands: Vec<(u32, u32)>,
-    /// Per-ratee frequent-aggregate cache (step 4).
-    pub(crate) cache: Vec<Option<(u64, i64)>>,
+    /// Per-worker enumeration buffers (step 3's forked path; unused and
+    /// empty when the close runs on one thread).
+    pub(crate) locals: Vec<EnumLocal>,
+    /// Re-check scratch (step 4).
+    pub(crate) recheck: RecheckScratch,
 }
 
 impl CloseScratch {
@@ -131,6 +177,10 @@ pub struct EpochEngine {
     verdicts: BTreeMap<(NodeId, NodeId), SuspectPair>,
     stats: EpochStats,
     scratch: CloseScratch,
+    /// Resolved close fork-join width (≥ 1; `1` is the serial oracle).
+    close_threads: usize,
+    /// Sub-stage breakdown of the most recent non-empty close.
+    last_close: CloseTimings,
 }
 
 /// Build the empty initial snapshot + high flags shared by the serial
@@ -152,16 +202,44 @@ pub(crate) fn initial_state(
     (snap, high)
 }
 
+/// Recompute the high flags of one shard's row range, collecting the
+/// global indices that flipped in ascending order. Each lane is
+/// `thresholds.is_high_reputed(totals.signed() as f64)` verbatim.
+fn recompute_high_shard(
+    tc: &collusion_reputation::sharded::TotalsColumns<'_>,
+    flags: &mut [bool],
+    thresholds: &Thresholds,
+    flips: &mut Vec<u32>,
+) {
+    let base = tc.base as usize;
+    for (k, was) in flags.iter_mut().enumerate() {
+        let totals =
+            NodeTotals { total: tc.total[k], positive: tc.positive[k], negative: tc.negative[k] };
+        let now = thresholds.is_high_reputed(totals.signed() as f64);
+        if now != *was {
+            *was = now;
+            flips.push((base + k) as u32);
+        }
+    }
+}
+
 /// Steps 1–2 of an epoch close: advance the snapshot in place (carrying
 /// high flags across any re-interning) and recompute the high-reputed
 /// flags, returning the indices that flipped.
+///
+/// `threads` bounds the fork-join width of both the per-shard delta merge
+/// and the high-flag recompute. Shards are ratee-range disjoint and the
+/// per-shard flip buffers are concatenated in shard order, so the flip
+/// list is ascending — byte-identical to the serial sweep — for any
+/// thread count.
 pub(crate) fn advance_epoch_state(
     snap: &mut ShardedSnapshot,
     high: &mut Vec<bool>,
     thresholds: &Thresholds,
     delta: &EpochDelta,
+    threads: usize,
 ) -> Vec<u32> {
-    if let Some(remap) = snap.apply_epoch(delta) {
+    if let Some(remap) = snap.apply_epoch(delta, threads) {
         let mut carried = vec![false; snap.n()];
         for (old, &new) in remap.iter().enumerate() {
             carried[new as usize] = high[old];
@@ -169,26 +247,36 @@ pub(crate) fn advance_epoch_state(
         *high = carried;
     }
     // High-flag recompute over the SoA totals columns: contiguous loads
-    // instead of a shard-resolving `totals_of` probe per row. Each lane is
-    // `thresholds.is_high_reputed(totals.signed() as f64)` verbatim.
-    let mut flips: Vec<u32> = Vec::new();
-    for tc in snap.totals_columns() {
-        let base = tc.base as usize;
-        let flags = &mut high[base..base + tc.total.len()];
-        for (k, was) in flags.iter_mut().enumerate() {
-            let totals = NodeTotals {
-                total: tc.total[k],
-                positive: tc.positive[k],
-                negative: tc.negative[k],
-            };
-            let now = thresholds.is_high_reputed(totals.signed() as f64);
-            if now != *was {
-                *was = now;
-                flips.push((base + k) as u32);
-            }
+    // instead of a shard-resolving `totals_of` probe per row.
+    if threads <= 1 {
+        let mut flips: Vec<u32> = Vec::new();
+        for tc in snap.totals_columns() {
+            let base = tc.base as usize;
+            let flags = &mut high[base..base + tc.total.len()];
+            recompute_high_shard(&tc, flags, thresholds, &mut flips);
         }
+        return flips;
     }
-    flips
+    // Forked path: pair each shard's totals columns with its slice of the
+    // flag vector (shard ranges tile 0..n in order), fan the per-shard
+    // recompute out, then concatenate the per-shard flip buffers in shard
+    // order so the combined list is ascending like the serial sweep.
+    let mut items: Vec<(collusion_reputation::sharded::TotalsColumns<'_>, &mut [bool])> = {
+        let mut rest: &mut [bool] = high;
+        let mut items = Vec::new();
+        for tc in snap.totals_columns() {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(tc.total.len());
+            items.push((tc, head));
+            rest = tail;
+        }
+        items
+    };
+    let per_shard: Vec<Vec<u32>> = par::map_mut(threads, &mut items, |(tc, flags)| {
+        let mut flips = Vec::new();
+        recompute_high_shard(tc, flags, thresholds, &mut flips);
+        flips
+    });
+    per_shard.into_iter().flatten().collect()
 }
 
 /// Inputs of the candidate-enumeration pass that are not per-close state.
@@ -201,61 +289,29 @@ pub(crate) struct CandidateParams<'a> {
     pub(crate) prune_on: bool,
 }
 
-/// Step 3 of an epoch close: enumerate the candidate pairs whose verdict
-/// could have changed, into `scratch.cands`. `verdict_keys` must iterate
-/// the standing verdict keys in ascending order (the [`BTreeMap`] key
-/// order) so the candidate list is reproduced exactly regardless of who
-/// owns the verdict map.
-pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
+/// Read-only per-close row state both scan paths fan over.
+struct FanState<'a> {
+    high: &'a [bool],
+    active: &'a [bool],
+    memo: &'a [u8],
+}
+
+/// The candidate fan over rows `range` (the body of step 3's scan):
+/// pairs incident to an active high row that pass the cheap gates are
+/// pushed into `cands` in discovery order, first-wins deduplicated
+/// against `seen`.
+fn fan_rows(
     snap: &ShardedSnapshot,
-    high: &[bool],
     params: &CandidateParams<'_>,
-    delta: &EpochDelta,
-    flips: &[u32],
-    verdict_keys: I,
-    scratch: &mut CloseScratch,
+    state: &FanState<'_>,
+    range: std::ops::Range<u32>,
+    seen: &mut PairSet,
+    cands: &mut Vec<(u32, u32)>,
 ) {
+    let FanState { high, active, memo } = *state;
     let prune_on = params.prune_on;
-    scratch.reset_merge(snap.n());
-    // Batch-fill the prunability flags for every row up front. The memo is
-    // a pure function of row totals, so computing lanes the old lazy scan
-    // would never have consulted cannot change which pairs are admitted —
-    // and the SoA kernel fills all n lanes for less than the scalar oracle
-    // charged for its misses. Step 4 reuses these flags verbatim.
-    if prune_on {
-        for tc in snap.totals_columns() {
-            let base = tc.base as usize;
-            let out = &mut scratch.memo[base..base + tc.total.len()];
-            params.optimized.rows_prunable_batch(&tc, out);
-        }
-    }
-    {
-        let active = &mut scratch.active;
-        for id in delta.dirty_ratees() {
-            let d = snap.index(id).expect("dirty ratee interned by apply_epoch");
-            active[d as usize] = true;
-        }
-        for &f in flips {
-            active[f as usize] = true;
-        }
-    }
-    scratch.seen.clear();
-    scratch.cands.clear();
-    let active = &scratch.active;
-    let memo = &scratch.memo;
-    let seen = &mut scratch.seen;
-    let cands = &mut scratch.cands;
     let prunable = |x: u32| -> bool { prune_on && memo[x as usize] != 0 };
-    for (a, b) in verdict_keys {
-        let (i, j) = (
-            snap.index(a).expect("verdict node interned"),
-            snap.index(b).expect("verdict node interned"),
-        );
-        if (active[i as usize] || active[j as usize]) && seen.insert(i, j) {
-            cands.push((i, j));
-        }
-    }
-    for c in 0..snap.n() as u32 {
+    for c in range {
         if !active[c as usize] || !high[c as usize] {
             continue;
         }
@@ -289,6 +345,108 @@ pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
     }
 }
 
+/// Step 3 of an epoch close: enumerate the candidate pairs whose verdict
+/// could have changed, into `scratch.cands`. `verdict_keys` must iterate
+/// the standing verdict keys in ascending order (the [`BTreeMap`] key
+/// order) so the candidate list is reproduced exactly regardless of who
+/// owns the verdict map.
+///
+/// `threads` bounds the fork-join width of the row fan. The forked path
+/// gives each worker a contiguous run of shard row ranges and a private
+/// `PairSet`/candidate buffer, then merges the buffers **in shard order**
+/// through the global dedup set: a pair's first surviving emission in the
+/// concatenated sequence is its first emission in the serial scan, so
+/// `scratch.cands` is byte-identical to the single-thread pass.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn enumerate_candidates<I: IntoIterator<Item = (NodeId, NodeId)>>(
+    snap: &ShardedSnapshot,
+    high: &[bool],
+    params: &CandidateParams<'_>,
+    delta: &EpochDelta,
+    flips: &[u32],
+    verdict_keys: I,
+    scratch: &mut CloseScratch,
+    threads: usize,
+) {
+    let prune_on = params.prune_on;
+    scratch.reset_merge(snap.n());
+    // Batch-fill the prunability flags for every row up front. The memo is
+    // a pure function of row totals, so computing lanes the old lazy scan
+    // would never have consulted cannot change which pairs are admitted —
+    // and the SoA kernel fills all n lanes for less than the scalar oracle
+    // charged for its misses. Step 4 reuses these flags verbatim.
+    if prune_on {
+        for tc in snap.totals_columns() {
+            let base = tc.base as usize;
+            let out = &mut scratch.memo[base..base + tc.total.len()];
+            params.optimized.rows_prunable_batch(&tc, out);
+        }
+    }
+    {
+        let active = &mut scratch.active;
+        for id in delta.dirty_ratees() {
+            let d = snap.index(id).expect("dirty ratee interned by apply_epoch");
+            active[d as usize] = true;
+        }
+        for &f in flips {
+            active[f as usize] = true;
+        }
+    }
+    scratch.seen.clear();
+    scratch.cands.clear();
+    // Standing verdicts with an active endpoint first, in key order; these
+    // seed the global dedup set for both scan paths below.
+    {
+        let active = &scratch.active;
+        let seen = &mut scratch.seen;
+        let cands = &mut scratch.cands;
+        for (a, b) in verdict_keys {
+            let (i, j) = (
+                snap.index(a).expect("verdict node interned"),
+                snap.index(b).expect("verdict node interned"),
+            );
+            if (active[i as usize] || active[j as usize]) && seen.insert(i, j) {
+                cands.push((i, j));
+            }
+        }
+    }
+    let n = snap.n() as u32;
+    if threads <= 1 {
+        let state = FanState { high, active: &scratch.active, memo: &scratch.memo };
+        fan_rows(snap, params, &state, 0..n, &mut scratch.seen, &mut scratch.cands);
+        return;
+    }
+    // Forked path: one row range per shard, scanned with worker-private
+    // buffers. A worker's local dedup keeps only a pair's first emission
+    // within its ranges; phase-A pairs and cross-worker repeats fall to
+    // the ordered merge below.
+    let ranges: Vec<std::ops::Range<u32>> =
+        snap.totals_columns().map(|tc| tc.base..tc.base + tc.total.len() as u32).collect();
+    if scratch.locals.len() < ranges.len() {
+        scratch.locals.resize_with(ranges.len(), EnumLocal::default);
+    }
+    let state = FanState { high, active: &scratch.active, memo: &scratch.memo };
+    let mut items: Vec<(std::ops::Range<u32>, &mut EnumLocal)> =
+        ranges.into_iter().zip(scratch.locals.iter_mut()).collect();
+    par::for_each_mut(threads, &mut items, |(range, local)| {
+        local.seen.clear();
+        local.cands.clear();
+        fan_rows(snap, params, &state, range.clone(), &mut local.seen, &mut local.cands);
+    });
+    // Ordered merge: worker buffers visited in shard order under the
+    // global first-wins dedup. The concatenated emission sequence equals
+    // the serial scan's, so the surviving list (and its order) matches.
+    let seen = &mut scratch.seen;
+    let cands = &mut scratch.cands;
+    for (_, local) in &items {
+        for &(x, y) in &local.cands {
+            if seen.insert(x, y) {
+                cands.push((x, y));
+            }
+        }
+    }
+}
+
 /// Kernel configuration of the re-check pass (step 4).
 pub(crate) struct RecheckKernels<'a> {
     /// Which kernel runs on candidate pairs.
@@ -313,6 +471,75 @@ pub(crate) struct RecheckOutcome {
     pub(crate) pruned: u64,
 }
 
+/// One candidate's re-check result, before it is applied to the verdict
+/// map. Kept per-candidate so forked workers can evaluate chunks
+/// independently and the results can be applied serially in candidate
+/// order.
+enum CandOutcome {
+    /// An endpoint lost its high flag — retract without a kernel check.
+    NotHigh,
+    /// The band pre-filter proved no flag is possible — retract.
+    Pruned,
+    /// Kernel flagged the pair.
+    Flag(SuspectPair),
+    /// Kernel cleared the pair — retract any standing verdict.
+    Clear,
+}
+
+/// Evaluate one candidate pair against the gates and the configured
+/// kernel. `direction` supplies the optimized kernel's direction test
+/// (the serial and forked paths back it with different cache shapes).
+fn eval_candidate<V: SnapshotView>(
+    kernels: &RecheckKernels<'_>,
+    snap: &V,
+    high: &[bool],
+    prunable: Option<&[u8]>,
+    meter: &CostMeter,
+    (i, j): (u32, u32),
+    mut direction: impl FnMut(u32, Option<u32>) -> Option<DirectionEvidence>,
+) -> CandOutcome {
+    if !(high[i as usize] && high[j as usize]) {
+        return CandOutcome::NotHigh;
+    }
+    if kernels.prune_active {
+        let (pi, pj) = match prunable {
+            Some(flags) => (flags[i as usize] != 0, flags[j as usize] != 0),
+            None => (
+                kernels.optimized.row_prunable(snap.totals_of(i)),
+                kernels.optimized.row_prunable(snap.totals_of(j)),
+            ),
+        };
+        let skip = if kernels.require_mutual { pi || pj } else { pi && pj };
+        if skip {
+            // sound: a prunable row's direction check cannot pass,
+            // so the full kernel would produce no flag here
+            return CandOutcome::Pruned;
+        }
+    }
+    let (id_i, id_j) = (snap.node_id(i), snap.node_id(j));
+    let verdict = match kernels.method {
+        EpochMethod::Basic => kernels.basic.check_pair_snap(snap, i, j, meter),
+        EpochMethod::Optimized => {
+            let ev_fwd = direction(i, Some(j));
+            let ev_rev = direction(j, Some(i));
+            if kernels.require_mutual {
+                match (ev_fwd, ev_rev) {
+                    (Some(f), Some(r)) => Some(SuspectPair::new(id_j, id_i, Some(f), Some(r))),
+                    _ => None,
+                }
+            } else if ev_fwd.is_none() && ev_rev.is_none() {
+                None
+            } else {
+                Some(SuspectPair::new(id_j, id_i, ev_fwd, ev_rev))
+            }
+        }
+    };
+    match verdict {
+        Some(pair) => CandOutcome::Flag(pair),
+        None => CandOutcome::Clear,
+    }
+}
+
 /// Step 4 of an epoch close: re-check `cands` with the configured kernel,
 /// updating `verdicts` both ways (insert on flag, remove on retraction).
 /// Generic over [`SnapshotView`] so the pipelined engine can run it
@@ -323,69 +550,85 @@ pub(crate) struct RecheckOutcome {
 /// prunable) batch-computed by [`enumerate_candidates`] from the same
 /// snapshot state, saving the two scalar [`OptimizedDetector::row_prunable`]
 /// evaluations per candidate; `None` falls back to the scalar oracle.
-pub(crate) fn recheck_candidates<V: SnapshotView>(
+///
+/// `threads` bounds the fork-join width. The forked path chunks the
+/// candidate list contiguously; each worker evaluates its chunk against
+/// shared [`OnceLock`] aggregate cells (filled — and metered — exactly
+/// once per ratee, like the serial cache's first use, so the reported
+/// cost is identical for every thread count). Candidates are unique per
+/// close (the enumeration dedup), so applying the per-chunk outcomes
+/// serially in candidate order reproduces the serial verdict map exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn recheck_candidates<V: SnapshotView + Sync>(
     kernels: &RecheckKernels<'_>,
     snap: &V,
     high: &[bool],
     cands: &[(u32, u32)],
     prunable: Option<&[u8]>,
     verdicts: &mut BTreeMap<(NodeId, NodeId), SuspectPair>,
-    cache: &mut Vec<Option<(u64, i64)>>,
+    scratch: &mut RecheckScratch,
+    threads: usize,
 ) -> RecheckOutcome {
     let meter = CostMeter::new();
-    cache.clear();
-    cache.resize(snap.n(), None);
     let mut checked = 0u64;
     let mut pruned = 0u64;
-    for &(i, j) in cands {
-        let (id_i, id_j) = (snap.node_id(i), snap.node_id(j));
-        let key = if id_i < id_j { (id_i, id_j) } else { (id_j, id_i) };
-        if !(high[i as usize] && high[j as usize]) {
+    let mut apply = |key: (NodeId, NodeId), outcome: CandOutcome| match outcome {
+        CandOutcome::NotHigh => {
             verdicts.remove(&key);
-            continue;
         }
-        if kernels.prune_active {
-            let (pi, pj) = match prunable {
-                Some(flags) => (flags[i as usize] != 0, flags[j as usize] != 0),
-                None => (
-                    kernels.optimized.row_prunable(snap.totals_of(i)),
-                    kernels.optimized.row_prunable(snap.totals_of(j)),
-                ),
-            };
-            let skip = if kernels.require_mutual { pi || pj } else { pi && pj };
-            if skip {
-                // sound: a prunable row's direction check cannot pass,
-                // so the full kernel would produce no flag here
-                pruned += 1;
-                verdicts.remove(&key);
-                continue;
-            }
+        CandOutcome::Pruned => {
+            pruned += 1;
+            verdicts.remove(&key);
         }
-        checked += 1;
-        let verdict = match kernels.method {
-            EpochMethod::Basic => kernels.basic.check_pair_snap(snap, i, j, &meter),
-            EpochMethod::Optimized => {
-                let ev_fwd = kernels.optimized.direction_cached(snap, i, Some(j), &meter, cache);
-                let ev_rev = kernels.optimized.direction_cached(snap, j, Some(i), &meter, cache);
-                if kernels.require_mutual {
-                    match (ev_fwd, ev_rev) {
-                        (Some(f), Some(r)) => Some(SuspectPair::new(id_j, id_i, Some(f), Some(r))),
-                        _ => None,
-                    }
-                } else if ev_fwd.is_none() && ev_rev.is_none() {
-                    None
-                } else {
-                    Some(SuspectPair::new(id_j, id_i, ev_fwd, ev_rev))
-                }
-            }
-        };
-        match verdict {
-            Some(pair) => {
-                verdicts.insert(key, pair);
-            }
-            None => {
-                verdicts.remove(&key);
-            }
+        CandOutcome::Flag(pair) => {
+            checked += 1;
+            verdicts.insert(key, pair);
+        }
+        CandOutcome::Clear => {
+            checked += 1;
+            verdicts.remove(&key);
+        }
+    };
+    if threads <= 1 || cands.len() <= 1 {
+        let cache = &mut scratch.cache;
+        cache.clear();
+        cache.resize(snap.n(), None);
+        for &(i, j) in cands {
+            let (id_i, id_j) = (snap.node_id(i), snap.node_id(j));
+            let key = if id_i < id_j { (id_i, id_j) } else { (id_j, id_i) };
+            let outcome = eval_candidate(kernels, snap, high, prunable, &meter, (i, j), |r, p| {
+                kernels.optimized.direction_cached(snap, r, p, &meter, cache)
+            });
+            apply(key, outcome);
+        }
+    } else {
+        scratch.once.clear();
+        scratch.once.resize_with(snap.n(), OnceLock::new);
+        let once = &scratch.once[..];
+        let meter_ref = &meter;
+        let chunk = cands.len().div_ceil(threads);
+        let mut chunks: Vec<&[(u32, u32)]> = cands.chunks(chunk).collect();
+        let per_chunk: Vec<Vec<((NodeId, NodeId), CandOutcome)>> =
+            par::map_mut(threads, &mut chunks, |part| {
+                part.iter()
+                    .map(|&(i, j)| {
+                        let (id_i, id_j) = (snap.node_id(i), snap.node_id(j));
+                        let key = if id_i < id_j { (id_i, id_j) } else { (id_j, id_i) };
+                        let outcome = eval_candidate(
+                            kernels,
+                            snap,
+                            high,
+                            prunable,
+                            meter_ref,
+                            (i, j),
+                            |r, p| kernels.optimized.direction_once(snap, r, p, meter_ref, once),
+                        );
+                        (key, outcome)
+                    })
+                    .collect()
+            });
+        for (key, outcome) in per_chunk.into_iter().flatten() {
+            apply(key, outcome);
         }
     }
     RecheckOutcome {
@@ -414,6 +657,9 @@ pub(crate) struct EngineParts {
     pub(crate) verdicts: BTreeMap<(NodeId, NodeId), SuspectPair>,
     /// Cumulative counters.
     pub(crate) stats: EpochStats,
+    /// Close fork-join width knob (`0` = auto, see
+    /// [`collusion_reputation::par::resolve_threads`]).
+    pub(crate) close_threads: usize,
 }
 
 impl EpochEngine {
@@ -440,6 +686,7 @@ impl EpochEngine {
             high,
             verdicts: BTreeMap::new(),
             stats: EpochStats::default(),
+            close_threads: 0,
         })
     }
 
@@ -460,7 +707,28 @@ impl EpochEngine {
             verdicts: parts.verdicts,
             stats: parts.stats,
             scratch: CloseScratch::default(),
+            close_threads: par::resolve_threads(parts.close_threads),
+            last_close: CloseTimings::default(),
         }
+    }
+
+    /// Set the close fork-join width (`0` = auto: the `RAYON_NUM_THREADS`
+    /// override, else available parallelism). Every width produces
+    /// byte-identical detection output; `1` is the serial oracle.
+    pub fn set_close_threads(&mut self, knob: usize) {
+        self.close_threads = par::resolve_threads(knob);
+    }
+
+    /// The resolved close fork-join width (≥ 1).
+    #[inline]
+    pub fn close_threads(&self) -> usize {
+        self.close_threads
+    }
+
+    /// Sub-stage wall-clock breakdown of the most recent non-empty close.
+    #[inline]
+    pub fn last_close_timings(&self) -> CloseTimings {
+        self.last_close
     }
 
     /// Fold one rating into the open epoch (O(1); self-ratings ignored).
@@ -554,8 +822,12 @@ impl EpochEngine {
         if delta.is_empty() {
             return self.report();
         }
+        let threads = self.close_threads;
         // 1–2. advance the snapshot and high flags, collecting flips
-        let flips = advance_epoch_state(&mut self.snap, &mut self.high, &self.thresholds, &delta);
+        let t0 = Instant::now();
+        let flips =
+            advance_epoch_state(&mut self.snap, &mut self.high, &self.thresholds, &delta, threads);
+        let t1 = Instant::now();
 
         // 3. enumerate candidate pairs. A pair's verdict can only change
         //    when an endpoint is *active* (dirty ratee or high-flip), so:
@@ -584,7 +856,9 @@ impl EpochEngine {
             &flips,
             self.verdicts.keys().copied(),
             &mut self.scratch,
+            threads,
         );
+        let t2 = Instant::now();
         self.stats.candidates += self.scratch.cands.len() as u64;
 
         // 4. re-check candidates, updating the verdict map both ways,
@@ -605,8 +879,15 @@ impl EpochEngine {
             &scratch.cands,
             prunable,
             &mut self.verdicts,
-            &mut scratch.cache,
+            &mut scratch.recheck,
+            threads,
         );
+        let t3 = Instant::now();
+        self.last_close = CloseTimings {
+            advance_ns: (t1 - t0).as_nanos() as u64,
+            enumerate_ns: (t2 - t1).as_nanos() as u64,
+            recheck_ns: (t3 - t2).as_nanos() as u64,
+        };
         self.stats.checked += out.checked;
         self.stats.pruned += out.pruned;
         out.report
@@ -766,6 +1047,7 @@ impl EpochEngine {
             high,
             verdicts,
             stats,
+            close_threads: 0,
         });
         Ok((engine, wal_seq))
     }

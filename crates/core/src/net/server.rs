@@ -138,6 +138,7 @@ impl ManagerConfig {
             thresholds: self.thresholds,
             policy: self.policy,
             prune: false,
+            close_threads: 0,
         }
     }
 }
@@ -352,7 +353,7 @@ impl ManagerNode {
 
         let initial = PublishedView {
             epoch: 0,
-            nodes: Vec::new(),
+            nodes: Arc::new(Vec::new()),
             signed: Vec::new(),
             report: DetectionReport::default(),
         };
@@ -495,7 +496,7 @@ fn publish_view(shared: &Shared, st: &mut State) {
     let report = shared.data.durable.lock().expect("durable engine lock").report();
     let view = PublishedView {
         epoch: st.epoch,
-        nodes: (0..snap.n() as u32).map(|i| snap.node_id(i)).collect(),
+        nodes: Arc::new((0..snap.n() as u32).map(|i| snap.node_id(i)).collect()),
         signed: (0..snap.n() as u32).map(|i| snap.signed(i)).collect(),
         report,
     };

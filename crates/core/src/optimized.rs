@@ -529,7 +529,7 @@ impl OptimizedDetector {
     }
 
     /// Parallel snapshot direction test backed by shared [`OnceLock`] cells.
-    fn direction_once<V: SnapshotView>(
+    pub(crate) fn direction_once<V: SnapshotView>(
         &self,
         snap: &V,
         ratee: u32,

@@ -86,6 +86,7 @@ use collusion_reputation::fxhash::FxHashMap;
 use collusion_reputation::history::{NodeTotals, PairCounters};
 use collusion_reputation::id::NodeId;
 use collusion_reputation::ingest::ShardedIntake;
+use collusion_reputation::par;
 use collusion_reputation::rating::Rating;
 use collusion_reputation::sharded::ShardedSnapshot;
 use collusion_reputation::view::SnapshotView;
@@ -95,7 +96,7 @@ use crate::basic::BasicDetector;
 use crate::durability::{DurabilityError, EngineSetup};
 use crate::epoch::{
     advance_epoch_state, enumerate_candidates, initial_state, recheck_candidates, CandidateParams,
-    CloseScratch, EngineParts, EpochEngine, EpochStats, RecheckKernels,
+    CloseScratch, EngineParts, EpochEngine, EpochStats, RecheckKernels, RecheckScratch,
 };
 use crate::model::SuspectPair;
 use crate::optimized::OptimizedDetector;
@@ -153,6 +154,15 @@ pub struct PipelineStats {
     pub detect_busy_us: u64,
     /// Detect stage lifetime, microseconds.
     pub detect_elapsed_us: u64,
+    /// Nanoseconds spent in [`advance_epoch_state`] across all closes
+    /// (steps 1–2: delta merge + high-flag recompute, merge stage).
+    pub close_advance_ns: u64,
+    /// Nanoseconds spent in [`enumerate_candidates`] across all closes
+    /// (step 3, merge stage).
+    pub close_enumerate_ns: u64,
+    /// Nanoseconds spent in [`recheck_candidates`] across all closes
+    /// (step 4, detect stage).
+    pub close_recheck_ns: u64,
 }
 
 impl PipelineStats {
@@ -188,8 +198,11 @@ fn occupancy(busy_us: u64, elapsed_us: u64) -> f64 {
 pub struct PublishedView {
     /// The close (1-based) this view reflects; 0 = initial empty state.
     pub epoch: u64,
-    /// Interned node ids, ascending (dense index → id).
-    pub nodes: Vec<NodeId>,
+    /// Interned node ids, ascending (dense index → id). Shared behind an
+    /// `Arc`: the id set only changes when a close interns fresh nodes, so
+    /// successive views usually alias one allocation instead of each close
+    /// copying the full vector.
+    pub nodes: Arc<Vec<NodeId>>,
     /// Signed reputation per dense index.
     pub signed: Vec<i64>,
     /// Standing suspect set as of this close.
@@ -406,7 +419,7 @@ struct ClosePlan {
     /// the same snapshot state the slice was frozen from; empty when
     /// pruning is off (or the close was empty).
     prunable: Vec<u8>,
-    nodes: Vec<NodeId>,
+    nodes: Arc<Vec<NodeId>>,
     signed: Vec<i64>,
 }
 
@@ -430,6 +443,8 @@ struct MergeStageOut {
     candidates: u64,
     busy_us: u64,
     elapsed_us: u64,
+    advance_ns: u64,
+    enumerate_ns: u64,
 }
 
 struct DetectStageOut {
@@ -438,6 +453,7 @@ struct DetectStageOut {
     pruned: u64,
     busy_us: u64,
     elapsed_us: u64,
+    recheck_ns: u64,
 }
 
 // ----- Producer handle ---------------------------------------------------
@@ -499,7 +515,9 @@ impl IngestHandle {
         self.cells.extend(self.local.drain().map(|((ratee, rater), c)| (ratee, rater, c)));
         self.intake.merge_cells(&mut self.cells, self.local_ratings);
         self.local_ratings = 0;
-        let batch = std::mem::take(&mut self.buf);
+        // hand the batch off at full capacity: `take` would leave an empty
+        // buffer that regrows through every power of two on the next fill
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
         self.batches.fetch_add(1, Ordering::Relaxed);
         // the engine may already be finishing; ratings are then folded but
         // unlogged, exactly like a crash before the tail fsync
@@ -556,7 +574,7 @@ impl PipelinedEngine {
             initial_state(nodes, setup.target_shards, setup.thresholds, setup.policy);
         let initial = PublishedView {
             epoch: 0,
-            nodes: snap.nodes().to_vec(),
+            nodes: Arc::new(snap.nodes().to_vec()),
             signed: (0..snap.n() as u32).map(|i| snap.signed(i)).collect(),
             report: DetectionReport::default(),
         };
@@ -697,6 +715,7 @@ impl PipelinedEngine {
             high: merge_out.high,
             verdicts: detect_out.verdicts,
             stats,
+            close_threads: self.setup.close_threads,
         });
         for (ratee, rater, c) in tail.entries {
             engine.refold_counters(ratee, rater, c);
@@ -713,6 +732,9 @@ impl PipelinedEngine {
                 merge_elapsed_us: merge_out.elapsed_us,
                 detect_busy_us: detect_out.busy_us,
                 detect_elapsed_us: detect_out.elapsed_us,
+                close_advance_ns: merge_out.advance_ns,
+                close_enumerate_ns: merge_out.enumerate_ns,
+                close_recheck_ns: detect_out.recheck_ns,
             },
         )
     }
@@ -799,12 +821,21 @@ fn merge_stage(
 ) -> MergeStageOut {
     let optimized = OptimizedDetector::with_policy(setup.thresholds, setup.policy);
     let prune_on = setup.prune && !setup.policy.community_excludes_frequent;
+    // the merge stage thread is the fork point of the parallel close:
+    // steps 1–3 fan out across `threads` scoped workers per close
+    let threads = par::resolve_threads(setup.close_threads);
     let mut scratch = CloseScratch::default();
     let mut verdict_keys: Vec<(NodeId, NodeId)> = Vec::new();
+    // Shared node-id vector for the published views: re-materialized only
+    // when a close interned fresh ids (the id set, and hence `n`, only
+    // ever grows), otherwise every plan aliases the same allocation.
+    let mut nodes_cache: Arc<Vec<NodeId>> = Arc::new(snap.nodes().to_vec());
     let mut outstanding = 0u64; // plans sent whose key echo is unread
     let mut epochs = 0u64;
     let mut ratings = 0u64;
     let mut candidates = 0u64;
+    let mut advance_ns = 0u64;
+    let mut enumerate_ns = 0u64;
     let stage_start = std::time::Instant::now();
     let mut busy = std::time::Duration::ZERO;
     while let Ok(msg) = rx.recv() {
@@ -821,8 +852,15 @@ fn merge_stage(
                 } else {
                     // overlap point: the snapshot merge below runs while
                     // the detect stage still re-checks the previous epoch
-                    let flips =
-                        advance_epoch_state(&mut snap, &mut high, &setup.thresholds, &delta);
+                    let t0 = std::time::Instant::now();
+                    let flips = advance_epoch_state(
+                        &mut snap,
+                        &mut high,
+                        &setup.thresholds,
+                        &delta,
+                        threads,
+                    );
+                    advance_ns += t0.elapsed().as_nanos() as u64;
                     // the one true data dependency: candidate enumeration
                     // needs the verdict keys as of the previous close —
                     // time blocked here is waiting on the detect stage,
@@ -838,6 +876,7 @@ fn merge_stage(
                         require_mutual: setup.policy.require_mutual,
                         prune_on,
                     };
+                    let t1 = std::time::Instant::now();
                     enumerate_candidates(
                         &snap,
                         &high,
@@ -846,7 +885,9 @@ fn merge_stage(
                         &flips,
                         verdict_keys.iter().copied(),
                         &mut scratch,
+                        threads,
                     );
+                    enumerate_ns += t1.elapsed().as_nanos() as u64;
                     let cands = scratch.cands.clone();
                     let slice = DetectSlice::build(&snap, &cands, setup.thresholds.t_n);
                     // ship the batch prunability flags with the plan: they
@@ -856,6 +897,22 @@ fn merge_stage(
                     (cands, slice, prunable)
                 };
                 candidates += cands.len() as u64;
+                if nodes_cache.len() != snap.n() {
+                    nodes_cache = Arc::new(snap.nodes().to_vec());
+                }
+                // signed reputations straight off the SoA totals columns:
+                // contiguous loads instead of a shard-resolving probe per row
+                let mut signed = Vec::with_capacity(snap.n());
+                for tc in snap.totals_columns() {
+                    for k in 0..tc.total.len() {
+                        let t = NodeTotals {
+                            total: tc.total[k],
+                            positive: tc.positive[k],
+                            negative: tc.negative[k],
+                        };
+                        signed.push(t.signed());
+                    }
+                }
                 let plan = ClosePlan {
                     epoch,
                     ratings: delta.ratings,
@@ -863,8 +920,8 @@ fn merge_stage(
                     slice,
                     high: high.clone(),
                     prunable,
-                    nodes: snap.nodes().to_vec(),
-                    signed: (0..snap.n() as u32).map(|i| snap.signed(i)).collect(),
+                    nodes: Arc::clone(&nodes_cache),
+                    signed,
                 };
                 outstanding += 1;
                 if detect_tx.send(DetectMsg::Plan(Box::new(plan))).is_err() {
@@ -887,6 +944,8 @@ fn merge_stage(
         candidates,
         busy_us: busy.as_micros() as u64,
         elapsed_us: stage_start.elapsed().as_micros().max(1) as u64,
+        advance_ns,
+        enumerate_ns,
     }
 }
 
@@ -906,11 +965,13 @@ fn detect_stage(
         basic: &basic,
         optimized: &optimized,
     };
+    let threads = par::resolve_threads(setup.close_threads);
     let mut verdicts: BTreeMap<(NodeId, NodeId), SuspectPair> = BTreeMap::new();
     // persistent per-thread scratch: steady-state closes allocate nothing
-    let mut cache: Vec<Option<(u64, i64)>> = Vec::new();
+    let mut scratch = RecheckScratch::default();
     let mut checked = 0u64;
     let mut pruned = 0u64;
+    let mut recheck_ns = 0u64;
     let stage_start = std::time::Instant::now();
     let mut busy = std::time::Duration::ZERO;
     while let Ok(msg) = rx.recv() {
@@ -927,8 +988,10 @@ fn detect_stage(
             &plan.cands,
             prunable,
             &mut verdicts,
-            &mut cache,
+            &mut scratch,
+            threads,
         );
+        recheck_ns += work_start.elapsed().as_nanos() as u64;
         checked += out.checked;
         pruned += out.pruned;
         // echo the verdict keys back so the merge stage can enumerate the
@@ -950,6 +1013,7 @@ fn detect_stage(
         pruned,
         busy_us: busy.as_micros() as u64,
         elapsed_us: stage_start.elapsed().as_micros().max(1) as u64,
+        recheck_ns,
     }
 }
 
@@ -1004,6 +1068,7 @@ mod tests {
             thresholds: Thresholds::new(1.0, 3, 0.8, 0.4),
             policy,
             prune,
+            close_threads: 0,
         }
     }
 

@@ -47,6 +47,7 @@ pub mod id;
 pub mod ingest;
 pub mod local;
 pub mod manager;
+pub mod par;
 pub mod rating;
 pub mod sharded;
 pub mod snapshot;

@@ -74,6 +74,48 @@ fn rows_per_shard_for(n: usize, target: usize) -> usize {
     }
 }
 
+/// Merge the ascending ratee indices of one rater's `(rater, ratee)` edge
+/// run into the rater's ascending adjacency list, in place, with one
+/// backward two-pointer pass — every element moves at most once, against
+/// the O(len) memmove a per-edge `Vec::insert` pays. Values already
+/// present are skipped, so the result matches per-edge sorted insertion.
+fn merge_sorted_into(list: &mut Vec<u32>, run: &[(u32, u32)]) {
+    // Count genuinely new values first (monotone forward walk) so the
+    // backward merge knows its final length up front.
+    let mut new = 0usize;
+    {
+        let mut a = 0usize;
+        for &(_, g) in run {
+            a += list[a..].partition_point(|&x| x < g);
+            if a >= list.len() || list[a] != g {
+                new += 1;
+            }
+        }
+    }
+    if new == 0 {
+        return;
+    }
+    let old_len = list.len();
+    list.resize(old_len + new, 0);
+    let mut w = old_len + new; // write cursor (exclusive)
+    let mut a = old_len; // old elements [0, a) not yet merged
+    let mut r = run.len();
+    while r > 0 {
+        let g = run[r - 1].1;
+        while a > 0 && list[a - 1] > g {
+            w -= 1;
+            list[w] = list[a - 1];
+            a -= 1;
+        }
+        if !(a > 0 && list[a - 1] == g) {
+            w -= 1;
+            list[w] = g;
+        }
+        r -= 1;
+    }
+    debug_assert_eq!(w, a);
+}
+
 /// One contiguous range of ratee rows with its own CSR arena and overlay.
 ///
 /// Per-ratee totals are stored structure-of-arrays — three contiguous
@@ -378,6 +420,8 @@ pub struct ShardedSnapshot {
     freq_t_n: Option<u64>,
     /// Reusable id→index resolution scratch for [`ShardedSnapshot::apply_epoch`].
     apply_idx: Vec<IdxEntry>,
+    /// Reusable `(rater, ratee)` scratch for the reverse-adjacency fix-up.
+    fixup_edges: Vec<(u32, u32)>,
 }
 
 impl ShardedSnapshot {
@@ -485,6 +529,7 @@ impl ShardedSnapshot {
             rev_adj,
             freq_t_n,
             apply_idx: Vec::new(),
+            fixup_edges: Vec::new(),
         }
     }
 
@@ -645,7 +690,12 @@ impl ShardedSnapshot {
     /// then `Some(remap)` with `remap[old_idx] = new_idx` (strictly
     /// monotone) so callers can migrate index-keyed state. `None` means
     /// indices are unchanged.
-    pub fn apply_epoch(&mut self, delta: &EpochDelta) -> Option<Vec<u32>> {
+    ///
+    /// `threads` bounds the fork-join width of the per-shard merge (shard
+    /// row ranges are disjoint, so the result is identical for any value;
+    /// `1` runs inline and is the oracle the parallel path is tested
+    /// against, `0` is resolved by the caller — pass an explicit count).
+    pub fn apply_epoch(&mut self, delta: &EpochDelta, threads: usize) -> Option<Vec<u32>> {
         if delta.is_empty() {
             return None;
         }
@@ -663,14 +713,14 @@ impl ShardedSnapshot {
                 .collect();
             fresh.sort_unstable();
             fresh.dedup();
-            remap = Some(self.reintern(&fresh));
+            remap = Some(self.reintern(&fresh, threads));
             let resolved = self.try_resolve(delta, &mut idx);
             assert!(resolved, "all delta ids must be interned after reintern");
         }
 
         let freq_t_n = self.freq_t_n;
         let idx_ref: &[IdxEntry] = &idx;
-        self.shards.par_iter_mut().for_each(|shard| {
+        crate::par::for_each_mut(threads, &mut self.shards, |shard| {
             let base = shard.base as usize;
             let lo = idx_ref.partition_point(|e| (e.0 as usize) < base);
             let hi = idx_ref.partition_point(|e| (e.0 as usize) < base + shard.rows);
@@ -683,20 +733,26 @@ impl ShardedSnapshot {
             shard.rebuild_with(&idx_ref[lo..hi], freq_t_n);
         });
 
-        // Serial reverse-adjacency fix-up from the per-shard new edges
-        // (insertion order is irrelevant — each list stays sorted).
-        for s in 0..self.shards.len() {
-            if self.shards[s].new_edges.is_empty() {
-                continue;
+        // Serial reverse-adjacency fix-up from the per-shard new edges.
+        // Gathered and sorted by rater so each touched list is extended by
+        // ONE backward in-place merge instead of a `Vec::insert` (and its
+        // memmove) per edge — the per-rater edge runs arrive sorted and a
+        // rater's list is touched exactly once, so the resulting lists are
+        // identical to per-edge sorted insertion.
+        self.fixup_edges.clear();
+        for shard in &self.shards {
+            self.fixup_edges.extend_from_slice(&shard.new_edges);
+        }
+        self.fixup_edges.sort_unstable();
+        let mut e = 0usize;
+        while e < self.fixup_edges.len() {
+            let j = self.fixup_edges[e].0;
+            let mut e_end = e + 1;
+            while e_end < self.fixup_edges.len() && self.fixup_edges[e_end].0 == j {
+                e_end += 1;
             }
-            let edges = std::mem::take(&mut self.shards[s].new_edges);
-            for &(j, g) in &edges {
-                let list = &mut self.rev_adj[j as usize];
-                if let Err(pos) = list.binary_search(&g) {
-                    list.insert(pos, g);
-                }
-            }
-            self.shards[s].new_edges = edges;
+            merge_sorted_into(&mut self.rev_adj[j as usize], &self.fixup_edges[e..e_end]);
+            e = e_end;
         }
 
         self.apply_idx = idx;
@@ -734,8 +790,11 @@ impl ShardedSnapshot {
 
     /// Intern `fresh` ids (sorted, deduped, all previously unknown) and
     /// rebuild the shard partition under the widened index space. Returns
-    /// the strictly monotone old-index → new-index remap.
-    fn reintern(&mut self, fresh: &[NodeId]) -> Vec<u32> {
+    /// the strictly monotone old-index → new-index remap. The remap itself
+    /// is computed by one serial two-pointer merge — never split across
+    /// threads — so it is deterministic for any `threads`; only the
+    /// independent per-shard row migration forks.
+    fn reintern(&mut self, fresh: &[NodeId], threads: usize) -> Vec<u32> {
         let old_nodes = std::mem::take(&mut self.nodes);
         let old_n = old_nodes.len();
         let mut merged: Vec<NodeId> = Vec::with_capacity(old_n + fresh.len());
@@ -769,37 +828,34 @@ impl ShardedSnapshot {
         let old_of_new_ref = &old_of_new;
         let old_shards_ref = &old_shards;
         let freq_t_n = self.freq_t_n;
-        self.shards = (0..n_shards)
-            .into_par_iter()
-            .map(|s| {
-                let base = s * rps;
-                let rows = rps.min(n - base);
-                let mut shard = Shard::empty(base as u32, rows, freq_t_n.is_some());
-                let mut row_offsets = Vec::with_capacity(rows + 1);
-                row_offsets.push(0u32);
-                let mut row_cols = Vec::new();
-                let mut row_cells = Vec::new();
-                for local in 0..rows {
-                    if let Some(og) = old_of_new_ref[base + local] {
-                        let osh = &old_shards_ref[og as usize / old_rps];
-                        let olocal = (og - osh.base) as usize;
-                        let (cols, cells) = osh.row(olocal);
-                        row_cols.extend(cols.iter().map(|&c| remap_ref[c as usize]));
-                        row_cells.extend_from_slice(cells);
-                        shard.set_totals(local, osh.totals(olocal));
-                        if let (Some(f), Some(of)) = (shard.freq.as_mut(), osh.freq.as_ref()) {
-                            f[local] = of[olocal];
-                        }
+        self.shards = crate::par::map_indexed(threads, n_shards, |s| {
+            let base = s * rps;
+            let rows = rps.min(n - base);
+            let mut shard = Shard::empty(base as u32, rows, freq_t_n.is_some());
+            let mut row_offsets = Vec::with_capacity(rows + 1);
+            row_offsets.push(0u32);
+            let mut row_cols = Vec::new();
+            let mut row_cells = Vec::new();
+            for local in 0..rows {
+                if let Some(og) = old_of_new_ref[base + local] {
+                    let osh = &old_shards_ref[og as usize / old_rps];
+                    let olocal = (og - osh.base) as usize;
+                    let (cols, cells) = osh.row(olocal);
+                    row_cols.extend(cols.iter().map(|&c| remap_ref[c as usize]));
+                    row_cells.extend_from_slice(cells);
+                    shard.set_totals(local, osh.totals(olocal));
+                    if let (Some(f), Some(of)) = (shard.freq.as_mut(), osh.freq.as_ref()) {
+                        f[local] = of[olocal];
                     }
-                    row_offsets.push(row_cols.len() as u32);
                 }
-                shard.nnz = row_cols.len();
-                shard.row_offsets = row_offsets;
-                shard.row_cols = row_cols;
-                shard.row_cells = row_cells;
-                shard
-            })
-            .collect();
+                row_offsets.push(row_cols.len() as u32);
+            }
+            shard.nnz = row_cols.len();
+            shard.row_offsets = row_offsets;
+            shard.row_cols = row_cols;
+            shard.row_cells = row_cells;
+            shard
+        });
 
         let old_rev = std::mem::take(&mut self.rev_adj);
         let mut rev_adj: Vec<Vec<u32>> = (0..n).map(|_| Vec::new()).collect();
@@ -1027,7 +1083,7 @@ mod tests {
                 h.record(r);
             }
             let delta = buf.drain();
-            let remap = sharded.apply_epoch(&delta);
+            let remap = sharded.apply_epoch(&delta, 2);
             assert!(remap.is_none(), "no new nodes expected");
             assert_views_equal(&sharded, &DetectionSnapshot::build(&h, &nodes));
         }
@@ -1051,7 +1107,7 @@ mod tests {
             buf.record(r);
             h.record(r);
         }
-        let remap = sharded.apply_epoch(&buf.drain()).expect("new nodes must remap");
+        let remap = sharded.apply_epoch(&buf.drain(), 2).expect("new nodes must remap");
         assert_eq!(remap.len(), old_nodes.len());
         for (old_idx, &new_idx) in remap.iter().enumerate() {
             assert_eq!(SnapshotView::node_id(&sharded, new_idx), old_nodes[old_idx]);
@@ -1072,7 +1128,7 @@ mod tests {
             buf.record(r);
             h.record(r);
         }
-        sharded.apply_epoch(&buf.drain());
+        sharded.apply_epoch(&buf.drain(), 2);
         let mono = DetectionSnapshot::build_with_frequent(&h, &nodes, 20);
         for idx in 0..SnapshotView::n(&sharded) as u32 {
             assert_eq!(
@@ -1096,7 +1152,7 @@ mod tests {
         assert_eq!(SnapshotView::n(&sharded), 5);
         assert_eq!(SnapshotView::nnz(&sharded), 0);
         assert_eq!(sharded.refresh(&h, &[]), RefreshOutcome::Unchanged);
-        assert!(sharded.apply_epoch(&EpochDelta::default()).is_none());
+        assert!(sharded.apply_epoch(&EpochDelta::default(), 2).is_none());
         assert_views_equal(&sharded, &DetectionSnapshot::build(&h, &nodes));
     }
 }

@@ -958,6 +958,7 @@ pub fn inprocess_serial_rate(cfg: &ClusterConfig) -> (u64, f64) {
         thresholds: cfg.thresholds,
         policy: DetectionPolicy::STRICT,
         prune: false,
+        close_threads: 0,
     };
     let durability =
         DurabilityConfig { sync_policy: MANAGER_SYNC_POLICY, ..DurabilityConfig::default() };

@@ -156,6 +156,7 @@ pub fn run_ingest_driver(cfg: &IngestDriverConfig) -> IngestDriverOutcome {
         thresholds: cfg.thresholds,
         policy: DetectionPolicy::STRICT,
         prune: true,
+        close_threads: 0,
     };
 
     let mut serial = EpochEngine::new(

@@ -372,6 +372,7 @@ pub fn run_crash_recovery(cfg: &CrashRecoveryConfig, kill: KillPoint) -> CrashRe
         thresholds: cfg.thresholds,
         policy: DetectionPolicy::STRICT,
         prune: true,
+        close_threads: 0,
     };
 
     // 1. uncrashed reference

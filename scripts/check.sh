@@ -20,6 +20,15 @@ cargo clippy -p collusion-dht -p collusion-core -- -D warnings -W clippy::unwrap
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+echo "== parallel-close identity matrix (RAYON_NUM_THREADS ∈ {1, 4}) =="
+# close_threads=0 resolves through RAYON_NUM_THREADS, so this forces the
+# auto path through both the serial oracle and a genuinely forked width;
+# the properties assert bit-identical reports, state and persisted images
+for w in 1 4; do
+  RAYON_NUM_THREADS="$w" cargo test --release -q \
+    --test pipeline_props --test scale_props
+done
+
 echo "== explicit-simd build matrix (fixed-lane band kernels, both paths bit-identical) =="
 # compile + lint the pinned-vector-shape kernel path, then run the kernel
 # oracle and pipeline bit-identity properties under it
@@ -54,13 +63,19 @@ diff scripts/BENCH_recovery_smoke_expected.json "$recovery_out"
 echo "== ingest smoke (n=2k pipelined vs serial, fixed suspect/record counts) =="
 # the smoke run asserts per-epoch suspect sets and final engine state are
 # bit-identical between the pipelined and serial engines internally; the
-# diff pins suspect counts, WAL record counts, and the identity flags.
-# ratings_per_sec and allocs_steady_close are machine-dependent, so they
-# are filtered from the byte diff and gated separately below.
+# diff pins suspect counts, WAL record counts, and the identity flags —
+# including the per-width "identical" flags of the close_threads sweep.
+# ratings_per_sec, allocs_steady_close and the sweep's close_median_ns
+# are machine-dependent, so they are stripped from the byte diff and
+# gated separately below.
 timeout 120 cargo run --release -q -p collusion-bench --bin ingest_json -- \
   --smoke --out "$ingest_out"
-diff <(grep -vE 'ratings_per_sec|allocs_steady_close' scripts/BENCH_ingest_smoke_expected.json) \
-     <(grep -vE 'ratings_per_sec|allocs_steady_close' "$ingest_out")
+normalize_ingest() {
+  grep -vE 'ratings_per_sec|allocs_steady_close' "$1" \
+    | sed -E 's/, "close_median_ns": [0-9]+//'
+}
+diff <(normalize_ingest scripts/BENCH_ingest_smoke_expected.json) \
+     <(normalize_ingest "$ingest_out")
 
 echo "== ingest alloc budget (steady-state close stays allocation-light) =="
 # the serial engine's last (steady-state) close at n=2k: the reused
@@ -71,6 +86,25 @@ if [ "$steady" -gt 1000 ]; then
   echo "steady-state close allocated $steady times (budget 1000)" >&2
   exit 1
 fi
+
+echo "== parallel-close overhead smoke (forked close vs serial oracle, loose floor) =="
+# the smoke sweep closes the same stream at close_threads 1 and 4; on a
+# many-core box the forked close is faster, on a 1-core box it pays pure
+# fork-join overhead. The floor only catches a pathological parallel
+# path (>5x slower than serial) without flaking on either topology.
+w1="$(grep -o '"threads": 1, "identical": true, "close_median_ns": [0-9]*' "$ingest_out" | grep -o '[0-9]*$')"
+w4="$(grep -o '"threads": 4, "identical": true, "close_median_ns": [0-9]*' "$ingest_out" | grep -o '[0-9]*$')"
+awk -v w1="$w1" -v w4="$w4" 'BEGIN {
+  if (w1 == "" || w4 == "") {
+    print "close_threads sweep missing from smoke output (or a width was not identical)"
+    exit 1
+  }
+  speedup = w1 / w4
+  if (speedup < 0.2) {
+    printf "forked close (width 4) ran at %.2fx the serial oracle (floor 0.2)\n", speedup
+    exit 1
+  }
+}'
 
 echo "== ingest perf smoke (serial throughput, 10x tolerance vs recorded reference) =="
 # generous ratio gate: catches order-of-magnitude ingest regressions

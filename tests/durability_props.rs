@@ -243,6 +243,7 @@ proptest! {
             thresholds,
             policy: DetectionPolicy::STRICT,
             prune: true,
+            close_threads: 0,
         };
         let cfg = DurabilityConfig {
             sync_policy: SyncPolicy::EveryK(8),
@@ -324,6 +325,7 @@ proptest! {
             method: EpochMethod::Optimized,
             thresholds: Thresholds::new(1.0, 4, 0.6, 0.4),
             policy: DetectionPolicy::STRICT,
+            close_threads: 0,
             prune: true,
         };
         let steps = steps_of(&ratings, epoch_len);
@@ -373,6 +375,7 @@ proptest! {
             thresholds: Thresholds::new(1.0, 4, 0.6, 0.4),
             policy: DetectionPolicy::STRICT,
             prune: true,
+            close_threads: 0,
         };
         let cfg = DurabilityConfig::default();
         let steps = steps_of(&ratings, epoch_len);

@@ -39,6 +39,7 @@ fn setup_strategy() -> impl Strategy<Value = EngineSetup> {
             thresholds: Thresholds::new(1.0, 4, 0.6, 0.4),
             policy: if extended { DetectionPolicy::EXTENDED } else { DetectionPolicy::STRICT },
             prune,
+            close_threads: 0,
         }
     })
 }
@@ -202,6 +203,7 @@ proptest! {
             thresholds: Thresholds::new(1.0, 4, 0.6, 0.4),
             policy: DetectionPolicy::STRICT,
             prune: true,
+            close_threads: 0,
         };
         let dir = scratch_dir("pipeline-props-torn");
         let mut cfg = PipelineConfig::new(s);
@@ -269,6 +271,7 @@ proptest! {
             thresholds: Thresholds::new(1.0, 4, 0.6, 0.4),
             policy: DetectionPolicy::STRICT,
             prune: true,
+            close_threads: 0,
         };
         let dcfg = DurabilityConfig {
             sync_policy: SyncPolicy::EveryK(8),
@@ -345,6 +348,59 @@ proptest! {
                 recovered.engine().state_diff(&pipelined)
             );
             std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The fork-join epoch close is bit-identical to the serial oracle at
+    /// every width: per-epoch suspect pairs *and* metered cost, the final
+    /// snapshot state, and the persisted image all match `close_threads=1`
+    /// exactly. Seeding only a prefix of the id space forces later epochs
+    /// to intern fresh nodes, so the deterministic re-interning remap runs
+    /// under fork-join too.
+    #[test]
+    fn parallel_close_matches_serial_oracle_across_widths(
+        ratings in ratings_strategy(12, 240),
+        epoch_len in 5usize..40,
+        shards in 1usize..5,
+        s in setup_strategy(),
+    ) {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let epochs = epochs_of(&ratings, epoch_len);
+
+        let mut oracle =
+            EpochEngine::new(&nodes, shards, s.method, s.thresholds, s.policy, s.prune);
+        oracle.set_close_threads(1);
+        let mut oracle_reports = Vec::with_capacity(epochs.len());
+        for epoch in &epochs {
+            for &r in *epoch {
+                oracle.record(r);
+            }
+            oracle_reports.push(oracle.close_epoch());
+        }
+
+        for width in [2usize, 4, 8] {
+            let mut wide =
+                EpochEngine::new(&nodes, shards, s.method, s.thresholds, s.policy, s.prune);
+            wide.set_close_threads(width);
+            for (epoch, want) in epochs.iter().zip(&oracle_reports) {
+                for &r in *epoch {
+                    wide.record(r);
+                }
+                let got = wide.close_epoch();
+                prop_assert_eq!(&got.pairs, &want.pairs, "pairs @ width {}", width);
+                prop_assert_eq!(got.cost, want.cost, "cost @ width {}", width);
+            }
+            prop_assert!(
+                wide.state_eq(&oracle),
+                "width {} diverged: {:?}",
+                width,
+                wide.state_diff(&oracle)
+            );
+            prop_assert_eq!(wide.persist_bytes(0), oracle.persist_bytes(0), "persisted image @ width {}", width);
         }
     }
 }

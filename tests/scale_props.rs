@@ -157,3 +157,79 @@ proptest! {
         }
     }
 }
+
+/// Probe-level equality of two sharded snapshots: interning, every forward
+/// row, totals, reverse adjacency and patched-row count must all agree.
+fn assert_sharded_eq(a: &ShardedSnapshot, b: &ShardedSnapshot) {
+    prop_assert_eq!(a.n(), b.n());
+    prop_assert_eq!(a.nodes(), b.nodes());
+    prop_assert_eq!(a.nnz(), b.nnz());
+    prop_assert_eq!(a.patched_rows(), b.patched_rows());
+    for idx in 0..a.n() as u32 {
+        let (ac, av) = a.row(idx);
+        let (bc, bv) = b.row(idx);
+        prop_assert_eq!(ac, bc, "row cols @ {}", idx);
+        prop_assert_eq!(av, bv, "row cells @ {}", idx);
+        prop_assert_eq!(a.totals_of(idx), b.totals_of(idx), "totals @ {}", idx);
+        prop_assert_eq!(a.ratees_of(idx), b.ratees_of(idx), "rev adj @ {}", idx);
+    }
+}
+
+proptest! {
+    /// `apply_epoch` under fork-join is bit-identical to the serial merge
+    /// for any thread width — including snapshots carrying overlay-patched
+    /// rows from prior `refresh` waves (compacted inside the merge) and
+    /// deltas that intern fresh nodes (the re-interning remap path).
+    #[test]
+    fn parallel_apply_epoch_matches_serial_across_widths(
+        base in ratings_strategy(200),
+        waves in prop::collection::vec(ratings_strategy(60), 0..3),
+        deltas in prop::collection::vec(
+            prop::collection::vec(
+                (1..=N + 6, 1..=N + 6, 0..3u8, 0..1_000_000u64).prop_map(|(a, b, v, t)| {
+                    let value = match v {
+                        0 => RatingValue::Negative,
+                        1 => RatingValue::Neutral,
+                        _ => RatingValue::Positive,
+                    };
+                    Rating::new(NodeId(a), NodeId(b), value, SimTime(t))
+                }),
+                1..80,
+            ),
+            1..4,
+        ),
+        shards in 1usize..=8,
+    ) {
+        let nodes = nodes();
+        // seed a snapshot, then overlay-patch it with refresh waves
+        let mut h = InteractionHistory::new();
+        for r in &base {
+            h.record(*r);
+        }
+        let mut oracle = ShardedSnapshot::build(&h, &nodes, shards);
+        h.clear_dirty();
+        for wave in &waves {
+            for r in wave {
+                h.record(*r);
+            }
+            let dirty: Vec<NodeId> = h.take_dirty().into_iter().collect();
+            oracle.refresh(&h, &dirty);
+        }
+
+        let mut wides: Vec<ShardedSnapshot> =
+            [2usize, 4, 8].iter().map(|_| oracle.clone()).collect();
+        for batch in &deltas {
+            let mut buf = EpochBuffer::new();
+            for r in batch {
+                buf.record(*r);
+            }
+            let delta = buf.drain();
+            let want_remap = oracle.apply_epoch(&delta, 1);
+            for (wide, width) in wides.iter_mut().zip([2usize, 4, 8]) {
+                let remap = wide.apply_epoch(&delta, width);
+                prop_assert_eq!(&remap, &want_remap, "remap @ width {}", width);
+                assert_sharded_eq(wide, &oracle);
+            }
+        }
+    }
+}

@@ -1,13 +1,67 @@
 //! Vendored stand-in for `rayon`, exposing the parallel-iterator API subset
 //! this workspace uses (`par_iter`, `par_iter_mut`, `into_par_iter`,
-//! `flat_map_iter`, plus the standard adapter chain) executed **sequentially**.
+//! `flat_map_iter`, plus the standard adapter chain) executed **sequentially**,
+//! alongside a real fork-join core (`scope`, `join`,
+//! `current_num_threads`) backed by `std::thread::scope`.
 //!
 //! The build environment has no registry access, so external crates are
-//! vendored (see `vendor/README.md`). Running the "parallel" paths on one
-//! thread keeps every `detect_par`-style kernel compilable and — crucially —
-//! bit-identical to its sequential twin, which the equivalence tests assert.
-//! The adapters return plain `std::iter` types, so `map`/`filter_map`/
-//! `enumerate`/`sum`/`collect` all come from `std::iter::Iterator`.
+//! vendored (see `vendor/README.md`). Running the "parallel" iterator paths
+//! on one thread keeps every `detect_par`-style kernel compilable and —
+//! crucially — bit-identical to its sequential twin, which the equivalence
+//! tests assert. The adapters return plain `std::iter` types, so
+//! `map`/`filter_map`/`enumerate`/`sum`/`collect` all come from
+//! `std::iter::Iterator`.
+//!
+//! The fork-join core is what the parallel epoch close builds on: callers
+//! split work into contiguous chunks, spawn one scoped thread per chunk,
+//! and reassemble results in chunk order, so output never depends on the
+//! thread count. `current_num_threads` honours `RAYON_NUM_THREADS` exactly
+//! like the real crate (0 or unset → available parallelism).
+
+/// Scoped thread spawning; `std::thread::scope` re-exported under the name
+/// the real crate uses. Workers spawned inside the scope may borrow from
+/// the enclosing stack frame and are joined before `scope` returns.
+pub use std::thread::scope;
+/// Handle type produced by [`scope`] spawns.
+pub use std::thread::Scope;
+
+/// Number of worker threads fork-join helpers should use: the
+/// `RAYON_NUM_THREADS` environment override when set to a positive
+/// integer, else the machine's available parallelism. Cached after the
+/// first call, mirroring the real crate's pool-at-first-use behaviour.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        }
+    })
+}
+
+/// Run both closures, potentially in parallel, returning both results.
+/// With one configured thread the pair runs sequentially in order, which
+/// doubles as the deterministic oracle for the forked path.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(oper_b);
+            let ra = oper_a();
+            (ra, hb.join().expect("rayon::join worker panicked"))
+        })
+    }
+}
 
 /// Consuming conversion, mirroring `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
